@@ -1,0 +1,69 @@
+//! Audit-trail error type.
+
+use std::fmt;
+
+/// Errors from encoding, decoding and verifying audit trails.
+#[derive(Debug)]
+pub enum AuditError {
+    /// Input ended mid-record.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An unknown event-kind tag.
+    BadKind(u8),
+    /// Hash chain broken at the record with this sequence number —
+    /// the record (or one before it) was modified.
+    ChainBroken {
+        /// Sequence number of the offending record.
+        seq: u64,
+    },
+    /// A segment's HMAC seal does not verify — truncation or key mismatch.
+    BadSeal {
+        /// Index of the affected segment.
+        segment: usize,
+    },
+    /// Records are not in strictly increasing sequence order.
+    BadSequence {
+        /// What was expected.
+        expected: u64,
+        /// What was found instead.
+        found: u64,
+    },
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Truncated => write!(f, "audit data truncated"),
+            AuditError::BadUtf8 => write!(f, "audit record contains invalid UTF-8"),
+            AuditError::BadKind(k) => write!(f, "unknown audit event kind {k}"),
+            AuditError::ChainBroken { seq } => {
+                write!(f, "audit hash chain broken at record seq {seq} (tampering detected)")
+            }
+            AuditError::BadSeal { segment } => {
+                write!(f, "audit segment {segment} seal does not verify (tampering detected)")
+            }
+            AuditError::BadSequence { expected, found } => {
+                write!(f, "audit record out of order: expected seq {expected}, found {found}")
+            }
+            AuditError::Io(e) => write!(f, "audit I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuditError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AuditError {
+    fn from(e: std::io::Error) -> Self {
+        AuditError::Io(e)
+    }
+}

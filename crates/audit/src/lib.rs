@@ -1,0 +1,129 @@
+#![warn(missing_docs)]
+//! # audit — secure audit trail for history-based access control
+//!
+//! Reproduces the tamper-evident audit service the MSoD paper relies on
+//! (§4.2, §5.2, reference [5]): every PDP decision is logged to a
+//! SHA-256 hash-chained trail; rotating seals the current segment with
+//! an HMAC under the trail key; at start-up the last *n* trails from
+//! time *t* are replayed to rebuild the retained ADI.
+//!
+//! The allowed offline crate set contains no cryptography, so SHA-256
+//! ([`sha256`]) and HMAC-SHA256 ([`hmac`]) are implemented from scratch
+//! and pinned by NIST / RFC 4231 test vectors.
+//!
+//! ```
+//! use audit::{AuditEvent, AuditTrail};
+//!
+//! let mut trail = AuditTrail::new(b"trail-key".to_vec());
+//! trail.append(
+//!     AuditEvent::grant("cn=alice", vec!["Teller".into()],
+//!                       "handleCash", "till", "Branch=York, Period=2006", true),
+//!     1_000,
+//! );
+//! trail.rotate();
+//! trail.verify().unwrap();
+//!
+//! // Tampering with a sealed record is detected:
+//! # let mut bad = trail.clone();
+//! // (mutating any sealed record breaks the hash chain)
+//! let grants: Vec<_> = trail.replay(10, 0).unwrap().collect();
+//! assert_eq!(grants.len(), 1);
+//! ```
+
+pub mod error;
+pub mod hmac;
+pub mod record;
+pub mod sha256;
+pub mod trail;
+
+pub use error::AuditError;
+pub use hmac::{hmac_sha256, HmacSha256};
+pub use record::{AuditEvent, EventKind, Record};
+pub use sha256::{sha256, Sha256};
+pub use trail::{AuditTrail, Segment, TrailStore};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_event() -> impl Strategy<Value = AuditEvent> {
+        (
+            0u8..6,
+            "[a-z]{0,12}",
+            proptest::collection::vec("[A-Za-z]{1,8}", 0..4),
+            "[a-zA-Z/:.]{0,16}",
+            any::<bool>(),
+        )
+            .prop_map(|(kind, user, roles, target, msod)| {
+                let mut e = match kind {
+                    0 => AuditEvent::grant(user, roles, "op", target, "A=1", msod),
+                    1 => AuditEvent::deny(user, roles, "op", target, "A=1", "r"),
+                    2 => AuditEvent::context_terminated("A=1"),
+                    3 => AuditEvent::admin_purge("A=1", "why"),
+                    4 => AuditEvent::startup(),
+                    _ => AuditEvent::note(user),
+                };
+                e.msod_matched = msod && e.kind == EventKind::Grant;
+                e
+            })
+    }
+
+    proptest! {
+        /// Record encode/decode is the identity.
+        #[test]
+        fn record_roundtrip(ev in arb_event(), seq in any::<u64>(), ts in any::<u64>()) {
+            let rec = Record { seq, timestamp: ts, event: ev };
+            let bytes = rec.to_bytes();
+            let mut slice = bytes.as_slice();
+            prop_assert_eq!(Record::decode(&mut slice).unwrap(), rec);
+            prop_assert!(slice.is_empty());
+        }
+
+        /// Any trail built by appends and rotations verifies; flipping
+        /// any single byte of a sealed segment's serialized form either
+        /// fails to parse or fails to verify.
+        #[test]
+        fn tamper_evidence(
+            events in proptest::collection::vec(arb_event(), 1..12),
+            flip_at in any::<proptest::sample::Index>(),
+        ) {
+            let mut trail = AuditTrail::new(b"key".to_vec());
+            for (i, e) in events.iter().cloned().enumerate() {
+                trail.append(e, i as u64);
+            }
+            trail.rotate();
+            trail.verify().unwrap();
+
+            let mut bytes = trail.segments()[0].to_bytes();
+            let idx = flip_at.index(bytes.len());
+            bytes[idx] ^= 0x01;
+            match Segment::from_bytes(&bytes) {
+                Err(_) => {} // structural corruption: detected
+                Ok(seg) => {
+                    // If it still parses AND equals the original segment
+                    // byte-for-byte-semantics, the flip must be detected
+                    // by verification.
+                    if seg != trail.segments()[0] {
+                        prop_assert!(seg.verify(b"key", 0).is_err());
+                    }
+                }
+            }
+        }
+
+        /// Segment serialization round-trips.
+        #[test]
+        fn segment_roundtrip(events in proptest::collection::vec(arb_event(), 0..10)) {
+            let mut trail = AuditTrail::new(b"key".to_vec());
+            for (i, e) in events.iter().cloned().enumerate() {
+                trail.append(e, i as u64);
+            }
+            if trail.rotate().is_some() {
+                let seg = &trail.segments()[0];
+                let loaded = Segment::from_bytes(&seg.to_bytes()).unwrap();
+                prop_assert_eq!(&loaded, seg);
+                loaded.verify(b"key", 0).unwrap();
+            }
+        }
+    }
+}

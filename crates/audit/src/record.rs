@@ -1,0 +1,345 @@
+//! Audit records and their binary codec.
+//!
+//! Each record captures one PDP event. For granted decisions that
+//! matched an MSoD policy, the record carries exactly the 6-tuple of
+//! paper §4.2: user ID, activated roles, operation, target, business
+//! context instance, and decision time.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::AuditError;
+
+/// What kind of event a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Access granted. `msod_matched` says whether an MSoD policy
+    /// matched (only those grants become retained ADI).
+    Grant,
+    /// Access denied (denials never enter the retained ADI, §4.2, but
+    /// are still logged for accountability).
+    Deny,
+    /// A business context instance terminated (its last step was
+    /// granted); retained ADI for it was flushed (§5.2).
+    ContextTerminated,
+    /// An administrator purged retained ADI through the management
+    /// port (§4.3).
+    AdminPurge,
+    /// PDP start-up marker (recovery boundary).
+    Startup,
+    /// Free-text operational note.
+    Note,
+}
+
+impl EventKind {
+    fn tag(self) -> u8 {
+        match self {
+            EventKind::Grant => 0,
+            EventKind::Deny => 1,
+            EventKind::ContextTerminated => 2,
+            EventKind::AdminPurge => 3,
+            EventKind::Startup => 4,
+            EventKind::Note => 5,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, AuditError> {
+        Ok(match tag {
+            0 => EventKind::Grant,
+            1 => EventKind::Deny,
+            2 => EventKind::ContextTerminated,
+            3 => EventKind::AdminPurge,
+            4 => EventKind::Startup,
+            5 => EventKind::Note,
+            other => return Err(AuditError::BadKind(other)),
+        })
+    }
+}
+
+/// The event payload. Fields not applicable to a kind are left empty.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AuditEvent {
+    /// What kind of event this is.
+    pub kind: EventKind,
+    /// Authenticated user identity (mandatory for MSoD, §4.1).
+    pub user: String,
+    /// Roles activated for the decision.
+    pub roles: Vec<String>,
+    /// Operation requested.
+    pub operation: String,
+    /// Target object / URI.
+    pub target: String,
+    /// Business-context instance (display form).
+    pub context: String,
+    /// Whether an MSoD policy matched this decision.
+    pub msod_matched: bool,
+    /// Free text (Note / AdminPurge reason).
+    pub note: String,
+}
+
+impl Default for EventKind {
+    fn default() -> Self {
+        EventKind::Note
+    }
+}
+
+impl AuditEvent {
+    /// A granted decision.
+    pub fn grant(
+        user: impl Into<String>,
+        roles: Vec<String>,
+        operation: impl Into<String>,
+        target: impl Into<String>,
+        context: impl Into<String>,
+        msod_matched: bool,
+    ) -> Self {
+        AuditEvent {
+            kind: EventKind::Grant,
+            user: user.into(),
+            roles,
+            operation: operation.into(),
+            target: target.into(),
+            context: context.into(),
+            msod_matched,
+            note: String::new(),
+        }
+    }
+
+    /// A denied decision.
+    pub fn deny(
+        user: impl Into<String>,
+        roles: Vec<String>,
+        operation: impl Into<String>,
+        target: impl Into<String>,
+        context: impl Into<String>,
+        reason: impl Into<String>,
+    ) -> Self {
+        AuditEvent {
+            kind: EventKind::Deny,
+            user: user.into(),
+            roles,
+            operation: operation.into(),
+            target: target.into(),
+            context: context.into(),
+            msod_matched: false,
+            note: reason.into(),
+        }
+    }
+
+    /// A business-context termination.
+    pub fn context_terminated(context: impl Into<String>) -> Self {
+        AuditEvent {
+            kind: EventKind::ContextTerminated,
+            context: context.into(),
+            ..Default::default()
+        }
+    }
+
+    /// A management-port purge of retained ADI.
+    pub fn admin_purge(context: impl Into<String>, reason: impl Into<String>) -> Self {
+        AuditEvent {
+            kind: EventKind::AdminPurge,
+            context: context.into(),
+            note: reason.into(),
+            ..Default::default()
+        }
+    }
+
+    /// A PDP start-up marker.
+    pub fn startup() -> Self {
+        AuditEvent { kind: EventKind::Startup, ..Default::default() }
+    }
+
+    /// A free-text note.
+    pub fn note(text: impl Into<String>) -> Self {
+        AuditEvent { kind: EventKind::Note, note: text.into(), ..Default::default() }
+    }
+}
+
+/// One sequenced, timestamped audit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Monotonic sequence number across the whole trail.
+    pub seq: u64,
+    /// Caller-supplied timestamp (milliseconds or logical ticks; the
+    /// trail only requires monotone non-decreasing values).
+    pub timestamp: u64,
+    /// The event payload.
+    pub event: AuditEvent,
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, AuditError> {
+    if buf.remaining() < 4 {
+        return Err(AuditError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(AuditError::Truncated);
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| AuditError::BadUtf8)
+}
+
+impl Record {
+    /// Append the binary encoding of this record to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u64_le(self.seq);
+        buf.put_u64_le(self.timestamp);
+        buf.put_u8(self.event.kind.tag());
+        buf.put_u8(self.event.msod_matched as u8);
+        put_str(buf, &self.event.user);
+        buf.put_u32_le(self.event.roles.len() as u32);
+        for r in &self.event.roles {
+            put_str(buf, r);
+        }
+        put_str(buf, &self.event.operation);
+        put_str(buf, &self.event.target);
+        put_str(buf, &self.event.context);
+        put_str(buf, &self.event.note);
+    }
+
+    /// Canonical encoding as a fresh buffer (used for hash chaining).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode one record from the front of `buf`, advancing it.
+    pub fn decode(buf: &mut &[u8]) -> Result<Record, AuditError> {
+        if buf.remaining() < 18 {
+            return Err(AuditError::Truncated);
+        }
+        let seq = buf.get_u64_le();
+        let timestamp = buf.get_u64_le();
+        let kind = EventKind::from_tag(buf.get_u8())?;
+        let msod_matched = buf.get_u8() != 0;
+        let user = get_str(buf)?;
+        if buf.remaining() < 4 {
+            return Err(AuditError::Truncated);
+        }
+        let n_roles = buf.get_u32_le() as usize;
+        // Each role needs at least 4 bytes of length prefix; reject
+        // absurd counts before allocating.
+        if n_roles > buf.remaining() / 4 {
+            return Err(AuditError::Truncated);
+        }
+        let mut roles = Vec::with_capacity(n_roles);
+        for _ in 0..n_roles {
+            roles.push(get_str(buf)?);
+        }
+        let operation = get_str(buf)?;
+        let target = get_str(buf)?;
+        let context = get_str(buf)?;
+        let note = get_str(buf)?;
+        Ok(Record {
+            seq,
+            timestamp,
+            event: AuditEvent { kind, user, roles, operation, target, context, msod_matched, note },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record {
+            seq: 7,
+            timestamp: 1_234,
+            event: AuditEvent::grant(
+                "cn=alice,o=bank",
+                vec!["Teller".into(), "Clerk".into()],
+                "handleCash",
+                "http://bank/till",
+                "Branch=York, Period=2006",
+                true,
+            ),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for rec in [
+            sample(),
+            Record { seq: 0, timestamp: 0, event: AuditEvent::startup() },
+            Record { seq: 1, timestamp: 5, event: AuditEvent::note("hello") },
+            Record {
+                seq: 2,
+                timestamp: 6,
+                event: AuditEvent::deny("bob", vec![], "audit", "books", "Period=2006", "MSoD"),
+            },
+            Record {
+                seq: 3,
+                timestamp: 9,
+                event: AuditEvent::context_terminated("Period=2006"),
+            },
+            Record {
+                seq: 4,
+                timestamp: 10,
+                event: AuditEvent::admin_purge("TaxOffice=Kent", "year-end cleanup"),
+            },
+        ] {
+            let bytes = rec.to_bytes();
+            let mut slice = bytes.as_slice();
+            let decoded = Record::decode(&mut slice).unwrap();
+            assert_eq!(decoded, rec);
+            assert!(slice.is_empty(), "decode must consume exactly one record");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 1, 10, 20, bytes.len() - 1] {
+            let mut slice = &bytes[..cut];
+            assert!(Record::decode(&mut slice).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_kind() {
+        let mut bytes = sample().to_bytes();
+        bytes[16] = 99; // kind tag
+        let mut slice = bytes.as_slice();
+        assert!(matches!(Record::decode(&mut slice), Err(AuditError::BadKind(99))));
+    }
+
+    #[test]
+    fn decode_rejects_bad_utf8() {
+        let rec = sample();
+        let mut bytes = rec.to_bytes();
+        // user field starts at offset 18 + 4; stomp a continuation byte.
+        bytes[22] = 0xff;
+        bytes[23] = 0xfe;
+        let mut slice = bytes.as_slice();
+        assert!(matches!(Record::decode(&mut slice), Err(AuditError::BadUtf8)));
+    }
+
+    #[test]
+    fn decode_rejects_absurd_role_count() {
+        let mut buf = Vec::new();
+        buf.put_u64_le(0);
+        buf.put_u64_le(0);
+        buf.put_u8(0); // Grant
+        buf.put_u8(0);
+        buf.put_u32_le(0); // empty user
+        buf.put_u32_le(u32::MAX); // absurd role count
+        let mut slice = buf.as_slice();
+        assert!(matches!(Record::decode(&mut slice), Err(AuditError::Truncated)));
+    }
+
+    #[test]
+    fn encode_appends() {
+        let mut buf = vec![0xaa];
+        sample().encode(&mut buf);
+        assert_eq!(buf[0], 0xaa);
+        let mut slice = &buf[1..];
+        assert_eq!(Record::decode(&mut slice).unwrap(), sample());
+    }
+}

@@ -1,0 +1,524 @@
+//! Hash-chained, HMAC-sealed audit trail with segment rotation, a
+//! file-backed store and recovery replay.
+//!
+//! Reproduces the secure audit service of [5] as used by PERMIS (§5.2):
+//! every record extends a SHA-256 hash chain; rotating the trail seals
+//! the current segment with an HMAC over its final chain hash, producing
+//! one "audit trail" in the paper's terminology. At PDP start-up the
+//! last *n* trails from time *t* are replayed to rebuild retained ADI.
+
+use std::fs;
+use std::path::PathBuf;
+
+use bytes::{Buf, BufMut};
+
+use crate::error::AuditError;
+use crate::hmac::{hmac_sha256, verify_tag};
+use crate::record::{AuditEvent, Record};
+use crate::sha256::{Sha256, DIGEST_LEN};
+
+/// Chain-extend: `h' = SHA256(h || record_bytes)`.
+fn extend_chain(prev: &[u8; DIGEST_LEN], record_bytes: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    h.update(prev);
+    h.update(record_bytes);
+    h.finalize()
+}
+
+/// A sealed (rotated) segment: records, the chain hash over them, and an
+/// HMAC seal binding the chain to the trail key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Chain hash the segment starts from (the previous segment's final
+    /// hash, or the genesis hash for the first segment).
+    pub start_hash: [u8; DIGEST_LEN],
+    /// The sealed records, in sequence order.
+    pub records: Vec<Record>,
+    /// Chain hash after the last record.
+    pub final_hash: [u8; DIGEST_LEN],
+    /// HMAC(key, final_hash).
+    pub seal: [u8; DIGEST_LEN],
+}
+
+impl Segment {
+    /// Earliest record timestamp (0 if empty).
+    pub fn start_time(&self) -> u64 {
+        self.records.first().map_or(0, |r| r.timestamp)
+    }
+
+    /// Latest record timestamp (0 if empty).
+    pub fn end_time(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.timestamp)
+    }
+
+    /// Serialize (records + hashes + seal).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.records.len() * 64 + 128);
+        buf.put_slice(&self.start_hash);
+        buf.put_u64_le(self.records.len() as u64);
+        for r in &self.records {
+            r.encode(&mut buf);
+        }
+        buf.put_slice(&self.final_hash);
+        buf.put_slice(&self.seal);
+        buf
+    }
+
+    /// Deserialize and structurally validate. Chain/seal verification is
+    /// separate ([`Segment::verify`]) so tampering is reported precisely.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Segment, AuditError> {
+        if buf.remaining() < DIGEST_LEN + 8 {
+            return Err(AuditError::Truncated);
+        }
+        let mut start_hash = [0u8; DIGEST_LEN];
+        buf.copy_to_slice(&mut start_hash);
+        let n = buf.get_u64_le() as usize;
+        let mut records = Vec::new();
+        for _ in 0..n {
+            records.push(Record::decode(&mut buf)?);
+        }
+        if buf.remaining() < 2 * DIGEST_LEN {
+            return Err(AuditError::Truncated);
+        }
+        let mut final_hash = [0u8; DIGEST_LEN];
+        buf.copy_to_slice(&mut final_hash);
+        let mut seal = [0u8; DIGEST_LEN];
+        buf.copy_to_slice(&mut seal);
+        Ok(Segment { start_hash, records, final_hash, seal })
+    }
+
+    /// Verify the hash chain and the HMAC seal under `key`.
+    /// `index` is only used for error reporting.
+    pub fn verify(&self, key: &[u8], index: usize) -> Result<(), AuditError> {
+        let mut h = self.start_hash;
+        for r in &self.records {
+            h = extend_chain(&h, &r.to_bytes());
+        }
+        if h != self.final_hash {
+            let seq = self.records.last().map_or(0, |r| r.seq);
+            return Err(AuditError::ChainBroken { seq });
+        }
+        let expected = hmac_sha256(key, &self.final_hash);
+        if !verify_tag(&expected, &self.seal) {
+            return Err(AuditError::BadSeal { segment: index });
+        }
+        Ok(())
+    }
+}
+
+/// The live audit trail: sealed segments plus an open head segment.
+#[derive(Debug, Clone)]
+pub struct AuditTrail {
+    key: Vec<u8>,
+    segments: Vec<Segment>,
+    open_records: Vec<Record>,
+    open_start_hash: [u8; DIGEST_LEN],
+    head_hash: [u8; DIGEST_LEN],
+    next_seq: u64,
+    last_timestamp: u64,
+}
+
+/// The genesis chain value for a fresh trail.
+fn genesis() -> [u8; DIGEST_LEN] {
+    crate::sha256::sha256(b"msod-audit-genesis-v1")
+}
+
+impl AuditTrail {
+    /// Create an empty trail sealed under `key`.
+    pub fn new(key: impl Into<Vec<u8>>) -> Self {
+        let g = genesis();
+        AuditTrail {
+            key: key.into(),
+            segments: Vec::new(),
+            open_records: Vec::new(),
+            open_start_hash: g,
+            head_hash: g,
+            next_seq: 0,
+            last_timestamp: 0,
+        }
+    }
+
+    /// Append an event; returns its sequence number. Timestamps must be
+    /// non-decreasing (clamped up if the caller's clock steps back, so
+    /// the trail stays replayable by time range).
+    pub fn append(&mut self, event: AuditEvent, timestamp: u64) -> u64 {
+        let timestamp = timestamp.max(self.last_timestamp);
+        self.last_timestamp = timestamp;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let rec = Record { seq, timestamp, event };
+        self.head_hash = extend_chain(&self.head_hash, &rec.to_bytes());
+        self.open_records.push(rec);
+        seq
+    }
+
+    /// Seal the open segment and start a new one. No-op when empty.
+    /// Returns the sealed segment's index, if one was produced.
+    pub fn rotate(&mut self) -> Option<usize> {
+        if self.open_records.is_empty() {
+            return None;
+        }
+        let seal = hmac_sha256(&self.key, &self.head_hash);
+        let seg = Segment {
+            start_hash: self.open_start_hash,
+            records: std::mem::take(&mut self.open_records),
+            final_hash: self.head_hash,
+            seal,
+        };
+        self.open_start_hash = self.head_hash;
+        self.segments.push(seg);
+        Some(self.segments.len() - 1)
+    }
+
+    /// Sealed segments, oldest first.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Records in the open (unsealed) head segment.
+    pub fn open_records(&self) -> &[Record] {
+        &self.open_records
+    }
+
+    /// Total records (sealed + open).
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.records.len()).sum::<usize>() + self.open_records.len()
+    }
+
+    /// Whether the trail holds no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Verify every sealed segment's chain and seal, plus the open head
+    /// chain and cross-segment continuity.
+    pub fn verify(&self) -> Result<(), AuditError> {
+        let mut prev = genesis();
+        let mut expected_seq = 0u64;
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.start_hash != prev {
+                return Err(AuditError::BadSeal { segment: i });
+            }
+            seg.verify(&self.key, i)?;
+            for r in &seg.records {
+                if r.seq != expected_seq {
+                    return Err(AuditError::BadSequence { expected: expected_seq, found: r.seq });
+                }
+                expected_seq += 1;
+            }
+            prev = seg.final_hash;
+        }
+        let mut h = prev;
+        for r in &self.open_records {
+            if r.seq != expected_seq {
+                return Err(AuditError::BadSequence { expected: expected_seq, found: r.seq });
+            }
+            expected_seq += 1;
+            h = extend_chain(&h, &r.to_bytes());
+        }
+        if h != self.head_hash {
+            let seq = self.open_records.last().map_or(0, |r| r.seq);
+            return Err(AuditError::ChainBroken { seq });
+        }
+        Ok(())
+    }
+
+    /// Replay records for recovery (paper §5.2): iterate the records of
+    /// the last `n` sealed segments (plus the open head), oldest first,
+    /// skipping records older than `from_time`. Each sealed segment is
+    /// verified before its records are yielded.
+    pub fn replay(
+        &self,
+        last_n_segments: usize,
+        from_time: u64,
+    ) -> Result<impl Iterator<Item = &Record>, AuditError> {
+        let skip = self.segments.len().saturating_sub(last_n_segments);
+        for (i, seg) in self.segments.iter().enumerate().skip(skip) {
+            seg.verify(&self.key, i)?;
+        }
+        Ok(self.segments[skip..]
+            .iter()
+            .flat_map(|s| s.records.iter())
+            .chain(self.open_records.iter())
+            .filter(move |r| r.timestamp >= from_time))
+    }
+}
+
+/// Directory-backed store of sealed segments, one file per trail
+/// (`trail-<index>.seg`), as the paper's "last n audit trails".
+#[derive(Debug, Clone)]
+pub struct TrailStore {
+    dir: PathBuf,
+}
+
+impl TrailStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, AuditError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(TrailStore { dir })
+    }
+
+    fn segment_path(&self, index: usize) -> PathBuf {
+        self.dir.join(format!("trail-{index:08}.seg"))
+    }
+
+    /// Persist one sealed segment under its index.
+    pub fn save_segment(&self, index: usize, segment: &Segment) -> Result<(), AuditError> {
+        let tmp = self.dir.join(format!(".trail-{index:08}.tmp"));
+        fs::write(&tmp, segment.to_bytes())?;
+        fs::rename(&tmp, self.segment_path(index))?;
+        Ok(())
+    }
+
+    /// Indices of all stored segments, ascending.
+    pub fn segment_indices(&self) -> Result<Vec<usize>, AuditError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_prefix("trail-").and_then(|s| s.strip_suffix(".seg")) {
+                if let Ok(i) = stem.parse::<usize>() {
+                    out.push(i);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Load one segment (structurally; call [`Segment::verify`] after).
+    pub fn load_segment(&self, index: usize) -> Result<Segment, AuditError> {
+        let bytes = fs::read(self.segment_path(index))?;
+        Segment::from_bytes(&bytes)
+    }
+
+    /// Load the last `n` segments, oldest first, verifying each under
+    /// `key` — the §5.2 start-up procedure's input.
+    pub fn load_last(&self, n: usize, key: &[u8]) -> Result<Vec<Segment>, AuditError> {
+        let indices = self.segment_indices()?;
+        let skip = indices.len().saturating_sub(n);
+        let mut out = Vec::new();
+        for &i in &indices[skip..] {
+            let seg = self.load_segment(i)?;
+            seg.verify(key, i)?;
+            out.push(seg);
+        }
+        Ok(out)
+    }
+
+    /// Delete every stored segment (administrative reset).
+    pub fn clear(&self) -> Result<(), AuditError> {
+        for i in self.segment_indices()? {
+            fs::remove_file(self.segment_path(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::EventKind;
+
+    fn ev(n: u64) -> AuditEvent {
+        AuditEvent::grant(
+            format!("user{n}"),
+            vec!["Teller".into()],
+            "op",
+            "target",
+            "Branch=York, Period=2006",
+            true,
+        )
+    }
+
+    #[test]
+    fn append_and_verify() {
+        let mut trail = AuditTrail::new(b"secret".to_vec());
+        for i in 0..10 {
+            assert_eq!(trail.append(ev(i), i * 10), i);
+        }
+        assert_eq!(trail.len(), 10);
+        trail.verify().unwrap();
+    }
+
+    #[test]
+    fn rotation_seals_segments() {
+        let mut trail = AuditTrail::new(b"secret".to_vec());
+        for i in 0..5 {
+            trail.append(ev(i), i);
+        }
+        assert_eq!(trail.rotate(), Some(0));
+        for i in 5..8 {
+            trail.append(ev(i), i);
+        }
+        assert_eq!(trail.rotate(), Some(1));
+        assert_eq!(trail.rotate(), None); // empty head
+        assert_eq!(trail.segments().len(), 2);
+        assert_eq!(trail.len(), 8);
+        trail.verify().unwrap();
+    }
+
+    #[test]
+    fn tampering_record_detected() {
+        let mut trail = AuditTrail::new(b"secret".to_vec());
+        for i in 0..5 {
+            trail.append(ev(i), i);
+        }
+        trail.rotate();
+        // Tamper with a sealed record.
+        let mut bad = trail.clone();
+        bad.segments[0].records[2].event.user = "mallory".into();
+        assert!(matches!(bad.verify(), Err(AuditError::ChainBroken { .. })));
+    }
+
+    #[test]
+    fn tampering_seal_detected() {
+        let mut trail = AuditTrail::new(b"secret".to_vec());
+        trail.append(ev(0), 0);
+        trail.rotate();
+        let mut bad = trail.clone();
+        bad.segments[0].seal[0] ^= 1;
+        assert!(matches!(bad.verify(), Err(AuditError::BadSeal { .. })));
+        // Recomputing final_hash+records consistently but without the key
+        // still fails the seal.
+        let mut forged = trail.clone();
+        forged.segments[0].records[0].event.user = "mallory".into();
+        let rb = forged.segments[0].records[0].to_bytes();
+        let start = forged.segments[0].start_hash;
+        forged.segments[0].final_hash = extend_chain(&start, &rb);
+        assert!(matches!(forged.verify(), Err(AuditError::BadSeal { .. })));
+    }
+
+    #[test]
+    fn tampering_open_head_detected() {
+        let mut trail = AuditTrail::new(b"secret".to_vec());
+        trail.append(ev(0), 0);
+        let mut bad = trail.clone();
+        bad.open_records[0].event.user = "mallory".into();
+        assert!(matches!(bad.verify(), Err(AuditError::ChainBroken { .. })));
+    }
+
+    #[test]
+    fn timestamps_clamped_monotone() {
+        let mut trail = AuditTrail::new(b"k".to_vec());
+        trail.append(ev(0), 100);
+        trail.append(ev(1), 50); // clock stepped back
+        assert_eq!(trail.open_records()[1].timestamp, 100);
+    }
+
+    #[test]
+    fn replay_filters_by_time_and_segments() {
+        let mut trail = AuditTrail::new(b"k".to_vec());
+        for i in 0..4 {
+            trail.append(ev(i), i * 10);
+        }
+        trail.rotate();
+        for i in 4..8 {
+            trail.append(ev(i), i * 10);
+        }
+        trail.rotate();
+        trail.append(ev(8), 80);
+
+        // All segments, all time.
+        let all: Vec<_> = trail.replay(usize::MAX, 0).unwrap().collect();
+        assert_eq!(all.len(), 9);
+        // Only the last sealed segment + head.
+        let last: Vec<_> = trail.replay(1, 0).unwrap().collect();
+        assert_eq!(last.len(), 5);
+        assert_eq!(last[0].seq, 4);
+        // Time filter.
+        let recent: Vec<_> = trail.replay(usize::MAX, 55).unwrap().collect();
+        assert_eq!(recent.len(), 3);
+        assert!(recent.iter().all(|r| r.timestamp >= 55));
+    }
+
+    #[test]
+    fn segment_bytes_roundtrip() {
+        let mut trail = AuditTrail::new(b"k".to_vec());
+        for i in 0..3 {
+            trail.append(ev(i), i);
+        }
+        trail.rotate();
+        let seg = &trail.segments()[0];
+        let bytes = seg.to_bytes();
+        let loaded = Segment::from_bytes(&bytes).unwrap();
+        assert_eq!(&loaded, seg);
+        loaded.verify(b"k", 0).unwrap();
+        assert!(loaded.verify(b"wrong-key", 0).is_err());
+    }
+
+    #[test]
+    fn segment_from_bytes_rejects_truncation() {
+        let mut trail = AuditTrail::new(b"k".to_vec());
+        trail.append(ev(0), 0);
+        trail.rotate();
+        let bytes = trail.segments()[0].to_bytes();
+        for cut in [0, 10, 40, bytes.len() - 1] {
+            assert!(Segment::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn store_save_load_last() {
+        let dir = std::env::temp_dir().join(format!("audit-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = TrailStore::open(&dir).unwrap();
+
+        let mut trail = AuditTrail::new(b"k".to_vec());
+        for seg_i in 0..3 {
+            for i in 0..4u64 {
+                trail.append(ev(seg_i * 4 + i), seg_i * 40 + i);
+            }
+            let idx = trail.rotate().unwrap();
+            store.save_segment(idx, &trail.segments()[idx]).unwrap();
+        }
+
+        assert_eq!(store.segment_indices().unwrap(), vec![0, 1, 2]);
+        let last2 = store.load_last(2, b"k").unwrap();
+        assert_eq!(last2.len(), 2);
+        assert_eq!(last2[0].records[0].seq, 4);
+
+        // Wrong key fails verification on load.
+        assert!(store.load_last(2, b"bad").is_err());
+
+        // Tampered file detected.
+        let path = dir.join("trail-00000002.seg");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load_last(1, b"k").is_err());
+
+        store.clear().unwrap();
+        assert!(store.segment_indices().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequence_check_in_verify() {
+        let mut trail = AuditTrail::new(b"k".to_vec());
+        trail.append(ev(0), 0);
+        trail.append(ev(1), 1);
+        let mut bad = trail.clone();
+        // Reorder the two open records (re-chain consistently).
+        bad.open_records.swap(0, 1);
+        let mut h = genesis();
+        for r in &bad.open_records {
+            h = extend_chain(&h, &r.to_bytes());
+        }
+        bad.head_hash = h;
+        assert!(matches!(bad.verify(), Err(AuditError::BadSequence { .. })));
+    }
+
+    #[test]
+    fn deny_events_loggable() {
+        let mut trail = AuditTrail::new(b"k".to_vec());
+        trail.append(
+            AuditEvent::deny("bob", vec!["Auditor".into()], "audit", "books", "Period=2006", "MMER"),
+            1,
+        );
+        assert_eq!(trail.open_records()[0].event.kind, EventKind::Deny);
+        trail.verify().unwrap();
+    }
+}

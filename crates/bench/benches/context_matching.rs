@@ -1,0 +1,100 @@
+//! E4 — business-context machinery: instance matching and binding as a
+//! function of hierarchy depth, and policy-set matching as a function of
+//! the number of MSoD policies.
+
+use std::hint::black_box;
+
+use context::{ContextInstance, ContextName};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msod::{Mmer, MsodPolicy, MsodPolicySet, RoleRef};
+
+fn name_of_depth(depth: usize) -> ContextName {
+    (0..depth)
+        .map(|i| format!("L{i}={}", if i % 2 == 0 { "*" } else { "!" }))
+        .collect::<Vec<_>>()
+        .join(", ")
+        .parse()
+        .unwrap()
+}
+
+fn instance_of_depth(depth: usize) -> ContextInstance {
+    (0..depth)
+        .map(|i| format!("L{i}=v{i}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+        .parse()
+        .unwrap()
+}
+
+fn matching_vs_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context/match_vs_depth");
+    for depth in [1usize, 2, 4, 8, 16] {
+        let name = name_of_depth(depth);
+        let inst = instance_of_depth(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| name.matches_instance(black_box(&inst)))
+        });
+    }
+    group.finish();
+}
+
+fn binding_vs_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context/bind_vs_depth");
+    for depth in [1usize, 4, 16] {
+        let name = name_of_depth(depth);
+        let inst = instance_of_depth(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| name.bind(black_box(&inst)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn policy_set_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context/policyset_match_vs_n");
+    for n in [1usize, 16, 128, 1024] {
+        // n policies, each in a distinct top-level context, plus the one
+        // that matches.
+        let mut policies = Vec::with_capacity(n);
+        for i in 0..n {
+            policies.push(
+                MsodPolicy::new(
+                    format!("Dept{i}=!").parse().unwrap(),
+                    None,
+                    None,
+                    vec![Mmer::new(
+                        vec![RoleRef::new("e", "A"), RoleRef::new("e", "B")],
+                        2,
+                    )
+                    .unwrap()],
+                    vec![],
+                )
+                .unwrap(),
+            );
+        }
+        let set = MsodPolicySet::new(policies);
+        let inst: ContextInstance = format!("Dept{}=x", n - 1).parse().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| set.matching(black_box(&inst)))
+        });
+    }
+    group.finish();
+}
+
+fn parse_display_roundtrip(c: &mut Criterion) {
+    let inst = instance_of_depth(6);
+    let s = inst.to_string();
+    c.bench_function("context/parse_depth6", |b| {
+        b.iter(|| black_box(&s).parse::<ContextInstance>().unwrap())
+    });
+    c.bench_function("context/display_depth6", |b| b.iter(|| black_box(&inst).to_string()));
+}
+
+criterion_group!(
+    benches,
+    matching_vs_depth,
+    binding_vs_depth,
+    policy_set_matching,
+    parse_display_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! E8 — the paper's central scalability question (§4.3, §6): decision
+//! latency as the retained ADI grows, and the overhead of the MSoD
+//! stage over plain RBAC.
+//!
+//! Expected shape (recorded in EXPERIMENTS.md): plain-RBAC latency is
+//! flat; MSoD latency is flat in the number of *other* users' records
+//! per user-indexed lookup but grows with the store scan in
+//! `context_active` — the degradation the paper predicts for its
+//! in-memory design.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msod::{MemoryAdi, RetainedAdi, RoleRef};
+use permis::{DecisionRequest, Pdp};
+use workflow::scenarios::{
+    seed_adi, workload_policy_xml, workload_policy_xml_no_msod, WorkloadConfig,
+};
+
+fn cfg() -> WorkloadConfig {
+    WorkloadConfig { users: 200, contexts: 50, role_pairs: 4, ..Default::default() }
+}
+
+fn decide_vs_adi_size(c: &mut Criterion) {
+    // Two store implementations at each size: the paper's flat in-core
+    // store and the context-trie IndexedAdi — the E8 ablation.
+    let mut group = c.benchmark_group("decide/msod_vs_adi_size");
+    let cfg = cfg();
+    let policy = workload_policy_xml(&cfg);
+    let probe_record = || msod::AdiRecord {
+        user: "user0".into(),
+        roles: vec![RoleRef::new("permisRole", "A0")],
+        operation: workflow::scenarios::WORK_OP.into(),
+        target: workflow::scenarios::WORK_TARGET.into(),
+        context: "Proc=0".parse().unwrap(),
+        timestamp: 0,
+    };
+    // The probe is a DENIED request: the deny path reads the full
+    // history but never mutates the ADI, keeping the measured size fixed.
+    let req = DecisionRequest::with_roles(
+        "user0",
+        vec![RoleRef::new("permisRole", "B0")],
+        workflow::scenarios::WORK_OP,
+        workflow::scenarios::WORK_TARGET,
+        "Proc=0".parse().unwrap(),
+        1,
+    );
+    for n in [0usize, 1_000, 10_000, 100_000] {
+        let mut mem = MemoryAdi::new();
+        seed_adi(&mut mem, &cfg, n, 7);
+        mem.add(probe_record());
+        let mut idx = msod::IndexedAdi::load(mem.snapshot());
+        let _ = &mut idx;
+
+        let base = policy::parse_rbac_policy(&policy).unwrap();
+        let mut pdp_mem = Pdp::with_adi(base.clone(), b"k".to_vec(), mem);
+        let mut pdp_idx = Pdp::with_adi(base, b"k".to_vec(), idx);
+        assert!(!pdp_mem.decide(&req).is_granted());
+        assert!(!pdp_idx.decide(&req).is_granted());
+        group.bench_with_input(BenchmarkId::new("memory", n), &n, |b, _| {
+            b.iter(|| pdp_mem.decide(black_box(&req)))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| pdp_idx.decide(black_box(&req)))
+        });
+    }
+    group.finish();
+}
+
+fn fresh_context_miss(c: &mut Criterion) {
+    // E8b: the first request in a brand-new context instance — §4.2
+    // step 3 must discover no history exists. Flat store: full scan.
+    // Indexed store: one trie walk. Non-mutating thanks to the
+    // first-step-gated policy.
+    let mut group = c.benchmark_group("decide/fresh_context_miss");
+    let cfg = cfg();
+    let gated =
+        policy::parse_rbac_policy(&workflow::scenarios::workload_policy_xml_first_step(&cfg))
+            .unwrap();
+    let req = DecisionRequest::with_roles(
+        "user0",
+        vec![RoleRef::new("permisRole", "A0")],
+        workflow::scenarios::WORK_OP,
+        workflow::scenarios::WORK_TARGET,
+        "Proc=99999".parse().unwrap(),
+        1,
+    );
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut seeded = MemoryAdi::new();
+        seed_adi(&mut seeded, &cfg, n, 7);
+        let mut pdp_mem = Pdp::with_adi(gated.clone(), b"k".to_vec(), seeded.clone());
+        let mut pdp_idx = Pdp::with_adi(
+            gated.clone(),
+            b"k".to_vec(),
+            msod::IndexedAdi::load(seeded.snapshot()),
+        );
+        assert!(pdp_mem.decide(&req).is_granted());
+        assert_eq!(pdp_mem.adi().len(), n, "probe must not mutate");
+        group.bench_with_input(BenchmarkId::new("memory", n), &n, |b, _| {
+            b.iter(|| pdp_mem.decide(black_box(&req)))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| pdp_idx.decide(black_box(&req)))
+        });
+    }
+    group.finish();
+}
+
+fn msod_overhead_vs_plain_rbac(c: &mut Criterion) {
+    // The *grant-and-record* path (the common case), measured with a
+    // fresh PDP clone per iteration so recorded history cannot
+    // accumulate into the measurement. The resident ADI is kept modest
+    // so the per-iteration clone stays cheap relative to the decide.
+    let mut group = c.benchmark_group("decide/msod_overhead");
+    let cfg = cfg();
+    for (label, xml) in [
+        ("plain_rbac", workload_policy_xml_no_msod(&cfg)),
+        ("with_msod", workload_policy_xml(&cfg)),
+    ] {
+        let mut base_adi = MemoryAdi::new();
+        seed_adi(&mut base_adi, &cfg, 1_000, 7);
+        let parsed = policy::parse_rbac_policy(&xml).unwrap();
+        let req = DecisionRequest::with_roles(
+            "user0",
+            vec![RoleRef::new("permisRole", "A0")],
+            workflow::scenarios::WORK_OP,
+            workflow::scenarios::WORK_TARGET,
+            "Proc=0".parse().unwrap(),
+            1,
+        );
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || Pdp::with_adi(parsed.clone(), b"k".to_vec(), base_adi.clone()),
+                |mut pdp| {
+                    let out = pdp.decide(black_box(&req));
+                    (pdp, out)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn decide_throughput_workload(c: &mut Criterion) {
+    // Whole-workload throughput: a mixed stream of grants/denies with
+    // periodic terminations, as a realistic aggregate number.
+    let cfg = WorkloadConfig {
+        users: 100,
+        contexts: 20,
+        role_pairs: 4,
+        requests: 1_000,
+        terminate_percent: 2,
+    };
+    let policy = workload_policy_xml(&cfg);
+    let requests = workflow::scenarios::gen_requests(&cfg, 11);
+    let mut group = c.benchmark_group("decide/workload_1000req");
+    group.sample_size(20);
+    group.throughput(criterion::Throughput::Elements(1_000));
+    group.bench_function("mixed_stream", |b| {
+        b.iter_batched(
+            || Pdp::from_xml(&policy, b"k".to_vec()).unwrap(),
+            |mut pdp| {
+                for req in &requests {
+                    pdp.decide(req);
+                }
+                pdp
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn deny_vs_grant_latency(c: &mut Criterion) {
+    let cfg = cfg();
+    let policy = workload_policy_xml(&cfg);
+    let mut pdp = Pdp::from_xml(&policy, b"k".to_vec()).unwrap();
+    // user0 acts with A0 in Proc=0: grant, then B0 in Proc=0: deny.
+    let grant = DecisionRequest::with_roles(
+        "user0",
+        vec![RoleRef::new("permisRole", "A0")],
+        workflow::scenarios::WORK_OP,
+        workflow::scenarios::WORK_TARGET,
+        "Proc=0".parse().unwrap(),
+        1,
+    );
+    pdp.decide(&grant);
+    let deny = DecisionRequest::with_roles(
+        "user0",
+        vec![RoleRef::new("permisRole", "B0")],
+        workflow::scenarios::WORK_OP,
+        workflow::scenarios::WORK_TARGET,
+        "Proc=0".parse().unwrap(),
+        2,
+    );
+    let mut group = c.benchmark_group("decide/paths");
+    // The grant path records history, so clone the (small) PDP per
+    // iteration; the deny path never mutates and can run in place.
+    group.bench_function("grant_same_role", |b| {
+        b.iter_batched(
+            || pdp.clone(),
+            |mut p| {
+                let out = p.decide(black_box(&grant));
+                (p, out)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("deny_conflicting_role", |b| b.iter(|| pdp.decide(black_box(&deny))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    decide_vs_adi_size,
+    fresh_context_miss,
+    msod_overhead_vs_plain_rbac,
+    decide_throughput_workload,
+    deny_vs_grant_latency
+);
+criterion_main!(benches);

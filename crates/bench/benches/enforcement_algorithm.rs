@@ -1,0 +1,250 @@
+//! E6 — the §4.2 enforcement algorithm in isolation (no PDP around it):
+//! per-call cost as a function of the user's history size in the bound
+//! context, constraint family (MMER vs MMEP), and constraint width n.
+
+use std::hint::black_box;
+
+use context::ContextInstance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msod::{
+    AdiRecord, MemoryAdi, Mmep, Mmer, MsodEngine, MsodPolicy, MsodPolicySet, MsodRequest,
+    Privilege, RetainedAdi, RoleRef,
+};
+
+fn mmer_engine(n: usize) -> MsodEngine {
+    let roles: Vec<RoleRef> = (0..n).map(|i| RoleRef::new("e", format!("R{i}"))).collect();
+    let policy = MsodPolicy::new(
+        "Proc=!".parse().unwrap(),
+        None,
+        None,
+        vec![Mmer::new(roles, 2).unwrap()],
+        vec![],
+    )
+    .unwrap();
+    MsodEngine::new(MsodPolicySet::new(vec![policy]))
+}
+
+fn mmep_engine(n: usize) -> MsodEngine {
+    let privs: Vec<Privilege> = (0..n).map(|i| Privilege::new(format!("op{i}"), "t")).collect();
+    let policy = MsodPolicy::new(
+        "Proc=!".parse().unwrap(),
+        None,
+        None,
+        vec![],
+        vec![Mmep::new(privs, 2).unwrap()],
+    )
+    .unwrap();
+    MsodEngine::new(MsodPolicySet::new(vec![policy]))
+}
+
+/// ADI with `history` records for the requesting user in the bound
+/// context (plus the same again for other users as noise).
+fn seeded_adi(history: usize, ctx: &ContextInstance) -> MemoryAdi {
+    let mut adi = MemoryAdi::new();
+    for i in 0..history {
+        for user in ["hot-user", "other-user"] {
+            adi.add(AdiRecord {
+                user: user.into(),
+                roles: vec![RoleRef::new("e", "R0")],
+                operation: "op0".into(),
+                target: "t".into(),
+                context: ctx.clone(),
+                timestamp: i as u64,
+            });
+        }
+    }
+    adi
+}
+
+fn enforce_vs_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enforce/mmer_vs_history");
+    let ctx: ContextInstance = "Proc=1".parse().unwrap();
+    let engine = mmer_engine(4);
+    for history in [0usize, 10, 100, 1_000, 10_000] {
+        let adi = seeded_adi(history, &ctx);
+        let roles = [RoleRef::new("e", "R0")]; // same role: always granted
+        group.bench_with_input(BenchmarkId::from_parameter(history), &history, |b, _| {
+            b.iter_batched(
+                || adi.clone(),
+                |mut adi| {
+                    let d = engine.enforce(
+                        &mut adi,
+                        &MsodRequest {
+                            user: "hot-user",
+                            roles: black_box(&roles),
+                            operation: "op0",
+                            target: "t",
+                            context: &ctx,
+                            timestamp: 1,
+                        },
+                    );
+                    assert!(d.is_granted());
+                    adi
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn enforce_deny_path(c: &mut Criterion) {
+    // The denial path: user has conflicting history.
+    let ctx: ContextInstance = "Proc=1".parse().unwrap();
+    let engine = mmer_engine(4);
+    let mut adi = seeded_adi(100, &ctx);
+    let conflicting = [RoleRef::new("e", "R1")];
+    c.bench_function("enforce/mmer_deny_100history", |b| {
+        b.iter(|| {
+            let d = engine.enforce(
+                &mut adi,
+                &MsodRequest {
+                    user: "hot-user",
+                    roles: black_box(&conflicting),
+                    operation: "op1",
+                    target: "t",
+                    context: &ctx,
+                    timestamp: 1,
+                },
+            );
+            assert!(!d.is_granted());
+            // Denials never mutate the ADI, so no rebuild is needed.
+        })
+    });
+}
+
+fn enforce_vs_constraint_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enforce/width");
+    let ctx: ContextInstance = "Proc=1".parse().unwrap();
+    for n in [2usize, 8, 32, 128] {
+        let mmer = mmer_engine(n);
+        let mmep = mmep_engine(n);
+        let adi_seed = seeded_adi(100, &ctx);
+        let roles = [RoleRef::new("e", "R0")];
+        group.bench_with_input(BenchmarkId::new("mmer", n), &n, |b, _| {
+            b.iter_batched(
+                || adi_seed.clone(),
+                |mut adi| {
+                    mmer.enforce(
+                        &mut adi,
+                        &MsodRequest {
+                            user: "hot-user",
+                            roles: &roles,
+                            operation: "op0",
+                            target: "t",
+                            context: &ctx,
+                            timestamp: 1,
+                        },
+                    );
+                    adi
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("mmep", n), &n, |b, _| {
+            b.iter_batched(
+                || adi_seed.clone(),
+                |mut adi| {
+                    mmep.enforce(
+                        &mut adi,
+                        &MsodRequest {
+                            user: "hot-user",
+                            roles: &roles,
+                            operation: "op0",
+                            target: "t",
+                            context: &ctx,
+                            timestamp: 1,
+                        },
+                    );
+                    adi
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn not_applicable_fast_path(c: &mut Criterion) {
+    // Step-1 exit: request context matches no policy. This is the cost
+    // added to every non-MSoD decision in the system.
+    let engine = mmer_engine(4);
+    let mut adi = MemoryAdi::new();
+    let ctx: ContextInstance = "Unrelated=1".parse().unwrap();
+    let roles = [RoleRef::new("e", "R0")];
+    c.bench_function("enforce/not_applicable_exit", |b| {
+        b.iter(|| {
+            engine.enforce(
+                &mut adi,
+                &MsodRequest {
+                    user: "u",
+                    roles: black_box(&roles),
+                    operation: "op",
+                    target: "t",
+                    context: &ctx,
+                    timestamp: 1,
+                },
+            )
+        })
+    });
+}
+
+fn first_step_mode_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: faithful step-4 (skip constraints on the
+    // context-starting request) vs the strict extension that runs them.
+    // The cost difference is one check_constraints pass on an empty
+    // history — i.e. the faithful shortcut buys almost nothing.
+    use msod::EngineOptions;
+    let ctx: ContextInstance = "Proc=1".parse().unwrap();
+    let roles = [RoleRef::new("e", "R0")];
+    let mut group = c.benchmark_group("enforce/first_step_mode");
+    for (label, opts) in [
+        ("faithful", EngineOptions::default()),
+        ("strict", EngineOptions { check_constraints_on_first_step: true }),
+    ] {
+        let policy = MsodPolicy::new(
+            "Proc=!".parse().unwrap(),
+            None,
+            None,
+            vec![Mmer::new(
+                (0..4).map(|i| RoleRef::new("e", format!("R{i}"))).collect(),
+                2,
+            )
+            .unwrap()],
+            vec![],
+        )
+        .unwrap();
+        let engine = MsodEngine::with_options(MsodPolicySet::new(vec![policy]), opts);
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                MemoryAdi::new, // empty: every request is a first step
+                |mut adi| {
+                    engine.enforce(
+                        &mut adi,
+                        &MsodRequest {
+                            user: "u",
+                            roles: black_box(&roles),
+                            operation: "op",
+                            target: "t",
+                            context: &ctx,
+                            timestamp: 1,
+                        },
+                    );
+                    adi
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    enforce_vs_history,
+    enforce_deny_path,
+    enforce_vs_constraint_width,
+    not_applicable_fast_path,
+    first_step_mode_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E5 — the XML policy pipeline: parsing the paper's §3 policies
+//! verbatim, schema validation, serialization, and parse cost as a
+//! function of policy-set size (PDP initialisation cost, §4.2).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use policy::msod_xml::PAPER_SECTION3_POLICIES;
+use policy::{msod_policy_set_to_xml, parse_msod_policy_set, parse_rbac_policy};
+use workflow::scenarios::{workload_policy_xml, WorkloadConfig};
+
+fn parse_paper_policies(c: &mut Criterion) {
+    c.bench_function("policy/parse_paper_section3", |b| {
+        b.iter(|| parse_msod_policy_set(black_box(PAPER_SECTION3_POLICIES)).unwrap())
+    });
+}
+
+fn serialize_paper_policies(c: &mut Criterion) {
+    let set = parse_msod_policy_set(PAPER_SECTION3_POLICIES).unwrap();
+    c.bench_function("policy/serialize_paper_section3", |b| {
+        b.iter(|| msod_policy_set_to_xml(black_box(&set)))
+    });
+}
+
+fn parse_rbac_policy_vs_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy/parse_rbac_vs_msod_policies");
+    for n in [1usize, 8, 64, 256] {
+        let cfg = WorkloadConfig { role_pairs: n, ..Default::default() };
+        let xml = workload_policy_xml(&cfg);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &xml, |b, xml| {
+            b.iter(|| parse_rbac_policy(black_box(xml)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn xml_substrate(c: &mut Criterion) {
+    // Raw xmlkit costs: well-formedness parse and schema validation,
+    // separated from the policy compilation above.
+    let xml = workload_policy_xml(&WorkloadConfig { role_pairs: 64, ..Default::default() });
+    c.bench_function("policy/xmlkit_parse_only", |b| {
+        b.iter(|| xmlkit::parse_document(black_box(&xml)).unwrap())
+    });
+    let doc = xmlkit::parse_document(&xml).unwrap();
+    c.bench_function("policy/schema_validate_only", |b| {
+        b.iter(|| policy::rbac_schema().validate(black_box(&doc)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    parse_paper_policies,
+    serialize_paper_policies,
+    parse_rbac_policy_vs_size,
+    xml_substrate
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! E1 — baseline cost of the ANSI RBAC substrate: CheckAccess as a
+//! function of role-hierarchy depth, and role activation under DSD
+//! constraint sets. Establishes the floor the MSoD stage adds to.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbac::{HierarchyKind, Rbac};
+
+/// Chain hierarchy of `depth` roles; permission granted at the bottom;
+/// access checked from the top.
+fn build_chain(depth: usize) -> (Rbac, rbac::SessionId) {
+    let mut sys = Rbac::new(HierarchyKind::General);
+    let user = sys.add_user("u").unwrap();
+    let mut roles = Vec::with_capacity(depth);
+    for i in 0..depth {
+        roles.push(sys.add_role(format!("r{i}")).unwrap());
+    }
+    for w in roles.windows(2) {
+        sys.add_inheritance(w[0], w[1]).unwrap();
+    }
+    let p = sys.add_permission("op", "obj");
+    sys.grant_permission(p, *roles.last().unwrap()).unwrap();
+    sys.assign_user(user, roles[0]).unwrap();
+    let session = sys.create_session(user, [roles[0]]).unwrap();
+    (sys, session)
+}
+
+fn check_access_vs_hierarchy_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbac/check_access_vs_depth");
+    for depth in [1usize, 4, 16, 64] {
+        let (sys, session) = build_chain(depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let ok = sys.check_access(black_box(session), "op", "obj").unwrap();
+                assert!(ok);
+                ok
+            })
+        });
+    }
+    group.finish();
+}
+
+fn role_activation_under_dsd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbac/activation_under_dsd");
+    for n_sets in [0usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_sets), &n_sets, |b, &n_sets| {
+            b.iter_batched(
+                || {
+                    let mut sys = Rbac::new(HierarchyKind::General);
+                    let user = sys.add_user("u").unwrap();
+                    let role = sys.add_role("target").unwrap();
+                    sys.assign_user(user, role).unwrap();
+                    for i in 0..n_sets {
+                        let a = sys.add_role(format!("a{i}")).unwrap();
+                        let b_ = sys.add_role(format!("b{i}")).unwrap();
+                        sys.create_dsd_set(format!("s{i}"), [a, b_], 2).unwrap();
+                    }
+                    let session = sys.create_session(user, []).unwrap();
+                    (sys, user, session, role)
+                },
+                |(mut sys, user, session, role)| {
+                    sys.add_active_role(user, session, role).unwrap();
+                    sys
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn user_permissions_review(c: &mut Criterion) {
+    let mut sys = Rbac::new(HierarchyKind::General);
+    let user = sys.add_user("u").unwrap();
+    let mut roles = Vec::new();
+    for i in 0..32 {
+        let r = sys.add_role(format!("r{i}")).unwrap();
+        let p = sys.add_permission(format!("op{i}"), "obj");
+        sys.grant_permission(p, r).unwrap();
+        roles.push(r);
+    }
+    // r0 inherits everything else.
+    for &junior in &roles[1..] {
+        sys.add_inheritance(roles[0], junior).unwrap();
+    }
+    sys.assign_user(user, roles[0]).unwrap();
+    c.bench_function("rbac/user_permissions_32roles", |b| {
+        b.iter(|| sys.user_permissions(black_box(user)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    check_access_vs_hierarchy_depth,
+    role_activation_under_dsd,
+    user_permissions_review
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! # bench — benchmark harness and experiment runner
+//!
+//! Two entry points:
+//!
+//! - `cargo bench -p bench` — the Criterion micro/macro benchmarks, one
+//!   bench target per experiment of DESIGN.md §4 (E1, E4–E11);
+//! - `cargo run -p bench --release --bin experiments` — the experiment
+//!   runner that regenerates the qualitative tables (decision traces for
+//!   the paper's two worked examples, the expressiveness matrix against
+//!   the §6 baselines) plus coarse scaling curves, in the format
+//!   recorded in EXPERIMENTS.md.
+
+/// Wall-clock helper for the coarse measurements in the experiments
+/// binary (Criterion handles the precise ones).
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (R, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}

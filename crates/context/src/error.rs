@@ -1,0 +1,55 @@
+//! Errors for business-context parsing and binding.
+
+use std::fmt;
+
+/// Error raised while parsing or binding a business-context name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContextError {
+    /// A component was not of the form `type=value`.
+    MalformedComponent(String),
+    /// A component type or value was empty.
+    EmptyField(String),
+    /// The same context type appeared twice in one name.
+    DuplicateType(String),
+    /// A concrete instance used the reserved wildcard value `*` or `!`.
+    WildcardInInstance(String),
+    /// Tried to bind a policy context against an instance it does not match.
+    BindMismatch {
+        /// The policy context (display form).
+        policy: String,
+        /// The instance (display form).
+        instance: String,
+    },
+    /// Tried to treat a context name with `!` components as bound.
+    UnboundComponent(String),
+}
+
+impl fmt::Display for ContextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContextError::MalformedComponent(c) => {
+                write!(f, "malformed context component {c:?}, expected type=value")
+            }
+            ContextError::EmptyField(c) => {
+                write!(f, "context component {c:?} has an empty type or value")
+            }
+            ContextError::DuplicateType(t) => {
+                write!(f, "context type {t:?} appears more than once")
+            }
+            ContextError::WildcardInInstance(c) => write!(
+                f,
+                "context instance component {c:?} uses a reserved wildcard value ('*' or '!')"
+            ),
+            ContextError::BindMismatch { policy, instance } => write!(
+                f,
+                "cannot bind policy context {policy:?} to non-matching instance {instance:?}"
+            ),
+            ContextError::UnboundComponent(c) => write!(
+                f,
+                "context component {c:?} is per-instance ('!') and must be bound first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ContextError {}

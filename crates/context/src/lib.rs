@@ -1,0 +1,170 @@
+#![warn(missing_docs)]
+//! # context — hierarchical business contexts for MSoD
+//!
+//! Implements §2.2 of *Multi-session Separation of Duties (MSoD) for
+//! RBAC* (Chadwick et al., ICDE 2007): business contexts are named by
+//! ordered `type=value` pairs forming a hierarchy rooted at the unnamed
+//! universal context. MSoD policies reference a [`ContextName`] whose
+//! values may be literals, `*` (the policy spans **all** instances —
+//! SSD within the context) or `!` (the policy applies **per** instance —
+//! DSD within each context instance). Access requests carry a concrete
+//! [`ContextInstance`].
+//!
+//! The two operations the enforcement algorithm (§4.2) needs:
+//!
+//! 1. **Matching** — [`ContextName::matches_instance`]: an instance
+//!    matches a policy context iff it is *equal or subordinate* to it.
+//! 2. **Binding** — [`ContextName::bind`]: when a matched policy is
+//!    per-instance (`!`), the policy context is re-bound to the concrete
+//!    triggering instance before retained-ADI lookups, yielding a
+//!    [`BoundContext`] that [`covers`](BoundContext::covers) exactly the
+//!    records the policy must consider (and later purge).
+//!
+//! ```
+//! use context::{ContextInstance, ContextName};
+//!
+//! // Example 1 of the paper: whole-bank, per-audit-period policy.
+//! let policy: ContextName = "Branch=*, Period=!".parse().unwrap();
+//! let york06: ContextInstance = "Branch=York, Period=2006".parse().unwrap();
+//! assert!(policy.matches_instance(&york06));
+//!
+//! // Binding pins the period but still spans branches:
+//! let bound = policy.bind(&york06).unwrap();
+//! assert!(bound.covers(&"Branch=Leeds, Period=2006".parse().unwrap()));
+//! assert!(!bound.covers(&"Branch=Leeds, Period=2007".parse().unwrap()));
+//! ```
+
+pub mod error;
+pub mod name;
+pub mod registry;
+
+pub use error::ContextError;
+pub use name::{BoundContext, Component, ContextInstance, ContextName, PatternValue};
+pub use registry::ContextRegistry;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_type() -> impl Strategy<Value = String> {
+        "[A-Za-z][A-Za-z0-9]{0,8}"
+    }
+
+    fn arb_literal() -> impl Strategy<Value = String> {
+        "[A-Za-z0-9][A-Za-z0-9.-]{0,8}"
+    }
+
+    /// Distinct context types, shared between a policy and an instance.
+    fn arb_types(n: usize) -> impl Strategy<Value = Vec<String>> {
+        proptest::collection::btree_set(arb_type(), 1..=n)
+            .prop_map(|s| s.into_iter().collect())
+    }
+
+    fn arb_pattern() -> impl Strategy<Value = PatternValue> {
+        prop_oneof![
+            arb_literal().prop_map(PatternValue::Literal),
+            Just(PatternValue::AllInstances),
+            Just(PatternValue::PerInstance),
+        ]
+    }
+
+    proptest! {
+        /// Parse ∘ Display is the identity on context names.
+        #[test]
+        fn name_display_parse_roundtrip(
+            types in arb_types(5),
+            patterns in proptest::collection::vec(arb_pattern(), 5),
+        ) {
+            let comps: Vec<Component> = types
+                .iter()
+                .zip(&patterns)
+                .map(|(t, p)| Component { ctx_type: t.clone(), value: p.clone() })
+                .collect();
+            let name = ContextName::from_components(comps).unwrap();
+            let reparsed: ContextName = name.to_string().parse().unwrap();
+            prop_assert_eq!(reparsed, name);
+        }
+
+        /// Parse ∘ Display is the identity on instances.
+        #[test]
+        fn instance_display_parse_roundtrip(
+            types in arb_types(5),
+            values in proptest::collection::vec(arb_literal(), 5),
+        ) {
+            let pairs: Vec<(String, String)> =
+                types.iter().cloned().zip(values.iter().cloned()).collect();
+            let inst = ContextInstance::from_pairs(pairs).unwrap();
+            let reparsed: ContextInstance = inst.to_string().parse().unwrap();
+            prop_assert_eq!(reparsed, inst);
+        }
+
+        /// Binding pins `!` to the trigger and is idempotent.
+        #[test]
+        fn bind_covers_trigger(
+            types in arb_types(4),
+            patterns in proptest::collection::vec(arb_pattern(), 4),
+            values in proptest::collection::vec(arb_literal(), 4),
+        ) {
+            let n = types.len().min(patterns.len()).min(values.len());
+            let comps: Vec<Component> = types[..n]
+                .iter()
+                .zip(&patterns[..n])
+                .map(|(t, p)| Component { ctx_type: t.clone(), value: p.clone() })
+                .collect();
+            let policy = ContextName::from_components(comps).unwrap();
+            // Construct an instance that matches by copying literals.
+            let pairs: Vec<(String, String)> = policy
+                .components()
+                .iter()
+                .zip(&values[..n])
+                .map(|(c, v)| {
+                    let value = match &c.value {
+                        PatternValue::Literal(l) => l.clone(),
+                        _ => v.clone(),
+                    };
+                    (c.ctx_type.clone(), value)
+                })
+                .collect();
+            let inst = ContextInstance::from_pairs(pairs).unwrap();
+            prop_assert!(policy.matches_instance(&inst));
+            let bound = policy.bind(&inst).unwrap();
+            // The triggering instance is always covered by its binding.
+            prop_assert!(bound.covers(&inst));
+            // Binding is complete: a bound context has no '!' left.
+            prop_assert!(!bound.name().is_per_instance());
+        }
+
+        /// matches_instance is monotone down the hierarchy: if an
+        /// instance matches, every subordinate instance matches too.
+        #[test]
+        fn match_monotone_in_depth(
+            types in arb_types(4),
+            values in proptest::collection::vec(arb_literal(), 4),
+            extra_t in arb_type(),
+            extra_v in arb_literal(),
+        ) {
+            let n = types.len().min(values.len());
+            let comps: Vec<Component> = types[..n]
+                .iter()
+                .map(|t| Component { ctx_type: t.clone(), value: PatternValue::AllInstances })
+                .collect();
+            let policy = ContextName::from_components(comps).unwrap();
+            let pairs: Vec<(String, String)> =
+                types[..n].iter().cloned().zip(values[..n].iter().cloned()).collect();
+            let inst = ContextInstance::from_pairs(pairs).unwrap();
+            prop_assert!(policy.matches_instance(&inst));
+            if !types[..n].contains(&extra_t) {
+                let deeper = inst.child(extra_t, extra_v).unwrap();
+                prop_assert!(policy.matches_instance(&deeper));
+            }
+        }
+
+        /// The parsers never panic.
+        #[test]
+        fn parsers_total(s in "\\PC{0,80}") {
+            let _ = s.parse::<ContextName>();
+            let _ = s.parse::<ContextInstance>();
+        }
+    }
+}

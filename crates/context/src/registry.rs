@@ -1,0 +1,144 @@
+//! Application-side registry of active business-context instances.
+//!
+//! The paper (§2.2) notes that "knowledge of how the different business
+//! contexts relate together within the hierarchy is part of the
+//! application schema" — the access-control system itself only sees
+//! hierarchical names. This registry is that application schema: the PEP
+//! side of an application (or the workflow engine) uses it to track which
+//! context instances are currently open, to mint fresh instance names,
+//! and to infer starts/terminations (a contained instance starting
+//! implies its ancestors started; a containing instance closing closes
+//! all subordinates).
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::ContextError;
+use crate::name::ContextInstance;
+
+/// Tracks open context instances and mints fresh instance identifiers.
+#[derive(Debug, Default, Clone)]
+pub struct ContextRegistry {
+    active: BTreeSet<ContextInstance>,
+    counters: HashMap<String, u64>,
+}
+
+impl ContextRegistry {
+    /// New registry; only the universal root is (implicitly) active.
+    pub fn new() -> Self {
+        ContextRegistry::default()
+    }
+
+    /// Open an instance. All ancestor instances are inferred open too
+    /// (the paper: the system "can infer it has started (because a
+    /// contained business context has started)"). Idempotent.
+    pub fn open(&mut self, instance: ContextInstance) {
+        let mut cur = instance;
+        loop {
+            let parent = cur.parent();
+            self.active.insert(cur);
+            match parent {
+                Some(p) if !p.pairs().is_empty() => cur = p,
+                _ => break,
+            }
+        }
+    }
+
+    /// Close an instance; every subordinate instance closes with it
+    /// (the paper: a contained instance is finished "because a containing
+    /// business context completes"). Returns all closed instances,
+    /// outermost first.
+    pub fn close(&mut self, instance: &ContextInstance) -> Vec<ContextInstance> {
+        let closed: Vec<ContextInstance> =
+            self.active.iter().filter(|i| i.is_within(instance)).cloned().collect();
+        for i in &closed {
+            self.active.remove(i);
+        }
+        closed
+    }
+
+    /// Whether an instance is currently open (explicitly or as an
+    /// inferred ancestor). The universal root is always active.
+    pub fn is_active(&self, instance: &ContextInstance) -> bool {
+        instance.pairs().is_empty() || self.active.contains(instance)
+    }
+
+    /// All open instances, in lexicographic (hierarchical) order.
+    pub fn active(&self) -> impl Iterator<Item = &ContextInstance> {
+        self.active.iter()
+    }
+
+    /// Number of open instances.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Mint and open a fresh instance of `ctx_type` under `parent`,
+    /// with a unique generated value (`<ctx_type>-<n>`).
+    pub fn fresh(
+        &mut self,
+        parent: &ContextInstance,
+        ctx_type: &str,
+    ) -> Result<ContextInstance, ContextError> {
+        let n = self.counters.entry(ctx_type.to_owned()).or_insert(0);
+        *n += 1;
+        let inst = parent.child(ctx_type, format!("{ctx_type}-{n}"))?;
+        self.open(inst.clone());
+        Ok(inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(s: &str) -> ContextInstance {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn open_infers_ancestors() {
+        let mut reg = ContextRegistry::new();
+        reg.open(inst("Branch=York, Period=2006, Desk=3"));
+        assert!(reg.is_active(&inst("Branch=York, Period=2006, Desk=3")));
+        assert!(reg.is_active(&inst("Branch=York, Period=2006")));
+        assert!(reg.is_active(&inst("Branch=York")));
+        assert!(reg.is_active(&ContextInstance::root()));
+        assert!(!reg.is_active(&inst("Branch=Leeds")));
+    }
+
+    #[test]
+    fn close_cascades_to_subordinates() {
+        let mut reg = ContextRegistry::new();
+        reg.open(inst("Branch=York, Period=2006, Desk=3"));
+        reg.open(inst("Branch=York, Period=2006, Desk=4"));
+        reg.open(inst("Branch=York, Period=2007"));
+        let closed = reg.close(&inst("Branch=York, Period=2006"));
+        assert_eq!(closed.len(), 3);
+        assert!(!reg.is_active(&inst("Branch=York, Period=2006")));
+        assert!(!reg.is_active(&inst("Branch=York, Period=2006, Desk=3")));
+        assert!(reg.is_active(&inst("Branch=York, Period=2007")));
+        assert!(reg.is_active(&inst("Branch=York")));
+    }
+
+    #[test]
+    fn close_is_idempotent() {
+        let mut reg = ContextRegistry::new();
+        reg.open(inst("A=1"));
+        assert_eq!(reg.close(&inst("A=1")).len(), 1);
+        assert_eq!(reg.close(&inst("A=1")).len(), 0);
+    }
+
+    #[test]
+    fn fresh_mints_unique_open_instances() {
+        let mut reg = ContextRegistry::new();
+        let office = inst("TaxOffice=Kent");
+        reg.open(office.clone());
+        let p1 = reg.fresh(&office, "taxRefundProcess").unwrap();
+        let p2 = reg.fresh(&office, "taxRefundProcess").unwrap();
+        assert_ne!(p1, p2);
+        assert!(reg.is_active(&p1));
+        assert!(reg.is_active(&p2));
+        assert!(p1.is_within(&office));
+        assert_eq!(reg.active_count(), 3);
+    }
+}

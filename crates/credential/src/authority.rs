@@ -1,0 +1,129 @@
+//! Attribute authorities — the privilege-allocation (PA) sub-system of
+//! PERMIS (§5.1), one per administrative domain of the VO.
+
+use std::collections::HashSet;
+
+use audit::hmac::hmac_sha256;
+use msod::RoleRef;
+
+use crate::cred::{AttributeCredential, CredentialFormat};
+
+/// A source of authority (SOA): issues and revokes signed attribute
+/// credentials under its own key.
+#[derive(Debug, Clone)]
+pub struct Authority {
+    dn: String,
+    key: Vec<u8>,
+    next_serial: u64,
+    revoked: HashSet<u64>,
+    /// The format this authority emits (X.509 AC vs SAML — §5.1 supports
+    /// both transports).
+    format: CredentialFormat,
+}
+
+impl Authority {
+    /// Create an authority with the given DN and signing key.
+    pub fn new(dn: impl Into<String>, key: impl Into<Vec<u8>>) -> Self {
+        Authority {
+            dn: dn.into(),
+            key: key.into(),
+            next_serial: 1,
+            revoked: HashSet::new(),
+            format: CredentialFormat::X509Ac,
+        }
+    }
+
+    /// Switch the emitted credential format to SAML assertions.
+    pub fn with_saml_format(mut self) -> Self {
+        self.format = CredentialFormat::SamlAssertion;
+        self
+    }
+
+    /// The authority's DN.
+    pub fn dn(&self) -> &str {
+        &self.dn
+    }
+
+    /// The verification key to register with a CVS. (With real PKI this
+    /// would be the public key; with the HMAC substitution issuing and
+    /// verification share the key.)
+    pub fn verification_key(&self) -> &[u8] {
+        &self.key
+    }
+
+    /// Issue a signed credential: `subject` holds `role` over
+    /// `[valid_from, valid_to]`.
+    pub fn issue(
+        &mut self,
+        subject: impl Into<String>,
+        role: RoleRef,
+        valid_from: u64,
+        valid_to: u64,
+    ) -> AttributeCredential {
+        let subject = subject.into();
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let tbs = AttributeCredential::tbs_bytes(
+            &subject, &self.dn, &role, valid_from, valid_to, serial,
+        );
+        AttributeCredential {
+            subject,
+            issuer: self.dn.clone(),
+            role,
+            valid_from,
+            valid_to,
+            serial,
+            format: self.format,
+            signature: hmac_sha256(&self.key, &tbs),
+        }
+    }
+
+    /// Revoke a previously issued credential by serial.
+    pub fn revoke(&mut self, serial: u64) {
+        self.revoked.insert(serial);
+    }
+
+    /// The authority's revocation list (serial numbers).
+    pub fn revocation_list(&self) -> impl Iterator<Item = u64> + '_ {
+        self.revoked.iter().copied()
+    }
+
+    /// Whether a serial is revoked.
+    pub fn is_revoked(&self, serial: u64) -> bool {
+        self.revoked.contains(&serial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_produces_verifiable_credentials() {
+        let mut hr = Authority::new("cn=HR, o=bank", b"hr-secret".to_vec());
+        let cred = hr.issue("cn=alice, o=bank", RoleRef::new("employee", "Teller"), 0, 100);
+        assert!(cred.verify(hr.verification_key()));
+        assert_eq!(cred.issuer, "cn=HR, o=bank");
+        assert_eq!(cred.serial, 1);
+        let cred2 = hr.issue("cn=bob, o=bank", RoleRef::new("employee", "Auditor"), 0, 100);
+        assert_eq!(cred2.serial, 2);
+    }
+
+    #[test]
+    fn revocation_tracked() {
+        let mut hr = Authority::new("cn=HR", b"k".to_vec());
+        let cred = hr.issue("cn=alice", RoleRef::new("e", "r"), 0, 10);
+        assert!(!hr.is_revoked(cred.serial));
+        hr.revoke(cred.serial);
+        assert!(hr.is_revoked(cred.serial));
+        assert_eq!(hr.revocation_list().count(), 1);
+    }
+
+    #[test]
+    fn saml_format() {
+        let mut idp = Authority::new("cn=IdP", b"k".to_vec()).with_saml_format();
+        let cred = idp.issue("cn=alice", RoleRef::new("e", "r"), 0, 10);
+        assert_eq!(cred.format, CredentialFormat::SamlAssertion);
+        assert!(cred.verify(idp.verification_key()));
+    }
+}

@@ -1,0 +1,275 @@
+//! The Credential Validation Service (§5.1): "validate these
+//! credentials and extract the valid roles and attributes from them, so
+//! that the PDP can make an access control decision."
+
+use std::collections::{HashMap, HashSet};
+
+use msod::RoleRef;
+
+use crate::cred::AttributeCredential;
+use crate::directory::Directory;
+use crate::error::CredentialError;
+
+/// The CVS: trusted-issuer keys, trust anchors and revocation knowledge.
+#[derive(Debug, Default, Clone)]
+pub struct CredentialValidationService {
+    /// issuer DN -> verification key.
+    keys: HashMap<String, Vec<u8>>,
+    /// Issuers the current policy trusts (the policy's SOAPolicy list).
+    trusted: HashSet<String>,
+    /// (issuer DN, serial) pairs known revoked.
+    revoked: HashSet<(String, u64)>,
+}
+
+/// Outcome of validating one batch of credentials.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValidationOutcome {
+    /// Roles extracted from valid credentials (deduplicated, ordered by
+    /// first appearance).
+    pub roles: Vec<RoleRef>,
+    /// Credentials rejected, with reasons — invalid credentials are
+    /// skipped, not fatal, as in PERMIS.
+    pub rejected: Vec<CredentialError>,
+}
+
+impl CredentialValidationService {
+    /// New CVS with no trust anchors.
+    pub fn new() -> Self {
+        CredentialValidationService::default()
+    }
+
+    /// Register an issuer's verification key.
+    pub fn register_key(&mut self, issuer: impl Into<String>, key: impl Into<Vec<u8>>) {
+        self.keys.insert(issuer.into(), key.into());
+    }
+
+    /// Mark an issuer as a trusted SOA (from the policy's SOAPolicy).
+    pub fn trust(&mut self, issuer: impl Into<String>) {
+        self.trusted.insert(issuer.into());
+    }
+
+    /// Look up a registered verification key (used by delegation-chain
+    /// validation for intermediate holders).
+    pub fn key_for(&self, issuer: &str) -> Option<&[u8]> {
+        self.keys.get(issuer).map(Vec::as_slice)
+    }
+
+    /// Remove an issuer from the trusted set.
+    pub fn untrust(&mut self, issuer: &str) {
+        self.trusted.remove(issuer);
+    }
+
+    /// Import a revocation entry.
+    pub fn revoke(&mut self, issuer: impl Into<String>, serial: u64) {
+        self.revoked.insert((issuer.into(), serial));
+    }
+
+    /// Validate one credential for `subject` at time `now`.
+    pub fn validate_one(
+        &self,
+        subject: &str,
+        cred: &AttributeCredential,
+        now: u64,
+    ) -> Result<RoleRef, CredentialError> {
+        if cred.subject != subject {
+            return Err(CredentialError::SubjectMismatch {
+                expected: subject.to_owned(),
+                found: cred.subject.clone(),
+            });
+        }
+        if !self.trusted.contains(&cred.issuer) {
+            return Err(CredentialError::UntrustedIssuer { issuer: cred.issuer.clone() });
+        }
+        let key = self.keys.get(&cred.issuer).ok_or_else(|| {
+            CredentialError::UnknownIssuerKey { issuer: cred.issuer.clone() }
+        })?;
+        if !cred.verify(key) {
+            return Err(CredentialError::BadSignature {
+                issuer: cred.issuer.clone(),
+                serial: cred.serial,
+            });
+        }
+        if now < cred.valid_from {
+            return Err(CredentialError::NotYetValid {
+                serial: cred.serial,
+                valid_from: cred.valid_from,
+                now,
+            });
+        }
+        if now > cred.valid_to {
+            return Err(CredentialError::Expired {
+                serial: cred.serial,
+                valid_to: cred.valid_to,
+                now,
+            });
+        }
+        if self.revoked.contains(&(cred.issuer.clone(), cred.serial)) {
+            return Err(CredentialError::Revoked {
+                issuer: cred.issuer.clone(),
+                serial: cred.serial,
+            });
+        }
+        Ok(cred.role.clone())
+    }
+
+    /// Push-mode validation: the requester presented `creds` directly.
+    pub fn validate_push(
+        &self,
+        subject: &str,
+        creds: &[AttributeCredential],
+        now: u64,
+    ) -> ValidationOutcome {
+        let mut outcome = ValidationOutcome::default();
+        for cred in creds {
+            match self.validate_one(subject, cred, now) {
+                Ok(role) => {
+                    if !outcome.roles.contains(&role) {
+                        outcome.roles.push(role);
+                    }
+                }
+                Err(e) => outcome.rejected.push(e),
+            }
+        }
+        outcome
+    }
+
+    /// Pull-mode validation: fetch the subject's credentials from the
+    /// directory, then validate them all.
+    pub fn validate_pull(
+        &self,
+        subject: &str,
+        directory: &Directory,
+        now: u64,
+    ) -> ValidationOutcome {
+        self.validate_push(subject, directory.search(subject), now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::Authority;
+
+    fn setup() -> (Authority, CredentialValidationService) {
+        let hr = Authority::new("cn=HR, o=bank", b"hr-secret".to_vec());
+        let mut cvs = CredentialValidationService::new();
+        cvs.register_key(hr.dn(), hr.verification_key().to_vec());
+        cvs.trust(hr.dn());
+        (hr, cvs)
+    }
+
+    #[test]
+    fn valid_credential_yields_role() {
+        let (mut hr, cvs) = setup();
+        let cred = hr.issue("cn=alice", RoleRef::new("employee", "Teller"), 10, 20);
+        let out = cvs.validate_push("cn=alice", &[cred], 15);
+        assert_eq!(out.roles, vec![RoleRef::new("employee", "Teller")]);
+        assert!(out.rejected.is_empty());
+    }
+
+    #[test]
+    fn expired_and_not_yet_valid() {
+        let (mut hr, cvs) = setup();
+        let cred = hr.issue("cn=alice", RoleRef::new("e", "r"), 10, 20);
+        assert!(matches!(
+            cvs.validate_one("cn=alice", &cred, 5),
+            Err(CredentialError::NotYetValid { .. })
+        ));
+        assert!(matches!(
+            cvs.validate_one("cn=alice", &cred, 25),
+            Err(CredentialError::Expired { .. })
+        ));
+        // Inclusive bounds.
+        assert!(cvs.validate_one("cn=alice", &cred, 10).is_ok());
+        assert!(cvs.validate_one("cn=alice", &cred, 20).is_ok());
+    }
+
+    #[test]
+    fn untrusted_issuer_rejected() {
+        let (mut hr, mut cvs) = setup();
+        let cred = hr.issue("cn=alice", RoleRef::new("e", "r"), 0, 10);
+        cvs.untrust("cn=HR, o=bank");
+        assert!(matches!(
+            cvs.validate_one("cn=alice", &cred, 5),
+            Err(CredentialError::UntrustedIssuer { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (mut hr, cvs) = setup();
+        let mut cred = hr.issue("cn=alice", RoleRef::new("e", "Teller"), 0, 10);
+        cred.role = RoleRef::new("e", "Auditor"); // privilege escalation attempt
+        assert!(matches!(
+            cvs.validate_one("cn=alice", &cred, 5),
+            Err(CredentialError::BadSignature { .. })
+        ));
+    }
+
+    #[test]
+    fn stolen_credential_rejected() {
+        let (mut hr, cvs) = setup();
+        let cred = hr.issue("cn=alice", RoleRef::new("e", "Teller"), 0, 10);
+        assert!(matches!(
+            cvs.validate_one("cn=mallory", &cred, 5),
+            Err(CredentialError::SubjectMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn revoked_rejected() {
+        let (mut hr, mut cvs) = setup();
+        let cred = hr.issue("cn=alice", RoleRef::new("e", "r"), 0, 10);
+        cvs.revoke(hr.dn(), cred.serial);
+        assert!(matches!(
+            cvs.validate_one("cn=alice", &cred, 5),
+            Err(CredentialError::Revoked { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_batch_validation() {
+        let (mut hr, cvs) = setup();
+        let good = hr.issue("cn=alice", RoleRef::new("e", "Teller"), 0, 10);
+        let mut forged = hr.issue("cn=alice", RoleRef::new("e", "Clerk"), 0, 10);
+        forged.role = RoleRef::new("e", "Auditor");
+        let dup = hr.issue("cn=alice", RoleRef::new("e", "Teller"), 0, 10);
+        let out = cvs.validate_push("cn=alice", &[good, forged, dup], 5);
+        // Valid roles deduplicated; the forgery rejected but not fatal.
+        assert_eq!(out.roles, vec![RoleRef::new("e", "Teller")]);
+        assert_eq!(out.rejected.len(), 1);
+    }
+
+    #[test]
+    fn pull_mode_via_directory() {
+        let (mut hr, cvs) = setup();
+        let mut dir = Directory::new();
+        dir.publish(hr.issue("cn=alice", RoleRef::new("e", "Teller"), 0, 10));
+        dir.publish(hr.issue("cn=alice", RoleRef::new("e", "Clerk"), 0, 10));
+        let out = cvs.validate_pull("cn=alice", &dir, 5);
+        assert_eq!(out.roles.len(), 2);
+    }
+
+    #[test]
+    fn multi_authority_vo() {
+        // Two independent authorities, as in the VO scenario (§2.1):
+        // each asserts a different role for the same person.
+        let mut bank_hr = Authority::new("cn=HR, o=bank", b"bank-key".to_vec());
+        let mut uni = Authority::new("cn=Registrar, o=university", b"uni-key".to_vec());
+        let mut cvs = CredentialValidationService::new();
+        cvs.register_key(bank_hr.dn(), bank_hr.verification_key().to_vec());
+        cvs.register_key(uni.dn(), uni.verification_key().to_vec());
+        cvs.trust(bank_hr.dn());
+        cvs.trust(uni.dn());
+
+        let c1 = bank_hr.issue("cn=alice", RoleRef::new("employee", "Teller"), 0, 10);
+        let c2 = uni.issue("cn=alice", RoleRef::new("employee", "Auditor"), 0, 10);
+        // Alice can present either credential alone — neither authority
+        // (nor any single role-assignment check) sees the conflict.
+        let out1 = cvs.validate_push("cn=alice", &[c1], 5);
+        let out2 = cvs.validate_push("cn=alice", &[c2], 5);
+        assert_eq!(out1.roles.len(), 1);
+        assert_eq!(out2.roles.len(), 1);
+        assert_ne!(out1.roles, out2.roles);
+    }
+}

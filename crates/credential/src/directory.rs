@@ -1,0 +1,88 @@
+//! An LDAP-like in-memory directory.
+//!
+//! PERMIS stores users' credentials in one or more LDAP directories and
+//! the CVS pulls them by subject DN (§5.1). This directory preserves
+//! that pull-mode code path: publish under the subject's DN, search by
+//! DN, remove on revocation.
+
+use std::collections::HashMap;
+
+use crate::cred::AttributeCredential;
+
+/// DN-keyed credential directory.
+#[derive(Debug, Default, Clone)]
+pub struct Directory {
+    entries: HashMap<String, Vec<AttributeCredential>>,
+}
+
+impl Directory {
+    /// New empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Publish a credential under its subject DN.
+    pub fn publish(&mut self, cred: AttributeCredential) {
+        self.entries.entry(cred.subject.clone()).or_default().push(cred);
+    }
+
+    /// All credentials stored for a subject.
+    pub fn search(&self, subject_dn: &str) -> &[AttributeCredential] {
+        self.entries.get(subject_dn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Remove a specific credential (issuer, serial) from a subject's
+    /// entry; returns whether one was removed.
+    pub fn remove(&mut self, subject_dn: &str, issuer: &str, serial: u64) -> bool {
+        let Some(creds) = self.entries.get_mut(subject_dn) else {
+            return false;
+        };
+        let before = creds.len();
+        creds.retain(|c| !(c.issuer == issuer && c.serial == serial));
+        creds.len() != before
+    }
+
+    /// Total number of stored credentials.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All subject DNs with at least one credential.
+    pub fn subjects(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().filter(|(_, v)| !v.is_empty()).map(|(k, _)| k.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::Authority;
+    use msod::RoleRef;
+
+    #[test]
+    fn publish_search_remove() {
+        let mut hr = Authority::new("cn=HR", b"k".to_vec());
+        let mut dir = Directory::new();
+        let c1 = hr.issue("cn=alice", RoleRef::new("e", "Teller"), 0, 10);
+        let c2 = hr.issue("cn=alice", RoleRef::new("e", "Clerk"), 0, 10);
+        let c3 = hr.issue("cn=bob", RoleRef::new("e", "Auditor"), 0, 10);
+        dir.publish(c1.clone());
+        dir.publish(c2);
+        dir.publish(c3);
+
+        assert_eq!(dir.search("cn=alice").len(), 2);
+        assert_eq!(dir.search("cn=bob").len(), 1);
+        assert!(dir.search("cn=carol").is_empty());
+        assert_eq!(dir.len(), 3);
+        assert_eq!(dir.subjects().count(), 2);
+
+        assert!(dir.remove("cn=alice", "cn=HR", c1.serial));
+        assert!(!dir.remove("cn=alice", "cn=HR", c1.serial));
+        assert_eq!(dir.search("cn=alice").len(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Credential validation errors.
+
+use std::fmt;
+
+/// Why the CVS rejected a credential.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CredentialError {
+    /// The issuer is not a trusted source of authority for this policy.
+    UntrustedIssuer {
+        /// The issuer DN.
+        issuer: String,
+    },
+    /// The signature does not verify under the issuer's key.
+    BadSignature {
+        /// The issuer DN.
+        issuer: String,
+        /// The credential serial number.
+        serial: u64,
+    },
+    /// The credential's validity window excludes the evaluation time.
+    NotYetValid {
+        /// The credential serial number.
+        serial: u64,
+        /// Start of the validity window.
+        valid_from: u64,
+        /// The evaluation time.
+        now: u64,
+    },
+    /// The credential has expired.
+    Expired {
+        /// The credential serial number.
+        serial: u64,
+        /// End of the validity window.
+        valid_to: u64,
+        /// The evaluation time.
+        now: u64,
+    },
+    /// The issuer has revoked this credential.
+    Revoked {
+        /// The issuer DN.
+        issuer: String,
+        /// The credential serial number.
+        serial: u64,
+    },
+    /// The credential names a different subject than the requester.
+    SubjectMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found instead.
+        found: String,
+    },
+    /// No key registered for the issuer (configuration error).
+    UnknownIssuerKey {
+        /// The issuer DN.
+        issuer: String,
+    },
+}
+
+impl fmt::Display for CredentialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CredentialError::UntrustedIssuer { issuer } => {
+                write!(f, "issuer {issuer:?} is not a trusted SOA")
+            }
+            CredentialError::BadSignature { issuer, serial } => {
+                write!(f, "credential #{serial} from {issuer:?} has an invalid signature")
+            }
+            CredentialError::NotYetValid { serial, valid_from, now } => {
+                write!(f, "credential #{serial} not valid until {valid_from} (now {now})")
+            }
+            CredentialError::Expired { serial, valid_to, now } => {
+                write!(f, "credential #{serial} expired at {valid_to} (now {now})")
+            }
+            CredentialError::Revoked { issuer, serial } => {
+                write!(f, "credential #{serial} from {issuer:?} is revoked")
+            }
+            CredentialError::SubjectMismatch { expected, found } => {
+                write!(f, "credential subject {found:?} does not match requester {expected:?}")
+            }
+            CredentialError::UnknownIssuerKey { issuer } => {
+                write!(f, "no verification key registered for issuer {issuer:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CredentialError {}

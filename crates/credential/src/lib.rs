@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+//! # credential — privilege allocation, validation and identity linking
+//!
+//! The PERMIS privilege-allocation and credential-validation substrate
+//! of the MSoD paper (§5.1), with the PKI substitution documented in
+//! DESIGN.md: attribute credentials are signed with HMAC-SHA256 under
+//! per-authority keys instead of X.509 signatures, preserving the CVS's
+//! accept/reject behaviour exactly.
+//!
+//! - [`Authority`] — a source of authority issuing and revoking signed
+//!   role credentials (X.509-AC- or SAML-flavoured);
+//! - [`Directory`] — the LDAP-like store the CVS pulls from;
+//! - [`CredentialValidationService`] — validates push- or pull-mode
+//!   credentials against trusted SOAs, signatures, validity windows and
+//!   revocation, extracting the valid roles for the PDP;
+//! - [`linking`] — the §6 identity-stability work-arounds (Shibboleth
+//!   persistent-ID release, Liberty pairwise alias linking).
+//!
+//! ```
+//! use credential::{Authority, CredentialValidationService};
+//! use msod::RoleRef;
+//!
+//! let mut hr = Authority::new("cn=HR, o=bank", b"hr-key".to_vec());
+//! let mut cvs = CredentialValidationService::new();
+//! cvs.register_key(hr.dn(), hr.verification_key().to_vec());
+//! cvs.trust(hr.dn());
+//!
+//! let cred = hr.issue("cn=alice", RoleRef::new("employee", "Teller"), 0, 100);
+//! let out = cvs.validate_push("cn=alice", &[cred], 50);
+//! assert_eq!(out.roles, vec![RoleRef::new("employee", "Teller")]);
+//! ```
+
+pub mod authority;
+pub mod cred;
+pub mod cvs;
+pub mod delegation;
+pub mod directory;
+pub mod error;
+pub mod linking;
+
+pub use authority::Authority;
+pub use cred::{AttributeCredential, CredentialFormat};
+pub use cvs::{CredentialValidationService, ValidationOutcome};
+pub use delegation::{ChainError, DelegableCredential, DelegationChain, Delegator};
+pub use directory::Directory;
+pub use error::CredentialError;
+pub use linking::{AliasLinker, SessionIdentity, TransientHandleIssuer};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use msod::RoleRef;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any credential an authority issues validates at any time
+        /// inside its window, and never validates under a different key
+        /// or after any single byte of its signature flips.
+        #[test]
+        fn issue_validate_roundtrip(
+            subject in "[a-z=,]{1,20}",
+            rtype in "[A-Za-z]{1,10}",
+            rvalue in "[A-Za-z0-9]{1,10}",
+            from in 0u64..1000,
+            len in 0u64..1000,
+            probe in 0u64..2000,
+            flip in any::<proptest::sample::Index>(),
+        ) {
+            let mut soa = Authority::new("cn=SOA", b"key".to_vec());
+            let mut cvs = CredentialValidationService::new();
+            cvs.register_key("cn=SOA", b"key".to_vec());
+            cvs.trust("cn=SOA");
+            let cred = soa.issue(&subject, RoleRef::new(rtype, rvalue), from, from + len);
+
+            let outcome = cvs.validate_one(&subject, &cred, probe);
+            let inside = probe >= from && probe <= from + len;
+            prop_assert_eq!(outcome.is_ok(), inside);
+
+            let mut tampered = cred.clone();
+            let i = flip.index(32);
+            tampered.signature[i] ^= 1;
+            prop_assert!(cvs.validate_one(&subject, &tampered, from).is_err());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Identity stability work-arounds (paper §6 limitations).
+//!
+//! MSoD links a user's sessions by ID, which assumes (1) the same ID
+//! every session and (2) one ID across authorities. The paper names two
+//! federated systems where this breaks and sketches the fixes this
+//! module implements:
+//!
+//! - **Shibboleth** hands the PDP a fresh transient handle per session
+//!   ([`TransientHandleIssuer`]); MSoD is blind unless the IdP is
+//!   configured to release a persistent ID attribute alongside the
+//!   roles ([`TransientHandleIssuer::with_persistent_id_release`]).
+//! - **Liberty Alliance** gives each service provider a *pairwise
+//!   alias* per authority; [`AliasLinker`] records the pairwise links so
+//!   the PDP can fold every alias of one person onto a single local
+//!   identity and base the MSoD policy on that.
+
+use std::collections::HashMap;
+
+/// Simulates a Shibboleth IdP: per-session opaque handles, optionally
+/// releasing the persistent identity as an attribute.
+#[derive(Debug, Default, Clone)]
+pub struct TransientHandleIssuer {
+    counter: u64,
+    release_persistent_id: bool,
+}
+
+/// What the IdP discloses to the service for one session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionIdentity {
+    /// The opaque per-session handle (always fresh).
+    pub handle: String,
+    /// The persistent user ID, only when the IdP is configured to
+    /// release it (the paper's condition for MSoD to work with
+    /// Shibboleth).
+    pub persistent_id: Option<String>,
+}
+
+impl TransientHandleIssuer {
+    /// IdP in default privacy-preserving mode (handles only).
+    pub fn new() -> Self {
+        TransientHandleIssuer::default()
+    }
+
+    /// Configure the IdP to release the user's persistent ID with their
+    /// other attributes.
+    pub fn with_persistent_id_release(mut self) -> Self {
+        self.release_persistent_id = true;
+        self
+    }
+
+    /// Begin a session for `user`: mints a fresh opaque handle.
+    pub fn begin_session(&mut self, user: &str) -> SessionIdentity {
+        self.counter += 1;
+        SessionIdentity {
+            handle: format!("handle-{:08x}", self.counter),
+            persistent_id: self.release_persistent_id.then(|| user.to_owned()),
+        }
+    }
+}
+
+/// Liberty-style pairwise alias linking: each (authority, alias) pair
+/// maps one-way onto the service's local identity for that person.
+#[derive(Debug, Default, Clone)]
+pub struct AliasLinker {
+    links: HashMap<(String, String), String>,
+}
+
+impl AliasLinker {
+    /// New linker with no links.
+    pub fn new() -> Self {
+        AliasLinker::default()
+    }
+
+    /// Record that `alias` at `authority` denotes local user `local_id`
+    /// (established during Liberty identity federation).
+    pub fn link(
+        &mut self,
+        authority: impl Into<String>,
+        alias: impl Into<String>,
+        local_id: impl Into<String>,
+    ) {
+        self.links.insert((authority.into(), alias.into()), local_id.into());
+    }
+
+    /// Resolve an (authority, alias) pair to the local identity, if
+    /// federated. Unlinked aliases resolve to `None` — the PDP then has
+    /// no basis to join sessions, which is exactly the paper's
+    /// limitation scenario.
+    pub fn resolve(&self, authority: &str, alias: &str) -> Option<&str> {
+        self.links.get(&(authority.to_owned(), alias.to_owned())).map(String::as_str)
+    }
+
+    /// Resolve or fall back to the alias itself (an unlinked alias acts
+    /// as its own — unjoinable — identity).
+    pub fn resolve_or_alias<'a>(&'a self, authority: &str, alias: &'a str) -> &'a str {
+        self.resolve(authority, alias).unwrap_or(alias)
+    }
+
+    /// Number of recorded links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether no links are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_handles_differ_per_session() {
+        let mut idp = TransientHandleIssuer::new();
+        let s1 = idp.begin_session("alice");
+        let s2 = idp.begin_session("alice");
+        assert_ne!(s1.handle, s2.handle);
+        assert_eq!(s1.persistent_id, None);
+    }
+
+    #[test]
+    fn persistent_id_release() {
+        let mut idp = TransientHandleIssuer::new().with_persistent_id_release();
+        let s1 = idp.begin_session("alice");
+        let s2 = idp.begin_session("alice");
+        assert_ne!(s1.handle, s2.handle);
+        assert_eq!(s1.persistent_id.as_deref(), Some("alice"));
+        assert_eq!(s1.persistent_id, s2.persistent_id);
+    }
+
+    #[test]
+    fn alias_linking() {
+        let mut linker = AliasLinker::new();
+        linker.link("idp.bank", "x9f2", "alice@local");
+        linker.link("idp.university", "q7a1", "alice@local");
+        linker.link("idp.bank", "z001", "bob@local");
+
+        assert_eq!(linker.resolve("idp.bank", "x9f2"), Some("alice@local"));
+        assert_eq!(linker.resolve("idp.university", "q7a1"), Some("alice@local"));
+        assert_eq!(linker.resolve("idp.bank", "q7a1"), None);
+        assert_eq!(linker.resolve_or_alias("idp.bank", "unknown"), "unknown");
+        assert_eq!(linker.len(), 3);
+    }
+
+    #[test]
+    fn pairwise_aliases_fold_to_one_identity() {
+        // The §6 fix: two authorities know alice by different aliases;
+        // after linking, both resolve to the same local identity, so the
+        // PDP can join her sessions.
+        let mut linker = AliasLinker::new();
+        linker.link("authA", "alias-A-alice", "alice");
+        linker.link("authB", "alias-B-alice", "alice");
+        let id_a = linker.resolve_or_alias("authA", "alias-A-alice").to_owned();
+        let id_b = linker.resolve_or_alias("authB", "alias-B-alice").to_owned();
+        assert_eq!(id_a, id_b);
+    }
+}

@@ -1,0 +1,223 @@
+//! MMER and MMEP constraints (paper §2.3–2.4).
+//!
+//! Both are *multisets* with a forbidden cardinality `m` (`1 < m <= n`):
+//! a user must not accumulate `m` or more matches within one business
+//! context (instance). Listing the same entry twice caps its use — the
+//! paper's `MMEP({p1, p1}, 2)` means "p1 at most once per instance".
+
+use crate::error::MsodError;
+use crate::privilege::{Privilege, RoleRef};
+
+/// Multi-session mutually exclusive roles: `MMER({r1..rn}, m, BC)`.
+/// The business context lives on the enclosing policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mmer {
+    roles: Vec<RoleRef>,
+    forbidden_cardinality: usize,
+}
+
+impl Mmer {
+    /// Validate and build: needs `n >= 2` entries and `1 < m <= n`.
+    pub fn new(roles: Vec<RoleRef>, forbidden_cardinality: usize) -> Result<Self, MsodError> {
+        if roles.len() < 2 {
+            return Err(MsodError::TooFewRoles(roles.len()));
+        }
+        if forbidden_cardinality < 2 || forbidden_cardinality > roles.len() {
+            return Err(MsodError::InvalidCardinality {
+                cardinality: forbidden_cardinality,
+                entries: roles.len(),
+            });
+        }
+        Ok(Mmer { roles, forbidden_cardinality })
+    }
+
+    /// The role entries (a multiset; duplicates are significant).
+    pub fn roles(&self) -> &[RoleRef] {
+        &self.roles
+    }
+
+    /// The forbidden cardinality `m`.
+    pub fn forbidden_cardinality(&self) -> usize {
+        self.forbidden_cardinality
+    }
+
+    /// §4.2 step 5.i/5.iii matching.
+    ///
+    /// Splits the constraint's role multiset into `nr` entries consumed
+    /// by the currently `activated` roles and the `remaining` entries,
+    /// which are later counted against retained-ADI history. Each
+    /// activated role consumes at most one matching entry.
+    pub fn split_matches<'a>(&'a self, activated: &[RoleRef]) -> (usize, Vec<&'a RoleRef>) {
+        split_multiset(&self.roles, activated, |entry, act| entry == act)
+    }
+}
+
+/// Multi-session mutually exclusive privileges: `MMEP({p1..pn}, m, BC)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mmep {
+    privileges: Vec<Privilege>,
+    forbidden_cardinality: usize,
+}
+
+impl Mmep {
+    /// Validate and build: needs `n >= 2` entries and `1 < m <= n`.
+    pub fn new(
+        privileges: Vec<Privilege>,
+        forbidden_cardinality: usize,
+    ) -> Result<Self, MsodError> {
+        if privileges.len() < 2 {
+            return Err(MsodError::TooFewPrivileges(privileges.len()));
+        }
+        if forbidden_cardinality < 2 || forbidden_cardinality > privileges.len() {
+            return Err(MsodError::InvalidCardinality {
+                cardinality: forbidden_cardinality,
+                entries: privileges.len(),
+            });
+        }
+        Ok(Mmep { privileges, forbidden_cardinality })
+    }
+
+    /// The privilege entries (a multiset; duplicates are significant).
+    pub fn privileges(&self) -> &[Privilege] {
+        &self.privileges
+    }
+
+    /// The forbidden cardinality `m`.
+    pub fn forbidden_cardinality(&self) -> usize {
+        self.forbidden_cardinality
+    }
+
+    /// §4.2 step 6.i/6.iii matching: the requested (operation, target)
+    /// consumes **one** matching entry ("ignoring current matched
+    /// operation and target"); the rest are counted against history.
+    /// Returns `None` when the request matches no entry.
+    pub fn split_match<'a>(&'a self, operation: &str, target: &str) -> Option<Vec<&'a Privilege>> {
+        let pos = self.privileges.iter().position(|p| p.matches(operation, target))?;
+        Some(
+            self.privileges
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != pos)
+                .map(|(_, p)| p)
+                .collect(),
+        )
+    }
+}
+
+/// Consume from `entries` one entry per item of `matchers` that matches;
+/// returns (consumed count, remaining entries).
+fn split_multiset<'a, E, M>(
+    entries: &'a [E],
+    matchers: &[M],
+    matches: impl Fn(&E, &M) -> bool,
+) -> (usize, Vec<&'a E>) {
+    let mut consumed = vec![false; entries.len()];
+    let mut nr = 0usize;
+    for m in matchers {
+        if let Some(i) = entries
+            .iter()
+            .enumerate()
+            .position(|(i, e)| !consumed[i] && matches(e, m))
+        {
+            consumed[i] = true;
+            nr += 1;
+        }
+    }
+    let remaining = entries
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !consumed[i])
+        .map(|(_, e)| e)
+        .collect();
+    (nr, remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rr(v: &str) -> RoleRef {
+        RoleRef::new("employee", v)
+    }
+
+    #[test]
+    fn mmer_validation() {
+        assert!(Mmer::new(vec![rr("a"), rr("b")], 2).is_ok());
+        assert!(matches!(Mmer::new(vec![rr("a")], 2), Err(MsodError::TooFewRoles(1))));
+        assert!(matches!(
+            Mmer::new(vec![rr("a"), rr("b")], 1),
+            Err(MsodError::InvalidCardinality { .. })
+        ));
+        assert!(matches!(
+            Mmer::new(vec![rr("a"), rr("b")], 3),
+            Err(MsodError::InvalidCardinality { .. })
+        ));
+    }
+
+    #[test]
+    fn mmer_split_basic() {
+        let mmer = Mmer::new(vec![rr("Teller"), rr("Auditor")], 2).unwrap();
+        let (nr, remaining) = mmer.split_matches(&[rr("Teller")]);
+        assert_eq!(nr, 1);
+        assert_eq!(remaining, vec![&rr("Auditor")]);
+
+        let (nr, remaining) = mmer.split_matches(&[rr("Manager")]);
+        assert_eq!(nr, 0);
+        assert_eq!(remaining.len(), 2);
+
+        // Simultaneous activation of both consumes both.
+        let (nr, remaining) = mmer.split_matches(&[rr("Teller"), rr("Auditor")]);
+        assert_eq!(nr, 2);
+        assert!(remaining.is_empty());
+    }
+
+    #[test]
+    fn mmer_split_with_duplicates() {
+        // "May act as Approver at most once": {Approver, Approver}, m=2.
+        let mmer = Mmer::new(vec![rr("Approver"), rr("Approver")], 2).unwrap();
+        let (nr, remaining) = mmer.split_matches(&[rr("Approver")]);
+        assert_eq!(nr, 1);
+        assert_eq!(remaining, vec![&rr("Approver")]);
+        // One activated role consumes only one entry even if listed twice.
+        let (nr, _) = mmer.split_matches(&[rr("Approver"), rr("Approver")]);
+        assert_eq!(nr, 2);
+    }
+
+    #[test]
+    fn mmer_type_must_match() {
+        let mmer = Mmer::new(vec![rr("Teller"), rr("Auditor")], 2).unwrap();
+        let (nr, _) = mmer.split_matches(&[RoleRef::new("contractor", "Teller")]);
+        assert_eq!(nr, 0);
+    }
+
+    #[test]
+    fn mmep_validation() {
+        let p = |s: &str| Privilege::new(s, "t");
+        assert!(Mmep::new(vec![p("a"), p("b")], 2).is_ok());
+        assert!(matches!(Mmep::new(vec![p("a")], 2), Err(MsodError::TooFewPrivileges(1))));
+        assert!(matches!(
+            Mmep::new(vec![p("a"), p("b"), p("c")], 4),
+            Err(MsodError::InvalidCardinality { .. })
+        ));
+    }
+
+    #[test]
+    fn mmep_split_match() {
+        let p1 = Privilege::new("approveCheck", "http://tax/check");
+        let p2 = Privilege::new("combineResults", "http://tax/results");
+        let mmep = Mmep::new(vec![p1.clone(), p2.clone()], 2).unwrap();
+
+        let remaining = mmep.split_match("approveCheck", "http://tax/check").unwrap();
+        assert_eq!(remaining, vec![&p2]);
+        assert!(mmep.split_match("other", "x").is_none());
+    }
+
+    #[test]
+    fn mmep_duplicate_entry_consumes_one() {
+        // The paper's MMEP({p1, p1}, 2): p1 at most once per instance.
+        let p1 = Privilege::new("approveCheck", "http://tax/check");
+        let mmep = Mmep::new(vec![p1.clone(), p1.clone()], 2).unwrap();
+        let remaining = mmep.split_match("approveCheck", "http://tax/check").unwrap();
+        assert_eq!(remaining, vec![&p1]); // exactly one left, not zero
+    }
+}

@@ -1,0 +1,89 @@
+//! Role references and privileges as MSoD constraints name them.
+
+use std::fmt;
+
+/// A typed role reference, as the policy XML's
+/// `<Role type="employee" value="Teller"/>`.
+///
+/// PERMIS roles are attribute type/value pairs; two references conflict
+/// only when both the type and the value match.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RoleRef {
+    /// The attribute type of the role (e.g. `permisRole`, `employee`).
+    pub role_type: String,
+    /// The value involved.
+    pub value: String,
+}
+
+impl RoleRef {
+    /// Build a role reference.
+    pub fn new(role_type: impl Into<String>, value: impl Into<String>) -> Self {
+        RoleRef { role_type: role_type.into(), value: value.into() }
+    }
+
+    /// Conventional shorthand for the common `permisRole` type.
+    pub fn permis(value: impl Into<String>) -> Self {
+        RoleRef::new("permisRole", value)
+    }
+}
+
+impl fmt::Display for RoleRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.role_type, self.value)
+    }
+}
+
+/// A privilege: an operation on a target, as the policy XML's
+/// `<Operation value="prepareCheck" target="http://..."/>`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Privilege {
+    /// The operation name.
+    pub operation: String,
+    /// The target involved.
+    pub target: String,
+}
+
+impl Privilege {
+    /// Build a privilege from operation and target names.
+    pub fn new(operation: impl Into<String>, target: impl Into<String>) -> Self {
+        Privilege { operation: operation.into(), target: target.into() }
+    }
+
+    /// Whether a requested (operation, target) pair exercises this
+    /// privilege (exact match, as in the paper's XML policies).
+    pub fn matches(&self, operation: &str, target: &str) -> bool {
+        self.operation == operation && self.target == target
+    }
+}
+
+impl fmt::Display for Privilege {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}", self.operation, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_ref_equality_needs_both_fields() {
+        assert_eq!(RoleRef::new("employee", "Teller"), RoleRef::new("employee", "Teller"));
+        assert_ne!(RoleRef::new("employee", "Teller"), RoleRef::new("contractor", "Teller"));
+        assert_ne!(RoleRef::new("employee", "Teller"), RoleRef::new("employee", "Auditor"));
+    }
+
+    #[test]
+    fn privilege_matching() {
+        let p = Privilege::new("prepareCheck", "http://tax/check");
+        assert!(p.matches("prepareCheck", "http://tax/check"));
+        assert!(!p.matches("prepareCheck", "http://tax/other"));
+        assert!(!p.matches("voidCheck", "http://tax/check"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RoleRef::permis("Teller").to_string(), "permisRole:Teller");
+        assert_eq!(Privilege::new("a", "b").to_string(), "a on b");
+    }
+}

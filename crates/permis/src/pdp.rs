@@ -1,0 +1,536 @@
+//! The PERMIS CVS/PDP (paper §5, Figure 4): credential validation, the
+//! RBAC target-access check, the MSoD stage, and the secure audit trail
+//! every request/response is logged to.
+
+use audit::{AuditEvent, AuditTrail, TrailStore};
+use credential::{CredentialValidationService, Directory};
+use msod::{MemoryAdi, MsodDecision, MsodEngine, MsodRequest, RetainedAdi, RoleRef};
+use policy::{parse_rbac_policy, PdpPolicy, PolicyError};
+
+use crate::request::{Credentials, DecisionOutcome, DecisionRequest, DenyReason};
+
+/// The integrated CVS/PDP over a pluggable retained-ADI backend
+/// (in-memory by default; `storage::PersistentAdi` for the durable
+/// variant).
+pub struct Pdp<A: RetainedAdi = MemoryAdi> {
+    policy: PdpPolicy,
+    cvs: CredentialValidationService,
+    directory: Directory,
+    engine: MsodEngine,
+    adi: A,
+    trail: AuditTrail,
+    trail_key: Vec<u8>,
+    store: Option<TrailStore>,
+}
+
+impl<A: RetainedAdi + Clone> Clone for Pdp<A> {
+    /// Deep-copies the whole PDP state (policy, CVS, directory, ADI,
+    /// trail). Useful for what-if evaluation and benchmarking; the clone
+    /// shares nothing with the original.
+    fn clone(&self) -> Self {
+        Pdp {
+            policy: self.policy.clone(),
+            cvs: self.cvs.clone(),
+            directory: self.directory.clone(),
+            engine: self.engine.clone(),
+            adi: self.adi.clone(),
+            trail: self.trail.clone(),
+            trail_key: self.trail_key.clone(),
+            store: self.store.clone(),
+        }
+    }
+}
+
+impl<A: RetainedAdi> std::fmt::Debug for Pdp<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pdp")
+            .field("policy", &self.policy.id)
+            .field("retained_adi_records", &self.adi.len())
+            .field("audit_records", &self.trail.len())
+            .finish()
+    }
+}
+
+impl Pdp<MemoryAdi> {
+    /// PDP over the in-memory retained ADI (the paper's shipped design).
+    pub fn new(policy: PdpPolicy, trail_key: impl Into<Vec<u8>>) -> Self {
+        Pdp::with_adi(policy, trail_key, MemoryAdi::new())
+    }
+
+    /// Parse an `<RBACPolicy>` document and build a PDP from it — the
+    /// §4.2 initialisation step "it must read in the RBAC policy
+    /// including the MSoD component".
+    pub fn from_xml(xml: &str, trail_key: impl Into<Vec<u8>>) -> Result<Self, PolicyError> {
+        Ok(Pdp::new(parse_rbac_policy(xml)?, trail_key))
+    }
+}
+
+impl<A: RetainedAdi> Pdp<A> {
+    /// PDP over an explicit retained-ADI backend.
+    pub fn with_adi(policy: PdpPolicy, trail_key: impl Into<Vec<u8>>, adi: A) -> Self {
+        let mut cvs = CredentialValidationService::new();
+        for soa in &policy.trusted_soas {
+            cvs.trust(soa.clone());
+        }
+        let engine = MsodEngine::new(policy.msod.clone());
+        let trail_key = trail_key.into();
+        Pdp {
+            policy,
+            cvs,
+            directory: Directory::new(),
+            engine,
+            adi,
+            trail: AuditTrail::new(trail_key.clone()),
+            trail_key,
+            store: None,
+        }
+    }
+
+    pub(crate) fn trail_key(&self) -> &[u8] {
+        &self.trail_key
+    }
+
+    /// Register an authority's verification key with the CVS.
+    pub fn register_authority_key(&mut self, issuer: impl Into<String>, key: impl Into<Vec<u8>>) {
+        self.cvs.register_key(issuer, key);
+    }
+
+    /// Import a revocation for the CVS.
+    pub fn revoke_credential(&mut self, issuer: impl Into<String>, serial: u64) {
+        self.cvs.revoke(issuer, serial);
+    }
+
+    /// The directory the CVS pulls credentials from.
+    pub fn directory_mut(&mut self) -> &mut Directory {
+        &mut self.directory
+    }
+
+    /// The loaded policy.
+    pub fn policy(&self) -> &PdpPolicy {
+        &self.policy
+    }
+
+    /// Replace the policy (PDP re-initialisation). The retained ADI is
+    /// kept; §5.2 recovery (`recover`) re-filters history against the
+    /// new policy set if a clean slate is wanted.
+    pub fn set_policy(&mut self, policy: PdpPolicy) {
+        self.cvs = CredentialValidationService::new();
+        for soa in &policy.trusted_soas {
+            self.cvs.trust(soa.clone());
+        }
+        self.engine.set_policies(policy.msod.clone());
+        self.policy = policy;
+    }
+
+    /// The MSoD engine (for configuring options in tests/ablations).
+    pub fn engine_mut(&mut self) -> &mut MsodEngine {
+        &mut self.engine
+    }
+
+    /// Read access to the retained ADI.
+    pub fn adi(&self) -> &A {
+        &self.adi
+    }
+
+    /// Mutable access to the retained ADI (used by recovery and by the
+    /// management port internally).
+    pub(crate) fn adi_mut(&mut self) -> &mut A {
+        &mut self.adi
+    }
+
+    /// Embedder-level maintenance access to the ADI backend (e.g. to
+    /// `sync()`/`compact()` a `storage::PersistentAdi`). Policy-governed
+    /// mutation goes through [`Pdp::manage`] instead.
+    pub fn adi_backend_mut(&mut self) -> &mut A {
+        &mut self.adi
+    }
+
+    pub(crate) fn engine(&self) -> &MsodEngine {
+        &self.engine
+    }
+
+    pub(crate) fn trail_mut(&mut self) -> &mut AuditTrail {
+        &mut self.trail
+    }
+
+    /// The secure audit trail.
+    pub fn trail(&self) -> &AuditTrail {
+        &self.trail
+    }
+
+    /// Attach a directory-backed trail store for persistence/recovery.
+    pub fn attach_store(&mut self, store: TrailStore) {
+        self.store = Some(store);
+    }
+
+    pub(crate) fn store(&self) -> Option<&TrailStore> {
+        self.store.as_ref()
+    }
+
+    /// Seal the open audit segment and persist it to the attached store.
+    pub fn rotate_and_persist(&mut self) -> Result<Option<usize>, audit::AuditError> {
+        let Some(idx) = self.trail.rotate() else {
+            return Ok(None);
+        };
+        if let Some(store) = &self.store {
+            store.save_segment(idx, &self.trail.segments()[idx])?;
+        }
+        Ok(Some(idx))
+    }
+
+    /// The §4/§5 decision pipeline: subject domain → CVS → RBAC → MSoD,
+    /// with every request/response logged to the audit trail.
+    pub fn decide(&mut self, req: &DecisionRequest) -> DecisionOutcome {
+        // §4.1: the user's ID is mandatory for MSoD — without it the
+        // PDP cannot link the user's sessions together.
+        if req.subject.trim().is_empty() {
+            return self.deny(req, vec![], DenyReason::InvalidRequest(
+                "subject ID is mandatory for multi-session SoD".into(),
+            ));
+        }
+        // The audit encoding stores the context instance in display
+        // form; reject values it cannot round-trip.
+        if req.context.pairs().iter().any(|(t, v)| t.contains(',') || v.contains(',')) {
+            return self.deny(req, vec![], DenyReason::InvalidRequest(
+                "business-context types/values must not contain ','".into(),
+            ));
+        }
+
+        if !self.policy.covers_subject(&req.subject) {
+            return self.deny(req, vec![], DenyReason::SubjectOutsideDomain);
+        }
+
+        // CVS stage.
+        let (roles, rejected) = match &req.credentials {
+            Credentials::Push(creds) => {
+                let out = self.cvs.validate_push(&req.subject, creds, req.timestamp);
+                (out.roles, out.rejected)
+            }
+            Credentials::Pull => {
+                let out = self.cvs.validate_pull(&req.subject, &self.directory, req.timestamp);
+                (out.roles, out.rejected)
+            }
+            Credentials::Validated(roles) => (roles.clone(), Vec::new()),
+        };
+        if roles.is_empty() {
+            return self.deny(req, roles, DenyReason::NoValidRoles { rejected });
+        }
+
+        // Interim RBAC decision (Figure 3's "normal checking"),
+        // including any environmental conditions on the matching rules.
+        if !self
+            .policy
+            .rbac_permits_env(&roles, &req.operation, &req.target, &req.environment)
+        {
+            return self.deny(req, roles, DenyReason::RbacDenied);
+        }
+
+        // MSoD stage (§4.2).
+        let msod_req = MsodRequest {
+            user: &req.subject,
+            roles: &roles,
+            operation: &req.operation,
+            target: &req.target,
+            context: &req.context,
+            timestamp: req.timestamp,
+        };
+        match self.engine.enforce(&mut self.adi, &msod_req) {
+            MsodDecision::NotApplicable => self.grant(req, roles, None),
+            MsodDecision::Grant(detail) => {
+                for bound in &detail.terminated {
+                    self.trail.append(
+                        AuditEvent::context_terminated(bound.to_string()),
+                        req.timestamp,
+                    );
+                }
+                self.grant(req, roles, Some(detail))
+            }
+            MsodDecision::Deny(detail) => self.deny(req, roles, DenyReason::Msod(detail)),
+        }
+    }
+
+    fn grant(
+        &mut self,
+        req: &DecisionRequest,
+        roles: Vec<RoleRef>,
+        msod: Option<msod::GrantDetail>,
+    ) -> DecisionOutcome {
+        self.trail.append(
+            AuditEvent::grant(
+                req.subject.clone(),
+                roles.iter().map(encode_role).collect(),
+                req.operation.clone(),
+                req.target.clone(),
+                req.context.to_string(),
+                msod.is_some(),
+            ),
+            req.timestamp,
+        );
+        DecisionOutcome::Grant { roles, msod }
+    }
+
+    fn deny(
+        &mut self,
+        req: &DecisionRequest,
+        roles: Vec<RoleRef>,
+        reason: DenyReason,
+    ) -> DecisionOutcome {
+        self.trail.append(
+            AuditEvent::deny(
+                req.subject.clone(),
+                roles.iter().map(encode_role).collect(),
+                req.operation.clone(),
+                req.target.clone(),
+                req.context.to_string(),
+                reason.to_string(),
+            ),
+            req.timestamp,
+        );
+        DecisionOutcome::Deny { roles, reason }
+    }
+}
+
+/// Roles are stored in audit records as `type:value` (role types are
+/// NCNames, so the first `:` is unambiguous).
+pub(crate) fn encode_role(role: &RoleRef) -> String {
+    format!("{}:{}", role.role_type, role.value)
+}
+
+/// Inverse of [`encode_role`].
+pub(crate) fn decode_role(s: &str) -> Option<RoleRef> {
+    let (t, v) = s.split_once(':')?;
+    Some(RoleRef::new(t, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use audit::EventKind;
+    use context::ContextInstance;
+    use credential::Authority;
+
+    pub(crate) const BANK_POLICY: &str = r#"<RBACPolicy id="bank" roleType="employee">
+  <SubjectPolicy>
+    <SubjectDomain dn="o=bank"/>
+  </SubjectPolicy>
+  <SOAPolicy>
+    <SOA dn="cn=HR, o=bank"/>
+  </SOAPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="handleCash" targetURI="http://bank/till">
+      <AllowedRole value="Teller"/>
+    </TargetAccess>
+    <TargetAccess operation="audit" targetURI="http://bank/books">
+      <AllowedRole value="Auditor"/>
+    </TargetAccess>
+    <TargetAccess operation="CommitAudit" targetURI="http://audit.location.com/audit">
+      <AllowedRole value="Auditor"/>
+    </TargetAccess>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <LastStep operation="CommitAudit" targetURI="http://audit.location.com/audit"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>"#;
+
+    fn bank_pdp() -> (Pdp, Authority) {
+        let mut pdp = Pdp::from_xml(BANK_POLICY, b"trail-key".to_vec()).unwrap();
+        let hr = Authority::new("cn=HR, o=bank", b"hr-key".to_vec());
+        pdp.register_authority_key(hr.dn(), hr.verification_key().to_vec());
+        (pdp, hr)
+    }
+
+    fn ctx(s: &str) -> ContextInstance {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_push_mode() {
+        let (mut pdp, mut hr) = bank_pdp();
+        let cred = hr.issue("cn=alice, o=bank", RoleRef::new("employee", "Teller"), 0, 100);
+        let req = DecisionRequest {
+            subject: "cn=alice, o=bank".into(),
+            credentials: Credentials::Push(vec![cred]),
+            operation: "handleCash".into(),
+            target: "http://bank/till".into(),
+            context: ctx("Branch=York, Period=2006"),
+            environment: vec![],
+            timestamp: 10,
+        };
+        let out = pdp.decide(&req);
+        assert!(out.is_granted(), "{out:?}");
+        assert_eq!(pdp.adi().len(), 1);
+        assert_eq!(pdp.trail().len(), 1);
+    }
+
+    #[test]
+    fn pull_mode_via_directory() {
+        let (mut pdp, mut hr) = bank_pdp();
+        let cred = hr.issue("cn=bob, o=bank", RoleRef::new("employee", "Auditor"), 0, 100);
+        pdp.directory_mut().publish(cred);
+        let req = DecisionRequest {
+            subject: "cn=bob, o=bank".into(),
+            credentials: Credentials::Pull,
+            operation: "audit".into(),
+            target: "http://bank/books".into(),
+            context: ctx("Branch=York, Period=2006"),
+            environment: vec![],
+            timestamp: 10,
+        };
+        assert!(pdp.decide(&req).is_granted());
+    }
+
+    #[test]
+    fn msod_deny_across_sessions_and_branches() {
+        let (mut pdp, mut hr) = bank_pdp();
+        let teller = hr.issue("cn=alice, o=bank", RoleRef::new("employee", "Teller"), 0, 1000);
+        let auditor = hr.issue("cn=alice, o=bank", RoleRef::new("employee", "Auditor"), 0, 1000);
+
+        // Session 1: alice presents ONLY the teller credential (partial
+        // disclosure) and handles cash.
+        let out = pdp.decide(&DecisionRequest {
+            subject: "cn=alice, o=bank".into(),
+            credentials: Credentials::Push(vec![teller]),
+            operation: "handleCash".into(),
+            target: "http://bank/till".into(),
+            context: ctx("Branch=York, Period=2006"),
+            environment: vec![],
+            timestamp: 10,
+        });
+        assert!(out.is_granted());
+
+        // Session 2, weeks later, different branch: only the auditor
+        // credential. Standard RBAC would grant; MSoD denies.
+        let out = pdp.decide(&DecisionRequest {
+            subject: "cn=alice, o=bank".into(),
+            credentials: Credentials::Push(vec![auditor]),
+            operation: "audit".into(),
+            target: "http://bank/books".into(),
+            context: ctx("Branch=Leeds, Period=2006"),
+            environment: vec![],
+            timestamp: 500,
+        });
+        assert!(matches!(out.deny_reason(), Some(DenyReason::Msod(_))), "{out:?}");
+        // The denial is in the audit trail.
+        assert_eq!(pdp.trail().open_records().last().unwrap().event.kind, EventKind::Deny);
+    }
+
+    #[test]
+    fn rbac_denies_before_msod() {
+        let (mut pdp, _) = bank_pdp();
+        let out = pdp.decide(&DecisionRequest::with_roles(
+            "cn=alice, o=bank",
+            vec![RoleRef::new("employee", "Teller")],
+            "audit", // tellers may not audit
+            "http://bank/books",
+            ctx("Branch=York, Period=2006"),
+            10,
+        ));
+        assert_eq!(out.deny_reason(), Some(&DenyReason::RbacDenied));
+        // Nothing retained on an RBAC denial.
+        assert_eq!(pdp.adi().len(), 0);
+    }
+
+    #[test]
+    fn subject_domain_enforced() {
+        let (mut pdp, _) = bank_pdp();
+        let out = pdp.decide(&DecisionRequest::with_roles(
+            "cn=eve, o=crime",
+            vec![RoleRef::new("employee", "Teller")],
+            "handleCash",
+            "http://bank/till",
+            ctx("Branch=York, Period=2006"),
+            10,
+        ));
+        assert_eq!(out.deny_reason(), Some(&DenyReason::SubjectOutsideDomain));
+    }
+
+    #[test]
+    fn invalid_credentials_denied() {
+        let (mut pdp, mut hr) = bank_pdp();
+        let mut forged = hr.issue("cn=alice, o=bank", RoleRef::new("employee", "Teller"), 0, 100);
+        forged.role = RoleRef::new("employee", "Auditor");
+        let out = pdp.decide(&DecisionRequest {
+            subject: "cn=alice, o=bank".into(),
+            credentials: Credentials::Push(vec![forged]),
+            operation: "audit".into(),
+            target: "http://bank/books".into(),
+            context: ctx("Branch=York, Period=2006"),
+            environment: vec![],
+            timestamp: 10,
+        });
+        assert!(matches!(out.deny_reason(), Some(DenyReason::NoValidRoles { rejected }) if rejected.len() == 1));
+    }
+
+    #[test]
+    fn commit_audit_terminates_context() {
+        let (mut pdp, _) = bank_pdp();
+        let york = ctx("Branch=York, Period=2006");
+        pdp.decide(&DecisionRequest::with_roles(
+            "cn=alice, o=bank",
+            vec![RoleRef::new("employee", "Teller")],
+            "handleCash",
+            "http://bank/till",
+            york.clone(),
+            10,
+        ));
+        assert_eq!(pdp.adi().len(), 1);
+        let out = pdp.decide(&DecisionRequest::with_roles(
+            "cn=zoe, o=bank",
+            vec![RoleRef::new("employee", "Auditor")],
+            "CommitAudit",
+            "http://audit.location.com/audit",
+            york,
+            20,
+        ));
+        assert!(out.is_granted());
+        assert_eq!(pdp.adi().len(), 0);
+        // A ContextTerminated event is in the trail.
+        assert!(pdp
+            .trail()
+            .open_records()
+            .iter()
+            .any(|r| r.event.kind == EventKind::ContextTerminated));
+    }
+
+    #[test]
+    fn empty_subject_rejected() {
+        let (mut pdp, _) = bank_pdp();
+        let out = pdp.decide(&DecisionRequest::with_roles(
+            "   ",
+            vec![RoleRef::new("employee", "Teller")],
+            "handleCash",
+            "http://bank/till",
+            ctx("Branch=York, Period=2006"),
+            10,
+        ));
+        assert!(matches!(out.deny_reason(), Some(DenyReason::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn comma_in_context_value_rejected() {
+        let (mut pdp, _) = bank_pdp();
+        let bad = ContextInstance::from_pairs(vec![("P".into(), "a,b".into())]).unwrap();
+        let out = pdp.decide(&DecisionRequest::with_roles(
+            "cn=alice, o=bank",
+            vec![RoleRef::new("employee", "Teller")],
+            "handleCash",
+            "http://bank/till",
+            bad,
+            10,
+        ));
+        assert!(matches!(out.deny_reason(), Some(DenyReason::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn role_encoding_roundtrip() {
+        let r = RoleRef::new("employee", "Head:Teller");
+        assert_eq!(decode_role(&encode_role(&r)).unwrap(), r);
+        assert!(decode_role("no-colon").is_none());
+    }
+}

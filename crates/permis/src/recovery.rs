@@ -1,0 +1,290 @@
+//! PDP start-up recovery (§5.2): rebuild the retained ADI from the last
+//! *n* audit trails starting at time *t*, filtered through the current
+//! MSoD policy set.
+
+use audit::{AuditError, EventKind, Record};
+use context::{BoundContext, ContextInstance, ContextName};
+use msod::{MsodRequest, RetainedAdi, RoleRef};
+
+use crate::pdp::{decode_role, Pdp};
+
+/// What recovery did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Sealed segments loaded and verified from the store.
+    pub segments_loaded: usize,
+    /// Grant records replayed through the current policy set.
+    pub grants_replayed: usize,
+    /// Retained-ADI records reconstructed.
+    pub records_retained: usize,
+    /// Purge events (context terminations / admin purges) re-applied.
+    pub purges_applied: usize,
+    /// Records skipped because they no longer decode (e.g. a context
+    /// whose instance string fails to parse).
+    pub undecodable: usize,
+}
+
+impl<A: RetainedAdi> Pdp<A> {
+    /// Rebuild the retained ADI from the attached [`audit::TrailStore`]:
+    /// load and verify the last `n` sealed segments, drop records older
+    /// than `from_time`, and replay the rest through the *current* MSoD
+    /// policy set (grants retain, last steps / terminations / admin
+    /// purges purge). The in-memory ADI is cleared first. A Startup
+    /// marker is appended to the live trail.
+    pub fn recover(&mut self, last_n: usize, from_time: u64) -> Result<RecoveryReport, AuditError> {
+        let mut report = RecoveryReport::default();
+        let segments = match self.store() {
+            Some(store) => store.load_last(last_n, self.trail_key())?,
+            None => Vec::new(),
+        };
+        report.segments_loaded = segments.len();
+
+        self.adi_mut().clear();
+        let engine = self.engine().clone();
+        for seg in &segments {
+            for rec in &seg.records {
+                if rec.timestamp < from_time {
+                    continue;
+                }
+                self.apply_recovered(&engine, rec, &mut report);
+            }
+        }
+        report.records_retained = self.adi().len();
+        let now = segments.last().and_then(|s| s.records.last()).map_or(0, |r| r.timestamp);
+        self.trail_mut().append(audit::AuditEvent::startup(), now);
+        Ok(report)
+    }
+
+    fn apply_recovered(
+        &mut self,
+        engine: &msod::MsodEngine,
+        rec: &Record,
+        report: &mut RecoveryReport,
+    ) {
+        match rec.event.kind {
+            EventKind::Grant => {
+                let Ok(context) = rec.event.context.parse::<ContextInstance>() else {
+                    report.undecodable += 1;
+                    return;
+                };
+                let roles: Vec<RoleRef> =
+                    rec.event.roles.iter().filter_map(|s| decode_role(s)).collect();
+                if roles.len() != rec.event.roles.len() {
+                    report.undecodable += 1;
+                    return;
+                }
+                report.grants_replayed += 1;
+                let req = MsodRequest {
+                    user: &rec.event.user,
+                    roles: &roles,
+                    operation: &rec.event.operation,
+                    target: &rec.event.target,
+                    context: &context,
+                    timestamp: rec.timestamp,
+                };
+                engine.replay_grant(self.adi_mut(), &req);
+            }
+            EventKind::ContextTerminated | EventKind::AdminPurge => {
+                // Re-apply explicit purges (idempotent; replay_grant
+                // already purges for last-step grants, but management
+                // purges have no grant to carry them).
+                if rec.event.context.is_empty() {
+                    // Older-than purge convention: note = "olderThan:<t>".
+                    if let Some(cutoff) = rec
+                        .event
+                        .note
+                        .strip_prefix("olderThan:")
+                        .and_then(|s| s.parse::<u64>().ok())
+                    {
+                        self.adi_mut().purge_older_than(cutoff);
+                        report.purges_applied += 1;
+                    } else if rec.event.note == "purgeAll" {
+                        self.adi_mut().clear();
+                        report.purges_applied += 1;
+                    } else {
+                        report.undecodable += 1;
+                    }
+                    return;
+                }
+                let Ok(name) = rec.event.context.parse::<ContextName>() else {
+                    report.undecodable += 1;
+                    return;
+                };
+                let Ok(bound) = BoundContext::from_name(name) else {
+                    report.undecodable += 1;
+                    return;
+                };
+                self.adi_mut().purge(&bound);
+                report.purges_applied += 1;
+            }
+            EventKind::Deny | EventKind::Startup | EventKind::Note => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::DecisionRequest;
+    use audit::TrailStore;
+    use msod::RoleRef;
+
+    const POLICY: &str = r#"<RBACPolicy id="bank" roleType="employee">
+  <SOAPolicy><SOA dn="cn=HR"/></SOAPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="handleCash" targetURI="till"><AllowedRole value="Teller"/></TargetAccess>
+    <TargetAccess operation="audit" targetURI="books"><AllowedRole value="Auditor"/></TargetAccess>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>"#;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("permis-rec-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn teller_req(user: &str, ts: u64) -> DecisionRequest {
+        DecisionRequest::with_roles(
+            user,
+            vec![RoleRef::new("employee", "Teller")],
+            "handleCash",
+            "till",
+            "Branch=York, Period=2006".parse().unwrap(),
+            ts,
+        )
+    }
+
+    fn auditor_req(user: &str, ts: u64) -> DecisionRequest {
+        DecisionRequest::with_roles(
+            user,
+            vec![RoleRef::new("employee", "Auditor")],
+            "audit",
+            "books",
+            "Branch=Leeds, Period=2006".parse().unwrap(),
+            ts,
+        )
+    }
+
+    #[test]
+    fn recovery_restores_msod_state() {
+        let dir = temp_dir("basic");
+        // First PDP lifetime: alice acts as Teller, then "crashes".
+        {
+            let mut pdp = Pdp::from_xml(POLICY, b"key".to_vec()).unwrap();
+            pdp.attach_store(TrailStore::open(&dir).unwrap());
+            assert!(pdp.decide(&teller_req("alice", 10)).is_granted());
+            assert!(pdp.decide(&teller_req("bob", 11)).is_granted());
+            pdp.rotate_and_persist().unwrap();
+        }
+        // Second lifetime: fresh PDP recovers and still denies alice.
+        let mut pdp = Pdp::from_xml(POLICY, b"key".to_vec()).unwrap();
+        pdp.attach_store(TrailStore::open(&dir).unwrap());
+        let report = pdp.recover(10, 0).unwrap();
+        assert_eq!(report.segments_loaded, 1);
+        assert_eq!(report.grants_replayed, 2);
+        assert_eq!(report.records_retained, 2);
+        assert!(!pdp.decide(&auditor_req("alice", 100)).is_granted());
+        assert!(pdp.decide(&auditor_req("carol", 101)).is_granted());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovered_adi_equals_precrash_adi() {
+        let dir = temp_dir("equal");
+        let snapshot_before;
+        {
+            let mut pdp = Pdp::from_xml(POLICY, b"key".to_vec()).unwrap();
+            pdp.attach_store(TrailStore::open(&dir).unwrap());
+            for (i, user) in ["alice", "bob", "carol"].iter().enumerate() {
+                pdp.decide(&teller_req(user, 10 + i as u64));
+            }
+            pdp.decide(&auditor_req("dave", 20));
+            snapshot_before = pdp.adi().snapshot();
+            pdp.rotate_and_persist().unwrap();
+        }
+        let mut pdp = Pdp::from_xml(POLICY, b"key".to_vec()).unwrap();
+        pdp.attach_store(TrailStore::open(&dir).unwrap());
+        pdp.recover(10, 0).unwrap();
+        assert_eq!(pdp.adi().snapshot(), snapshot_before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_respects_from_time_and_n() {
+        let dir = temp_dir("window");
+        {
+            let mut pdp = Pdp::from_xml(POLICY, b"key".to_vec()).unwrap();
+            pdp.attach_store(TrailStore::open(&dir).unwrap());
+            pdp.decide(&teller_req("old-user", 10));
+            pdp.rotate_and_persist().unwrap();
+            pdp.decide(&teller_req("new-user", 1000));
+            pdp.rotate_and_persist().unwrap();
+        }
+        // Only the last segment.
+        let mut pdp = Pdp::from_xml(POLICY, b"key".to_vec()).unwrap();
+        pdp.attach_store(TrailStore::open(&dir).unwrap());
+        let report = pdp.recover(1, 0).unwrap();
+        assert_eq!(report.segments_loaded, 1);
+        assert_eq!(pdp.adi().len(), 1);
+        // All segments, but from_time excludes the old record.
+        let mut pdp2 = Pdp::from_xml(POLICY, b"key".to_vec()).unwrap();
+        pdp2.attach_store(TrailStore::open(&dir).unwrap());
+        let report = pdp2.recover(10, 500).unwrap();
+        assert_eq!(report.segments_loaded, 2);
+        assert_eq!(pdp2.adi().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_change_refilters_history() {
+        let dir = temp_dir("policy-change");
+        {
+            let mut pdp = Pdp::from_xml(POLICY, b"key".to_vec()).unwrap();
+            pdp.attach_store(TrailStore::open(&dir).unwrap());
+            pdp.decide(&teller_req("alice", 10));
+            pdp.rotate_and_persist().unwrap();
+        }
+        // Restart with a policy whose MSoD set no longer mentions the
+        // bank context: nothing is retained.
+        let no_msod = POLICY.replace(
+            r#"Branch=*, Period=!"#,
+            r#"Completely=different, Scope=!"#,
+        );
+        let mut pdp = Pdp::from_xml(&no_msod, b"key".to_vec()).unwrap();
+        pdp.attach_store(TrailStore::open(&dir).unwrap());
+        let report = pdp.recover(10, 0).unwrap();
+        assert_eq!(report.grants_replayed, 1);
+        assert_eq!(report.records_retained, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_store_fails_recovery() {
+        let dir = temp_dir("tamper");
+        {
+            let mut pdp = Pdp::from_xml(POLICY, b"key".to_vec()).unwrap();
+            pdp.attach_store(TrailStore::open(&dir).unwrap());
+            pdp.decide(&teller_req("alice", 10));
+            pdp.rotate_and_persist().unwrap();
+        }
+        // Flip a byte in the stored segment.
+        let file = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let mut bytes = std::fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&file, bytes).unwrap();
+
+        let mut pdp = Pdp::from_xml(POLICY, b"key".to_vec()).unwrap();
+        pdp.attach_store(TrailStore::open(&dir).unwrap());
+        assert!(pdp.recover(10, 0).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

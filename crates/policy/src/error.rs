@@ -1,0 +1,67 @@
+//! Policy-language errors.
+
+use std::fmt;
+
+/// Errors raised while parsing, validating or compiling policy XML.
+#[derive(Debug)]
+pub enum PolicyError {
+    /// The document is not well-formed XML.
+    Xml(xmlkit::XmlError),
+    /// The document does not conform to the bundled schema.
+    Schema(xmlkit::SchemaError),
+    /// A business-context name failed to parse.
+    Context {
+        /// The value involved.
+        value: String,
+        /// The underlying credential error.
+        source: context::ContextError,
+    },
+    /// An MSoD constraint was structurally invalid.
+    Msod(msod::MsodError),
+    /// A semantic problem not covered by the schema.
+    Semantic(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Xml(e) => write!(f, "policy XML error: {e}"),
+            PolicyError::Schema(e) => write!(f, "policy schema violation: {e}"),
+            PolicyError::Context { value, source } => {
+                write!(f, "bad BusinessContext {value:?}: {source}")
+            }
+            PolicyError::Msod(e) => write!(f, "bad MSoD constraint: {e}"),
+            PolicyError::Semantic(msg) => write!(f, "policy error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PolicyError::Xml(e) => Some(e),
+            PolicyError::Schema(e) => Some(e),
+            PolicyError::Context { source, .. } => Some(source),
+            PolicyError::Msod(e) => Some(e),
+            PolicyError::Semantic(_) => None,
+        }
+    }
+}
+
+impl From<xmlkit::XmlError> for PolicyError {
+    fn from(e: xmlkit::XmlError) -> Self {
+        PolicyError::Xml(e)
+    }
+}
+
+impl From<xmlkit::SchemaError> for PolicyError {
+    fn from(e: xmlkit::SchemaError) -> Self {
+        PolicyError::Schema(e)
+    }
+}
+
+impl From<msod::MsodError> for PolicyError {
+    fn from(e: msod::MsodError) -> Self {
+        PolicyError::Msod(e)
+    }
+}

@@ -1,0 +1,404 @@
+//! `<MSoDPolicySet>` XML: schema, parser and serializer (paper §3 and
+//! Appendix A).
+//!
+//! Two documented deviations from the appendix as printed:
+//!
+//! 1. `BusinessContext` is typed `xs:string`, not `xs:NCName` — the
+//!    paper's own example values (`Branch=*, Period=!`) contain `=`,
+//!    `,` and spaces, which a conforming NCName validator (like ours)
+//!    must reject, so the printed type is evidently an erratum.
+//! 2. The `<xs:choice>` repeats (`maxOccurs="unbounded"`), so one policy
+//!    may mix MMER and MMEP constraints and may hold several of each —
+//!    the paper's second example policy itself carries two MMEPs.
+//! 3. The appendix omits a `<Privilege>`/`<Operation>` discrepancy: the
+//!    schema declares `<Privilege target= operation=>` children of MMEP
+//!    while the §3 example uses `<Operation value= target=>`. We accept
+//!    **both** spellings on input and emit the `<Operation>` form used
+//!    by the worked examples.
+
+use context::ContextName;
+use msod::{Mmep, Mmer, MsodPolicy, MsodPolicySet, Privilege, RoleRef};
+use xmlkit::{Document, Element, Schema};
+
+use crate::error::PolicyError;
+
+/// The bundled MSoD policy schema (Appendix A with the deviations noted
+/// in the module docs).
+pub const MSOD_SCHEMA_XSD: &str = r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" elementFormDefault="qualified">
+  <xs:element name="MSoDPolicySet">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element maxOccurs="unbounded" ref="MSoDPolicy"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="MSoDPolicy">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="FirstStep" minOccurs="0"/>
+        <xs:element ref="LastStep" minOccurs="0"/>
+        <xs:choice maxOccurs="unbounded">
+          <xs:element ref="MMER"/>
+          <xs:element ref="MMEP"/>
+        </xs:choice>
+      </xs:sequence>
+      <xs:attribute name="BusinessContext" use="required" type="xs:string"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="FirstStep">
+    <xs:complexType>
+      <xs:attribute name="operation" use="required" type="xs:NCName"/>
+      <xs:attribute name="targetURI" use="required" type="xs:anyURI"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="LastStep">
+    <xs:complexType>
+      <xs:attribute name="operation" use="required" type="xs:NCName"/>
+      <xs:attribute name="targetURI" use="required" type="xs:anyURI"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="MMER">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element minOccurs="2" maxOccurs="unbounded" ref="Role"/>
+      </xs:sequence>
+      <xs:attribute name="ForbiddenCardinality" use="required" type="xs:integer"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="Role">
+    <xs:complexType>
+      <xs:attribute name="type" use="required" type="xs:NCName"/>
+      <xs:attribute name="value" use="required" type="xs:string"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="MMEP">
+    <xs:complexType>
+      <xs:choice maxOccurs="unbounded">
+        <xs:element ref="Privilege"/>
+        <xs:element ref="Operation"/>
+      </xs:choice>
+      <xs:attribute name="ForbiddenCardinality" use="required" type="xs:integer"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="Privilege">
+    <xs:complexType>
+      <xs:attribute name="target" use="required" type="xs:anyURI"/>
+      <xs:attribute name="operation" use="required" type="xs:NCName"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="Operation">
+    <xs:complexType>
+      <xs:attribute name="value" use="required" type="xs:string"/>
+      <xs:attribute name="target" use="required" type="xs:anyURI"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+/// The parsed-and-validated schema, built on first use.
+pub fn msod_schema() -> &'static Schema {
+    use std::sync::OnceLock;
+    static SCHEMA: OnceLock<Schema> = OnceLock::new();
+    SCHEMA.get_or_init(|| Schema::parse(MSOD_SCHEMA_XSD).expect("bundled schema is valid"))
+}
+
+/// Parse and schema-validate an `<MSoDPolicySet>` document.
+pub fn parse_msod_policy_set(xml: &str) -> Result<MsodPolicySet, PolicyError> {
+    let doc = Document::parse(xml)?;
+    msod_schema().validate(&doc)?;
+    policy_set_from_element(&doc.root)
+}
+
+/// Build a policy set from an already-parsed `<MSoDPolicySet>` element
+/// (used when it is embedded in a larger RBAC policy document).
+pub fn policy_set_from_element(root: &Element) -> Result<MsodPolicySet, PolicyError> {
+    let mut set = MsodPolicySet::empty();
+    for policy_el in root.children_named("MSoDPolicy") {
+        set.push(policy_from_element(policy_el)?);
+    }
+    Ok(set)
+}
+
+fn step(el: &Element) -> Result<Privilege, PolicyError> {
+    Ok(Privilege::new(require(el, "operation")?, require(el, "targetURI")?))
+}
+
+fn require<'a>(el: &'a Element, attr: &str) -> Result<&'a str, PolicyError> {
+    el.attr(attr).ok_or_else(|| {
+        PolicyError::Semantic(format!("<{}> is missing attribute {attr:?}", el.name))
+    })
+}
+
+fn cardinality(el: &Element) -> Result<usize, PolicyError> {
+    let raw = require(el, "ForbiddenCardinality")?;
+    raw.trim().parse::<usize>().map_err(|_| {
+        PolicyError::Semantic(format!("ForbiddenCardinality {raw:?} is not a non-negative integer"))
+    })
+}
+
+fn policy_from_element(el: &Element) -> Result<MsodPolicy, PolicyError> {
+    let bc_raw = require(el, "BusinessContext")?;
+    let business_context: ContextName =
+        bc_raw.parse().map_err(|source| PolicyError::Context {
+            value: bc_raw.to_owned(),
+            source,
+        })?;
+    let first_step = el.first_child_named("FirstStep").map(step).transpose()?;
+    let last_step = el.first_child_named("LastStep").map(step).transpose()?;
+
+    let mut mmer = Vec::new();
+    for m in el.children_named("MMER") {
+        let roles = m
+            .children_named("Role")
+            .map(|r| Ok(RoleRef::new(require(r, "type")?, require(r, "value")?)))
+            .collect::<Result<Vec<_>, PolicyError>>()?;
+        mmer.push(Mmer::new(roles, cardinality(m)?)?);
+    }
+    let mut mmep = Vec::new();
+    for m in el.children_named("MMEP") {
+        let mut privileges = Vec::new();
+        for child in m.child_elements() {
+            match child.name.as_str() {
+                // §3 example spelling.
+                "Operation" => privileges
+                    .push(Privilege::new(require(child, "value")?, require(child, "target")?)),
+                // Appendix A schema spelling.
+                "Privilege" => privileges
+                    .push(Privilege::new(require(child, "operation")?, require(child, "target")?)),
+                other => {
+                    return Err(PolicyError::Semantic(format!(
+                        "unexpected <{other}> inside <MMEP>"
+                    )))
+                }
+            }
+        }
+        mmep.push(Mmep::new(privileges, cardinality(m)?)?);
+    }
+    Ok(MsodPolicy::new(business_context, first_step, last_step, mmer, mmep)?)
+}
+
+/// Serialize a policy set back to an `<MSoDPolicySet>` element.
+pub fn policy_set_to_element(set: &MsodPolicySet) -> Element {
+    let mut root = Element::new("MSoDPolicySet");
+    for policy in set.policies() {
+        root = root.with_child(policy_to_element(policy));
+    }
+    root
+}
+
+/// Serialize a policy set to an XML string (pretty-printed).
+pub fn msod_policy_set_to_xml(set: &MsodPolicySet) -> String {
+    Document::new(policy_set_to_element(set)).to_xml()
+}
+
+fn policy_to_element(policy: &MsodPolicy) -> Element {
+    let mut el = Element::new("MSoDPolicy")
+        .with_attr("BusinessContext", policy.business_context.to_string());
+    if let Some(fs) = &policy.first_step {
+        el = el.with_child(
+            Element::new("FirstStep")
+                .with_attr("operation", fs.operation.clone())
+                .with_attr("targetURI", fs.target.clone()),
+        );
+    }
+    if let Some(ls) = &policy.last_step {
+        el = el.with_child(
+            Element::new("LastStep")
+                .with_attr("operation", ls.operation.clone())
+                .with_attr("targetURI", ls.target.clone()),
+        );
+    }
+    for m in policy.mmer() {
+        let mut mmer =
+            Element::new("MMER").with_attr("ForbiddenCardinality", m.forbidden_cardinality().to_string());
+        for r in m.roles() {
+            mmer = mmer.with_child(
+                Element::new("Role")
+                    .with_attr("type", r.role_type.clone())
+                    .with_attr("value", r.value.clone()),
+            );
+        }
+        el = el.with_child(mmer);
+    }
+    for m in policy.mmep() {
+        let mut mmep =
+            Element::new("MMEP").with_attr("ForbiddenCardinality", m.forbidden_cardinality().to_string());
+        for p in m.privileges() {
+            mmep = mmep.with_child(
+                Element::new("Operation")
+                    .with_attr("value", p.operation.clone())
+                    .with_attr("target", p.target.clone()),
+            );
+        }
+        el = el.with_child(mmep);
+    }
+    el
+}
+
+/// The two policies of paper §3, verbatim (with the self-closing-tag
+/// typo of the printed second `<MSoDPolicy ... />` corrected).
+pub const PAPER_SECTION3_POLICIES: &str = r#"<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="Branch=*, Period=!">
+    <!-- policy applies for each instance of period across all branches of the bank -->
+    <LastStep operation="CommitAudit" targetURI="http://audit.location.com/audit"/>
+    <MMER ForbiddenCardinality="2">
+      <Role type="employee" value="Teller"/>
+      <Role type="employee" value="Auditor"/>
+    </MMER>
+  </MSoDPolicy>
+  <MSoDPolicy BusinessContext="TaxOffice=!, taxRefundProcess=!">
+    <!-- policy applies for each instance of taxRefundProcess in each tax office -->
+    <FirstStep operation="prepareCheck" targetURI="http://www.myTaxOffice.com/Check"/>
+    <LastStep operation="confirmCheck" targetURI="http://secret.location.com/audit"/>
+    <MMEP ForbiddenCardinality="2">
+      <Operation value="prepareCheck" target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="confirmCheck" target="http://secret.location.com/audit"/>
+    </MMEP>
+    <MMEP ForbiddenCardinality="2">
+      <Operation value="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="combineResults" target="http://secret.location.com/results"/>
+    </MMEP>
+  </MSoDPolicy>
+</MSoDPolicySet>"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_schema_parses() {
+        let s = msod_schema();
+        assert!(s.element("MSoDPolicySet").is_some());
+        assert!(s.element("MMEP").is_some());
+    }
+
+    #[test]
+    fn parses_paper_policies_verbatim() {
+        let set = parse_msod_policy_set(PAPER_SECTION3_POLICIES).unwrap();
+        assert_eq!(set.len(), 2);
+
+        let bank = &set.policies()[0];
+        assert_eq!(bank.business_context.to_string(), "Branch=*, Period=!");
+        assert!(bank.first_step.is_none());
+        assert_eq!(bank.last_step.as_ref().unwrap().operation, "CommitAudit");
+        assert_eq!(bank.mmer().len(), 1);
+        assert_eq!(bank.mmer()[0].roles().len(), 2);
+        assert_eq!(bank.mmer()[0].forbidden_cardinality(), 2);
+
+        let tax = &set.policies()[1];
+        assert_eq!(tax.business_context.to_string(), "TaxOffice=!, taxRefundProcess=!");
+        assert_eq!(tax.first_step.as_ref().unwrap().operation, "prepareCheck");
+        assert_eq!(tax.mmep().len(), 2);
+        // The duplicated approve privilege is preserved as a multiset.
+        assert_eq!(tax.mmep()[1].privileges().len(), 3);
+        assert_eq!(tax.mmep()[1].privileges()[0], tax.mmep()[1].privileges()[1]);
+    }
+
+    #[test]
+    fn roundtrip_paper_policies() {
+        let set = parse_msod_policy_set(PAPER_SECTION3_POLICIES).unwrap();
+        let xml = msod_policy_set_to_xml(&set);
+        let reparsed = parse_msod_policy_set(&xml).unwrap();
+        assert_eq!(reparsed, set);
+    }
+
+    #[test]
+    fn accepts_privilege_spelling() {
+        let xml = r#"<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="P=!">
+    <MMEP ForbiddenCardinality="2">
+      <Privilege operation="a" target="http://x/1"/>
+      <Privilege operation="b" target="http://x/2"/>
+    </MMEP>
+  </MSoDPolicy>
+</MSoDPolicySet>"#;
+        let set = parse_msod_policy_set(xml).unwrap();
+        assert_eq!(set.policies()[0].mmep()[0].privileges()[0].operation, "a");
+    }
+
+    #[test]
+    fn rejects_missing_cardinality() {
+        let xml = r#"<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="P=!">
+    <MMER>
+      <Role type="e" value="A"/>
+      <Role type="e" value="B"/>
+    </MMER>
+  </MSoDPolicy>
+</MSoDPolicySet>"#;
+        assert!(matches!(parse_msod_policy_set(xml), Err(PolicyError::Schema(_))));
+    }
+
+    #[test]
+    fn rejects_single_role_mmer() {
+        let xml = r#"<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="P=!">
+    <MMER ForbiddenCardinality="2">
+      <Role type="e" value="A"/>
+    </MMER>
+  </MSoDPolicy>
+</MSoDPolicySet>"#;
+        // The schema's minOccurs=2 on Role catches this.
+        assert!(parse_msod_policy_set(xml).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_cardinality_value() {
+        let xml = r#"<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="P=!">
+    <MMER ForbiddenCardinality="1">
+      <Role type="e" value="A"/>
+      <Role type="e" value="B"/>
+    </MMER>
+  </MSoDPolicy>
+</MSoDPolicySet>"#;
+        assert!(matches!(parse_msod_policy_set(xml), Err(PolicyError::Msod(_))));
+    }
+
+    #[test]
+    fn rejects_bad_business_context() {
+        let xml = r#"<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="no-equals-sign">
+    <MMER ForbiddenCardinality="2">
+      <Role type="e" value="A"/>
+      <Role type="e" value="B"/>
+    </MMER>
+  </MSoDPolicy>
+</MSoDPolicySet>"#;
+        assert!(matches!(parse_msod_policy_set(xml), Err(PolicyError::Context { .. })));
+    }
+
+    #[test]
+    fn rejects_policy_without_constraints() {
+        let xml = r#"<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="P=!">
+    <LastStep operation="x" targetURI="http://y"/>
+  </MSoDPolicy>
+</MSoDPolicySet>"#;
+        assert!(parse_msod_policy_set(xml).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_xml() {
+        assert!(matches!(
+            parse_msod_policy_set("<MSoDPolicySet><MSoDPolicy>"),
+            Err(PolicyError::Xml(_))
+        ));
+    }
+
+    #[test]
+    fn universal_context_allowed() {
+        // An empty BusinessContext is the universal context.
+        let xml = r#"<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="">
+    <MMER ForbiddenCardinality="2">
+      <Role type="e" value="A"/>
+      <Role type="e" value="B"/>
+    </MMER>
+  </MSoDPolicy>
+</MSoDPolicySet>"#;
+        let set = parse_msod_policy_set(xml).unwrap();
+        assert!(set.policies()[0].business_context.is_universal());
+    }
+}

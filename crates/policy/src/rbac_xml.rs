@@ -1,0 +1,709 @@
+//! PERMIS-style RBAC policy documents.
+//!
+//! PERMIS drives its PDP from one XML policy naming: the sources of
+//! authority (SOAs) whose credentials the CVS may trust, the role
+//! hierarchy, and the target-access rules mapping roles to permitted
+//! (operation, target) pairs. The MSoD policy set is embedded as a
+//! sub-policy (§4.2: "MSoD policies are a component of RBAC policies"),
+//! which is how the paper's implementation avoided changing the PERMIS
+//! Java API (§5.2).
+//!
+//! The element set here is a cleaned-up reconstruction of the PERMIS
+//! policy grammar — the original DTD is not in the paper — but it keeps
+//! PERMIS's structure: SubjectPolicy / SOAPolicy / RoleHierarchyPolicy /
+//! TargetAccessPolicy (+ the embedded MSoDPolicySet).
+
+use std::collections::HashMap;
+
+use msod::{MsodPolicySet, RoleRef};
+use xmlkit::{Document, Element, Schema};
+
+use crate::error::PolicyError;
+use crate::msod_xml;
+
+/// An environmental condition on a target-access rule (PERMIS-style
+/// IF-condition): the named environment parameter of the request (§4.1's
+/// "environmental or contextual information such as the time of day")
+/// must satisfy the given bounds. Comparison is lexicographic on the
+/// string values, which is correct for zero-padded encodings such as
+/// `HH:MM` times or ISO dates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    /// The unique name.
+    pub name: String,
+    /// Value must be >= this bound, when present.
+    pub ge: Option<String>,
+    /// Value must be <= this bound, when present.
+    pub le: Option<String>,
+    /// Value must equal this, when present.
+    pub eq: Option<String>,
+}
+
+impl Condition {
+    /// Whether the request environment satisfies this condition. A
+    /// missing parameter fails closed.
+    pub fn satisfied(&self, environment: &[(String, String)]) -> bool {
+        let Some((_, value)) = environment.iter().find(|(n, _)| *n == self.name) else {
+            return false;
+        };
+        self.ge.as_ref().is_none_or(|b| value >= b)
+            && self.le.as_ref().is_none_or(|b| value <= b)
+            && self.eq.as_ref().is_none_or(|b| value == b)
+    }
+}
+
+/// One target-access rule: which roles may perform an operation on a
+/// target, under which environmental conditions. `operation`/`target`
+/// admit the `*` wildcard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetRule {
+    /// The operation name.
+    pub operation: String,
+    /// The target involved.
+    pub target: String,
+    /// Roles permitted by this rule.
+    pub allowed_roles: Vec<RoleRef>,
+    /// All conditions must hold for the rule to apply (empty = always).
+    pub conditions: Vec<Condition>,
+}
+
+impl TargetRule {
+    fn admits_op(&self, operation: &str, target: &str) -> bool {
+        (self.operation == "*" || self.operation == operation)
+            && (self.target == "*" || self.target == target)
+    }
+
+    fn admits_env(&self, environment: &[(String, String)]) -> bool {
+        self.conditions.iter().all(|c| c.satisfied(environment))
+    }
+}
+
+/// The compiled PDP policy: everything the PERMIS CVS/PDP needs.
+#[derive(Debug, Clone, Default)]
+pub struct PdpPolicy {
+    /// Administrative identifier of the policy.
+    pub id: String,
+    /// Attribute type used for roles (PERMIS default: `permisRole`).
+    pub role_type: String,
+    /// DNs of sources of authority whose signed credentials the CVS
+    /// accepts.
+    pub trusted_soas: Vec<String>,
+    /// Subject domains: DN suffixes of users this policy covers
+    /// (empty = everyone).
+    pub subject_domains: Vec<String>,
+    /// role value -> immediate junior role values.
+    pub role_hierarchy: HashMap<String, Vec<String>>,
+    /// Target access rules, in document order.
+    pub targets: Vec<TargetRule>,
+    /// The embedded MSoD sub-policy.
+    pub msod: MsodPolicySet,
+}
+
+impl PdpPolicy {
+    /// Whether `dn` falls inside some subject domain (suffix match on
+    /// DN components; an empty domain list admits everyone).
+    pub fn covers_subject(&self, dn: &str) -> bool {
+        self.subject_domains.is_empty()
+            || self.subject_domains.iter().any(|d| {
+                let dn = dn.trim();
+                dn == d || dn.ends_with(&format!(",{d}")) || dn.ends_with(&format!(", {d}"))
+            })
+    }
+
+    /// All roles a presented role subsumes via the hierarchy (itself
+    /// plus transitive juniors).
+    pub fn expand_role<'a>(&'a self, role: &'a str) -> Vec<&'a str> {
+        let mut out: Vec<&str> = Vec::new();
+        let mut stack = vec![role];
+        while let Some(r) = stack.pop() {
+            if out.contains(&r) {
+                continue;
+            }
+            out.push(r);
+            if let Some(juniors) = self.role_hierarchy.get(r) {
+                stack.extend(juniors.iter().map(String::as_str));
+            }
+        }
+        out
+    }
+
+    /// The core RBAC check: do the presented (validated) roles permit
+    /// `operation` on `target`? Equivalent to
+    /// [`PdpPolicy::rbac_permits_env`] with an empty environment (rules
+    /// carrying conditions then fail closed).
+    pub fn rbac_permits(&self, roles: &[RoleRef], operation: &str, target: &str) -> bool {
+        self.rbac_permits_env(roles, operation, target, &[])
+    }
+
+    /// The core RBAC check with environmental parameters: a rule applies
+    /// if its operation/target match, every condition is satisfied by
+    /// the environment, and some presented role (or a role it inherits)
+    /// is allowed.
+    pub fn rbac_permits_env(
+        &self,
+        roles: &[RoleRef],
+        operation: &str,
+        target: &str,
+        environment: &[(String, String)],
+    ) -> bool {
+        self.targets
+            .iter()
+            .filter(|t| t.admits_op(operation, target) && t.admits_env(environment))
+            .any(|rule| {
+            roles.iter().any(|presented| {
+                presented.role_type == self.role_type
+                    && self
+                        .expand_role(&presented.value)
+                        .iter()
+                        .any(|sub| {
+                            rule.allowed_roles
+                                .iter()
+                                .any(|allowed| allowed.value == *sub)
+                        })
+            })
+        })
+    }
+}
+
+/// Bundled schema for the RBAC policy document.
+pub const RBAC_SCHEMA_XSD: &str = r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" elementFormDefault="qualified">
+  <xs:element name="RBACPolicy">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="SubjectPolicy" minOccurs="0"/>
+        <xs:element ref="SOAPolicy"/>
+        <xs:element ref="RoleHierarchyPolicy" minOccurs="0"/>
+        <xs:element ref="TargetAccessPolicy"/>
+        <xs:element ref="MSoDPolicySet" minOccurs="0"/>
+      </xs:sequence>
+      <xs:attribute name="id" use="required" type="xs:NCName"/>
+      <xs:attribute name="roleType" type="xs:NCName"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="SubjectPolicy">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element maxOccurs="unbounded" ref="SubjectDomain"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="SubjectDomain">
+    <xs:complexType>
+      <xs:attribute name="dn" use="required" type="xs:string"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="SOAPolicy">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element maxOccurs="unbounded" ref="SOA"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="SOA">
+    <xs:complexType>
+      <xs:attribute name="dn" use="required" type="xs:string"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="RoleHierarchyPolicy">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element maxOccurs="unbounded" ref="SupRole"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="SupRole">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element minOccurs="0" maxOccurs="unbounded" ref="SubRole"/>
+      </xs:sequence>
+      <xs:attribute name="value" use="required" type="xs:string"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="SubRole">
+    <xs:complexType>
+      <xs:attribute name="value" use="required" type="xs:string"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="TargetAccessPolicy">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element maxOccurs="unbounded" ref="TargetAccess"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="TargetAccess">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element minOccurs="0" maxOccurs="unbounded" ref="Condition"/>
+        <xs:element maxOccurs="unbounded" ref="AllowedRole"/>
+      </xs:sequence>
+      <xs:attribute name="operation" use="required" type="xs:string"/>
+      <xs:attribute name="targetURI" use="required" type="xs:anyURI"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="AllowedRole">
+    <xs:complexType>
+      <xs:attribute name="value" use="required" type="xs:string"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="Condition">
+    <xs:complexType>
+      <xs:attribute name="name" use="required" type="xs:NCName"/>
+      <xs:attribute name="ge" type="xs:string"/>
+      <xs:attribute name="le" type="xs:string"/>
+      <xs:attribute name="eq" type="xs:string"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="MSoDPolicySet">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element maxOccurs="unbounded" ref="MSoDPolicy"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="MSoDPolicy">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="FirstStep" minOccurs="0"/>
+        <xs:element ref="LastStep" minOccurs="0"/>
+        <xs:choice maxOccurs="unbounded">
+          <xs:element ref="MMER"/>
+          <xs:element ref="MMEP"/>
+        </xs:choice>
+      </xs:sequence>
+      <xs:attribute name="BusinessContext" use="required" type="xs:string"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="FirstStep">
+    <xs:complexType>
+      <xs:attribute name="operation" use="required" type="xs:NCName"/>
+      <xs:attribute name="targetURI" use="required" type="xs:anyURI"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="LastStep">
+    <xs:complexType>
+      <xs:attribute name="operation" use="required" type="xs:NCName"/>
+      <xs:attribute name="targetURI" use="required" type="xs:anyURI"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="MMER">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element minOccurs="2" maxOccurs="unbounded" ref="Role"/>
+      </xs:sequence>
+      <xs:attribute name="ForbiddenCardinality" use="required" type="xs:integer"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="Role">
+    <xs:complexType>
+      <xs:attribute name="type" use="required" type="xs:NCName"/>
+      <xs:attribute name="value" use="required" type="xs:string"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="MMEP">
+    <xs:complexType>
+      <xs:choice maxOccurs="unbounded">
+        <xs:element ref="Privilege"/>
+        <xs:element ref="Operation"/>
+      </xs:choice>
+      <xs:attribute name="ForbiddenCardinality" use="required" type="xs:integer"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="Privilege">
+    <xs:complexType>
+      <xs:attribute name="target" use="required" type="xs:anyURI"/>
+      <xs:attribute name="operation" use="required" type="xs:NCName"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="Operation">
+    <xs:complexType>
+      <xs:attribute name="value" use="required" type="xs:string"/>
+      <xs:attribute name="target" use="required" type="xs:anyURI"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+/// The parsed RBAC policy schema, built on first use.
+pub fn rbac_schema() -> &'static Schema {
+    use std::sync::OnceLock;
+    static SCHEMA: OnceLock<Schema> = OnceLock::new();
+    SCHEMA.get_or_init(|| Schema::parse(RBAC_SCHEMA_XSD).expect("bundled schema is valid"))
+}
+
+/// Parse and schema-validate an `<RBACPolicy>` document into the
+/// compiled PDP form.
+pub fn parse_rbac_policy(xml: &str) -> Result<PdpPolicy, PolicyError> {
+    let doc = Document::parse(xml)?;
+    rbac_schema().validate(&doc)?;
+    let root = &doc.root;
+
+    let id = root
+        .attr("id")
+        .ok_or_else(|| PolicyError::Semantic("RBACPolicy missing id".into()))?
+        .to_owned();
+    let role_type = root.attr("roleType").unwrap_or("permisRole").to_owned();
+
+    let subject_domains = root
+        .first_child_named("SubjectPolicy")
+        .map(|sp| {
+            sp.children_named("SubjectDomain")
+                .filter_map(|d| d.attr("dn"))
+                .map(str::to_owned)
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let trusted_soas = root
+        .first_child_named("SOAPolicy")
+        .map(|sp| sp.children_named("SOA").filter_map(|d| d.attr("dn")).map(str::to_owned).collect())
+        .unwrap_or_default();
+
+    let mut role_hierarchy: HashMap<String, Vec<String>> = HashMap::new();
+    if let Some(rh) = root.first_child_named("RoleHierarchyPolicy") {
+        for sup in rh.children_named("SupRole") {
+            let value = sup
+                .attr("value")
+                .ok_or_else(|| PolicyError::Semantic("SupRole missing value".into()))?;
+            let juniors: Vec<String> = sup
+                .children_named("SubRole")
+                .filter_map(|s| s.attr("value"))
+                .map(str::to_owned)
+                .collect();
+            role_hierarchy.entry(value.to_owned()).or_default().extend(juniors);
+        }
+        detect_hierarchy_cycle(&role_hierarchy)?;
+    }
+
+    let mut targets = Vec::new();
+    if let Some(tp) = root.first_child_named("TargetAccessPolicy") {
+        for t in tp.children_named("TargetAccess") {
+            let operation = t
+                .attr("operation")
+                .ok_or_else(|| PolicyError::Semantic("TargetAccess missing operation".into()))?
+                .to_owned();
+            let target = t
+                .attr("targetURI")
+                .ok_or_else(|| PolicyError::Semantic("TargetAccess missing targetURI".into()))?
+                .to_owned();
+            let allowed_roles = t
+                .children_named("AllowedRole")
+                .filter_map(|r| r.attr("value"))
+                .map(|v| RoleRef::new(role_type.clone(), v))
+                .collect();
+            let conditions = t
+                .children_named("Condition")
+                .map(|cond| {
+                    Ok(Condition {
+                        name: cond
+                            .attr("name")
+                            .ok_or_else(|| {
+                                PolicyError::Semantic("Condition missing name".into())
+                            })?
+                            .to_owned(),
+                        ge: cond.attr("ge").map(str::to_owned),
+                        le: cond.attr("le").map(str::to_owned),
+                        eq: cond.attr("eq").map(str::to_owned),
+                    })
+                })
+                .collect::<Result<Vec<_>, PolicyError>>()?;
+            targets.push(TargetRule { operation, target, allowed_roles, conditions });
+        }
+    }
+
+    let msod = match root.first_child_named("MSoDPolicySet") {
+        Some(el) => msod_xml::policy_set_from_element(el)?,
+        None => MsodPolicySet::empty(),
+    };
+
+    Ok(PdpPolicy { id, role_type, trusted_soas, subject_domains, role_hierarchy, targets, msod })
+}
+
+fn detect_hierarchy_cycle(h: &HashMap<String, Vec<String>>) -> Result<(), PolicyError> {
+    // DFS with colouring over the junior relation.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    fn visit(
+        node: &str,
+        h: &HashMap<String, Vec<String>>,
+        colour: &mut HashMap<String, Colour>,
+    ) -> Result<(), PolicyError> {
+        match colour.get(node).copied().unwrap_or(Colour::White) {
+            Colour::Grey => {
+                return Err(PolicyError::Semantic(format!(
+                    "role hierarchy contains a cycle through {node:?}"
+                )))
+            }
+            Colour::Black => return Ok(()),
+            Colour::White => {}
+        }
+        colour.insert(node.to_owned(), Colour::Grey);
+        for junior in h.get(node).into_iter().flatten() {
+            visit(junior, h, colour)?;
+        }
+        colour.insert(node.to_owned(), Colour::Black);
+        Ok(())
+    }
+    let mut colour = HashMap::new();
+    for node in h.keys() {
+        visit(node, h, &mut colour)?;
+    }
+    Ok(())
+}
+
+/// Serialize a compiled policy back to XML.
+pub fn rbac_policy_to_xml(policy: &PdpPolicy) -> String {
+    let mut root = Element::new("RBACPolicy")
+        .with_attr("id", policy.id.clone())
+        .with_attr("roleType", policy.role_type.clone());
+    if !policy.subject_domains.is_empty() {
+        let mut sp = Element::new("SubjectPolicy");
+        for d in &policy.subject_domains {
+            sp = sp.with_child(Element::new("SubjectDomain").with_attr("dn", d.clone()));
+        }
+        root = root.with_child(sp);
+    }
+    let mut soas = Element::new("SOAPolicy");
+    for d in &policy.trusted_soas {
+        soas = soas.with_child(Element::new("SOA").with_attr("dn", d.clone()));
+    }
+    root = root.with_child(soas);
+    if !policy.role_hierarchy.is_empty() {
+        let mut rh = Element::new("RoleHierarchyPolicy");
+        let mut seniors: Vec<&String> = policy.role_hierarchy.keys().collect();
+        seniors.sort();
+        for senior in seniors {
+            let mut sup = Element::new("SupRole").with_attr("value", senior.clone());
+            for junior in &policy.role_hierarchy[senior] {
+                sup = sup.with_child(Element::new("SubRole").with_attr("value", junior.clone()));
+            }
+            rh = rh.with_child(sup);
+        }
+        root = root.with_child(rh);
+    }
+    let mut tp = Element::new("TargetAccessPolicy");
+    for t in &policy.targets {
+        let mut ta = Element::new("TargetAccess")
+            .with_attr("operation", t.operation.clone())
+            .with_attr("targetURI", t.target.clone());
+        for cond in &t.conditions {
+            let mut el = Element::new("Condition").with_attr("name", cond.name.clone());
+            if let Some(v) = &cond.ge {
+                el = el.with_attr("ge", v.clone());
+            }
+            if let Some(v) = &cond.le {
+                el = el.with_attr("le", v.clone());
+            }
+            if let Some(v) = &cond.eq {
+                el = el.with_attr("eq", v.clone());
+            }
+            ta = ta.with_child(el);
+        }
+        for r in &t.allowed_roles {
+            ta = ta.with_child(Element::new("AllowedRole").with_attr("value", r.value.clone()));
+        }
+        tp = tp.with_child(ta);
+    }
+    root = root.with_child(tp);
+    if !policy.msod.is_empty() {
+        root = root.with_child(msod_xml::policy_set_to_element(&policy.msod));
+    }
+    Document::new(root).to_xml()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BANK_POLICY: &str = r#"<RBACPolicy id="bank" roleType="employee">
+  <SubjectPolicy>
+    <SubjectDomain dn="o=bank, c=gb"/>
+  </SubjectPolicy>
+  <SOAPolicy>
+    <SOA dn="cn=HR, o=bank, c=gb"/>
+  </SOAPolicy>
+  <RoleHierarchyPolicy>
+    <SupRole value="Manager">
+      <SubRole value="Teller"/>
+    </SupRole>
+  </RoleHierarchyPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="handleCash" targetURI="http://bank/till">
+      <AllowedRole value="Teller"/>
+    </TargetAccess>
+    <TargetAccess operation="audit" targetURI="http://bank/books">
+      <AllowedRole value="Auditor"/>
+    </TargetAccess>
+    <TargetAccess operation="CommitAudit" targetURI="http://audit.location.com/audit">
+      <AllowedRole value="Auditor"/>
+    </TargetAccess>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <LastStep operation="CommitAudit" targetURI="http://audit.location.com/audit"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>"#;
+
+    #[test]
+    fn parses_full_policy() {
+        let p = parse_rbac_policy(BANK_POLICY).unwrap();
+        assert_eq!(p.id, "bank");
+        assert_eq!(p.role_type, "employee");
+        assert_eq!(p.trusted_soas, vec!["cn=HR, o=bank, c=gb"]);
+        assert_eq!(p.subject_domains, vec!["o=bank, c=gb"]);
+        assert_eq!(p.role_hierarchy["Manager"], vec!["Teller"]);
+        assert_eq!(p.targets.len(), 3);
+        assert_eq!(p.msod.len(), 1);
+    }
+
+    #[test]
+    fn rbac_permits_with_hierarchy() {
+        let p = parse_rbac_policy(BANK_POLICY).unwrap();
+        let teller = [RoleRef::new("employee", "Teller")];
+        let manager = [RoleRef::new("employee", "Manager")];
+        let auditor = [RoleRef::new("employee", "Auditor")];
+        assert!(p.rbac_permits(&teller, "handleCash", "http://bank/till"));
+        // Manager inherits Teller.
+        assert!(p.rbac_permits(&manager, "handleCash", "http://bank/till"));
+        assert!(!p.rbac_permits(&teller, "audit", "http://bank/books"));
+        assert!(p.rbac_permits(&auditor, "audit", "http://bank/books"));
+        // Wrong attribute type never matches.
+        let impostor = [RoleRef::new("visitor", "Teller")];
+        assert!(!p.rbac_permits(&impostor, "handleCash", "http://bank/till"));
+        // Unknown operation/target: deny.
+        assert!(!p.rbac_permits(&teller, "handleCash", "http://bank/vault"));
+    }
+
+    #[test]
+    fn subject_domain_matching() {
+        let p = parse_rbac_policy(BANK_POLICY).unwrap();
+        assert!(p.covers_subject("cn=alice, o=bank, c=gb"));
+        assert!(p.covers_subject("cn=alice,o=bank, c=gb"));
+        assert!(!p.covers_subject("cn=eve, o=crime, c=gb"));
+        // Exact domain DN itself is covered.
+        assert!(p.covers_subject("o=bank, c=gb"));
+    }
+
+    #[test]
+    fn wildcard_rules() {
+        let xml = r#"<RBACPolicy id="mgmt">
+  <SOAPolicy><SOA dn="cn=SOA"/></SOAPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="*" targetURI="pdp:retainedADI">
+      <AllowedRole value="RetainedADIController"/>
+    </TargetAccess>
+  </TargetAccessPolicy>
+</RBACPolicy>"#;
+        let p = parse_rbac_policy(xml).unwrap();
+        let ctl = [RoleRef::new("permisRole", "RetainedADIController")];
+        assert!(p.rbac_permits(&ctl, "purge", "pdp:retainedADI"));
+        assert!(p.rbac_permits(&ctl, "removeRecord", "pdp:retainedADI"));
+        assert!(!p.rbac_permits(&ctl, "purge", "elsewhere"));
+    }
+
+    #[test]
+    fn conditions_parse_and_evaluate() {
+        let xml = r#"<RBACPolicy id="hours">
+  <SOAPolicy><SOA dn="cn=SOA"/></SOAPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="work" targetURI="res">
+      <Condition name="timeOfDay" ge="09:00" le="17:00"/>
+      <Condition name="site" eq="HQ"/>
+      <AllowedRole value="Clerk"/>
+    </TargetAccess>
+  </TargetAccessPolicy>
+</RBACPolicy>"#;
+        let p = parse_rbac_policy(xml).unwrap();
+        let clerk = [RoleRef::new("permisRole", "Clerk")];
+        let env = |time: &str, site: &str| {
+            vec![("timeOfDay".to_owned(), time.to_owned()), ("site".to_owned(), site.to_owned())]
+        };
+        assert!(p.rbac_permits_env(&clerk, "work", "res", &env("10:30", "HQ")));
+        assert!(p.rbac_permits_env(&clerk, "work", "res", &env("09:00", "HQ"))); // inclusive
+        assert!(!p.rbac_permits_env(&clerk, "work", "res", &env("08:59", "HQ")));
+        assert!(!p.rbac_permits_env(&clerk, "work", "res", &env("17:01", "HQ")));
+        assert!(!p.rbac_permits_env(&clerk, "work", "res", &env("10:30", "Branch")));
+        // Missing parameter fails closed; the conditionless wrapper too.
+        assert!(!p.rbac_permits_env(&clerk, "work", "res", &[]));
+        assert!(!p.rbac_permits(&clerk, "work", "res"));
+    }
+
+    #[test]
+    fn conditions_roundtrip() {
+        let xml = r#"<RBACPolicy id="hours">
+  <SOAPolicy><SOA dn="cn=SOA"/></SOAPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="work" targetURI="res">
+      <Condition name="timeOfDay" ge="09:00" le="17:00"/>
+      <AllowedRole value="Clerk"/>
+    </TargetAccess>
+  </TargetAccessPolicy>
+</RBACPolicy>"#;
+        let p = parse_rbac_policy(xml).unwrap();
+        let p2 = parse_rbac_policy(&rbac_policy_to_xml(&p)).unwrap();
+        assert_eq!(p2.targets, p.targets);
+    }
+
+    #[test]
+    fn hierarchy_cycle_rejected() {
+        let xml = r#"<RBACPolicy id="x">
+  <SOAPolicy><SOA dn="cn=SOA"/></SOAPolicy>
+  <RoleHierarchyPolicy>
+    <SupRole value="A"><SubRole value="B"/></SupRole>
+    <SupRole value="B"><SubRole value="A"/></SupRole>
+  </RoleHierarchyPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="o" targetURI="t"><AllowedRole value="A"/></TargetAccess>
+  </TargetAccessPolicy>
+</RBACPolicy>"#;
+        assert!(matches!(parse_rbac_policy(xml), Err(PolicyError::Semantic(_))));
+    }
+
+    #[test]
+    fn deep_hierarchy_expansion() {
+        let xml = r#"<RBACPolicy id="x">
+  <SOAPolicy><SOA dn="cn=SOA"/></SOAPolicy>
+  <RoleHierarchyPolicy>
+    <SupRole value="A"><SubRole value="B"/></SupRole>
+    <SupRole value="B"><SubRole value="C"/></SupRole>
+  </RoleHierarchyPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="o" targetURI="t"><AllowedRole value="C"/></TargetAccess>
+  </TargetAccessPolicy>
+</RBACPolicy>"#;
+        let p = parse_rbac_policy(xml).unwrap();
+        assert!(p.rbac_permits(&[RoleRef::new("permisRole", "A")], "o", "t"));
+        assert!(p.rbac_permits(&[RoleRef::new("permisRole", "C")], "o", "t"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = parse_rbac_policy(BANK_POLICY).unwrap();
+        let xml = rbac_policy_to_xml(&p);
+        let p2 = parse_rbac_policy(&xml).unwrap();
+        assert_eq!(p2.id, p.id);
+        assert_eq!(p2.targets, p.targets);
+        assert_eq!(p2.role_hierarchy, p.role_hierarchy);
+        assert_eq!(p2.msod, p.msod);
+        assert_eq!(p2.subject_domains, p.subject_domains);
+    }
+
+    #[test]
+    fn schema_rejects_missing_soa_policy() {
+        let xml = r#"<RBACPolicy id="x">
+  <TargetAccessPolicy>
+    <TargetAccess operation="o" targetURI="t"><AllowedRole value="A"/></TargetAccess>
+  </TargetAccessPolicy>
+</RBACPolicy>"#;
+        assert!(matches!(parse_rbac_policy(xml), Err(PolicyError::Schema(_))));
+    }
+}

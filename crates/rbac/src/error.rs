@@ -1,0 +1,214 @@
+//! RBAC error type.
+
+use std::fmt;
+
+use crate::ids::{PermissionId, RoleId, SessionId, SodSetId, UserId};
+
+/// Error returned by the administrative, system and review functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RbacError {
+    /// No user with this handle exists.
+    UnknownUser(UserId),
+    /// No role with this handle exists.
+    UnknownRole(RoleId),
+    /// No permission with this handle exists.
+    UnknownPermission(PermissionId),
+    /// No session with this handle exists.
+    UnknownSession(SessionId),
+    /// No SSD/DSD set with this handle exists.
+    UnknownSodSet(SodSetId),
+    /// A user with this name already exists.
+    DuplicateUserName(String),
+    /// A role with this name already exists.
+    DuplicateRoleName(String),
+    /// An SSD/DSD set with this name already exists.
+    DuplicateSodSetName(String),
+    /// User is already assigned to the role.
+    AlreadyAssigned {
+        /// The user involved.
+        user: UserId,
+        /// The role involved.
+        role: RoleId,
+    },
+    /// User was not assigned to the role.
+    NotAssigned {
+        /// The user involved.
+        user: UserId,
+        /// The role involved.
+        role: RoleId,
+    },
+    /// Permission already granted to role.
+    AlreadyGranted {
+        /// The permission involved.
+        permission: PermissionId,
+        /// The role involved.
+        role: RoleId,
+    },
+    /// Permission was not granted to role.
+    NotGranted {
+        /// The permission involved.
+        permission: PermissionId,
+        /// The role involved.
+        role: RoleId,
+    },
+    /// Session does not belong to the stated user.
+    SessionUserMismatch {
+        /// The session involved.
+        session: SessionId,
+        /// The user involved.
+        user: UserId,
+    },
+    /// The user is not authorized for the role (activation or assignment
+    /// level, per the operation).
+    NotAuthorized {
+        /// The user involved.
+        user: UserId,
+        /// The role involved.
+        role: RoleId,
+    },
+    /// Role already active in the session.
+    AlreadyActive {
+        /// The session involved.
+        session: SessionId,
+        /// The role involved.
+        role: RoleId,
+    },
+    /// Role not active in the session.
+    NotActive {
+        /// The session involved.
+        session: SessionId,
+        /// The role involved.
+        role: RoleId,
+    },
+    /// The inheritance edge already exists.
+    DuplicateInheritance {
+        /// The senior (inheriting) role.
+        senior: RoleId,
+        /// The junior (inherited) role.
+        junior: RoleId,
+    },
+    /// The inheritance edge does not exist.
+    UnknownInheritance {
+        /// The senior (inheriting) role.
+        senior: RoleId,
+        /// The junior (inherited) role.
+        junior: RoleId,
+    },
+    /// Adding the edge would create a cycle in the role hierarchy.
+    HierarchyCycle {
+        /// The senior (inheriting) role.
+        senior: RoleId,
+        /// The junior (inherited) role.
+        junior: RoleId,
+    },
+    /// Limited hierarchies allow a role at most one immediate senior.
+    LimitedHierarchyViolation {
+        /// The junior (inherited) role.
+        junior: RoleId,
+    },
+    /// An SSD constraint would be (or is) violated.
+    SsdViolation {
+        /// The SoD role set involved.
+        set: SodSetId,
+        /// The user involved.
+        user: UserId,
+    },
+    /// A DSD constraint forbids this activation.
+    DsdViolation {
+        /// The SoD role set involved.
+        set: SodSetId,
+        /// The session involved.
+        session: SessionId,
+        /// The role involved.
+        role: RoleId,
+    },
+    /// SoD set invariants: cardinality must satisfy 2 <= c <= |roles|.
+    InvalidCardinality {
+        /// The offending cardinality value.
+        cardinality: usize,
+        /// The number of roles in the set.
+        set_size: usize,
+    },
+    /// A role is already a member of the SoD set.
+    AlreadySodMember {
+        /// The SoD role set involved.
+        set: SodSetId,
+        /// The role involved.
+        role: RoleId,
+    },
+    /// A role is not a member of the SoD set.
+    NotSodMember {
+        /// The SoD role set involved.
+        set: SodSetId,
+        /// The role involved.
+        role: RoleId,
+    },
+}
+
+impl fmt::Display for RbacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use RbacError::*;
+        match self {
+            UnknownUser(id) => write!(f, "unknown user {id}"),
+            UnknownRole(id) => write!(f, "unknown role {id}"),
+            UnknownPermission(id) => write!(f, "unknown permission {id}"),
+            UnknownSession(id) => write!(f, "unknown session {id}"),
+            UnknownSodSet(id) => write!(f, "unknown SoD role set {id}"),
+            DuplicateUserName(n) => write!(f, "a user named {n:?} already exists"),
+            DuplicateRoleName(n) => write!(f, "a role named {n:?} already exists"),
+            DuplicateSodSetName(n) => write!(f, "an SoD set named {n:?} already exists"),
+            AlreadyAssigned { user, role } => {
+                write!(f, "user {user} is already assigned role {role}")
+            }
+            NotAssigned { user, role } => write!(f, "user {user} is not assigned role {role}"),
+            AlreadyGranted { permission, role } => {
+                write!(f, "permission {permission} is already granted to role {role}")
+            }
+            NotGranted { permission, role } => {
+                write!(f, "permission {permission} is not granted to role {role}")
+            }
+            SessionUserMismatch { session, user } => {
+                write!(f, "session {session} does not belong to user {user}")
+            }
+            NotAuthorized { user, role } => {
+                write!(f, "user {user} is not authorized for role {role}")
+            }
+            AlreadyActive { session, role } => {
+                write!(f, "role {role} is already active in session {session}")
+            }
+            NotActive { session, role } => {
+                write!(f, "role {role} is not active in session {session}")
+            }
+            DuplicateInheritance { senior, junior } => {
+                write!(f, "inheritance {senior} >= {junior} already exists")
+            }
+            UnknownInheritance { senior, junior } => {
+                write!(f, "no inheritance {senior} >= {junior}")
+            }
+            HierarchyCycle { senior, junior } => {
+                write!(f, "adding {senior} >= {junior} would create a hierarchy cycle")
+            }
+            LimitedHierarchyViolation { junior } => write!(
+                f,
+                "limited hierarchy: role {junior} already has an immediate senior"
+            ),
+            SsdViolation { set, user } => {
+                write!(f, "static SoD set {set} would be violated for user {user}")
+            }
+            DsdViolation { set, session, role } => write!(
+                f,
+                "dynamic SoD set {set} forbids activating role {role} in session {session}"
+            ),
+            InvalidCardinality { cardinality, set_size } => write!(
+                f,
+                "SoD cardinality {cardinality} invalid for a set of {set_size} roles (need 2 <= c <= n)"
+            ),
+            AlreadySodMember { set, role } => {
+                write!(f, "role {role} is already in SoD set {set}")
+            }
+            NotSodMember { set, role } => write!(f, "role {role} is not in SoD set {set}"),
+        }
+    }
+}
+
+impl std::error::Error for RbacError {}

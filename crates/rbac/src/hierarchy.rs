@@ -1,0 +1,268 @@
+//! General and limited role hierarchies (ANSI RBAC §6.2).
+//!
+//! The hierarchy is a partial order `senior >= junior`: seniors acquire
+//! the permissions of their juniors, and users assigned a senior role are
+//! authorized for all its juniors. We store the immediate inheritance
+//! relation and compute reachability by search; mutation checks keep the
+//! relation acyclic.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::RbacError;
+use crate::ids::RoleId;
+
+/// Which hierarchy variant is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HierarchyKind {
+    /// General role hierarchies: arbitrary DAG.
+    #[default]
+    General,
+    /// Limited role hierarchies: each role has at most one immediate
+    /// senior (inverted-tree shape, as in ANSI §6.2 limited hierarchies).
+    Limited,
+}
+
+/// The immediate role-inheritance relation plus reachability queries.
+#[derive(Debug, Clone, Default)]
+pub struct RoleHierarchy {
+    kind: HierarchyKind,
+    /// senior -> immediate juniors
+    juniors: HashMap<RoleId, HashSet<RoleId>>,
+    /// junior -> immediate seniors
+    seniors: HashMap<RoleId, HashSet<RoleId>>,
+}
+
+impl RoleHierarchy {
+    /// New hierarchy of the given kind.
+    pub fn new(kind: HierarchyKind) -> Self {
+        RoleHierarchy { kind, ..Default::default() }
+    }
+
+    /// The enforced hierarchy variant.
+    pub fn kind(&self) -> HierarchyKind {
+        self.kind
+    }
+
+    /// Number of immediate inheritance edges.
+    pub fn edge_count(&self) -> usize {
+        self.juniors.values().map(HashSet::len).sum()
+    }
+
+    /// Add immediate inheritance `senior >= junior` (ANSI AddInheritance).
+    pub fn add_inheritance(&mut self, senior: RoleId, junior: RoleId) -> Result<(), RbacError> {
+        if senior == junior {
+            return Err(RbacError::HierarchyCycle { senior, junior });
+        }
+        if self.juniors.get(&senior).is_some_and(|j| j.contains(&junior)) {
+            return Err(RbacError::DuplicateInheritance { senior, junior });
+        }
+        // A cycle arises iff junior already reaches senior.
+        if self.descends(junior, senior) {
+            return Err(RbacError::HierarchyCycle { senior, junior });
+        }
+        if self.kind == HierarchyKind::Limited
+            && self.seniors.get(&junior).is_some_and(|s| !s.is_empty())
+        {
+            return Err(RbacError::LimitedHierarchyViolation { junior });
+        }
+        self.juniors.entry(senior).or_default().insert(junior);
+        self.seniors.entry(junior).or_default().insert(senior);
+        Ok(())
+    }
+
+    /// Remove immediate inheritance (ANSI DeleteInheritance). Only the
+    /// immediate edge is removed; transitive relationships implied by
+    /// other edges persist, per the standard.
+    pub fn delete_inheritance(&mut self, senior: RoleId, junior: RoleId) -> Result<(), RbacError> {
+        let had = self.juniors.get_mut(&senior).is_some_and(|j| j.remove(&junior));
+        if !had {
+            return Err(RbacError::UnknownInheritance { senior, junior });
+        }
+        if let Some(s) = self.seniors.get_mut(&junior) {
+            s.remove(&senior);
+        }
+        Ok(())
+    }
+
+    /// Remove every edge touching `role` (used by DeleteRole).
+    pub fn remove_role(&mut self, role: RoleId) {
+        if let Some(juniors) = self.juniors.remove(&role) {
+            for j in juniors {
+                if let Some(s) = self.seniors.get_mut(&j) {
+                    s.remove(&role);
+                }
+            }
+        }
+        if let Some(seniors) = self.seniors.remove(&role) {
+            for s in seniors {
+                if let Some(j) = self.juniors.get_mut(&s) {
+                    j.remove(&role);
+                }
+            }
+        }
+    }
+
+    /// Whether `senior >= junior` holds (reflexive-transitive).
+    pub fn descends(&self, senior: RoleId, junior: RoleId) -> bool {
+        if senior == junior {
+            return true;
+        }
+        let mut stack = vec![senior];
+        let mut seen: HashSet<RoleId> = HashSet::new();
+        while let Some(r) = stack.pop() {
+            if let Some(js) = self.juniors.get(&r) {
+                for &j in js {
+                    if j == junior {
+                        return true;
+                    }
+                    if seen.insert(j) {
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// All roles `<=` the given role, including itself (everything a
+    /// senior inherits from).
+    pub fn all_juniors(&self, role: RoleId) -> HashSet<RoleId> {
+        self.closure(role, &self.juniors)
+    }
+
+    /// All roles `>=` the given role, including itself.
+    pub fn all_seniors(&self, role: RoleId) -> HashSet<RoleId> {
+        self.closure(role, &self.seniors)
+    }
+
+    /// Immediate juniors of a role.
+    pub fn immediate_juniors(&self, role: RoleId) -> impl Iterator<Item = RoleId> + '_ {
+        self.juniors.get(&role).into_iter().flatten().copied()
+    }
+
+    /// Immediate seniors of a role.
+    pub fn immediate_seniors(&self, role: RoleId) -> impl Iterator<Item = RoleId> + '_ {
+        self.seniors.get(&role).into_iter().flatten().copied()
+    }
+
+    fn closure(&self, start: RoleId, edges: &HashMap<RoleId, HashSet<RoleId>>) -> HashSet<RoleId> {
+        let mut out: HashSet<RoleId> = HashSet::new();
+        let mut stack = vec![start];
+        out.insert(start);
+        while let Some(r) = stack.pop() {
+            if let Some(next) = edges.get(&r) {
+                for &n in next {
+                    if out.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut h = RoleHierarchy::default();
+        h.add_inheritance(r(1), r(2)).unwrap();
+        h.add_inheritance(r(2), r(3)).unwrap();
+        assert!(h.descends(r(1), r(3)));
+        assert!(h.descends(r(1), r(1)));
+        assert!(!h.descends(r(3), r(1)));
+        assert_eq!(h.all_juniors(r(1)).len(), 3);
+        assert_eq!(h.all_seniors(r(3)).len(), 3);
+        assert_eq!(h.edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut h = RoleHierarchy::default();
+        h.add_inheritance(r(1), r(2)).unwrap();
+        h.add_inheritance(r(2), r(3)).unwrap();
+        assert!(matches!(
+            h.add_inheritance(r(3), r(1)),
+            Err(RbacError::HierarchyCycle { .. })
+        ));
+        assert!(matches!(
+            h.add_inheritance(r(1), r(1)),
+            Err(RbacError::HierarchyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut h = RoleHierarchy::default();
+        h.add_inheritance(r(1), r(2)).unwrap();
+        assert!(matches!(
+            h.add_inheritance(r(1), r(2)),
+            Err(RbacError::DuplicateInheritance { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_edge_keeps_other_paths() {
+        let mut h = RoleHierarchy::default();
+        h.add_inheritance(r(1), r(2)).unwrap();
+        h.add_inheritance(r(2), r(3)).unwrap();
+        h.add_inheritance(r(1), r(3)).unwrap(); // direct shortcut
+        h.delete_inheritance(r(1), r(3)).unwrap();
+        // Still reachable via r2.
+        assert!(h.descends(r(1), r(3)));
+        h.delete_inheritance(r(1), r(2)).unwrap();
+        assert!(!h.descends(r(1), r(3)));
+    }
+
+    #[test]
+    fn delete_unknown_edge_errors() {
+        let mut h = RoleHierarchy::default();
+        assert!(matches!(
+            h.delete_inheritance(r(1), r(2)),
+            Err(RbacError::UnknownInheritance { .. })
+        ));
+    }
+
+    #[test]
+    fn limited_hierarchy_single_senior() {
+        let mut h = RoleHierarchy::new(HierarchyKind::Limited);
+        h.add_inheritance(r(1), r(3)).unwrap();
+        assert!(matches!(
+            h.add_inheritance(r(2), r(3)),
+            Err(RbacError::LimitedHierarchyViolation { .. })
+        ));
+        // Multiple juniors are fine.
+        h.add_inheritance(r(1), r(4)).unwrap();
+    }
+
+    #[test]
+    fn remove_role_clears_edges() {
+        let mut h = RoleHierarchy::default();
+        h.add_inheritance(r(1), r(2)).unwrap();
+        h.add_inheritance(r(2), r(3)).unwrap();
+        h.remove_role(r(2));
+        assert!(!h.descends(r(1), r(3)));
+        assert!(!h.descends(r(1), r(2)));
+        assert_eq!(h.edge_count(), 0);
+    }
+
+    #[test]
+    fn diamond_hierarchy() {
+        let mut h = RoleHierarchy::default();
+        // 1 >= {2,3} >= 4
+        h.add_inheritance(r(1), r(2)).unwrap();
+        h.add_inheritance(r(1), r(3)).unwrap();
+        h.add_inheritance(r(2), r(4)).unwrap();
+        h.add_inheritance(r(3), r(4)).unwrap();
+        assert!(h.descends(r(1), r(4)));
+        assert_eq!(h.all_juniors(r(1)).len(), 4);
+        assert_eq!(h.all_seniors(r(4)).len(), 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Opaque identifiers for RBAC entities.
+//!
+//! All entities are referred to by small copyable handles; names are
+//! resolved once at the API boundary. Handles are never reused after
+//! deletion (monotonic counters), so a stale handle fails closed with
+//! `Unknown*` errors instead of aliasing a new entity.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u64);
+
+        impl $name {
+            /// The raw numeric value (stable for the lifetime of the system;
+            /// useful for logging and persistence).
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Rebuild from a raw value (e.g. when deserializing a log).
+            pub fn from_raw(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Handle to a user.
+    UserId,
+    "u"
+);
+id_type!(
+    /// Handle to a role.
+    RoleId,
+    "r"
+);
+id_type!(
+    /// Handle to a permission (an operation on an object).
+    PermissionId,
+    "p"
+);
+id_type!(
+    /// Handle to a user access-control session.
+    SessionId,
+    "s"
+);
+id_type!(
+    /// Handle to an SSD or DSD role set.
+    SodSetId,
+    "sod"
+);
+
+/// Monotonic id allocator shared by the entity tables.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct IdGen {
+    next: u64,
+}
+
+impl IdGen {
+    pub(crate) fn next(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(UserId(3).to_string(), "u3");
+        assert_eq!(RoleId(0).to_string(), "r0");
+        assert_eq!(PermissionId(9).to_string(), "p9");
+        assert_eq!(SessionId(1).to_string(), "s1");
+        assert_eq!(SodSetId(2).to_string(), "sod2");
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let id = RoleId::from_raw(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id, RoleId(42));
+    }
+
+    #[test]
+    fn idgen_monotonic() {
+        let mut g = IdGen::default();
+        let a = g.next();
+        let b = g.next();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,177 @@
+#![warn(missing_docs)]
+//! # rbac — the ANSI INCITS 359-2004 reference model
+//!
+//! A complete implementation of the four components of the ANSI RBAC
+//! standard that the MSoD paper builds on (its Figure 1):
+//!
+//! - **Core RBAC** — users, roles, permissions (operation × object),
+//!   sessions, the UA and PA relations, `CheckAccess`;
+//! - **Hierarchical RBAC** — general and limited role hierarchies with
+//!   permission inheritance and authorized-role activation;
+//! - **Static Separation of Duty** — named m-out-of-n mutually exclusive
+//!   role sets enforced at *assignment* time against authorized roles;
+//! - **Dynamic Separation of Duty** — the same sets enforced at role
+//!   *activation* time within a single session.
+//!
+//! The MSoD paper's starting observation is that both constraint
+//! families fail across sessions and across administrative domains; this
+//! crate deliberately implements the standard faithfully, so the failure
+//! can be demonstrated (see `tests/ansi_failures.rs` at the workspace
+//! root) and then repaired by the `msod` crate.
+//!
+//! ```
+//! use rbac::{HierarchyKind, Rbac};
+//!
+//! let mut sys = Rbac::new(HierarchyKind::General);
+//! let alice = sys.add_user("alice").unwrap();
+//! let teller = sys.add_role("Teller").unwrap();
+//! let auditor = sys.add_role("Auditor").unwrap();
+//! sys.create_ssd_set("bank", [teller, auditor], 2).unwrap();
+//!
+//! sys.assign_user(alice, teller).unwrap();
+//! // SSD forbids holding both conflicting roles...
+//! assert!(sys.assign_user(alice, auditor).is_err());
+//!
+//! // ...but only while the system sees both assignments: that is the
+//! // gap MSoD closes.
+//! let p = sys.add_permission("handleCash", "till");
+//! sys.grant_permission(p, teller).unwrap();
+//! let session = sys.create_session(alice, [teller]).unwrap();
+//! assert!(sys.check_access(session, "handleCash", "till").unwrap());
+//! ```
+
+pub mod error;
+pub mod hierarchy;
+pub mod ids;
+pub mod review;
+pub mod sod;
+pub mod system;
+
+pub use error::RbacError;
+pub use hierarchy::{HierarchyKind, RoleHierarchy};
+pub use ids::{PermissionId, RoleId, SessionId, SodSetId, UserId};
+pub use sod::SodSet;
+pub use system::{Permission, Rbac, Role, Session, User};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    /// A small random RBAC universe plus a script of operations.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Assign(usize, usize),
+        Deassign(usize, usize),
+        AddEdge(usize, usize),
+        DelEdge(usize, usize),
+        OpenSession(usize, Vec<usize>),
+        Activate(usize, usize), // session slot, role
+    }
+
+    fn arb_op(n_users: usize, n_roles: usize) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..n_users, 0..n_roles).prop_map(|(u, r)| Op::Assign(u, r)),
+            (0..n_users, 0..n_roles).prop_map(|(u, r)| Op::Deassign(u, r)),
+            (0..n_roles, 0..n_roles).prop_map(|(a, b)| Op::AddEdge(a, b)),
+            (0..n_roles, 0..n_roles).prop_map(|(a, b)| Op::DelEdge(a, b)),
+            (0..n_users, proptest::collection::vec(0..n_roles, 0..3))
+                .prop_map(|(u, rs)| Op::OpenSession(u, rs)),
+            (0..8usize, 0..n_roles).prop_map(|(s, r)| Op::Activate(s, r)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Whatever sequence of operations runs, the SSD invariant holds:
+        /// no user is authorized for `cardinality`-or-more roles of any
+        /// SSD set; and the DSD invariant holds: no session has
+        /// `cardinality`-or-more roles of any DSD set active.
+        #[test]
+        fn sod_invariants_hold(ops in proptest::collection::vec(arb_op(4, 6), 0..60)) {
+            let mut sys = Rbac::default();
+            let users: Vec<UserId> =
+                (0..4).map(|i| sys.add_user(format!("u{i}")).unwrap()).collect();
+            let roles: Vec<RoleId> =
+                (0..6).map(|i| sys.add_role(format!("r{i}")).unwrap()).collect();
+            // One SSD and one DSD set over the first four roles.
+            sys.create_ssd_set("ssd", [roles[0], roles[1]], 2).unwrap();
+            sys.create_dsd_set("dsd", [roles[2], roles[3]], 2).unwrap();
+            let mut sessions: Vec<(UserId, SessionId)> = Vec::new();
+
+            for op in ops {
+                match op {
+                    Op::Assign(u, r) => { let _ = sys.assign_user(users[u], roles[r]); }
+                    Op::Deassign(u, r) => { let _ = sys.deassign_user(users[u], roles[r]); }
+                    Op::AddEdge(a, b) => { let _ = sys.add_inheritance(roles[a], roles[b]); }
+                    Op::DelEdge(a, b) => { let _ = sys.delete_inheritance(roles[a], roles[b]); }
+                    Op::OpenSession(u, rs) => {
+                        let rs: Vec<RoleId> = rs.into_iter().map(|i| roles[i]).collect();
+                        if let Ok(s) = sys.create_session(users[u], rs) {
+                            sessions.push((users[u], s));
+                        }
+                    }
+                    Op::Activate(slot, r) => {
+                        if let Some(&(u, s)) = sessions.get(slot) {
+                            let _ = sys.add_active_role(u, s, roles[r]);
+                        }
+                    }
+                }
+
+                // SSD invariant over authorized roles.
+                for (_, set) in sys.ssd_sets() {
+                    for &u in &users {
+                        let authorized = sys.authorized_roles(u);
+                        let held = authorized.iter().filter(|r| set.roles().contains(r)).count();
+                        prop_assert!(held < set.cardinality(),
+                            "SSD violated: user {u} authorized for {held} of set {:?}", set.name());
+                    }
+                }
+                // DSD invariant over active session roles.
+                for (_, set) in sys.dsd_sets() {
+                    for (sid, _) in sys.sessions().collect::<Vec<_>>() {
+                        let active = sys.session_roles(sid).unwrap();
+                        let active_in_set =
+                            active.iter().filter(|r| set.roles().contains(r)).count();
+                        prop_assert!(active_in_set < set.cardinality());
+                    }
+                }
+            }
+        }
+
+        /// check_access agrees with session_permissions.
+        #[test]
+        fn check_access_consistent(
+            grants in proptest::collection::vec((0..4usize, 0..4usize), 0..12),
+            assigns in proptest::collection::vec(0..4usize, 0..4),
+            actives in proptest::collection::vec(0..4usize, 0..4),
+        ) {
+            let mut sys = Rbac::default();
+            let u = sys.add_user("u").unwrap();
+            let roles: Vec<RoleId> =
+                (0..4).map(|i| sys.add_role(format!("r{i}")).unwrap()).collect();
+            let perms: Vec<PermissionId> =
+                (0..4).map(|i| sys.add_permission(format!("op{i}"), "obj")).collect();
+            for (r, p) in grants {
+                let _ = sys.grant_permission(perms[p], roles[r]);
+            }
+            for r in assigns {
+                let _ = sys.assign_user(u, roles[r]);
+            }
+            let assigned = sys.assigned_roles(u).unwrap();
+            let act: BTreeSet<RoleId> = actives
+                .into_iter()
+                .map(|i| roles[i])
+                .filter(|r| assigned.contains(r))
+                .collect();
+            let s = sys.create_session(u, act).unwrap();
+            let sp = sys.session_permissions(s).unwrap();
+            for (i, &p) in perms.iter().enumerate() {
+                let via_check = sys.check_access(s, &format!("op{i}"), "obj").unwrap();
+                prop_assert_eq!(via_check, sp.contains(&p));
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Review functions (ANSI RBAC §6.1.3, §6.2.2): read-only queries over
+//! the RBAC state.
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::error::RbacError;
+use crate::ids::{PermissionId, RoleId, SessionId, UserId};
+use crate::system::{Permission, Rbac};
+
+impl Rbac {
+    /// AssignedUsers: users directly assigned to `role`.
+    pub fn assigned_users(&self, role: RoleId) -> Result<Vec<UserId>, RbacError> {
+        self.role(role)?;
+        Ok(self
+            .ua
+            .iter()
+            .filter(|(_, roles)| roles.contains(&role))
+            .map(|(&u, _)| u)
+            .collect())
+    }
+
+    /// AssignedRoles: roles directly assigned to `user`.
+    pub fn assigned_roles(&self, user: UserId) -> Result<BTreeSet<RoleId>, RbacError> {
+        self.user(user)?;
+        Ok(self.ua.get(&user).cloned().unwrap_or_default())
+    }
+
+    /// AuthorizedUsers (hierarchical): users assigned to `role` or to any
+    /// of its seniors.
+    pub fn authorized_users(&self, role: RoleId) -> Result<Vec<UserId>, RbacError> {
+        self.role(role)?;
+        let seniors = self.hierarchy.all_seniors(role);
+        Ok(self
+            .ua
+            .iter()
+            .filter(|(_, roles)| roles.iter().any(|r| seniors.contains(r)))
+            .map(|(&u, _)| u)
+            .collect())
+    }
+
+    /// AuthorizedRoles (hierarchical): every role the user may activate —
+    /// assigned roles plus all their juniors.
+    ///
+    /// For an unknown user this returns the empty set rather than an
+    /// error, because SoD checks call it on prospective state.
+    pub fn authorized_roles(&self, user: UserId) -> HashSet<RoleId> {
+        let mut out: HashSet<RoleId> = HashSet::new();
+        if let Some(assigned) = self.ua.get(&user) {
+            for &r in assigned {
+                out.extend(self.hierarchy.all_juniors(r));
+            }
+        }
+        out
+    }
+
+    /// RolePermissions: permissions granted to `role` directly or
+    /// inherited from its juniors.
+    pub fn role_permissions(&self, role: RoleId) -> Result<BTreeSet<PermissionId>, RbacError> {
+        self.role(role)?;
+        let mut out = BTreeSet::new();
+        for junior in self.hierarchy.all_juniors(role) {
+            if let Some(perms) = self.pa.get(&junior) {
+                out.extend(perms.iter().copied());
+            }
+        }
+        Ok(out)
+    }
+
+    /// UserPermissions: permissions available to `user` through all
+    /// authorized roles.
+    pub fn user_permissions(&self, user: UserId) -> Result<BTreeSet<PermissionId>, RbacError> {
+        self.user(user)?;
+        let mut out = BTreeSet::new();
+        for role in self.authorized_roles(user) {
+            if let Some(perms) = self.pa.get(&role) {
+                out.extend(perms.iter().copied());
+            }
+        }
+        Ok(out)
+    }
+
+    /// SessionRoles: roles active in `session`.
+    pub fn session_roles(&self, session: SessionId) -> Result<BTreeSet<RoleId>, RbacError> {
+        Ok(self.session(session)?.active_roles.clone())
+    }
+
+    /// SessionPermissions: permissions available to the session through
+    /// its active roles (and their juniors).
+    pub fn session_permissions(
+        &self,
+        session: SessionId,
+    ) -> Result<BTreeSet<PermissionId>, RbacError> {
+        let s = self.session(session)?;
+        let mut out = BTreeSet::new();
+        for &role in &s.active_roles {
+            out.extend(self.role_permissions(role)?);
+        }
+        Ok(out)
+    }
+
+    /// RoleOperationsOnObject: operations `role` may perform on `object`.
+    pub fn role_operations_on_object(
+        &self,
+        role: RoleId,
+        object: &str,
+    ) -> Result<BTreeSet<String>, RbacError> {
+        Ok(self
+            .role_permissions(role)?
+            .into_iter()
+            .filter_map(|p| self.perms.get(&p))
+            .filter(|p| p.object == object)
+            .map(|p| p.operation.clone())
+            .collect())
+    }
+
+    /// UserOperationsOnObject: operations `user` may perform on `object`.
+    pub fn user_operations_on_object(
+        &self,
+        user: UserId,
+        object: &str,
+    ) -> Result<BTreeSet<String>, RbacError> {
+        Ok(self
+            .user_permissions(user)?
+            .into_iter()
+            .filter_map(|p| self.perms.get(&p))
+            .filter(|p| p.object == object)
+            .map(|p| p.operation.clone())
+            .collect())
+    }
+
+    /// All users.
+    pub fn users(&self) -> impl Iterator<Item = (UserId, &str)> {
+        self.users.iter().map(|(&id, u)| (id, u.name.as_str()))
+    }
+
+    /// All roles.
+    pub fn roles(&self) -> impl Iterator<Item = (RoleId, &str)> {
+        self.roles.iter().map(|(&id, r)| (id, r.name.as_str()))
+    }
+
+    /// All interned permissions.
+    pub fn permissions(&self) -> impl Iterator<Item = (PermissionId, &Permission)> {
+        self.perms.iter().map(|(&id, p)| (id, p))
+    }
+
+    /// All open sessions.
+    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, UserId)> + '_ {
+        self.sessions.iter().map(|(&id, s)| (id, s.user))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn review_functions() {
+        let mut sys = Rbac::default();
+        let alice = sys.add_user("alice").unwrap();
+        let bob = sys.add_user("bob").unwrap();
+        let clerk = sys.add_role("Clerk").unwrap();
+        let manager = sys.add_role("Manager").unwrap();
+        sys.add_inheritance(manager, clerk).unwrap();
+        let p_prepare = sys.add_permission("prepareCheck", "check");
+        let p_approve = sys.add_permission("approveCheck", "check");
+        sys.grant_permission(p_prepare, clerk).unwrap();
+        sys.grant_permission(p_approve, manager).unwrap();
+        sys.assign_user(alice, manager).unwrap();
+        sys.assign_user(bob, clerk).unwrap();
+
+        assert_eq!(sys.assigned_users(clerk).unwrap(), vec![bob]);
+        let mut auth_clerk = sys.authorized_users(clerk).unwrap();
+        auth_clerk.sort();
+        assert_eq!(auth_clerk, vec![alice, bob]);
+
+        assert!(sys.assigned_roles(alice).unwrap().contains(&manager));
+        assert!(sys.authorized_roles(alice).contains(&clerk));
+        assert!(!sys.authorized_roles(bob).contains(&manager));
+
+        // Manager inherits clerk's permissions.
+        let mp = sys.role_permissions(manager).unwrap();
+        assert!(mp.contains(&p_prepare) && mp.contains(&p_approve));
+        let cp = sys.role_permissions(clerk).unwrap();
+        assert!(cp.contains(&p_prepare) && !cp.contains(&p_approve));
+
+        let up = sys.user_permissions(alice).unwrap();
+        assert_eq!(up.len(), 2);
+
+        let session = sys.create_session(alice, [manager]).unwrap();
+        assert_eq!(sys.session_roles(session).unwrap().len(), 1);
+        assert_eq!(sys.session_permissions(session).unwrap().len(), 2);
+
+        let ops = sys.user_operations_on_object(alice, "check").unwrap();
+        assert!(ops.contains("prepareCheck") && ops.contains("approveCheck"));
+        let rops = sys.role_operations_on_object(clerk, "check").unwrap();
+        assert_eq!(rops.len(), 1);
+
+        assert_eq!(sys.users().count(), 2);
+        assert_eq!(sys.roles().count(), 2);
+        assert_eq!(sys.permissions().count(), 2);
+        assert_eq!(sys.sessions().count(), 1);
+    }
+
+    #[test]
+    fn unknown_entities_error() {
+        let sys = Rbac::default();
+        let bogus_role = RoleId::from_raw(99);
+        let bogus_user = UserId::from_raw(99);
+        let bogus_session = SessionId::from_raw(99);
+        assert!(sys.assigned_users(bogus_role).is_err());
+        assert!(sys.assigned_roles(bogus_user).is_err());
+        assert!(sys.authorized_users(bogus_role).is_err());
+        assert!(sys.role_permissions(bogus_role).is_err());
+        assert!(sys.user_permissions(bogus_user).is_err());
+        assert!(sys.session_roles(bogus_session).is_err());
+        // authorized_roles is total by design.
+        assert!(sys.authorized_roles(bogus_user).is_empty());
+    }
+}

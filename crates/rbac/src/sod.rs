@@ -1,0 +1,169 @@
+//! SSD / DSD role sets (ANSI RBAC §6.3, §6.4).
+//!
+//! Both constraint families share one shape: a named set of roles with a
+//! cardinality `2 <= c <= |roles|`. SSD forbids any user being
+//! *authorized* for `c` or more member roles; DSD forbids any session
+//! *activating* `c` or more member roles. The paper's MMER (§2.3) reuses
+//! this shape with a business context attached — see the `msod` crate.
+
+use std::collections::BTreeSet;
+
+use crate::error::RbacError;
+use crate::ids::{RoleId, SodSetId};
+
+/// A named m-out-of-n mutually-exclusive-roles set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SodSet {
+    pub(crate) name: String,
+    pub(crate) roles: BTreeSet<RoleId>,
+    pub(crate) cardinality: usize,
+}
+
+impl SodSet {
+    /// Validate and build a set. Requires `|roles| >= 2` and
+    /// `2 <= cardinality <= |roles|`.
+    pub fn new(
+        name: impl Into<String>,
+        roles: BTreeSet<RoleId>,
+        cardinality: usize,
+    ) -> Result<Self, RbacError> {
+        validate_cardinality(cardinality, roles.len())?;
+        Ok(SodSet { name: name.into(), roles, cardinality })
+    }
+
+    /// The set's administrative name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The member roles.
+    pub fn roles(&self) -> &BTreeSet<RoleId> {
+        &self.roles
+    }
+
+    /// The forbidden cardinality `m`: holding/activating `m` or more
+    /// member roles violates the constraint.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// Whether a candidate set of roles violates this constraint, i.e.
+    /// contains `cardinality` or more member roles.
+    pub fn violated_by<'a>(&self, roles: impl IntoIterator<Item = &'a RoleId>) -> bool {
+        let mut count = 0usize;
+        for r in roles {
+            if self.roles.contains(r) {
+                count += 1;
+                if count >= self.cardinality {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+pub(crate) fn validate_cardinality(cardinality: usize, set_size: usize) -> Result<(), RbacError> {
+    if set_size < 2 || cardinality < 2 || cardinality > set_size {
+        return Err(RbacError::InvalidCardinality { cardinality, set_size });
+    }
+    Ok(())
+}
+
+/// Internal table of named SoD sets, used for both SSD and DSD.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SodTable {
+    pub(crate) sets: std::collections::BTreeMap<SodSetId, SodSet>,
+}
+
+impl SodTable {
+    pub(crate) fn get(&self, id: SodSetId) -> Result<&SodSet, RbacError> {
+        self.sets.get(&id).ok_or(RbacError::UnknownSodSet(id))
+    }
+
+    pub(crate) fn get_mut(&mut self, id: SodSetId) -> Result<&mut SodSet, RbacError> {
+        self.sets.get_mut(&id).ok_or(RbacError::UnknownSodSet(id))
+    }
+
+    pub(crate) fn check_name_free(&self, name: &str) -> Result<(), RbacError> {
+        if self.sets.values().any(|s| s.name == name) {
+            return Err(RbacError::DuplicateSodSetName(name.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Drop `role` from every set; sets left with fewer than 2 members
+    /// (which can no longer express a constraint) are removed entirely.
+    pub(crate) fn remove_role(&mut self, role: RoleId) {
+        self.sets.retain(|_, set| {
+            set.roles.remove(&role);
+            if set.roles.len() < 2 {
+                return false;
+            }
+            if set.cardinality > set.roles.len() {
+                set.cardinality = set.roles.len();
+            }
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: u64) -> RoleId {
+        RoleId::from_raw(n)
+    }
+
+    fn roles(ids: &[u64]) -> BTreeSet<RoleId> {
+        ids.iter().map(|&n| r(n)).collect()
+    }
+
+    #[test]
+    fn new_validates_cardinality() {
+        assert!(SodSet::new("a", roles(&[1, 2]), 2).is_ok());
+        assert!(matches!(
+            SodSet::new("a", roles(&[1, 2]), 1),
+            Err(RbacError::InvalidCardinality { .. })
+        ));
+        assert!(matches!(
+            SodSet::new("a", roles(&[1, 2]), 3),
+            Err(RbacError::InvalidCardinality { .. })
+        ));
+        assert!(matches!(
+            SodSet::new("a", roles(&[1]), 2),
+            Err(RbacError::InvalidCardinality { .. })
+        ));
+    }
+
+    #[test]
+    fn violated_by_counts_members() {
+        let set = SodSet::new("teller-auditor", roles(&[1, 2]), 2).unwrap();
+        assert!(!set.violated_by(&roles(&[1])));
+        assert!(!set.violated_by(&roles(&[1, 3])));
+        assert!(set.violated_by(&roles(&[1, 2])));
+        assert!(set.violated_by(&roles(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn m_of_n() {
+        let set = SodSet::new("3of4", roles(&[1, 2, 3, 4]), 3).unwrap();
+        assert!(!set.violated_by(&roles(&[1, 2])));
+        assert!(set.violated_by(&roles(&[1, 2, 4])));
+    }
+
+    #[test]
+    fn remove_role_shrinks_and_drops() {
+        let mut t = SodTable::default();
+        t.sets.insert(SodSetId::from_raw(0), SodSet::new("a", roles(&[1, 2, 3]), 3).unwrap());
+        t.sets.insert(SodSetId::from_raw(1), SodSet::new("b", roles(&[1, 2]), 2).unwrap());
+        t.remove_role(r(1));
+        // "a" survives with cardinality clamped to its new size.
+        let a = t.sets.get(&SodSetId::from_raw(0)).unwrap();
+        assert_eq!(a.roles.len(), 2);
+        assert_eq!(a.cardinality, 2);
+        // "b" dropped below 2 members and is gone.
+        assert!(!t.sets.contains_key(&SodSetId::from_raw(1)));
+    }
+}

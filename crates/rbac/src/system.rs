@@ -1,0 +1,903 @@
+//! The ANSI RBAC functional specification: administrative commands,
+//! supporting system functions and the entity model.
+//!
+//! Method names follow ANSI INCITS 359-2004 §6 (snake_cased): e.g.
+//! `add_user` = AddUser, `assign_user` = AssignUser, `create_session` =
+//! CreateSession, `check_access` = CheckAccess. Review functions live in
+//! [`crate::review`].
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::error::RbacError;
+use crate::hierarchy::{HierarchyKind, RoleHierarchy};
+use crate::ids::{IdGen, PermissionId, RoleId, SessionId, SodSetId, UserId};
+use crate::sod::{validate_cardinality, SodSet, SodTable};
+
+/// A user (a person or autonomous agent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct User {
+    /// The unique name.
+    pub name: String,
+}
+
+/// A role: a job function, qualification or expertise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Role {
+    /// The unique name.
+    pub name: String,
+}
+
+/// A permission: the right to perform an operation on an object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Permission {
+    /// The operation name.
+    pub operation: String,
+    /// The object the operation applies to.
+    pub object: String,
+}
+
+impl Permission {
+    /// Build a permission from operation and object names.
+    pub fn new(operation: impl Into<String>, object: impl Into<String>) -> Self {
+        Permission { operation: operation.into(), object: object.into() }
+    }
+}
+
+/// A user access-control session with its activated role subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The user involved.
+    pub user: UserId,
+    /// Roles currently active in the session.
+    pub active_roles: BTreeSet<RoleId>,
+}
+
+/// The complete RBAC system state: Core + Hierarchical + SSD + DSD.
+#[derive(Debug, Clone)]
+pub struct Rbac {
+    idgen: IdGen,
+    pub(crate) users: BTreeMap<UserId, User>,
+    user_names: HashMap<String, UserId>,
+    pub(crate) roles: BTreeMap<RoleId, Role>,
+    role_names: HashMap<String, RoleId>,
+    pub(crate) perms: BTreeMap<PermissionId, Permission>,
+    perm_index: HashMap<Permission, PermissionId>,
+    /// UA: user -> assigned roles.
+    pub(crate) ua: HashMap<UserId, BTreeSet<RoleId>>,
+    /// PA: role -> directly granted permissions.
+    pub(crate) pa: HashMap<RoleId, BTreeSet<PermissionId>>,
+    pub(crate) sessions: BTreeMap<SessionId, Session>,
+    pub(crate) hierarchy: RoleHierarchy,
+    pub(crate) ssd: SodTable,
+    pub(crate) dsd: SodTable,
+}
+
+impl Default for Rbac {
+    fn default() -> Self {
+        Rbac::new(HierarchyKind::General)
+    }
+}
+
+impl Rbac {
+    /// Create an empty system with the given hierarchy variant.
+    pub fn new(kind: HierarchyKind) -> Self {
+        Rbac {
+            idgen: IdGen::default(),
+            users: BTreeMap::new(),
+            user_names: HashMap::new(),
+            roles: BTreeMap::new(),
+            role_names: HashMap::new(),
+            perms: BTreeMap::new(),
+            perm_index: HashMap::new(),
+            ua: HashMap::new(),
+            pa: HashMap::new(),
+            sessions: BTreeMap::new(),
+            hierarchy: RoleHierarchy::new(kind),
+            ssd: SodTable::default(),
+            dsd: SodTable::default(),
+        }
+    }
+
+    // ----- entity administration (ANSI 6.1.1) -----
+
+    /// AddUser: create a user with a unique name.
+    pub fn add_user(&mut self, name: impl Into<String>) -> Result<UserId, RbacError> {
+        let name = name.into();
+        if self.user_names.contains_key(&name) {
+            return Err(RbacError::DuplicateUserName(name));
+        }
+        let id = UserId::from_raw(self.idgen.next());
+        self.user_names.insert(name.clone(), id);
+        self.users.insert(id, User { name });
+        Ok(id)
+    }
+
+    /// DeleteUser: remove the user, their assignments and their sessions.
+    pub fn delete_user(&mut self, user: UserId) -> Result<(), RbacError> {
+        let u = self.users.remove(&user).ok_or(RbacError::UnknownUser(user))?;
+        self.user_names.remove(&u.name);
+        self.ua.remove(&user);
+        self.sessions.retain(|_, s| s.user != user);
+        Ok(())
+    }
+
+    /// AddRole: create a role with a unique name.
+    pub fn add_role(&mut self, name: impl Into<String>) -> Result<RoleId, RbacError> {
+        let name = name.into();
+        if self.role_names.contains_key(&name) {
+            return Err(RbacError::DuplicateRoleName(name));
+        }
+        let id = RoleId::from_raw(self.idgen.next());
+        self.role_names.insert(name.clone(), id);
+        self.roles.insert(id, Role { name });
+        Ok(id)
+    }
+
+    /// DeleteRole: remove the role from UA, PA, sessions, the hierarchy
+    /// and SoD sets.
+    pub fn delete_role(&mut self, role: RoleId) -> Result<(), RbacError> {
+        let r = self.roles.remove(&role).ok_or(RbacError::UnknownRole(role))?;
+        self.role_names.remove(&r.name);
+        for roles in self.ua.values_mut() {
+            roles.remove(&role);
+        }
+        self.pa.remove(&role);
+        for s in self.sessions.values_mut() {
+            s.active_roles.remove(&role);
+        }
+        self.hierarchy.remove_role(role);
+        self.ssd.remove_role(role);
+        self.dsd.remove_role(role);
+        Ok(())
+    }
+
+    /// Intern a permission (operation, object); idempotent.
+    pub fn add_permission(
+        &mut self,
+        operation: impl Into<String>,
+        object: impl Into<String>,
+    ) -> PermissionId {
+        let perm = Permission::new(operation, object);
+        if let Some(&id) = self.perm_index.get(&perm) {
+            return id;
+        }
+        let id = PermissionId::from_raw(self.idgen.next());
+        self.perm_index.insert(perm.clone(), id);
+        self.perms.insert(id, perm);
+        id
+    }
+
+    // ----- assignment administration (ANSI 6.1.1) -----
+
+    /// AssignUser: add `(user, role)` to UA, enforcing every SSD set
+    /// against the user's prospective *authorized* roles (hierarchical
+    /// SSD, ANSI 6.3).
+    pub fn assign_user(&mut self, user: UserId, role: RoleId) -> Result<(), RbacError> {
+        self.require_user(user)?;
+        self.require_role(role)?;
+        if self.ua.get(&user).is_some_and(|r| r.contains(&role)) {
+            return Err(RbacError::AlreadyAssigned { user, role });
+        }
+        // Prospective authorized set after the assignment.
+        let mut authorized = self.authorized_roles(user);
+        authorized.extend(self.hierarchy.all_juniors(role));
+        if let Some(set) = self.first_violated_ssd(&authorized) {
+            return Err(RbacError::SsdViolation { set, user });
+        }
+        self.ua.entry(user).or_default().insert(role);
+        Ok(())
+    }
+
+    /// DeassignUser: remove `(user, role)` from UA. Sessions keep only
+    /// roles the user is still authorized for.
+    pub fn deassign_user(&mut self, user: UserId, role: RoleId) -> Result<(), RbacError> {
+        self.require_user(user)?;
+        self.require_role(role)?;
+        let removed = self.ua.get_mut(&user).is_some_and(|r| r.remove(&role));
+        if !removed {
+            return Err(RbacError::NotAssigned { user, role });
+        }
+        let authorized = self.authorized_roles(user);
+        for s in self.sessions.values_mut().filter(|s| s.user == user) {
+            s.active_roles.retain(|r| authorized.contains(r));
+        }
+        Ok(())
+    }
+
+    /// GrantPermission: add `(permission, role)` to PA.
+    pub fn grant_permission(
+        &mut self,
+        permission: PermissionId,
+        role: RoleId,
+    ) -> Result<(), RbacError> {
+        self.require_perm(permission)?;
+        self.require_role(role)?;
+        if !self.pa.entry(role).or_default().insert(permission) {
+            return Err(RbacError::AlreadyGranted { permission, role });
+        }
+        Ok(())
+    }
+
+    /// RevokePermission: remove `(permission, role)` from PA.
+    pub fn revoke_permission(
+        &mut self,
+        permission: PermissionId,
+        role: RoleId,
+    ) -> Result<(), RbacError> {
+        self.require_perm(permission)?;
+        self.require_role(role)?;
+        let removed = self.pa.get_mut(&role).is_some_and(|p| p.remove(&permission));
+        if !removed {
+            return Err(RbacError::NotGranted { permission, role });
+        }
+        Ok(())
+    }
+
+    // ----- hierarchy administration (ANSI 6.2.1) -----
+
+    /// AddInheritance: establish `senior >= junior`, re-checking every
+    /// SSD set against every user's enlarged authorized role set.
+    pub fn add_inheritance(&mut self, senior: RoleId, junior: RoleId) -> Result<(), RbacError> {
+        self.require_role(senior)?;
+        self.require_role(junior)?;
+        self.hierarchy.add_inheritance(senior, junior)?;
+        // The edge may widen authorized sets; verify SSD still holds.
+        let users: Vec<UserId> = self.users.keys().copied().collect();
+        for user in users {
+            let authorized = self.authorized_roles(user);
+            if let Some(set) = self.first_violated_ssd(&authorized) {
+                self.hierarchy
+                    .delete_inheritance(senior, junior)
+                    .expect("edge was just added");
+                return Err(RbacError::SsdViolation { set, user });
+            }
+        }
+        Ok(())
+    }
+
+    /// DeleteInheritance: remove the immediate edge `senior >= junior`.
+    /// Sessions keep only roles their user is still authorized for.
+    pub fn delete_inheritance(&mut self, senior: RoleId, junior: RoleId) -> Result<(), RbacError> {
+        self.require_role(senior)?;
+        self.require_role(junior)?;
+        self.hierarchy.delete_inheritance(senior, junior)?;
+        let mut authorized_cache: HashMap<UserId, HashSet<RoleId>> = HashMap::new();
+        let users: Vec<UserId> = self.sessions.values().map(|s| s.user).collect();
+        for user in users {
+            authorized_cache.entry(user).or_insert_with(|| self.authorized_roles(user));
+        }
+        for s in self.sessions.values_mut() {
+            if let Some(authorized) = authorized_cache.get(&s.user) {
+                s.active_roles.retain(|r| authorized.contains(r));
+            }
+        }
+        Ok(())
+    }
+
+    /// AddAscendant: create a new role that inherits `junior`.
+    pub fn add_ascendant(
+        &mut self,
+        name: impl Into<String>,
+        junior: RoleId,
+    ) -> Result<RoleId, RbacError> {
+        self.require_role(junior)?;
+        let senior = self.add_role(name)?;
+        match self.add_inheritance(senior, junior) {
+            Ok(()) => Ok(senior),
+            Err(e) => {
+                self.delete_role(senior).expect("role was just added");
+                Err(e)
+            }
+        }
+    }
+
+    /// AddDescendant: create a new role inherited by `senior`.
+    pub fn add_descendant(
+        &mut self,
+        name: impl Into<String>,
+        senior: RoleId,
+    ) -> Result<RoleId, RbacError> {
+        self.require_role(senior)?;
+        let junior = self.add_role(name)?;
+        match self.add_inheritance(senior, junior) {
+            Ok(()) => Ok(junior),
+            Err(e) => {
+                self.delete_role(junior).expect("role was just added");
+                Err(e)
+            }
+        }
+    }
+
+    // ----- SSD administration (ANSI 6.3.1) -----
+
+    /// CreateSsdSet: create a named SSD role set with cardinality,
+    /// verifying no existing user already violates it.
+    pub fn create_ssd_set(
+        &mut self,
+        name: impl Into<String>,
+        roles: impl IntoIterator<Item = RoleId>,
+        cardinality: usize,
+    ) -> Result<SodSetId, RbacError> {
+        let name = name.into();
+        self.ssd.check_name_free(&name)?;
+        let roles: BTreeSet<RoleId> = roles.into_iter().collect();
+        for &r in &roles {
+            self.require_role(r)?;
+        }
+        let set = SodSet::new(name, roles, cardinality)?;
+        if let Some(user) = self.users.keys().copied().find(|&u| {
+            let authorized = self.authorized_roles(u);
+            set.violated_by(&authorized)
+        }) {
+            // Not yet inserted, so report with a placeholder id-less error:
+            return Err(RbacError::SsdViolation { set: SodSetId::from_raw(u64::MAX), user });
+        }
+        let id = SodSetId::from_raw(self.idgen.next());
+        self.ssd.sets.insert(id, set);
+        Ok(id)
+    }
+
+    /// DeleteSsdSet.
+    pub fn delete_ssd_set(&mut self, set: SodSetId) -> Result<(), RbacError> {
+        self.ssd.sets.remove(&set).map(|_| ()).ok_or(RbacError::UnknownSodSet(set))
+    }
+
+    /// AddSsdRoleMember: grow a set, re-verifying all users.
+    pub fn add_ssd_role_member(&mut self, set: SodSetId, role: RoleId) -> Result<(), RbacError> {
+        self.require_role(role)?;
+        let s = self.ssd.get(set)?;
+        if s.roles.contains(&role) {
+            return Err(RbacError::AlreadySodMember { set, role });
+        }
+        let mut candidate = s.clone();
+        candidate.roles.insert(role);
+        if let Some(user) = self.users.keys().copied().find(|&u| {
+            let authorized = self.authorized_roles(u);
+            candidate.violated_by(&authorized)
+        }) {
+            return Err(RbacError::SsdViolation { set, user });
+        }
+        self.ssd.get_mut(set)?.roles.insert(role);
+        Ok(())
+    }
+
+    /// DeleteSsdRoleMember: shrink a set (must keep >= 2 members and a
+    /// valid cardinality).
+    pub fn delete_ssd_role_member(&mut self, set: SodSetId, role: RoleId) -> Result<(), RbacError> {
+        let s = self.ssd.get(set)?;
+        if !s.roles.contains(&role) {
+            return Err(RbacError::NotSodMember { set, role });
+        }
+        validate_cardinality(s.cardinality.min(s.roles.len() - 1), s.roles.len() - 1)?;
+        let s = self.ssd.get_mut(set)?;
+        s.roles.remove(&role);
+        s.cardinality = s.cardinality.min(s.roles.len());
+        Ok(())
+    }
+
+    /// SetSsdSetCardinality, re-verifying all users when it shrinks.
+    pub fn set_ssd_set_cardinality(
+        &mut self,
+        set: SodSetId,
+        cardinality: usize,
+    ) -> Result<(), RbacError> {
+        let s = self.ssd.get(set)?;
+        validate_cardinality(cardinality, s.roles.len())?;
+        let mut candidate = s.clone();
+        candidate.cardinality = cardinality;
+        if let Some(user) = self.users.keys().copied().find(|&u| {
+            let authorized = self.authorized_roles(u);
+            candidate.violated_by(&authorized)
+        }) {
+            return Err(RbacError::SsdViolation { set, user });
+        }
+        self.ssd.get_mut(set)?.cardinality = cardinality;
+        Ok(())
+    }
+
+    // ----- DSD administration (ANSI 6.4.1) -----
+
+    /// CreateDsdSet: create a named DSD role set with cardinality.
+    /// Existing sessions are re-checked; creation fails if any session
+    /// already violates the prospective constraint.
+    pub fn create_dsd_set(
+        &mut self,
+        name: impl Into<String>,
+        roles: impl IntoIterator<Item = RoleId>,
+        cardinality: usize,
+    ) -> Result<SodSetId, RbacError> {
+        let name = name.into();
+        self.dsd.check_name_free(&name)?;
+        let roles: BTreeSet<RoleId> = roles.into_iter().collect();
+        for &r in &roles {
+            self.require_role(r)?;
+        }
+        let set = SodSet::new(name, roles, cardinality)?;
+        if let Some((&sid, s)) =
+            self.sessions.iter().find(|(_, s)| set.violated_by(&s.active_roles))
+        {
+            return Err(RbacError::DsdViolation {
+                set: SodSetId::from_raw(u64::MAX),
+                session: sid,
+                role: *s.active_roles.iter().next().expect("violating session has roles"),
+            });
+        }
+        let id = SodSetId::from_raw(self.idgen.next());
+        self.dsd.sets.insert(id, set);
+        Ok(id)
+    }
+
+    /// DeleteDsdSet.
+    pub fn delete_dsd_set(&mut self, set: SodSetId) -> Result<(), RbacError> {
+        self.dsd.sets.remove(&set).map(|_| ()).ok_or(RbacError::UnknownSodSet(set))
+    }
+
+    // ----- supporting system functions (ANSI 6.1.2) -----
+
+    /// CreateSession: open a session for `user` with an initial set of
+    /// active roles (each must pass authorization and DSD checks).
+    pub fn create_session(
+        &mut self,
+        user: UserId,
+        roles: impl IntoIterator<Item = RoleId>,
+    ) -> Result<SessionId, RbacError> {
+        self.require_user(user)?;
+        let id = SessionId::from_raw(self.idgen.next());
+        self.sessions.insert(id, Session { user, active_roles: BTreeSet::new() });
+        for role in roles {
+            if let Err(e) = self.add_active_role(user, id, role) {
+                self.sessions.remove(&id);
+                return Err(e);
+            }
+        }
+        Ok(id)
+    }
+
+    /// DeleteSession.
+    pub fn delete_session(&mut self, user: UserId, session: SessionId) -> Result<(), RbacError> {
+        let s = self.sessions.get(&session).ok_or(RbacError::UnknownSession(session))?;
+        if s.user != user {
+            return Err(RbacError::SessionUserMismatch { session, user });
+        }
+        self.sessions.remove(&session);
+        Ok(())
+    }
+
+    /// AddActiveRole: activate a role in a session. The user must be
+    /// *authorized* for the role (assigned to it or to a senior of it),
+    /// and no DSD set may end up with `cardinality` or more of its roles
+    /// active in this session.
+    pub fn add_active_role(
+        &mut self,
+        user: UserId,
+        session: SessionId,
+        role: RoleId,
+    ) -> Result<(), RbacError> {
+        self.require_user(user)?;
+        self.require_role(role)?;
+        let s = self.sessions.get(&session).ok_or(RbacError::UnknownSession(session))?;
+        if s.user != user {
+            return Err(RbacError::SessionUserMismatch { session, user });
+        }
+        if s.active_roles.contains(&role) {
+            return Err(RbacError::AlreadyActive { session, role });
+        }
+        if !self.authorized_roles(user).contains(&role) {
+            return Err(RbacError::NotAuthorized { user, role });
+        }
+        let mut prospective = s.active_roles.clone();
+        prospective.insert(role);
+        if let Some((&set, _)) =
+            self.dsd.sets.iter().find(|(_, set)| set.violated_by(&prospective))
+        {
+            return Err(RbacError::DsdViolation { set, session, role });
+        }
+        self.sessions
+            .get_mut(&session)
+            .expect("checked above")
+            .active_roles
+            .insert(role);
+        Ok(())
+    }
+
+    /// DropActiveRole.
+    pub fn drop_active_role(
+        &mut self,
+        user: UserId,
+        session: SessionId,
+        role: RoleId,
+    ) -> Result<(), RbacError> {
+        let s = self.sessions.get_mut(&session).ok_or(RbacError::UnknownSession(session))?;
+        if s.user != user {
+            return Err(RbacError::SessionUserMismatch { session, user });
+        }
+        if !s.active_roles.remove(&role) {
+            return Err(RbacError::NotActive { session, role });
+        }
+        Ok(())
+    }
+
+    /// CheckAccess: whether the session may perform `operation` on
+    /// `object` — i.e. some active role (or one of its juniors) holds the
+    /// permission.
+    pub fn check_access(
+        &self,
+        session: SessionId,
+        operation: &str,
+        object: &str,
+    ) -> Result<bool, RbacError> {
+        let s = self.sessions.get(&session).ok_or(RbacError::UnknownSession(session))?;
+        let Some(&perm) =
+            self.perm_index.get(&Permission::new(operation, object))
+        else {
+            return Ok(false);
+        };
+        Ok(self.roles_hold(&s.active_roles, perm))
+    }
+
+    /// Whether any of `roles` (or their juniors) directly holds `perm`.
+    pub(crate) fn roles_hold(&self, roles: &BTreeSet<RoleId>, perm: PermissionId) -> bool {
+        let mut seen: HashSet<RoleId> = HashSet::new();
+        let mut stack: Vec<RoleId> = roles.iter().copied().collect();
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r) {
+                continue;
+            }
+            if self.pa.get(&r).is_some_and(|p| p.contains(&perm)) {
+                return true;
+            }
+            stack.extend(self.hierarchy.immediate_juniors(r));
+        }
+        false
+    }
+
+    // ----- lookups & helpers -----
+
+    /// Resolve a user by name.
+    pub fn user_by_name(&self, name: &str) -> Option<UserId> {
+        self.user_names.get(name).copied()
+    }
+
+    /// Resolve a role by name.
+    pub fn role_by_name(&self, name: &str) -> Option<RoleId> {
+        self.role_names.get(name).copied()
+    }
+
+    /// Resolve an interned permission.
+    pub fn permission_id(&self, operation: &str, object: &str) -> Option<PermissionId> {
+        self.perm_index.get(&Permission::new(operation, object)).copied()
+    }
+
+    /// The user entity.
+    pub fn user(&self, id: UserId) -> Result<&User, RbacError> {
+        self.users.get(&id).ok_or(RbacError::UnknownUser(id))
+    }
+
+    /// The role entity.
+    pub fn role(&self, id: RoleId) -> Result<&Role, RbacError> {
+        self.roles.get(&id).ok_or(RbacError::UnknownRole(id))
+    }
+
+    /// The permission entity.
+    pub fn permission(&self, id: PermissionId) -> Result<&Permission, RbacError> {
+        self.perms.get(&id).ok_or(RbacError::UnknownPermission(id))
+    }
+
+    /// The session entity.
+    pub fn session(&self, id: SessionId) -> Result<&Session, RbacError> {
+        self.sessions.get(&id).ok_or(RbacError::UnknownSession(id))
+    }
+
+    /// The role hierarchy (read-only).
+    pub fn hierarchy(&self) -> &RoleHierarchy {
+        &self.hierarchy
+    }
+
+    /// An SSD set by id.
+    pub fn ssd_set(&self, id: SodSetId) -> Result<&SodSet, RbacError> {
+        self.ssd.get(id)
+    }
+
+    /// A DSD set by id.
+    pub fn dsd_set(&self, id: SodSetId) -> Result<&SodSet, RbacError> {
+        self.dsd.get(id)
+    }
+
+    /// Iterate all SSD sets.
+    pub fn ssd_sets(&self) -> impl Iterator<Item = (SodSetId, &SodSet)> {
+        self.ssd.sets.iter().map(|(&id, s)| (id, s))
+    }
+
+    /// Iterate all DSD sets.
+    pub fn dsd_sets(&self) -> impl Iterator<Item = (SodSetId, &SodSet)> {
+        self.dsd.sets.iter().map(|(&id, s)| (id, s))
+    }
+
+    fn require_user(&self, id: UserId) -> Result<(), RbacError> {
+        if self.users.contains_key(&id) {
+            Ok(())
+        } else {
+            Err(RbacError::UnknownUser(id))
+        }
+    }
+
+    fn require_role(&self, id: RoleId) -> Result<(), RbacError> {
+        if self.roles.contains_key(&id) {
+            Ok(())
+        } else {
+            Err(RbacError::UnknownRole(id))
+        }
+    }
+
+    fn require_perm(&self, id: PermissionId) -> Result<(), RbacError> {
+        if self.perms.contains_key(&id) {
+            Ok(())
+        } else {
+            Err(RbacError::UnknownPermission(id))
+        }
+    }
+
+    fn first_violated_ssd(&self, authorized: &HashSet<RoleId>) -> Option<SodSetId> {
+        self.ssd
+            .sets
+            .iter()
+            .find(|(_, set)| set.violated_by(authorized))
+            .map(|(&id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> (Rbac, UserId, RoleId, RoleId) {
+        let mut sys = Rbac::default();
+        let alice = sys.add_user("alice").unwrap();
+        let teller = sys.add_role("Teller").unwrap();
+        let auditor = sys.add_role("Auditor").unwrap();
+        (sys, alice, teller, auditor)
+    }
+
+    #[test]
+    fn add_and_delete_entities() {
+        let (mut sys, alice, teller, _) = base();
+        assert_eq!(sys.user_by_name("alice"), Some(alice));
+        assert_eq!(sys.role_by_name("Teller"), Some(teller));
+        assert!(matches!(sys.add_user("alice"), Err(RbacError::DuplicateUserName(_))));
+        assert!(matches!(sys.add_role("Teller"), Err(RbacError::DuplicateRoleName(_))));
+        sys.delete_user(alice).unwrap();
+        assert!(sys.user_by_name("alice").is_none());
+        assert!(matches!(sys.delete_user(alice), Err(RbacError::UnknownUser(_))));
+        sys.delete_role(teller).unwrap();
+        assert!(sys.role_by_name("Teller").is_none());
+    }
+
+    #[test]
+    fn assign_and_deassign() {
+        let (mut sys, alice, teller, _) = base();
+        sys.assign_user(alice, teller).unwrap();
+        assert!(matches!(
+            sys.assign_user(alice, teller),
+            Err(RbacError::AlreadyAssigned { .. })
+        ));
+        sys.deassign_user(alice, teller).unwrap();
+        assert!(matches!(
+            sys.deassign_user(alice, teller),
+            Err(RbacError::NotAssigned { .. })
+        ));
+    }
+
+    #[test]
+    fn grant_check_access() {
+        let (mut sys, alice, teller, _) = base();
+        sys.assign_user(alice, teller).unwrap();
+        let p = sys.add_permission("handleCash", "till");
+        sys.grant_permission(p, teller).unwrap();
+        let session = sys.create_session(alice, [teller]).unwrap();
+        assert!(sys.check_access(session, "handleCash", "till").unwrap());
+        assert!(!sys.check_access(session, "audit", "books").unwrap());
+        sys.drop_active_role(alice, session, teller).unwrap();
+        assert!(!sys.check_access(session, "handleCash", "till").unwrap());
+    }
+
+    #[test]
+    fn permission_interning_idempotent() {
+        let mut sys = Rbac::default();
+        let a = sys.add_permission("op", "obj");
+        let b = sys.add_permission("op", "obj");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_requires_authorization() {
+        let (mut sys, alice, teller, auditor) = base();
+        sys.assign_user(alice, teller).unwrap();
+        assert!(matches!(
+            sys.create_session(alice, [auditor]),
+            Err(RbacError::NotAuthorized { .. })
+        ));
+        // Failed creation must not leave a half-open session.
+        assert_eq!(sys.sessions.len(), 0);
+    }
+
+    #[test]
+    fn hierarchy_grants_junior_permissions() {
+        let (mut sys, alice, teller, _) = base();
+        let head = sys.add_role("HeadTeller").unwrap();
+        sys.add_inheritance(head, teller).unwrap();
+        let p = sys.add_permission("handleCash", "till");
+        sys.grant_permission(p, teller).unwrap();
+        sys.assign_user(alice, head).unwrap();
+        // Activating the senior role suffices.
+        let session = sys.create_session(alice, [head]).unwrap();
+        assert!(sys.check_access(session, "handleCash", "till").unwrap());
+        // The user is also authorized to activate the junior directly.
+        sys.add_active_role(alice, session, teller).unwrap();
+    }
+
+    #[test]
+    fn ssd_blocks_assignment() {
+        let (mut sys, alice, teller, auditor) = base();
+        sys.create_ssd_set("bank", [teller, auditor], 2).unwrap();
+        sys.assign_user(alice, teller).unwrap();
+        assert!(matches!(
+            sys.assign_user(alice, auditor),
+            Err(RbacError::SsdViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn ssd_blocks_via_hierarchy() {
+        let (mut sys, alice, teller, auditor) = base();
+        sys.create_ssd_set("bank", [teller, auditor], 2).unwrap();
+        let boss = sys.add_role("Boss").unwrap();
+        sys.add_inheritance(boss, teller).unwrap();
+        sys.assign_user(alice, boss).unwrap(); // authorized for teller
+        assert!(matches!(
+            sys.assign_user(alice, auditor),
+            Err(RbacError::SsdViolation { .. })
+        ));
+        // Adding an edge that would make boss >= auditor must also fail.
+        assert!(matches!(
+            sys.add_inheritance(boss, auditor),
+            Err(RbacError::SsdViolation { .. })
+        ));
+        // ...and the failed edge must have been rolled back.
+        assert!(!sys.hierarchy().descends(boss, auditor));
+    }
+
+    #[test]
+    fn ssd_create_rejects_existing_violation() {
+        let (mut sys, alice, teller, auditor) = base();
+        sys.assign_user(alice, teller).unwrap();
+        sys.assign_user(alice, auditor).unwrap();
+        assert!(matches!(
+            sys.create_ssd_set("bank", [teller, auditor], 2),
+            Err(RbacError::SsdViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn dsd_blocks_simultaneous_activation_only() {
+        let (mut sys, alice, teller, auditor) = base();
+        sys.create_dsd_set("bank", [teller, auditor], 2).unwrap();
+        sys.assign_user(alice, teller).unwrap();
+        sys.assign_user(alice, auditor).unwrap(); // DSD allows holding both
+        let session = sys.create_session(alice, [teller]).unwrap();
+        assert!(matches!(
+            sys.add_active_role(alice, session, auditor),
+            Err(RbacError::DsdViolation { .. })
+        ));
+        // But sequential activation in different sessions is allowed —
+        // exactly the gap Example 1 of the MSoD paper exploits.
+        let s2 = sys.create_session(alice, [auditor]).unwrap();
+        assert!(sys.session(s2).is_ok());
+    }
+
+    #[test]
+    fn dsd_create_rejects_violating_session() {
+        let (mut sys, alice, teller, auditor) = base();
+        sys.assign_user(alice, teller).unwrap();
+        sys.assign_user(alice, auditor).unwrap();
+        let _s = sys.create_session(alice, [teller, auditor]).unwrap();
+        assert!(sys.create_dsd_set("bank", [teller, auditor], 2).is_err());
+    }
+
+    #[test]
+    fn deassign_prunes_sessions() {
+        let (mut sys, alice, teller, _) = base();
+        sys.assign_user(alice, teller).unwrap();
+        let session = sys.create_session(alice, [teller]).unwrap();
+        sys.deassign_user(alice, teller).unwrap();
+        assert!(sys.session(session).unwrap().active_roles.is_empty());
+    }
+
+    #[test]
+    fn delete_role_prunes_everything() {
+        let (mut sys, alice, teller, auditor) = base();
+        sys.assign_user(alice, teller).unwrap();
+        let p = sys.add_permission("x", "y");
+        sys.grant_permission(p, teller).unwrap();
+        sys.create_ssd_set("bank", [teller, auditor], 2).unwrap();
+        let session = sys.create_session(alice, [teller]).unwrap();
+        sys.delete_role(teller).unwrap();
+        assert!(sys.session(session).unwrap().active_roles.is_empty());
+        assert_eq!(sys.ssd_sets().count(), 0); // set fell below 2 members
+        // Alice can now be assigned auditor freely.
+        sys.assign_user(alice, auditor).unwrap();
+    }
+
+    #[test]
+    fn session_user_mismatch() {
+        let (mut sys, alice, teller, _) = base();
+        let bob = sys.add_user("bob").unwrap();
+        sys.assign_user(alice, teller).unwrap();
+        let session = sys.create_session(alice, [teller]).unwrap();
+        assert!(matches!(
+            sys.delete_session(bob, session),
+            Err(RbacError::SessionUserMismatch { .. })
+        ));
+        assert!(matches!(
+            sys.drop_active_role(bob, session, teller),
+            Err(RbacError::SessionUserMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ascendant_descendant() {
+        let (mut sys, _, teller, _) = base();
+        let head = sys.add_ascendant("HeadTeller", teller).unwrap();
+        assert!(sys.hierarchy().descends(head, teller));
+        let trainee = sys.add_descendant("Trainee", teller).unwrap();
+        assert!(sys.hierarchy().descends(teller, trainee));
+        assert!(sys.hierarchy().descends(head, trainee));
+    }
+
+    #[test]
+    fn deleting_inheritance_prunes_sessions() {
+        let (mut sys, alice, teller, _) = base();
+        let head = sys.add_role("HeadTeller").unwrap();
+        sys.add_inheritance(head, teller).unwrap();
+        sys.assign_user(alice, head).unwrap();
+        let session = sys.create_session(alice, [head, teller]).unwrap();
+        assert_eq!(sys.session_roles(session).unwrap().len(), 2);
+        // Removing the edge revokes alice's authorization for teller;
+        // the active session must lose the role.
+        sys.delete_inheritance(head, teller).unwrap();
+        let roles = sys.session_roles(session).unwrap();
+        assert!(roles.contains(&head));
+        assert!(!roles.contains(&teller));
+    }
+
+    #[test]
+    fn delete_user_closes_their_sessions() {
+        let (mut sys, alice, teller, _) = base();
+        sys.assign_user(alice, teller).unwrap();
+        let session = sys.create_session(alice, [teller]).unwrap();
+        sys.delete_user(alice).unwrap();
+        assert!(matches!(sys.session(session), Err(RbacError::UnknownSession(_))));
+    }
+
+    #[test]
+    fn ssd_cardinality_management() {
+        let (mut sys, _, teller, auditor) = base();
+        let clerk = sys.add_role("Clerk").unwrap();
+        let set = sys.create_ssd_set("s", [teller, auditor, clerk], 3).unwrap();
+        sys.set_ssd_set_cardinality(set, 2).unwrap();
+        assert!(matches!(
+            sys.set_ssd_set_cardinality(set, 4),
+            Err(RbacError::InvalidCardinality { .. })
+        ));
+        sys.delete_ssd_role_member(set, clerk).unwrap();
+        assert_eq!(sys.ssd_set(set).unwrap().roles().len(), 2);
+        // Can't shrink below 2 members.
+        assert!(sys.delete_ssd_role_member(set, auditor).is_err());
+        sys.add_ssd_role_member(set, clerk).unwrap();
+        assert!(matches!(
+            sys.add_ssd_role_member(set, clerk),
+            Err(RbacError::AlreadySodMember { .. })
+        ));
+        sys.delete_ssd_set(set).unwrap();
+        assert!(matches!(sys.delete_ssd_set(set), Err(RbacError::UnknownSodSet(_))));
+    }
+}

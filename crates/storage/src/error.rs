@@ -1,0 +1,52 @@
+//! Storage error type.
+
+use std::fmt;
+
+/// Errors from the persistent retained-ADI store.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A frame failed its CRC check (corruption mid-file; trailing
+    /// partial frames after a crash are tolerated silently).
+    CorruptFrame {
+        /// Byte offset into the input.
+        offset: u64,
+    },
+    /// A frame decoded to a structurally invalid operation.
+    BadOp {
+        /// Byte offset into the input.
+        offset: u64,
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::CorruptFrame { offset } => {
+                write!(f, "corrupt frame at byte offset {offset}")
+            }
+            StorageError::BadOp { offset, reason } => {
+                write!(f, "invalid operation at byte offset {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}

@@ -1,0 +1,264 @@
+//! Framed, CRC-protected append-only operation log.
+//!
+//! Frame layout: `[u32 len][payload: len bytes][u32 crc32(payload)]`,
+//! all little-endian. On open, frames are replayed in order; a trailing
+//! partial frame (torn write after a crash) is truncated away, while a
+//! CRC mismatch on a complete frame is reported as corruption.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::BufMut;
+
+use crate::crc::crc32;
+use crate::error::StorageError;
+
+/// An append-only log of opaque byte payloads.
+pub struct OpLog {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// Number of frames currently in the file.
+    frames: u64,
+}
+
+impl std::fmt::Debug for OpLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpLog")
+            .field("path", &self.path)
+            .field("frames", &self.frames)
+            .finish()
+    }
+}
+
+impl OpLog {
+    /// Open (creating if absent) the log at `path`, replaying every
+    /// intact frame through `visitor`. A torn trailing frame is
+    /// truncated; corruption in the middle is an error.
+    pub fn open(
+        path: impl AsRef<Path>,
+        mut visitor: impl FnMut(&[u8]),
+    ) -> Result<Self, StorageError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
+        let mut data = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut data)?;
+
+        let mut offset = 0usize;
+        let mut valid_end = 0usize;
+        let mut frames = 0u64;
+        while offset + 4 <= data.len() {
+            let len =
+                u32::from_le_bytes([data[offset], data[offset + 1], data[offset + 2], data[offset + 3]])
+                    as usize;
+            let frame_end = offset + 4 + len + 4;
+            if frame_end > data.len() {
+                break; // torn trailing frame
+            }
+            let payload = &data[offset + 4..offset + 4 + len];
+            let stored_crc = u32::from_le_bytes([
+                data[frame_end - 4],
+                data[frame_end - 3],
+                data[frame_end - 2],
+                data[frame_end - 1],
+            ]);
+            if crc32(payload) != stored_crc {
+                // A bad CRC on the *last* complete frame is treated as a
+                // torn write too; earlier ones are hard corruption.
+                if frame_end == data.len() {
+                    break;
+                }
+                return Err(StorageError::CorruptFrame { offset: offset as u64 });
+            }
+            visitor(payload);
+            frames += 1;
+            offset = frame_end;
+            valid_end = frame_end;
+        }
+        if valid_end < data.len() {
+            file.set_len(valid_end as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(OpLog { path, writer: BufWriter::new(file), frames })
+    }
+
+    /// Append one payload frame.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StorageError> {
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_slice(payload);
+        frame.put_u32_le(crc32(payload));
+        self.writer.write_all(&frame)?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Flush buffered frames to the OS (and fsync).
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Number of frames written (including replayed ones).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Atomically replace the log's contents with `payloads`
+    /// (compaction): writes a sibling temp file, fsyncs, renames.
+    pub fn rewrite<'a>(
+        &mut self,
+        payloads: impl Iterator<Item = &'a [u8]>,
+    ) -> Result<(), StorageError> {
+        let tmp_path = self.path.with_extension("compact-tmp");
+        let mut frames = 0u64;
+        {
+            let tmp = File::create(&tmp_path)?;
+            let mut w = BufWriter::new(tmp);
+            for payload in payloads {
+                let mut frame = Vec::with_capacity(payload.len() + 8);
+                frame.put_u32_le(payload.len() as u32);
+                frame.put_slice(payload);
+                frame.put_u32_le(crc32(payload));
+                w.write_all(&frame)?;
+                frames += 1;
+            }
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        // Close the old writer before replacing the file.
+        self.writer.flush()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+        let file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        self.frames = frames;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("oplog-{}-{tag}.log", std::process::id()))
+    }
+
+    fn collect_open(path: &Path) -> (OpLog, Vec<Vec<u8>>) {
+        let mut seen = Vec::new();
+        let log = OpLog::open(path, |p| seen.push(p.to_vec())).unwrap();
+        (log, seen)
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = temp_path("basic");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = OpLog::open(&path, |_| {}).unwrap();
+            log.append(b"one").unwrap();
+            log.append(b"two").unwrap();
+            log.append(b"").unwrap();
+            log.sync().unwrap();
+        }
+        let (log, seen) = collect_open(&path);
+        assert_eq!(seen, vec![b"one".to_vec(), b"two".to_vec(), vec![]]);
+        assert_eq!(log.frames(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_frame_truncated() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = OpLog::open(&path, |_| {}).unwrap();
+            log.append(b"keep").unwrap();
+            log.append(b"lost").unwrap();
+            log.sync().unwrap();
+        }
+        // Chop the last 3 bytes: the second frame becomes torn.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let (mut log, seen) = collect_open(&path);
+        assert_eq!(seen, vec![b"keep".to_vec()]);
+        // Appending after truncation keeps the log consistent.
+        log.append(b"new").unwrap();
+        log.sync().unwrap();
+        drop(log);
+        let (_, seen) = collect_open(&path);
+        assert_eq!(seen, vec![b"keep".to_vec(), b"new".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_detected() {
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = OpLog::open(&path, |_| {}).unwrap();
+            log.append(b"aaaa").unwrap();
+            log.append(b"bbbb").unwrap();
+            log.sync().unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        data[5] ^= 0xff; // inside the first payload
+        std::fs::write(&path, &data).unwrap();
+        let err = OpLog::open(&path, |_| {}).unwrap_err();
+        assert!(matches!(err, StorageError::CorruptFrame { offset: 0 }));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_final_frame_treated_as_torn() {
+        let path = temp_path("tail-corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = OpLog::open(&path, |_| {}).unwrap();
+            log.append(b"good").unwrap();
+            log.append(b"bad!").unwrap();
+            log.sync().unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 6] ^= 0xff; // inside last payload
+        std::fs::write(&path, &data).unwrap();
+        let (_, seen) = collect_open(&path);
+        assert_eq!(seen, vec![b"good".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rewrite_compacts() {
+        let path = temp_path("rewrite");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = OpLog::open(&path, |_| {}).unwrap();
+            for i in 0..100u32 {
+                log.append(&i.to_le_bytes()).unwrap();
+            }
+            log.sync().unwrap();
+            let keep: Vec<Vec<u8>> = vec![b"x".to_vec(), b"y".to_vec()];
+            log.rewrite(keep.iter().map(|v| v.as_slice())).unwrap();
+            assert_eq!(log.frames(), 2);
+            // The log stays appendable after compaction.
+            log.append(b"z").unwrap();
+            log.sync().unwrap();
+        }
+        let (_, seen) = collect_open(&path);
+        assert_eq!(seen, vec![b"x".to_vec(), b"y".to_vec(), b"z".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,151 @@
+//! The Crampton anti-role baseline \[18\] (paper §6 comparison).
+//!
+//! Crampton enforces SoD constraints by associating each user with an
+//! **anti-role**: a growing blacklist of prohibitions acquired when the
+//! user exercises a conflicting permission. Implementations are told to
+//! "periodically purge the assignments of sanitized permissions" to
+//! delete the anti-role effect.
+//!
+//! The paper's criticism, demonstrated by experiment E11: with no
+//! business-context scoping, (a) the blacklists grow without bound
+//! until a purge, and (b) a purge is all-or-nothing — it cannot end one
+//! audit period (or one tax-refund instance) without also forgetting
+//! every other live constraint, whereas MSoD's last-step purge is
+//! exactly scoped.
+
+use std::collections::{HashMap, HashSet};
+
+use msod::RoleRef;
+
+/// A mutual-exclusion rule: acting in any role of the set prohibits the
+/// user from every *other* role of the set (globally — anti-roles have
+/// no context dimension).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExclusionRule {
+    /// The roles involved.
+    pub roles: Vec<RoleRef>,
+}
+
+/// The anti-role enforcer.
+#[derive(Debug, Clone, Default)]
+pub struct AntiRoleEnforcer {
+    rules: Vec<ExclusionRule>,
+    /// user -> prohibited roles (the user's anti-role).
+    prohibitions: HashMap<String, HashSet<RoleRef>>,
+}
+
+impl AntiRoleEnforcer {
+    /// New enforcer with no rules.
+    pub fn new() -> Self {
+        AntiRoleEnforcer::default()
+    }
+
+    /// Add a mutual-exclusion rule.
+    pub fn add_rule(&mut self, roles: Vec<RoleRef>) {
+        self.rules.push(ExclusionRule { roles });
+    }
+
+    /// Whether `user` may act in `role` (not on their blacklist).
+    pub fn permits(&self, user: &str, role: &RoleRef) -> bool {
+        !self.prohibitions.get(user).is_some_and(|p| p.contains(role))
+    }
+
+    /// Record that `user` acted in `role`: every conflicting role joins
+    /// the user's anti-role.
+    pub fn observe(&mut self, user: &str, role: &RoleRef) {
+        for rule in &self.rules {
+            if rule.roles.contains(role) {
+                let anti = self.prohibitions.entry(user.to_owned()).or_default();
+                for r in &rule.roles {
+                    if r != role {
+                        anti.insert(r.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Combined check-and-record, mirroring a PDP decision.
+    pub fn decide(&mut self, user: &str, role: &RoleRef) -> bool {
+        if !self.permits(user, role) {
+            return false;
+        }
+        self.observe(user, role);
+        true
+    }
+
+    /// Total prohibitions across all users (the blacklist footprint
+    /// measured by experiment E11).
+    pub fn total_prohibitions(&self) -> usize {
+        self.prohibitions.values().map(HashSet::len).sum()
+    }
+
+    /// Crampton's periodic purge: delete **all** anti-role state. There
+    /// is no way to purge one business-context instance only.
+    pub fn periodic_purge(&mut self) {
+        self.prohibitions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rr(v: &str) -> RoleRef {
+        RoleRef::new("employee", v)
+    }
+
+    #[test]
+    fn basic_exclusion() {
+        let mut e = AntiRoleEnforcer::new();
+        e.add_rule(vec![rr("Teller"), rr("Auditor")]);
+        assert!(e.decide("alice", &rr("Teller")));
+        assert!(!e.decide("alice", &rr("Auditor")));
+        assert!(e.decide("bob", &rr("Auditor")));
+        assert!(!e.decide("bob", &rr("Teller")));
+        // Repeating the same role is fine.
+        assert!(e.decide("alice", &rr("Teller")));
+    }
+
+    #[test]
+    fn purge_is_all_or_nothing() {
+        let mut e = AntiRoleEnforcer::new();
+        e.add_rule(vec![rr("Teller"), rr("Auditor")]);
+        e.add_rule(vec![rr("Preparer"), rr("Confirmer")]);
+        e.decide("alice", &rr("Teller"));
+        e.decide("carol", &rr("Preparer"));
+        assert_eq!(e.total_prohibitions(), 2);
+        // We want to end the audit period (forget alice's Teller
+        // history) but keep carol's live tax-refund constraint. The
+        // anti-role scheme cannot: purge drops both.
+        e.periodic_purge();
+        assert_eq!(e.total_prohibitions(), 0);
+        assert!(e.permits("alice", &rr("Auditor"))); // intended
+        assert!(e.permits("carol", &rr("Confirmer"))); // NOT intended!
+    }
+
+    #[test]
+    fn blacklists_grow_without_bound() {
+        let mut e = AntiRoleEnforcer::new();
+        // 50 conflicting pairs; one user touches one role of each pair.
+        for i in 0..50 {
+            e.add_rule(vec![rr(&format!("A{i}")), rr(&format!("B{i}"))]);
+        }
+        for i in 0..50 {
+            assert!(e.decide("workhorse", &rr(&format!("A{i}"))));
+        }
+        assert_eq!(e.total_prohibitions(), 50);
+        // Unlike MSoD, nothing ever shrinks this without a full purge.
+    }
+
+    #[test]
+    fn multi_role_rule() {
+        let mut e = AntiRoleEnforcer::new();
+        e.add_rule(vec![rr("A"), rr("B"), rr("C")]);
+        assert!(e.decide("u", &rr("A")));
+        // Anti-role blacklists B and C immediately (i.e. it can only
+        // express 2-out-of-n exclusion, not general m-out-of-n).
+        assert!(!e.permits("u", &rr("B")));
+        assert!(!e.permits("u", &rr("C")));
+    }
+}

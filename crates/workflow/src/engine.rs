@@ -1,0 +1,302 @@
+//! A process-instance driver over the PERMIS PDP.
+//!
+//! The engine is deliberately *thin*: all SoD enforcement lives in the
+//! PDP's MSoD stage, not here — the paper's point against Bertino et
+//! al. \[12\] is precisely that MSoD needs no knowledge of the workflow.
+//! The engine only sequences tasks and relays PEP requests, carrying the
+//! business-context instance on each one.
+
+use context::ContextInstance;
+use msod::{RetainedAdi, RoleRef};
+use permis::{DecisionOutcome, DecisionRequest, DenyReason, Pdp};
+
+use crate::process::{ProcessDefinition, TaskDef};
+
+/// Result of attempting a task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// The PDP granted; the user's completion is recorded.
+    Granted {
+        /// Whether this grant completed the task.
+        task_complete: bool,
+        /// Whether it completed the whole process.
+        process_complete: bool,
+    },
+    /// The PDP denied.
+    Denied(DenyReason),
+    /// The named task is not currently available (predecessors
+    /// incomplete, task already complete, or unknown id).
+    NotAvailable(String),
+    /// This user already performed this task instance.
+    AlreadyPerformed,
+}
+
+impl AttemptOutcome {
+    /// Whether the attempt was granted.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, AttemptOutcome::Granted { .. })
+    }
+}
+
+/// One live instance of a process.
+#[derive(Debug, Clone)]
+pub struct ProcessRun {
+    def: ProcessDefinition,
+    context: ContextInstance,
+    /// Users who completed each task, by task index.
+    performed: Vec<Vec<String>>,
+}
+
+impl ProcessRun {
+    /// Start an instance of `def` within the business-context instance
+    /// `context` (e.g. `TaxOffice=Kent, taxRefundProcess=77`).
+    pub fn new(def: ProcessDefinition, context: ContextInstance) -> Self {
+        let n = def.tasks.len();
+        ProcessRun { def, context, performed: vec![Vec::new(); n] }
+    }
+
+    /// The instance's business context.
+    pub fn context(&self) -> &ContextInstance {
+        &self.context
+    }
+
+    /// The process definition.
+    pub fn definition(&self) -> &ProcessDefinition {
+        &self.def
+    }
+
+    /// Users who performed a task so far.
+    pub fn performers(&self, task_id: &str) -> &[String] {
+        self.def
+            .task_index(task_id)
+            .map(|i| self.performed[i].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether every task has all its completions.
+    pub fn is_complete(&self) -> bool {
+        self.def
+            .tasks
+            .iter()
+            .zip(&self.performed)
+            .all(|(t, users)| users.len() >= t.completions)
+    }
+
+    /// The first incomplete task, if any.
+    pub fn current_task(&self) -> Option<&TaskDef> {
+        self.def
+            .tasks
+            .iter()
+            .zip(&self.performed)
+            .find(|(t, users)| users.len() < t.completions)
+            .map(|(t, _)| t)
+    }
+
+    fn availability(&self, task_id: &str) -> Result<usize, String> {
+        let Some(idx) = self.def.task_index(task_id) else {
+            return Err(format!("unknown task {task_id:?}"));
+        };
+        // All predecessors complete?
+        for (t, users) in self.def.tasks.iter().zip(&self.performed).take(idx) {
+            if users.len() < t.completions {
+                return Err(format!("task {:?} not complete yet", t.id));
+            }
+        }
+        if self.performed[idx].len() >= self.def.tasks[idx].completions {
+            return Err(format!("task {task_id:?} already complete"));
+        }
+        Ok(idx)
+    }
+
+    /// Attempt `task_id` as `user` holding `role` (a role value typed
+    /// with the PDP policy's role type). The PDP is the sole authority —
+    /// the engine adds only sequencing.
+    pub fn attempt<A: RetainedAdi>(
+        &mut self,
+        pdp: &mut Pdp<A>,
+        task_id: &str,
+        user: &str,
+        timestamp: u64,
+    ) -> AttemptOutcome {
+        let idx = match self.availability(task_id) {
+            Ok(i) => i,
+            Err(msg) => return AttemptOutcome::NotAvailable(msg),
+        };
+        if self.performed[idx].iter().any(|u| u == user) {
+            return AttemptOutcome::AlreadyPerformed;
+        }
+        let task = &self.def.tasks[idx];
+        let role = RoleRef::new(pdp.policy().role_type.clone(), task.required_role.clone());
+        let req = DecisionRequest::with_roles(
+            user,
+            vec![role],
+            task.operation.clone(),
+            task.target.clone(),
+            self.context.clone(),
+            timestamp,
+        );
+        match pdp.decide(&req) {
+            DecisionOutcome::Grant { .. } => {
+                self.performed[idx].push(user.to_owned());
+                AttemptOutcome::Granted {
+                    task_complete: self.performed[idx].len() >= task.completions,
+                    process_complete: self.is_complete(),
+                }
+            }
+            DecisionOutcome::Deny { reason, .. } => AttemptOutcome::Denied(reason),
+        }
+    }
+}
+
+/// The paper's tax-refund policy wrapped in a PDP policy document
+/// (shared by tests, proptests and the baseline-comparison suite).
+pub const TAX_POLICY: &str = r#"<RBACPolicy id="tax" roleType="employee">
+  <SOAPolicy><SOA dn="cn=SOA"/></SOAPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="prepareCheck" targetURI="http://www.myTaxOffice.com/Check">
+      <AllowedRole value="Clerk"/>
+    </TargetAccess>
+    <TargetAccess operation="approve/disapproveCheck" targetURI="http://www.myTaxOffice.com/Check">
+      <AllowedRole value="Manager"/>
+    </TargetAccess>
+    <TargetAccess operation="combineResults" targetURI="http://secret.location.com/results">
+      <AllowedRole value="Manager"/>
+    </TargetAccess>
+    <TargetAccess operation="confirmCheck" targetURI="http://secret.location.com/audit">
+      <AllowedRole value="Clerk"/>
+    </TargetAccess>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="TaxOffice=!, taxRefundProcess=!">
+      <FirstStep operation="prepareCheck" targetURI="http://www.myTaxOffice.com/Check"/>
+      <LastStep operation="confirmCheck" targetURI="http://secret.location.com/audit"/>
+      <MMEP ForbiddenCardinality="2">
+        <Operation value="prepareCheck" target="http://www.myTaxOffice.com/Check"/>
+        <Operation value="confirmCheck" target="http://secret.location.com/audit"/>
+      </MMEP>
+      <MMEP ForbiddenCardinality="2">
+        <Operation value="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+        <Operation value="approve/disapproveCheck" target="http://www.myTaxOffice.com/Check"/>
+        <Operation value="combineResults" target="http://secret.location.com/results"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessDefinition;
+
+    fn setup() -> (Pdp, ProcessRun) {
+        let pdp = Pdp::from_xml(TAX_POLICY, b"key".to_vec()).unwrap();
+        let run = ProcessRun::new(
+            ProcessDefinition::tax_refund(),
+            "TaxOffice=Kent, taxRefundProcess=77".parse().unwrap(),
+        );
+        (pdp, run)
+    }
+
+    #[test]
+    fn happy_path_five_people() {
+        let (mut pdp, mut run) = setup();
+        assert!(run.attempt(&mut pdp, "T1", "carol", 1).is_granted());
+        assert!(run.attempt(&mut pdp, "T2", "mike", 2).is_granted());
+        assert!(run.attempt(&mut pdp, "T2", "mary", 3).is_granted());
+        assert!(run.attempt(&mut pdp, "T3", "max", 4).is_granted());
+        let out = run.attempt(&mut pdp, "T4", "chris", 5);
+        assert_eq!(
+            out,
+            AttemptOutcome::Granted { task_complete: true, process_complete: true }
+        );
+        assert!(run.is_complete());
+        // Last step flushed the instance's retained ADI.
+        assert_eq!(pdp.adi().len(), 0);
+    }
+
+    #[test]
+    fn sequencing_enforced() {
+        let (mut pdp, mut run) = setup();
+        assert!(matches!(
+            run.attempt(&mut pdp, "T2", "mike", 1),
+            AttemptOutcome::NotAvailable(_)
+        ));
+        run.attempt(&mut pdp, "T1", "carol", 2);
+        assert!(matches!(
+            run.attempt(&mut pdp, "T3", "max", 3),
+            AttemptOutcome::NotAvailable(_)
+        ));
+        assert_eq!(run.current_task().unwrap().id, "T2");
+    }
+
+    #[test]
+    fn same_manager_cannot_approve_twice() {
+        let (mut pdp, mut run) = setup();
+        run.attempt(&mut pdp, "T1", "carol", 1);
+        assert!(run.attempt(&mut pdp, "T2", "mike", 2).is_granted());
+        // The engine's distinct-performer rule would also catch it, but
+        // the PDP (MSoD duplicate-privilege) catches it first even if
+        // the engine is bypassed — checked in the minimal-engine test
+        // below. Here the engine reports AlreadyPerformed.
+        assert_eq!(run.attempt(&mut pdp, "T2", "mike", 3), AttemptOutcome::AlreadyPerformed);
+    }
+
+    #[test]
+    fn pdp_not_engine_stops_cross_task_conflicts() {
+        let (mut pdp, mut run) = setup();
+        run.attempt(&mut pdp, "T1", "carol", 1);
+        run.attempt(&mut pdp, "T2", "mike", 2);
+        run.attempt(&mut pdp, "T2", "mary", 3);
+        // Approver mike tries to collect the results: only MSoD stops
+        // him (the engine has no such rule).
+        let out = run.attempt(&mut pdp, "T3", "mike", 4);
+        assert!(matches!(out, AttemptOutcome::Denied(DenyReason::Msod(_))), "{out:?}");
+        // The preparing clerk cannot confirm.
+        run.attempt(&mut pdp, "T3", "max", 5);
+        let out = run.attempt(&mut pdp, "T4", "carol", 6);
+        assert!(matches!(out, AttemptOutcome::Denied(DenyReason::Msod(_))));
+    }
+
+    #[test]
+    fn two_instances_are_independent() {
+        let mut pdp = Pdp::from_xml(TAX_POLICY, b"key".to_vec()).unwrap();
+        let mut run1 = ProcessRun::new(
+            ProcessDefinition::tax_refund(),
+            "TaxOffice=Kent, taxRefundProcess=1".parse().unwrap(),
+        );
+        let mut run2 = ProcessRun::new(
+            ProcessDefinition::tax_refund(),
+            "TaxOffice=Kent, taxRefundProcess=2".parse().unwrap(),
+        );
+        assert!(run1.attempt(&mut pdp, "T1", "carol", 1).is_granted());
+        // Carol can prepare the other instance too.
+        assert!(run2.attempt(&mut pdp, "T1", "carol", 2).is_granted());
+    }
+
+    #[test]
+    fn wrong_role_rbac_denied() {
+        let (mut pdp, mut run) = setup();
+        run.attempt(&mut pdp, "T1", "carol", 1);
+        // T2 requires Manager; the engine sends the task's role, so a
+        // clerk attempting T2 is a policy question: the PDP's RBAC layer
+        // sees role=Manager claimed — simulate a direct PEP bypass
+        // instead, with the wrong role.
+        let req = DecisionRequest::with_roles(
+            "carol",
+            vec![RoleRef::new("employee", "Clerk")],
+            "approve/disapproveCheck",
+            "http://www.myTaxOffice.com/Check",
+            run.context().clone(),
+            2,
+        );
+        assert_eq!(pdp.decide(&req).deny_reason(), Some(&DenyReason::RbacDenied));
+    }
+
+    #[test]
+    fn performers_tracked() {
+        let (mut pdp, mut run) = setup();
+        run.attempt(&mut pdp, "T1", "carol", 1);
+        assert_eq!(run.performers("T1"), ["carol"]);
+        assert!(run.performers("T9").is_empty());
+    }
+}

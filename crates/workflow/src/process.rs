@@ -1,0 +1,104 @@
+//! Business-process definitions.
+//!
+//! A process is an ordered list of tasks; each task names the operation,
+//! target and required role, and how many *completions* (grants by
+//! distinct performers) it needs — Example 2's task T2 "should be
+//! performed in parallel twice by two different managers".
+
+/// One task of a business process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskDef {
+    /// Short identifier ("T1").
+    pub id: String,
+    /// Human-readable description.
+    pub name: String,
+    /// The operation the task invokes.
+    pub operation: String,
+    /// The target it is invoked on.
+    pub target: String,
+    /// The role (value) required to perform it.
+    pub required_role: String,
+    /// Number of grants by distinct users needed to complete the task.
+    pub completions: usize,
+}
+
+/// An ordered business process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessDefinition {
+    /// Process name, also the business-context type of its instances
+    /// (e.g. `taxRefundProcess`).
+    pub name: String,
+    /// The ordered tasks of the process.
+    pub tasks: Vec<TaskDef>,
+}
+
+impl ProcessDefinition {
+    /// Look up a task by id.
+    pub fn task(&self, id: &str) -> Option<&TaskDef> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// Index of a task by id.
+    pub fn task_index(&self, id: &str) -> Option<usize> {
+        self.tasks.iter().position(|t| t.id == id)
+    }
+
+    /// The tax-refund process of the paper's Example 2, verbatim:
+    /// four sequential tasks, T2 performed twice by different managers.
+    pub fn tax_refund() -> Self {
+        let check = "http://www.myTaxOffice.com/Check";
+        ProcessDefinition {
+            name: "taxRefundProcess".into(),
+            tasks: vec![
+                TaskDef {
+                    id: "T1".into(),
+                    name: "clerk prepares a check for a tax refund".into(),
+                    operation: "prepareCheck".into(),
+                    target: check.into(),
+                    required_role: "Clerk".into(),
+                    completions: 1,
+                },
+                TaskDef {
+                    id: "T2".into(),
+                    name: "two managers approve or disapprove the check".into(),
+                    operation: "approve/disapproveCheck".into(),
+                    target: check.into(),
+                    required_role: "Manager".into(),
+                    completions: 2,
+                },
+                TaskDef {
+                    id: "T3".into(),
+                    name: "a different manager collects the decisions".into(),
+                    operation: "combineResults".into(),
+                    target: "http://secret.location.com/results".into(),
+                    required_role: "Manager".into(),
+                    completions: 1,
+                },
+                TaskDef {
+                    id: "T4".into(),
+                    name: "a different clerk issues or voids the check".into(),
+                    operation: "confirmCheck".into(),
+                    target: "http://secret.location.com/audit".into(),
+                    required_role: "Clerk".into(),
+                    completions: 1,
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tax_refund_shape() {
+        let p = ProcessDefinition::tax_refund();
+        assert_eq!(p.tasks.len(), 4);
+        assert_eq!(p.task("T2").unwrap().completions, 2);
+        assert_eq!(p.task_index("T4"), Some(3));
+        assert!(p.task("T9").is_none());
+        assert_eq!(p.task("T1").unwrap().required_role, "Clerk");
+        assert_eq!(p.task("T3").unwrap().required_role, "Manager");
+    }
+}

@@ -1,0 +1,292 @@
+//! Error types for XML parsing, writing and schema validation.
+
+use std::fmt;
+
+/// Position of an error within an XML document (1-based line/column,
+/// 0-based byte offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 0-based byte offset into the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes from the start of the line).
+    pub column: u32,
+}
+
+impl Pos {
+    /// Position of the very first byte of a document.
+    pub const START: Pos = Pos { offset: 0, line: 1, column: 1 };
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Error raised while lexing or parsing an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+    /// Where in the input it went wrong.
+    pub pos: Pos,
+}
+
+/// The category of an [`XmlError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof(&'static str),
+    /// A character that is not legal at this point of the grammar.
+    UnexpectedChar {
+        /// What was found instead.
+        found: char,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// `</a>` closed an element opened as `<b>`.
+    MismatchedCloseTag {
+        /// Name of the element that was open.
+        open: String,
+        /// Name of the close tag encountered.
+        close: String,
+    },
+    /// A close tag with no matching open tag.
+    UnmatchedCloseTag(String),
+    /// The document ended while elements were still open.
+    UnclosedElement(String),
+    /// An element name, attribute name or entity was malformed.
+    InvalidName(String),
+    /// An unknown or malformed entity reference such as `&foo;`.
+    InvalidEntity(String),
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// The document has no root element, or text outside the root.
+    NoRootElement,
+    /// More than one root element.
+    MultipleRootElements,
+    /// Content found after the root element closed.
+    TrailingContent,
+    /// A numeric character reference that is not a valid scalar value.
+    InvalidCharRef(String),
+    /// Malformed XML declaration / processing instruction.
+    InvalidDeclaration,
+    /// Comment containing `--` or other malformed comment.
+    InvalidComment,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, pos: Pos) -> Self {
+        XmlError { kind, pos }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof(what) => {
+                write!(f, "unexpected end of input while parsing {what}")?
+            }
+            XmlErrorKind::UnexpectedChar { found, expected } => {
+                write!(f, "unexpected character {found:?}, expected {expected}")?
+            }
+            XmlErrorKind::MismatchedCloseTag { open, close } => {
+                write!(f, "close tag </{close}> does not match open tag <{open}>")?
+            }
+            XmlErrorKind::UnmatchedCloseTag(name) => {
+                write!(f, "close tag </{name}> has no matching open tag")?
+            }
+            XmlErrorKind::UnclosedElement(name) => {
+                write!(f, "element <{name}> was never closed")?
+            }
+            XmlErrorKind::InvalidName(name) => write!(f, "invalid XML name {name:?}")?,
+            XmlErrorKind::InvalidEntity(ent) => {
+                write!(f, "unknown or malformed entity reference &{ent};")?
+            }
+            XmlErrorKind::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute {name:?}")?
+            }
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element")?,
+            XmlErrorKind::MultipleRootElements => {
+                write!(f, "document has more than one root element")?
+            }
+            XmlErrorKind::TrailingContent => {
+                write!(f, "content after the root element")?
+            }
+            XmlErrorKind::InvalidCharRef(s) => {
+                write!(f, "invalid character reference &#{s};")?
+            }
+            XmlErrorKind::InvalidDeclaration => write!(f, "malformed XML declaration")?,
+            XmlErrorKind::InvalidComment => write!(f, "malformed comment")?,
+        }
+        write!(f, " at {}", self.pos)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Error raised while validating a document against an XSD-subset schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The schema document itself is not a schema we understand.
+    InvalidSchema(String),
+    /// The instance document's root element is not declared in the schema.
+    UnknownRootElement(String),
+    /// An element appeared where the content model does not allow it.
+    UnexpectedElement {
+        /// The parent element name.
+        parent: String,
+        /// What was found instead.
+        found: String,
+        /// What was expected.
+        expected: Vec<String>,
+    },
+    /// A required child is missing.
+    MissingElement {
+        /// The parent element name.
+        parent: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// Fewer occurrences than `minOccurs`.
+    TooFewOccurrences {
+        /// The parent element name.
+        parent: String,
+        /// The element name.
+        element: String,
+        /// The declared minimum occurrences.
+        min: u32,
+        /// How many were found.
+        got: u32,
+    },
+    /// More occurrences than `maxOccurs`.
+    TooManyOccurrences {
+        /// The parent element name.
+        parent: String,
+        /// The element name.
+        element: String,
+        /// The declared maximum occurrences.
+        max: u32,
+        /// How many were found.
+        got: u32,
+    },
+    /// A required attribute is missing.
+    MissingAttribute {
+        /// The element name.
+        element: String,
+        /// The attribute name.
+        attribute: String,
+    },
+    /// An attribute not declared for this element.
+    UnknownAttribute {
+        /// The element name.
+        element: String,
+        /// The attribute name.
+        attribute: String,
+    },
+    /// An attribute or text value does not conform to its simple type.
+    InvalidValue {
+        /// The element name.
+        element: String,
+        /// The attribute name.
+        attribute: Option<String>,
+        /// The expected simple type.
+        ty: String,
+        /// The value involved.
+        value: String,
+    },
+    /// Non-whitespace text inside an element-only content model.
+    UnexpectedText {
+        /// The element name.
+        element: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            SchemaError::UnknownRootElement(name) => {
+                write!(f, "root element <{name}> is not declared in the schema")
+            }
+            SchemaError::UnexpectedElement { parent, found, expected } => write!(
+                f,
+                "unexpected element <{found}> inside <{parent}>, expected one of {expected:?}"
+            ),
+            SchemaError::MissingElement { parent, expected } => {
+                write!(f, "element <{parent}> is missing required child <{expected}>")
+            }
+            SchemaError::TooFewOccurrences { parent, element, min, got } => write!(
+                f,
+                "element <{parent}> has {got} <{element}> children, at least {min} required"
+            ),
+            SchemaError::TooManyOccurrences { parent, element, max, got } => write!(
+                f,
+                "element <{parent}> has {got} <{element}> children, at most {max} allowed"
+            ),
+            SchemaError::MissingAttribute { element, attribute } => {
+                write!(f, "element <{element}> is missing required attribute {attribute:?}")
+            }
+            SchemaError::UnknownAttribute { element, attribute } => {
+                write!(f, "element <{element}> has undeclared attribute {attribute:?}")
+            }
+            SchemaError::InvalidValue { element, attribute, ty, value } => match attribute {
+                Some(a) => write!(
+                    f,
+                    "attribute {a:?} of <{element}> has value {value:?} which is not a valid {ty}"
+                ),
+                None => {
+                    write!(f, "text of <{element}> has value {value:?} which is not a valid {ty}")
+                }
+            },
+            SchemaError::UnexpectedText { element } => {
+                write!(f, "element <{element}> must not contain text")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display() {
+        let p = Pos { offset: 10, line: 2, column: 3 };
+        assert_eq!(p.to_string(), "line 2, column 3");
+    }
+
+    #[test]
+    fn xml_error_display_mentions_position() {
+        let e = XmlError::new(
+            XmlErrorKind::UnexpectedEof("tag"),
+            Pos { offset: 5, line: 1, column: 6 },
+        );
+        let s = e.to_string();
+        assert!(s.contains("tag"), "{s}");
+        assert!(s.contains("line 1, column 6"), "{s}");
+    }
+
+    #[test]
+    fn schema_error_display() {
+        let e = SchemaError::MissingAttribute {
+            element: "MMER".into(),
+            attribute: "ForbiddenCardinality".into(),
+        };
+        assert!(e.to_string().contains("ForbiddenCardinality"));
+    }
+
+    #[test]
+    fn mismatched_close_display() {
+        let e = XmlError::new(
+            XmlErrorKind::MismatchedCloseTag { open: "a".into(), close: "b".into() },
+            Pos::START,
+        );
+        assert!(e.to_string().contains("</b>"));
+        assert!(e.to_string().contains("<a>"));
+    }
+}

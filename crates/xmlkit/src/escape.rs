@@ -1,0 +1,217 @@
+//! Escaping and entity expansion for XML text and attribute values.
+
+use crate::error::{Pos, XmlError, XmlErrorKind};
+
+/// Escape a string for use as XML character data (element text).
+///
+/// Escapes `&`, `<` and `>`. `>` is escaped defensively so that the output
+/// never contains the `]]>` sequence.
+pub fn escape_text(s: &str) -> String {
+    escape_impl(s, false)
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+///
+/// Escapes `&`, `<`, `>`, `"` and the whitespace characters that attribute
+/// value normalization would otherwise fold.
+pub fn escape_attr(s: &str) -> String {
+    escape_impl(s, true)
+}
+
+fn escape_impl(s: &str, attr: bool) -> String {
+    // Fast path: nothing to escape.
+    if !s.chars().any(|c| needs_escape(c, attr)) {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\t' if attr => out.push_str("&#9;"),
+            '\n' if attr => out.push_str("&#10;"),
+            '\r' if attr => out.push_str("&#13;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn needs_escape(c: char, attr: bool) -> bool {
+    matches!(c, '&' | '<' | '>') || (attr && matches!(c, '"' | '\t' | '\n' | '\r'))
+}
+
+/// Expand entity and character references in raw XML text.
+///
+/// Supports the five predefined entities (`&amp;` `&lt;` `&gt;` `&quot;`
+/// `&apos;`) and decimal / hexadecimal character references.
+///
+/// `pos` is the position of the start of `s`, used for error reporting.
+pub fn unescape(s: &str, pos: Pos) -> Result<String, XmlError> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy a run of non-entity bytes (always valid UTF-8 boundaries
+            // because '&' is ASCII).
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'&' {
+                i += 1;
+            }
+            out.push_str(&s[start..i]);
+            continue;
+        }
+        let semi = s[i..]
+            .find(';')
+            .map(|o| i + o)
+            .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidEntity(s[i + 1..].into()), pos))?;
+        let ent = &s[i + 1..semi];
+        match ent {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with('#') => {
+                let c = parse_char_ref(&ent[1..], pos)?;
+                out.push(c);
+            }
+            _ => return Err(XmlError::new(XmlErrorKind::InvalidEntity(ent.into()), pos)),
+        }
+        i = semi + 1;
+    }
+    Ok(out)
+}
+
+fn parse_char_ref(body: &str, pos: Pos) -> Result<char, XmlError> {
+    let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        body.parse::<u32>()
+    }
+    .map_err(|_| XmlError::new(XmlErrorKind::InvalidCharRef(body.into()), pos))?;
+    char::from_u32(code)
+        .filter(|c| is_xml_char(*c))
+        .ok_or_else(|| XmlError::new(XmlErrorKind::InvalidCharRef(body.into()), pos))
+}
+
+/// Whether a character is allowed in XML 1.0 content.
+pub fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+/// Whether `c` may start an XML `Name`.
+pub fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic()
+        || c == '_'
+        || c == ':'
+        || matches!(c,
+            '\u{C0}'..='\u{D6}' | '\u{D8}'..='\u{F6}' | '\u{F8}'..='\u{2FF}'
+            | '\u{370}'..='\u{37D}' | '\u{37F}'..='\u{1FFF}'
+            | '\u{200C}'..='\u{200D}' | '\u{2070}'..='\u{218F}'
+            | '\u{2C00}'..='\u{2FEF}' | '\u{3001}'..='\u{D7FF}'
+            | '\u{F900}'..='\u{FDCF}' | '\u{FDF0}'..='\u{FFFD}'
+            | '\u{10000}'..='\u{EFFFF}')
+}
+
+/// Whether `c` may continue an XML `Name`.
+pub fn is_name_char(c: char) -> bool {
+    is_name_start(c)
+        || c.is_ascii_digit()
+        || matches!(c, '-' | '.' | '\u{B7}' | '\u{300}'..='\u{36F}' | '\u{203F}'..='\u{2040}')
+}
+
+/// Whether `s` is a valid XML `Name`.
+pub fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_name_start(c) => chars.all(is_name_char),
+        _ => false,
+    }
+}
+
+/// Whether `s` is a valid `NCName` (a Name with no colon).
+pub fn is_ncname(s: &str) -> bool {
+    is_valid_name(s) && !s.contains(':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_basic() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn escape_attr_quotes_and_ws() {
+        assert_eq!(escape_attr("say \"hi\"\n"), "say &quot;hi&quot;&#10;");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(
+            unescape("&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;", Pos::START).unwrap(),
+            "<a> & \"b\" 'c'"
+        );
+    }
+
+    #[test]
+    fn unescape_char_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", Pos::START).unwrap(), "ABc");
+        assert_eq!(unescape("&#x20AC;", Pos::START).unwrap(), "\u{20AC}");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        let err = unescape("&nbsp;", Pos::START).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::InvalidEntity(_)));
+    }
+
+    #[test]
+    fn unescape_rejects_unterminated() {
+        assert!(unescape("&amp", Pos::START).is_err());
+    }
+
+    #[test]
+    fn unescape_rejects_surrogate_char_ref() {
+        assert!(unescape("&#xD800;", Pos::START).is_err());
+        assert!(unescape("&#0;", Pos::START).is_err());
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let original = "x < y && z > \"w\" '&#36;'";
+        let escaped = escape_text(original);
+        assert_eq!(unescape(&escaped, Pos::START).unwrap(), original);
+    }
+
+    #[test]
+    fn names() {
+        assert!(is_valid_name("MSoDPolicySet"));
+        assert!(is_valid_name("xs:element"));
+        assert!(is_valid_name("_under-score.dot"));
+        assert!(!is_valid_name("2abc"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("a b"));
+        assert!(is_ncname("MMER"));
+        assert!(!is_ncname("xs:element"));
+    }
+
+    #[test]
+    fn non_ascii_names() {
+        assert!(is_valid_name("\u{00E9}l\u{00E9}ment"));
+    }
+}

@@ -1,0 +1,464 @@
+//! Pull-based XML tokenizer.
+//!
+//! [`Lexer`] walks a `&str` once and yields [`Event`]s: start tags with
+//! their attributes, end tags, text runs, comments, CDATA sections and
+//! processing instructions. The DOM parser in [`crate::parser`] is a thin
+//! tree-builder over this event stream; callers with streaming needs can
+//! use the lexer directly.
+
+use crate::error::{Pos, XmlError, XmlErrorKind};
+use crate::escape::{is_name_char, is_name_start, unescape};
+
+/// One parsed attribute: `name="value"` with entities already expanded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// The unique name.
+    pub name: String,
+    /// The value involved.
+    pub value: String,
+}
+
+/// A lexical event produced by [`Lexer::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `<name attr="v" ...>`
+    /// Start Tag.
+    StartTag {
+        /// The name involved.
+        name: String,
+        /// Attributes in document order (name, value).
+        attributes: Vec<Attribute>,
+    },
+    /// `<name attr="v" .../>`
+    /// Empty Tag.
+    EmptyTag {
+        /// The name involved.
+        name: String,
+        /// Attributes in document order (name, value).
+        attributes: Vec<Attribute>,
+    },
+    /// `</name>`
+    /// End Tag.
+    EndTag {
+        /// The name involved.
+        name: String,
+    },
+    /// A run of character data with entities expanded. Whitespace-only
+    /// runs are reported too; it is the consumer's choice to drop them.
+    Text(String),
+    /// `<![CDATA[ ... ]]>` content, verbatim.
+    CData(String),
+    /// `<!-- ... -->` content, verbatim.
+    Comment(String),
+    /// `<?target data?>` (the XML declaration `<?xml ...?>` is reported
+    /// as a processing instruction with target `xml`).
+    /// Processing Instruction.
+    ProcessingInstruction {
+        /// The PI target (the name after `<?`).
+        target: String,
+        /// The PI data, verbatim.
+        data: String,
+    },
+    /// `<!DOCTYPE ...>` — contents are skipped, not interpreted.
+    Doctype,
+    /// End of input.
+    Eof,
+}
+
+/// Single-pass XML tokenizer with line/column tracking.
+pub struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    offset: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer { input, bytes: input.as_bytes(), offset: 0, line: 1, column: 1 }
+    }
+
+    /// Current position (of the *next* byte to be consumed).
+    pub fn pos(&self) -> Pos {
+        Pos { offset: self.offset, line: self.line, column: self.column }
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.pos())
+    }
+
+    fn err_at(&self, kind: XmlErrorKind, pos: Pos) -> XmlError {
+        XmlError::new(kind, pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.offset).copied()
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.input[self.offset..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek_char()?;
+        self.offset += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.offset..].starts_with(s)
+    }
+
+    fn consume(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.chars().count() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str, what: &'static str) -> Result<(), XmlError> {
+        if self.consume(s) {
+            Ok(())
+        } else {
+            match self.peek_char() {
+                Some(found) => Err(self.err(XmlErrorKind::UnexpectedChar { found, expected: what })),
+                None => Err(self.err(XmlErrorKind::UnexpectedEof(what))),
+            }
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.offset;
+        match self.peek_char() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            Some(c) => {
+                return Err(self.err(XmlErrorKind::UnexpectedChar { found: c, expected: "a name" }))
+            }
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof("a name"))),
+        }
+        while let Some(c) = self.peek_char() {
+            if is_name_char(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(self.input[start..self.offset].to_owned())
+    }
+
+    /// Scan until `needle` is found; returns the text before it and
+    /// consumes through the end of `needle`.
+    fn read_until(&mut self, needle: &str, what: &'static str) -> Result<String, XmlError> {
+        match self.input[self.offset..].find(needle) {
+            Some(rel) => {
+                let text = self.input[self.offset..self.offset + rel].to_owned();
+                // Advance position through text + needle, keeping line counts.
+                let total = rel + needle.len();
+                let mut consumed = 0;
+                while consumed < total {
+                    let c = self.bump().expect("bounded by find");
+                    consumed += c.len_utf8();
+                }
+                Ok(text)
+            }
+            None => Err(self.err(XmlErrorKind::UnexpectedEof(what))),
+        }
+    }
+
+    fn read_attributes(&mut self) -> Result<Vec<Attribute>, XmlError> {
+        let mut attrs: Vec<Attribute> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') | Some(b'/') | None => return Ok(attrs),
+                _ => {}
+            }
+            let name_pos = self.pos();
+            let name = self.read_name()?;
+            self.skip_whitespace();
+            self.expect("=", "'=' after attribute name")?;
+            self.skip_whitespace();
+            let quote = match self.peek() {
+                Some(q @ (b'"' | b'\'')) => {
+                    self.bump();
+                    q as char
+                }
+                Some(c) => {
+                    let found = self.peek_char().unwrap_or(c as char);
+                    return Err(
+                        self.err(XmlErrorKind::UnexpectedChar { found, expected: "a quote" })
+                    );
+                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof("attribute value"))),
+            };
+            let value_pos = self.pos();
+            let mut quote_buf = [0u8; 4];
+            let raw = self.read_until(quote.encode_utf8(&mut quote_buf), "attribute value")?;
+            if raw.contains('<') {
+                return Err(self.err_at(
+                    XmlErrorKind::UnexpectedChar { found: '<', expected: "attribute value" },
+                    value_pos,
+                ));
+            }
+            let value = unescape(&raw, value_pos)?;
+            if attrs.iter().any(|a| a.name == name) {
+                return Err(self.err_at(XmlErrorKind::DuplicateAttribute(name), name_pos));
+            }
+            attrs.push(Attribute { name, value });
+        }
+    }
+
+    /// Produce the next event. After [`Event::Eof`], keeps returning Eof.
+    pub fn next_event(&mut self) -> Result<Event, XmlError> {
+        if self.offset >= self.bytes.len() {
+            return Ok(Event::Eof);
+        }
+        if self.peek() == Some(b'<') {
+            let tag_pos = self.pos();
+            self.bump(); // '<'
+            match self.peek() {
+                Some(b'/') => {
+                    self.bump();
+                    let name = self.read_name()?;
+                    self.skip_whitespace();
+                    self.expect(">", "'>' closing an end tag")?;
+                    Ok(Event::EndTag { name })
+                }
+                Some(b'!') => {
+                    if self.consume("!--") {
+                        let text = self.read_until("-->", "comment")?;
+                        if text.contains("--") {
+                            return Err(self.err_at(XmlErrorKind::InvalidComment, tag_pos));
+                        }
+                        Ok(Event::Comment(text))
+                    } else if self.consume("![CDATA[") {
+                        let text = self.read_until("]]>", "CDATA section")?;
+                        Ok(Event::CData(text))
+                    } else if self.consume("!DOCTYPE") {
+                        self.skip_doctype(tag_pos)?;
+                        Ok(Event::Doctype)
+                    } else {
+                        Err(self.err(XmlErrorKind::InvalidDeclaration))
+                    }
+                }
+                Some(b'?') => {
+                    self.bump();
+                    let target = self.read_name()?;
+                    self.skip_whitespace();
+                    let data = self.read_until("?>", "processing instruction")?;
+                    Ok(Event::ProcessingInstruction { target, data: data.trim_end().to_owned() })
+                }
+                _ => {
+                    let name = self.read_name()?;
+                    let attributes = self.read_attributes()?;
+                    self.skip_whitespace();
+                    if self.consume("/>") {
+                        Ok(Event::EmptyTag { name, attributes })
+                    } else if self.consume(">") {
+                        Ok(Event::StartTag { name, attributes })
+                    } else {
+                        match self.peek_char() {
+                            Some(found) => Err(self
+                                .err(XmlErrorKind::UnexpectedChar { found, expected: "'>' or '/>'" })),
+                            None => Err(self.err(XmlErrorKind::UnexpectedEof("tag"))),
+                        }
+                    }
+                }
+            }
+        } else {
+            // Text run up to the next '<' or EOF.
+            let start_pos = self.pos();
+            let rel = self.input[self.offset..].find('<').unwrap_or(self.input.len() - self.offset);
+            let mut consumed = 0;
+            let start = self.offset;
+            while consumed < rel {
+                let c = self.bump().expect("bounded");
+                consumed += c.len_utf8();
+            }
+            let raw = &self.input[start..self.offset];
+            if raw.contains("]]>") {
+                return Err(self.err_at(
+                    XmlErrorKind::UnexpectedChar { found: ']', expected: "character data" },
+                    start_pos,
+                ));
+            }
+            Ok(Event::Text(unescape(raw, start_pos)?))
+        }
+    }
+
+    /// Skip a DOCTYPE declaration, tolerating a bracketed internal subset.
+    fn skip_doctype(&mut self, start: Pos) -> Result<(), XmlError> {
+        let mut depth = 0usize;
+        loop {
+            match self.bump() {
+                Some('[') => depth += 1,
+                Some(']') => depth = depth.saturating_sub(1),
+                Some('>') if depth == 0 => return Ok(()),
+                Some(_) => {}
+                None => return Err(self.err_at(XmlErrorKind::UnexpectedEof("DOCTYPE"), start)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<Event> {
+        let mut lx = Lexer::new(input);
+        let mut out = Vec::new();
+        loop {
+            let ev = lx.next_event().unwrap();
+            if ev == Event::Eof {
+                break;
+            }
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn simple_element() {
+        let ev = events("<a>hi</a>");
+        assert_eq!(
+            ev,
+            vec![
+                Event::StartTag { name: "a".into(), attributes: vec![] },
+                Event::Text("hi".into()),
+                Event::EndTag { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_tag_with_attributes() {
+        let ev = events(r#"<Role type="employee" value="Teller"/>"#);
+        assert_eq!(
+            ev,
+            vec![Event::EmptyTag {
+                name: "Role".into(),
+                attributes: vec![
+                    Attribute { name: "type".into(), value: "employee".into() },
+                    Attribute { name: "value".into(), value: "Teller".into() },
+                ],
+            }]
+        );
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let ev = events("<a x='1'/>");
+        assert_eq!(
+            ev,
+            vec![Event::EmptyTag {
+                name: "a".into(),
+                attributes: vec![Attribute { name: "x".into(), value: "1".into() }],
+            }]
+        );
+    }
+
+    #[test]
+    fn attribute_entities_expanded() {
+        let ev = events(r#"<a x="1 &lt; 2 &amp; 3"/>"#);
+        match &ev[0] {
+            Event::EmptyTag { attributes, .. } => assert_eq!(attributes[0].value, "1 < 2 & 3"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comment_and_pi() {
+        let ev = events("<?xml version=\"1.0\"?><!-- hello --><a/>");
+        assert!(matches!(&ev[0],
+            Event::ProcessingInstruction { target, .. } if target == "xml"));
+        assert_eq!(ev[1], Event::Comment(" hello ".into()));
+    }
+
+    #[test]
+    fn cdata() {
+        let ev = events("<a><![CDATA[<raw> & stuff]]></a>");
+        assert_eq!(ev[1], Event::CData("<raw> & stuff".into()));
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let ev = events("<!DOCTYPE html [ <!ENTITY x \"y\"> ]><a/>");
+        assert_eq!(ev[0], Event::Doctype);
+        assert!(matches!(ev[1], Event::EmptyTag { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut lx = Lexer::new(r#"<a x="1" x="2"/>"#);
+        let err = lx.next_event().unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn unterminated_tag() {
+        let mut lx = Lexer::new("<a foo=\"bar\"");
+        assert!(lx.next_event().is_err());
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        let mut lx = Lexer::new("<!-- never ends");
+        assert!(lx.next_event().is_err());
+    }
+
+    #[test]
+    fn double_hyphen_in_comment_rejected() {
+        let mut lx = Lexer::new("<!-- a -- b -->");
+        assert!(lx.next_event().is_err());
+    }
+
+    #[test]
+    fn lt_in_attribute_rejected() {
+        let mut lx = Lexer::new("<a x=\"a<b\"/>");
+        assert!(lx.next_event().is_err());
+    }
+
+    #[test]
+    fn cdata_end_in_text_rejected() {
+        let mut lx = Lexer::new("<a>x]]>y</a>");
+        lx.next_event().unwrap();
+        assert!(lx.next_event().is_err());
+    }
+
+    #[test]
+    fn position_tracking() {
+        let mut lx = Lexer::new("<a>\n<b>");
+        lx.next_event().unwrap();
+        lx.next_event().unwrap(); // text "\n"
+        assert_eq!(lx.pos().line, 2);
+        assert_eq!(lx.pos().column, 1);
+    }
+
+    #[test]
+    fn eof_is_sticky() {
+        let mut lx = Lexer::new("");
+        assert_eq!(lx.next_event().unwrap(), Event::Eof);
+        assert_eq!(lx.next_event().unwrap(), Event::Eof);
+    }
+}

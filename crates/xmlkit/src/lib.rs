@@ -1,0 +1,168 @@
+#![warn(missing_docs)]
+//! # xmlkit — minimal XML substrate for the MSoD reproduction
+//!
+//! A from-scratch XML library providing exactly what the MSoD-for-RBAC
+//! policy ecosystem needs (the allowed offline crate set contains no XML
+//! library):
+//!
+//! - a pull-based tokenizer ([`lexer::Lexer`] / [`lexer::Event`]) with
+//!   position tracking,
+//! - a DOM tree ([`Document`] / [`Element`] / [`Node`]) and a strict
+//!   well-formedness parser ([`parser::parse_document`]),
+//! - a serializer ([`writer::write_document`]) with pretty and compact
+//!   modes,
+//! - escaping / entity expansion ([`escape`]),
+//! - an XSD-subset schema validator ([`Schema`]) covering the constructs
+//!   used by the paper's Appendix A policy schema.
+//!
+//! ## Example
+//!
+//! ```
+//! use xmlkit::Document;
+//!
+//! let doc = Document::parse(r#"<MMER ForbiddenCardinality="2">
+//!     <Role type="employee" value="Teller"/>
+//!     <Role type="employee" value="Auditor"/>
+//! </MMER>"#).unwrap();
+//! assert_eq!(doc.root.attr("ForbiddenCardinality"), Some("2"));
+//! assert_eq!(doc.root.children_named("Role").count(), 2);
+//!
+//! // Serialization round-trips (modulo insignificant whitespace).
+//! let rebuilt = Document::parse(&doc.to_xml()).unwrap();
+//! assert_eq!(rebuilt.root.children_named("Role").count(), 2);
+//! assert_eq!(rebuilt.root.attr("ForbiddenCardinality"), Some("2"));
+//! ```
+
+pub mod error;
+pub mod escape;
+pub mod lexer;
+pub mod node;
+pub mod parser;
+pub mod schema;
+pub mod writer;
+
+pub use error::{Pos, SchemaError, XmlError, XmlErrorKind};
+pub use node::{Document, Element, Node};
+pub use parser::parse_document;
+pub use schema::{Schema, SimpleType};
+pub use writer::{write_document, write_element_string, WriteOptions};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy for XML-safe text (valid XML chars; escaping handles the rest).
+    fn arb_text() -> impl Strategy<Value = String> {
+        proptest::collection::vec(
+            prop_oneof![
+                proptest::char::range('\u{20}', '\u{7E}'),
+                Just('\n'),
+                Just('\t'),
+                proptest::char::range('\u{A0}', '\u{2FF}'),
+            ],
+            0..40,
+        )
+        .prop_map(|cs| cs.into_iter().collect())
+    }
+
+    fn arb_name() -> impl Strategy<Value = String> {
+        "[A-Za-z_][A-Za-z0-9_.-]{0,12}"
+    }
+
+    fn arb_element() -> impl Strategy<Value = Element> {
+        let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..4))
+            .prop_map(|(name, attrs)| {
+                let mut el = Element::new(name);
+                for (n, v) in attrs {
+                    if el.attr(&n).is_none() {
+                        el.attributes.push((n, v));
+                    }
+                }
+                el
+            });
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            (
+                arb_name(),
+                proptest::collection::vec((arb_name(), arb_text()), 0..3),
+                proptest::collection::vec(
+                    prop_oneof![
+                        inner.prop_map(Node::Element),
+                        arb_text().prop_map(Node::Text),
+                    ],
+                    0..4,
+                ),
+            )
+                .prop_map(|(name, attrs, children)| {
+                    let mut el = Element::new(name);
+                    for (n, v) in attrs {
+                        if el.attr(&n).is_none() {
+                            el.attributes.push((n, v));
+                        }
+                    }
+                    // Merge adjacent text children so the roundtrip
+                    // comparison is canonical.
+                    for c in children {
+                        match (el.children.last_mut(), c) {
+                            (Some(Node::Text(prev)), Node::Text(t)) => prev.push_str(&t),
+                            (_, c) => el.children.push(c),
+                        }
+                    }
+                    el
+                })
+        })
+    }
+
+    /// Canonicalize: drop whitespace-only text nodes that pretty-printing
+    /// may legitimately alter, merge adjacent text nodes.
+    fn canon(el: &Element) -> Element {
+        let mut out = Element::new(el.name.clone());
+        out.attributes = el.attributes.clone();
+        for child in &el.children {
+            match child {
+                Node::Element(e) => out.children.push(Node::Element(canon(e))),
+                Node::Text(t) if t.trim().is_empty() => {}
+                Node::Text(t) => match out.children.last_mut() {
+                    Some(Node::Text(prev)) => prev.push_str(t),
+                    _ => out.children.push(Node::Text(t.clone())),
+                },
+                other => out.children.push(other.clone()),
+            }
+        }
+        out
+    }
+
+    proptest! {
+        /// write → parse is the identity on compact output.
+        #[test]
+        fn roundtrip_compact(el in arb_element()) {
+            let doc = Document::new(el);
+            let xml = write_document(&doc, &WriteOptions::compact());
+            let parsed = parse_document(&xml).unwrap();
+            prop_assert_eq!(canon(&parsed.root), canon(&doc.root));
+        }
+
+        /// write → parse is identity-modulo-insignificant-whitespace on
+        /// pretty output.
+        #[test]
+        fn roundtrip_pretty(el in arb_element()) {
+            let doc = Document::new(el);
+            let xml = write_document(&doc, &WriteOptions::default());
+            let parsed = parse_document(&xml).unwrap();
+            prop_assert_eq!(canon(&parsed.root), canon(&doc.root));
+        }
+
+        /// escape → unescape is the identity for any valid text.
+        #[test]
+        fn escape_unescape_text(s in arb_text()) {
+            let escaped = escape::escape_text(&s);
+            prop_assert_eq!(escape::unescape(&escaped, Pos::START).unwrap(), s);
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_total(s in "\\PC{0,200}") {
+            let _ = parse_document(&s);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! DOM-style document tree.
+
+use std::fmt;
+
+/// A complete XML document: optional prolog items plus exactly one root
+/// element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// The single root element.
+    pub root: Element,
+}
+
+impl Document {
+    /// Build a document from a root element.
+    pub fn new(root: Element) -> Self {
+        Document { root }
+    }
+
+    /// Parse a document from a string. Convenience re-export of
+    /// [`crate::parser::parse_document`].
+    pub fn parse(input: &str) -> Result<Document, crate::XmlError> {
+        crate::parser::parse_document(input)
+    }
+
+    /// Serialize with the default (pretty) writer settings.
+    pub fn to_xml(&self) -> String {
+        crate::writer::write_document(self, &crate::writer::WriteOptions::default())
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+/// An element node: name, attributes in document order, children in
+/// document order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// The unique name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A child node of an element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Element.
+    Element(Element),
+    /// Character data (entities already expanded; CDATA is folded in).
+    Text(String),
+    /// Comment.
+    Comment(String),
+    /// Processing Instruction.
+    ProcessingInstruction {
+        /// The PI target (the name after `<?`).
+        target: String,
+        /// The PI data, verbatim.
+        data: String,
+    },
+}
+
+impl Element {
+    /// Create an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder: add an attribute.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder: add a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: add a text child.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Look up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Attribute value or a descriptive error naming the element.
+    pub fn require_attr(&self, name: &str) -> Result<&str, MissingAttr> {
+        self.attr(name).ok_or_else(|| MissingAttr {
+            element: self.name.clone(),
+            attribute: name.to_owned(),
+        })
+    }
+
+    /// Set (replace or insert) an attribute.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        match self.attributes.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = value,
+            None => self.attributes.push((name, value)),
+        }
+    }
+
+    /// Iterate over child elements (skipping text/comments/PIs).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Iterate over child elements with a given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// First child element with a given name.
+    pub fn first_child_named(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated text content of this element (direct text children
+    /// only, not recursive).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Recursive concatenated text content.
+    pub fn deep_text(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        for n in &self.children {
+            match n {
+                Node::Text(t) => out.push_str(t),
+                Node::Element(e) => e.collect_text(out),
+                _ => {}
+            }
+        }
+    }
+
+    /// Whether the element has no child elements (text is allowed).
+    pub fn is_leaf(&self) -> bool {
+        !self.children.iter().any(|n| matches!(n, Node::Element(_)))
+    }
+
+    /// Total number of element nodes in this subtree, including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+    }
+}
+
+/// Error returned by [`Element::require_attr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingAttr {
+    /// The element name.
+    pub element: String,
+    /// The attribute name.
+    pub attribute: String,
+}
+
+impl fmt::Display for MissingAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "element <{}> is missing attribute {:?}", self.element, self.attribute)
+    }
+}
+
+impl std::error::Error for MissingAttr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("MSoDPolicy")
+            .with_attr("BusinessContext", "Branch=*, Period=!")
+            .with_child(
+                Element::new("MMER")
+                    .with_attr("ForbiddenCardinality", "2")
+                    .with_child(Element::new("Role").with_attr("value", "Teller"))
+                    .with_child(Element::new("Role").with_attr("value", "Auditor")),
+            )
+            .with_text("  ")
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let e = sample();
+        assert_eq!(e.attr("BusinessContext"), Some("Branch=*, Period=!"));
+        assert_eq!(e.attr("missing"), None);
+        assert!(e.require_attr("missing").is_err());
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut e = Element::new("a").with_attr("x", "1");
+        e.set_attr("x", "2");
+        e.set_attr("y", "3");
+        assert_eq!(e.attr("x"), Some("2"));
+        assert_eq!(e.attr("y"), Some("3"));
+        assert_eq!(e.attributes.len(), 2);
+    }
+
+    #[test]
+    fn children_named() {
+        let e = sample();
+        let mmer = e.first_child_named("MMER").unwrap();
+        assert_eq!(mmer.children_named("Role").count(), 2);
+        assert!(e.first_child_named("MMEP").is_none());
+    }
+
+    #[test]
+    fn text_and_leaf() {
+        let e = Element::new("a").with_text("hello ").with_text("world");
+        assert_eq!(e.text(), "hello world");
+        assert!(e.is_leaf());
+        assert!(!sample().is_leaf()); // has element children
+    }
+
+    #[test]
+    fn deep_text() {
+        let e = Element::new("a")
+            .with_text("x")
+            .with_child(Element::new("b").with_text("y"))
+            .with_text("z");
+        assert_eq!(e.deep_text(), "xyz");
+        assert_eq!(e.text(), "xz");
+    }
+
+    #[test]
+    fn subtree_size() {
+        assert_eq!(sample().subtree_size(), 4);
+    }
+}

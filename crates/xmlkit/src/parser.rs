@@ -1,0 +1,220 @@
+//! Tree-building parser on top of the pull [`Lexer`].
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::lexer::{Event, Lexer};
+use crate::node::{Document, Element, Node};
+
+/// Parse a complete XML document.
+///
+/// Requirements enforced: exactly one root element, balanced tags, no
+/// non-whitespace text outside the root. Comments and processing
+/// instructions outside the root are accepted and dropped; inside the
+/// root they are preserved as nodes. CDATA sections become text nodes.
+pub fn parse_document(input: &str) -> Result<Document, XmlError> {
+    let mut lx = Lexer::new(input);
+    let mut root: Option<Element> = None;
+    // Stack of open elements; the element under construction is last.
+    let mut stack: Vec<Element> = Vec::new();
+
+    loop {
+        let pos = lx.pos();
+        match lx.next_event()? {
+            Event::Eof => break,
+            Event::StartTag { name, attributes } => {
+                if stack.is_empty() && root.is_some() {
+                    return Err(XmlError::new(XmlErrorKind::MultipleRootElements, pos));
+                }
+                stack.push(Element { name, attributes: to_pairs(attributes), children: vec![] });
+            }
+            Event::EmptyTag { name, attributes } => {
+                let el = Element { name, attributes: to_pairs(attributes), children: vec![] };
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(Node::Element(el)),
+                    None => {
+                        if root.is_some() {
+                            return Err(XmlError::new(XmlErrorKind::MultipleRootElements, pos));
+                        }
+                        root = Some(el);
+                    }
+                }
+            }
+            Event::EndTag { name } => {
+                let el = stack
+                    .pop()
+                    .ok_or_else(|| XmlError::new(XmlErrorKind::UnmatchedCloseTag(name.clone()), pos))?;
+                if el.name != name {
+                    return Err(XmlError::new(
+                        XmlErrorKind::MismatchedCloseTag { open: el.name, close: name },
+                        pos,
+                    ));
+                }
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(Node::Element(el)),
+                    None => {
+                        if root.is_some() {
+                            return Err(XmlError::new(XmlErrorKind::MultipleRootElements, pos));
+                        }
+                        root = Some(el);
+                    }
+                }
+            }
+            Event::Text(t) => match stack.last_mut() {
+                Some(parent) => {
+                    // Merge adjacent text nodes (e.g. text + expanded CDATA).
+                    if let Some(Node::Text(prev)) = parent.children.last_mut() {
+                        prev.push_str(&t);
+                    } else {
+                        parent.children.push(Node::Text(t));
+                    }
+                }
+                None => {
+                    if !t.trim().is_empty() {
+                        let kind = if root.is_some() {
+                            XmlErrorKind::TrailingContent
+                        } else {
+                            XmlErrorKind::NoRootElement
+                        };
+                        return Err(XmlError::new(kind, pos));
+                    }
+                }
+            },
+            Event::CData(t) => match stack.last_mut() {
+                Some(parent) => {
+                    if let Some(Node::Text(prev)) = parent.children.last_mut() {
+                        prev.push_str(&t);
+                    } else {
+                        parent.children.push(Node::Text(t));
+                    }
+                }
+                None => {
+                    return Err(XmlError::new(
+                        if root.is_some() {
+                            XmlErrorKind::TrailingContent
+                        } else {
+                            XmlErrorKind::NoRootElement
+                        },
+                        pos,
+                    ))
+                }
+            },
+            Event::Comment(c) => {
+                if let Some(parent) = stack.last_mut() {
+                    parent.children.push(Node::Comment(c));
+                }
+            }
+            Event::ProcessingInstruction { target, data } => {
+                if let Some(parent) = stack.last_mut() {
+                    parent.children.push(Node::ProcessingInstruction { target, data });
+                }
+            }
+            Event::Doctype => {}
+        }
+    }
+
+    if let Some(open) = stack.pop() {
+        return Err(XmlError::new(XmlErrorKind::UnclosedElement(open.name), lx.pos()));
+    }
+    root.map(Document::new).ok_or_else(|| XmlError::new(XmlErrorKind::NoRootElement, lx.pos()))
+}
+
+fn to_pairs(attrs: Vec<crate::lexer::Attribute>) -> Vec<(String, String)> {
+    attrs.into_iter().map(|a| (a.name, a.value)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_nested() {
+        let doc = parse_document("<a><b x=\"1\"><c/></b>text</a>").unwrap();
+        assert_eq!(doc.root.name, "a");
+        let b = doc.root.first_child_named("b").unwrap();
+        assert_eq!(b.attr("x"), Some("1"));
+        assert!(b.first_child_named("c").is_some());
+        assert_eq!(doc.root.text(), "text");
+    }
+
+    #[test]
+    fn parse_with_prolog() {
+        let doc = parse_document(
+            "<?xml version=\"1.0\"?>\n<!-- comment -->\n<root/>\n",
+        )
+        .unwrap();
+        assert_eq!(doc.root.name, "root");
+    }
+
+    #[test]
+    fn mismatched_tags() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::MismatchedCloseTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_element() {
+        let err = parse_document("<a><b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnclosedElement(_)));
+    }
+
+    #[test]
+    fn unmatched_close() {
+        let err = parse_document("</a>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnmatchedCloseTag(_)));
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let err = parse_document("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::MultipleRootElements));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let err = parse_document("").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        assert!(parse_document("hello<a/>").is_err());
+        assert!(parse_document("<a/>trailing").is_err());
+    }
+
+    #[test]
+    fn whitespace_outside_root_ok() {
+        assert!(parse_document("  <a/>  \n").is_ok());
+    }
+
+    #[test]
+    fn cdata_merges_with_text() {
+        let doc = parse_document("<a>x<![CDATA[<y>]]>z</a>").unwrap();
+        assert_eq!(doc.root.text(), "x<y>z");
+        assert_eq!(doc.root.children.len(), 1);
+    }
+
+    #[test]
+    fn comments_preserved_inside_root() {
+        let doc = parse_document("<a><!-- note --><b/></a>").unwrap();
+        assert!(doc.root.children.iter().any(|n| matches!(n, Node::Comment(c) if c.contains("note"))));
+    }
+
+    #[test]
+    fn parses_paper_policy_fragment() {
+        let xml = r#"
+<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="Branch=*, Period=!">
+    <LastStep operation="CommitAudit" targetURI="http://audit.location.com/audit"/>
+    <MMER ForbiddenCardinality="2">
+      <Role type="employee" value="Teller"/>
+      <Role type="employee" value="Auditor"/>
+    </MMER>
+  </MSoDPolicy>
+</MSoDPolicySet>"#;
+        let doc = parse_document(xml).unwrap();
+        let policy = doc.root.first_child_named("MSoDPolicy").unwrap();
+        assert_eq!(policy.attr("BusinessContext"), Some("Branch=*, Period=!"));
+        let mmer = policy.first_child_named("MMER").unwrap();
+        assert_eq!(mmer.attr("ForbiddenCardinality"), Some("2"));
+        assert_eq!(mmer.children_named("Role").count(), 2);
+    }
+}

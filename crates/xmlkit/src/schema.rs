@@ -1,0 +1,889 @@
+//! An XSD-subset schema model and validator.
+//!
+//! Supports exactly the constructs used by the MSoD policy schema of the
+//! paper's Appendix A, plus the handful needed by the PERMIS-style RBAC
+//! policy documents:
+//!
+//! - global `xs:element` declarations with inline `xs:complexType`
+//! - `xs:sequence` and `xs:choice` particles, arbitrarily nested, with
+//!   `minOccurs` / `maxOccurs` (including `unbounded`)
+//! - `xs:element ref="..."` particles
+//! - `xs:attribute` declarations with `use="required|optional"` and the
+//!   simple types `xs:string`, `xs:NCName`, `xs:integer`,
+//!   `xs:nonNegativeInteger`, `xs:anyURI`, `xs:boolean`
+//! - simple-typed elements (`xs:element name="..." type="xs:string"`)
+//!
+//! Namespace handling is prefix-agnostic: `xs:element`, `xsd:element` and
+//! `element` are all accepted, matching on the local name.
+
+use std::collections::HashMap;
+
+use crate::error::SchemaError;
+use crate::escape::is_ncname;
+use crate::node::{Document, Element};
+
+/// Maximum occurrence bound of a particle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurs {
+    /// Bounded.
+    Bounded(u32),
+    /// Unbounded.
+    Unbounded,
+}
+
+impl Occurs {
+    fn admits(&self, n: u32) -> bool {
+        match self {
+            Occurs::Bounded(max) => n < *max,
+            Occurs::Unbounded => true,
+        }
+    }
+}
+
+/// The simple types we validate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimpleType {
+    /// String.
+    String,
+    /// Nc Name.
+    NcName,
+    /// Integer.
+    Integer,
+    /// Non Negative Integer.
+    NonNegativeInteger,
+    /// Any Uri.
+    AnyUri,
+    /// Boolean.
+    Boolean,
+}
+
+impl SimpleType {
+    fn from_qname(q: &str) -> Option<SimpleType> {
+        Some(match local_name(q) {
+            "string" => SimpleType::String,
+            "NCName" => SimpleType::NcName,
+            "integer" | "int" | "long" => SimpleType::Integer,
+            "nonNegativeInteger" | "positiveInteger" | "unsignedInt" => {
+                SimpleType::NonNegativeInteger
+            }
+            "anyURI" => SimpleType::AnyUri,
+            "boolean" => SimpleType::Boolean,
+            _ => return None,
+        })
+    }
+
+    /// Whether `value` conforms to this type.
+    pub fn accepts(&self, value: &str) -> bool {
+        match self {
+            SimpleType::String => true,
+            // The paper's schema types BusinessContext as xs:NCName even
+            // though its values contain '=' ',' and spaces; real XSD would
+            // reject those. We validate NCName faithfully, so the bundled
+            // schema (crates/policy) uses xs:string for BusinessContext —
+            // a documented deviation.
+            SimpleType::NcName => is_ncname(value),
+            SimpleType::Integer => {
+                let v = value.strip_prefix(['+', '-']).unwrap_or(value);
+                !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit())
+            }
+            SimpleType::NonNegativeInteger => {
+                let v = value.strip_prefix('+').unwrap_or(value);
+                !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit())
+            }
+            // Loose: a URI is any non-empty string without whitespace.
+            SimpleType::AnyUri => !value.is_empty() && !value.chars().any(char::is_whitespace),
+            SimpleType::Boolean => matches!(value, "true" | "false" | "0" | "1"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            SimpleType::String => "xs:string",
+            SimpleType::NcName => "xs:NCName",
+            SimpleType::Integer => "xs:integer",
+            SimpleType::NonNegativeInteger => "xs:nonNegativeInteger",
+            SimpleType::AnyUri => "xs:anyURI",
+            SimpleType::Boolean => "xs:boolean",
+        }
+    }
+}
+
+/// One attribute declaration on a complex type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDecl {
+    /// The unique name.
+    pub name: String,
+    /// Whether the attribute is mandatory (`use="required"`).
+    pub required: bool,
+    /// The expected simple type.
+    pub ty: SimpleType,
+}
+
+/// A content-model particle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Particle {
+    /// `xs:element ref="name"`.
+    /// Element Ref.
+    ElementRef {
+        /// The name involved.
+        name: String,
+        /// The declared minimum occurrences.
+        min: u32,
+        /// The declared maximum occurrences.
+        max: Occurs,
+    },
+    /// `xs:sequence`.
+    /// Sequence.
+    Sequence {
+        /// The nested particles.
+        items: Vec<Particle>,
+        /// The declared minimum occurrences.
+        min: u32,
+        /// The declared maximum occurrences.
+        max: Occurs,
+    },
+    /// `xs:choice`.
+    /// Choice.
+    Choice {
+        /// The nested particles.
+        items: Vec<Particle>,
+        /// The declared minimum occurrences.
+        min: u32,
+        /// The declared maximum occurrences.
+        max: Occurs,
+    },
+}
+
+/// A global element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// The unique name.
+    pub name: String,
+    /// Element-only content model; `None` means no element children allowed.
+    pub content: Option<Particle>,
+    /// Attributes in document order.
+    pub attributes: Vec<AttrDecl>,
+    /// Simple-typed text content; `None` means no (non-whitespace) text allowed.
+    pub text: Option<SimpleType>,
+}
+
+/// A parsed schema: the set of global element declarations.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    elements: HashMap<String, ElementDecl>,
+}
+
+fn local_name(qname: &str) -> &str {
+    qname.rsplit(':').next().unwrap_or(qname)
+}
+
+impl Schema {
+    /// Parse a schema from XML text.
+    pub fn parse(xsd: &str) -> Result<Schema, SchemaError> {
+        let doc = Document::parse(xsd)
+            .map_err(|e| SchemaError::InvalidSchema(format!("schema is not well-formed: {e}")))?;
+        Schema::from_document(&doc)
+    }
+
+    /// Build a schema from an already-parsed document.
+    pub fn from_document(doc: &Document) -> Result<Schema, SchemaError> {
+        if local_name(&doc.root.name) != "schema" {
+            return Err(SchemaError::InvalidSchema(format!(
+                "root element is <{}>, expected <xs:schema>",
+                doc.root.name
+            )));
+        }
+        let mut schema = Schema::default();
+        for el in doc.root.child_elements() {
+            if local_name(&el.name) == "element" {
+                let decl = parse_element_decl(el)?;
+                schema.elements.insert(decl.name.clone(), decl);
+            }
+        }
+        if schema.elements.is_empty() {
+            return Err(SchemaError::InvalidSchema(
+                "schema declares no global elements".to_owned(),
+            ));
+        }
+        // Every ref must resolve.
+        let names: Vec<String> = schema.elements.keys().cloned().collect();
+        for name in &names {
+            let decl = &schema.elements[name];
+            if let Some(content) = &decl.content {
+                check_refs(content, &schema)?;
+            }
+        }
+        Ok(schema)
+    }
+
+    /// Look up a global element declaration.
+    pub fn element(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.get(name)
+    }
+
+    /// Names of all global elements (useful for diagnostics).
+    pub fn element_names(&self) -> impl Iterator<Item = &str> {
+        self.elements.keys().map(String::as_str)
+    }
+
+    /// Validate a document whose root must be one of the global elements.
+    pub fn validate(&self, doc: &Document) -> Result<(), SchemaError> {
+        let decl = self
+            .elements
+            .get(&doc.root.name)
+            .ok_or_else(|| SchemaError::UnknownRootElement(doc.root.name.clone()))?;
+        self.validate_element(&doc.root, decl)
+    }
+
+    fn validate_element(&self, el: &Element, decl: &ElementDecl) -> Result<(), SchemaError> {
+        // Attributes.
+        for ad in &decl.attributes {
+            match el.attr(&ad.name) {
+                Some(v) => {
+                    if !ad.ty.accepts(v) {
+                        return Err(SchemaError::InvalidValue {
+                            element: el.name.clone(),
+                            attribute: Some(ad.name.clone()),
+                            ty: ad.ty.name().to_owned(),
+                            value: v.to_owned(),
+                        });
+                    }
+                }
+                None if ad.required => {
+                    return Err(SchemaError::MissingAttribute {
+                        element: el.name.clone(),
+                        attribute: ad.name.clone(),
+                    })
+                }
+                None => {}
+            }
+        }
+        for (name, _) in &el.attributes {
+            if name.starts_with("xmlns") {
+                continue; // namespace declarations are always allowed
+            }
+            if !decl.attributes.iter().any(|ad| &ad.name == name) {
+                return Err(SchemaError::UnknownAttribute {
+                    element: el.name.clone(),
+                    attribute: name.clone(),
+                });
+            }
+        }
+
+        // Text content.
+        let text = el.text();
+        let trimmed = text.trim();
+        match decl.text {
+            Some(ty) => {
+                if !ty.accepts(trimmed) {
+                    return Err(SchemaError::InvalidValue {
+                        element: el.name.clone(),
+                        attribute: None,
+                        ty: ty.name().to_owned(),
+                        value: trimmed.to_owned(),
+                    });
+                }
+            }
+            None => {
+                if !trimmed.is_empty() {
+                    return Err(SchemaError::UnexpectedText { element: el.name.clone() });
+                }
+            }
+        }
+
+        // Children against the content model.
+        let children: Vec<&Element> = el.child_elements().collect();
+        match &decl.content {
+            None => {
+                if let Some(first) = children.first() {
+                    return Err(SchemaError::UnexpectedElement {
+                        parent: el.name.clone(),
+                        found: first.name.clone(),
+                        expected: vec![],
+                    });
+                }
+            }
+            Some(model) => {
+                let consumed = match_particle(model, &children, 0, el)?;
+                if consumed < children.len() {
+                    return Err(SchemaError::UnexpectedElement {
+                        parent: el.name.clone(),
+                        found: children[consumed].name.clone(),
+                        expected: first_names(model),
+                    });
+                }
+            }
+        }
+
+        // Recurse.
+        for child in &children {
+            let child_decl = self.elements.get(&child.name).ok_or_else(|| {
+                SchemaError::UnexpectedElement {
+                    parent: el.name.clone(),
+                    found: child.name.clone(),
+                    expected: vec![],
+                }
+            })?;
+            self.validate_element(child, child_decl)?;
+        }
+        Ok(())
+    }
+}
+
+fn check_refs(p: &Particle, schema: &Schema) -> Result<(), SchemaError> {
+    match p {
+        Particle::ElementRef { name, .. } => {
+            if !schema.elements.contains_key(name) {
+                return Err(SchemaError::InvalidSchema(format!(
+                    "element ref {name:?} has no global declaration"
+                )));
+            }
+            Ok(())
+        }
+        Particle::Sequence { items, .. } | Particle::Choice { items, .. } => {
+            items.iter().try_for_each(|i| check_refs(i, schema))
+        }
+    }
+}
+
+/// Element names that can start a particle (for diagnostics).
+fn first_names(p: &Particle) -> Vec<String> {
+    match p {
+        Particle::ElementRef { name, .. } => vec![name.clone()],
+        Particle::Choice { items, .. } => items.iter().flat_map(first_names).collect(),
+        Particle::Sequence { items, .. } => {
+            let mut out = Vec::new();
+            for item in items {
+                out.extend(first_names(item));
+                if particle_min(item) > 0 {
+                    break;
+                }
+            }
+            out
+        }
+    }
+}
+
+fn particle_min(p: &Particle) -> u32 {
+    match p {
+        Particle::ElementRef { min, .. }
+        | Particle::Sequence { min, .. }
+        | Particle::Choice { min, .. } => *min,
+    }
+}
+
+/// Greedy match of `particle` against `children[pos..]`; returns the new
+/// position. Content models in our subset are deterministic, so greedy
+/// matching with one level of choice backtracking is sufficient.
+fn match_particle(
+    particle: &Particle,
+    children: &[&Element],
+    pos: usize,
+    parent: &Element,
+) -> Result<usize, SchemaError> {
+    match particle {
+        Particle::ElementRef { name, min, max } => {
+            let mut count = 0u32;
+            let mut at = pos;
+            while at < children.len() && &children[at].name == name && max.admits(count) {
+                at += 1;
+                count += 1;
+            }
+            if count < *min {
+                return Err(if count == 0 && at < children.len() {
+                    SchemaError::UnexpectedElement {
+                        parent: parent.name.clone(),
+                        found: children[at].name.clone(),
+                        expected: vec![name.clone()],
+                    }
+                } else if count == 0 {
+                    SchemaError::MissingElement {
+                        parent: parent.name.clone(),
+                        expected: name.clone(),
+                    }
+                } else {
+                    SchemaError::TooFewOccurrences {
+                        parent: parent.name.clone(),
+                        element: name.clone(),
+                        min: *min,
+                        got: count,
+                    }
+                });
+            }
+            Ok(at)
+        }
+        Particle::Sequence { items, min, max } => {
+            repeat_group(children, pos, parent, *min, *max, |children, pos| {
+                let mut at = pos;
+                for item in items {
+                    at = match_particle(item, children, at, parent)?;
+                }
+                Ok(at)
+            })
+        }
+        Particle::Choice { items, min, max } => {
+            repeat_group(children, pos, parent, *min, *max, |children, pos| {
+                let mut first_err = None;
+                for item in items {
+                    match match_particle(item, children, pos, parent) {
+                        Ok(at) if at > pos => return Ok(at),
+                        Ok(_) => continue, // matched empty; try a branch that consumes
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                // No branch consumed input: succeed empty if some branch
+                // admits empty, else report.
+                if items.iter().any(|i| particle_min(i) == 0) {
+                    Ok(pos)
+                } else {
+                    Err(first_err.unwrap_or_else(|| SchemaError::UnexpectedElement {
+                        parent: parent.name.clone(),
+                        found: children
+                            .get(pos)
+                            .map(|c| c.name.clone())
+                            .unwrap_or_else(|| "(end)".to_owned()),
+                        expected: items.iter().flat_map(first_names).collect(),
+                    }))
+                }
+            })
+        }
+    }
+}
+
+/// Run `one` repeatedly, honouring group min/max occurs.
+fn repeat_group(
+    children: &[&Element],
+    pos: usize,
+    _parent: &Element,
+    min: u32,
+    max: Occurs,
+    mut one: impl FnMut(&[&Element], usize) -> Result<usize, SchemaError>,
+) -> Result<usize, SchemaError> {
+    let mut at = pos;
+    let mut count = 0u32;
+    loop {
+        if !max.admits(count) {
+            break;
+        }
+        match one(children, at) {
+            Ok(next) => {
+                if next == at {
+                    // Matched empty; only count it if we still owe the minimum,
+                    // otherwise we'd loop forever.
+                    if count < min {
+                        count += 1;
+                        continue;
+                    }
+                    break;
+                }
+                at = next;
+                count += 1;
+            }
+            Err(e) => {
+                if count < min {
+                    return Err(e);
+                }
+                break;
+            }
+        }
+    }
+    Ok(at)
+}
+
+fn parse_occurs(el: &Element) -> Result<(u32, Occurs), SchemaError> {
+    let min = match el.attr("minOccurs") {
+        None => 1,
+        Some(v) => v.trim().parse::<u32>().map_err(|_| {
+            SchemaError::InvalidSchema(format!("bad minOccurs {v:?} on <{}>", el.name))
+        })?,
+    };
+    let max = match el.attr("maxOccurs") {
+        None => Occurs::Bounded(1),
+        Some("unbounded") => Occurs::Unbounded,
+        Some(v) => Occurs::Bounded(v.trim().parse::<u32>().map_err(|_| {
+            SchemaError::InvalidSchema(format!("bad maxOccurs {v:?} on <{}>", el.name))
+        })?),
+    };
+    if let Occurs::Bounded(m) = max {
+        if m < min {
+            return Err(SchemaError::InvalidSchema(format!(
+                "maxOccurs {m} < minOccurs {min} on <{}>",
+                el.name
+            )));
+        }
+    }
+    Ok((min, max))
+}
+
+fn parse_element_decl(el: &Element) -> Result<ElementDecl, SchemaError> {
+    let name = el
+        .attr("name")
+        .ok_or_else(|| {
+            SchemaError::InvalidSchema("global xs:element is missing name attribute".to_owned())
+        })?
+        .to_owned();
+
+    // Simple-typed element: <xs:element name="x" type="xs:string"/>
+    if let Some(ty) = el.attr("type") {
+        let ty = SimpleType::from_qname(ty).ok_or_else(|| {
+            SchemaError::InvalidSchema(format!("unsupported element type {ty:?} on <{name}>"))
+        })?;
+        return Ok(ElementDecl { name, content: None, attributes: vec![], text: Some(ty) });
+    }
+
+    let Some(ct) = el.child_elements().find(|c| local_name(&c.name) == "complexType") else {
+        // Neither type nor complexType: an empty element.
+        return Ok(ElementDecl { name, content: None, attributes: vec![], text: None });
+    };
+
+    let mut content = None;
+    let mut attributes = Vec::new();
+    let mut text = None;
+    for child in ct.child_elements() {
+        match local_name(&child.name) {
+            "sequence" | "choice" => {
+                if content.is_some() {
+                    return Err(SchemaError::InvalidSchema(format!(
+                        "<{name}> has more than one content-model group"
+                    )));
+                }
+                content = Some(parse_particle(child)?);
+            }
+            "attribute" => attributes.push(parse_attr_decl(child, &name)?),
+            "simpleContent" => {
+                // <xs:simpleContent><xs:extension base="xs:string"><xs:attribute .../>
+                let ext = child
+                    .child_elements()
+                    .find(|c| local_name(&c.name) == "extension")
+                    .ok_or_else(|| {
+                        SchemaError::InvalidSchema(format!(
+                            "<{name}> simpleContent without extension"
+                        ))
+                    })?;
+                let base = ext.attr("base").unwrap_or("xs:string");
+                text = Some(SimpleType::from_qname(base).ok_or_else(|| {
+                    SchemaError::InvalidSchema(format!("unsupported simpleContent base {base:?}"))
+                })?);
+                for a in ext.child_elements().filter(|c| local_name(&c.name) == "attribute") {
+                    attributes.push(parse_attr_decl(a, &name)?);
+                }
+            }
+            other => {
+                return Err(SchemaError::InvalidSchema(format!(
+                    "unsupported construct <{other}> in complexType of <{name}>"
+                )))
+            }
+        }
+    }
+    Ok(ElementDecl { name, content, attributes, text })
+}
+
+fn parse_particle(el: &Element) -> Result<Particle, SchemaError> {
+    let (min, max) = parse_occurs(el)?;
+    let mut items = Vec::new();
+    for child in el.child_elements() {
+        match local_name(&child.name) {
+            "element" => {
+                let (cmin, cmax) = parse_occurs(child)?;
+                let name = child
+                    .attr("ref")
+                    .or_else(|| child.attr("name"))
+                    .ok_or_else(|| {
+                        SchemaError::InvalidSchema(
+                            "particle xs:element needs ref or name".to_owned(),
+                        )
+                    })?
+                    .to_owned();
+                items.push(Particle::ElementRef { name, min: cmin, max: cmax });
+            }
+            "sequence" | "choice" => items.push(parse_particle(child)?),
+            other => {
+                return Err(SchemaError::InvalidSchema(format!(
+                    "unsupported particle <{other}>"
+                )))
+            }
+        }
+    }
+    if items.is_empty() {
+        return Err(SchemaError::InvalidSchema(format!("empty <{}> group", el.name)));
+    }
+    Ok(match local_name(&el.name) {
+        "sequence" => Particle::Sequence { items, min, max },
+        _ => Particle::Choice { items, min, max },
+    })
+}
+
+fn parse_attr_decl(el: &Element, owner: &str) -> Result<AttrDecl, SchemaError> {
+    let name = el
+        .attr("name")
+        .ok_or_else(|| {
+            SchemaError::InvalidSchema(format!("attribute decl in <{owner}> is missing name"))
+        })?
+        .to_owned();
+    let required = matches!(el.attr("use"), Some("required"));
+    let ty = match el.attr("type") {
+        None => SimpleType::String,
+        Some(t) => SimpleType::from_qname(t).ok_or_else(|| {
+            SchemaError::InvalidSchema(format!(
+                "unsupported attribute type {t:?} on {owner}/@{name}"
+            ))
+        })?,
+    };
+    Ok(AttrDecl { name, required, ty })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Set">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="Item" maxOccurs="unbounded"/>
+      </xs:sequence>
+      <xs:attribute name="id" use="required" type="xs:NCName"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="Item">
+    <xs:complexType>
+      <xs:attribute name="n" use="required" type="xs:integer"/>
+      <xs:attribute name="uri" type="xs:anyURI"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+    fn doc(s: &str) -> Document {
+        Document::parse(s).unwrap()
+    }
+
+    #[test]
+    fn valid_instance() {
+        let s = Schema::parse(TOY).unwrap();
+        s.validate(&doc(r#"<Set id="a"><Item n="1"/><Item n="-2" uri="http://x/y"/></Set>"#))
+            .unwrap();
+    }
+
+    #[test]
+    fn missing_required_attribute() {
+        let s = Schema::parse(TOY).unwrap();
+        let err = s.validate(&doc(r#"<Set id="a"><Item/></Set>"#)).unwrap_err();
+        assert!(matches!(err, SchemaError::MissingAttribute { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_integer() {
+        let s = Schema::parse(TOY).unwrap();
+        let err = s.validate(&doc(r#"<Set id="a"><Item n="two"/></Set>"#)).unwrap_err();
+        assert!(matches!(err, SchemaError::InvalidValue { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_ncname() {
+        let s = Schema::parse(TOY).unwrap();
+        let err = s.validate(&doc(r#"<Set id="has space"><Item n="1"/></Set>"#)).unwrap_err();
+        assert!(matches!(err, SchemaError::InvalidValue { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let s = Schema::parse(TOY).unwrap();
+        let err = s.validate(&doc(r#"<Set id="a" bogus="1"><Item n="1"/></Set>"#)).unwrap_err();
+        assert!(matches!(err, SchemaError::UnknownAttribute { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_child_rejected() {
+        let s = Schema::parse(TOY).unwrap();
+        let err = s.validate(&doc(r#"<Set id="a"/>"#)).unwrap_err();
+        assert!(matches!(err, SchemaError::MissingElement { .. }), "{err}");
+    }
+
+    #[test]
+    fn unexpected_child_rejected() {
+        let s = Schema::parse(TOY).unwrap();
+        let err = s
+            .validate(&doc(r#"<Set id="a"><Item n="1"/><Other/></Set>"#))
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::UnexpectedElement { .. }), "{err}");
+    }
+
+    #[test]
+    fn text_in_element_only_rejected() {
+        let s = Schema::parse(TOY).unwrap();
+        let err = s.validate(&doc(r#"<Set id="a"><Item n="1"/>words</Set>"#)).unwrap_err();
+        assert!(matches!(err, SchemaError::UnexpectedText { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_root_rejected() {
+        let s = Schema::parse(TOY).unwrap();
+        let err = s.validate(&doc(r#"<Nope/>"#)).unwrap_err();
+        assert!(matches!(err, SchemaError::UnknownRootElement(_)), "{err}");
+    }
+
+    #[test]
+    fn unresolved_ref_rejected_at_schema_parse() {
+        let bad = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="A">
+    <xs:complexType>
+      <xs:sequence><xs:element ref="Missing"/></xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+        assert!(matches!(Schema::parse(bad), Err(SchemaError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn choice_matches_either_branch() {
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="P">
+    <xs:complexType>
+      <xs:choice maxOccurs="unbounded">
+        <xs:element ref="A" maxOccurs="unbounded"/>
+        <xs:element ref="B" maxOccurs="unbounded"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="A"/>
+  <xs:element name="B"/>
+</xs:schema>"#;
+        let s = Schema::parse(xsd).unwrap();
+        s.validate(&doc("<P><A/><A/></P>")).unwrap();
+        s.validate(&doc("<P><B/></P>")).unwrap();
+        s.validate(&doc("<P><A/><B/><A/></P>")).unwrap();
+        assert!(s.validate(&doc("<P/>")).is_err());
+    }
+
+    #[test]
+    fn optional_elements() {
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="P">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="First" minOccurs="0"/>
+        <xs:element ref="Last" minOccurs="0"/>
+        <xs:element ref="M" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="First"/>
+  <xs:element name="Last"/>
+  <xs:element name="M"/>
+</xs:schema>"#;
+        let s = Schema::parse(xsd).unwrap();
+        s.validate(&doc("<P><M/></P>")).unwrap();
+        s.validate(&doc("<P><First/><M/><M/></P>")).unwrap();
+        s.validate(&doc("<P><Last/><M/></P>")).unwrap();
+        s.validate(&doc("<P><First/><Last/><M/></P>")).unwrap();
+        assert!(s.validate(&doc("<P><Last/><First/><M/></P>")).is_err());
+        assert!(s.validate(&doc("<P><First/></P>")).is_err());
+    }
+
+    #[test]
+    fn max_occurs_bounded() {
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="P">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="A" minOccurs="1" maxOccurs="2"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="A"/>
+</xs:schema>"#;
+        let s = Schema::parse(xsd).unwrap();
+        s.validate(&doc("<P><A/></P>")).unwrap();
+        s.validate(&doc("<P><A/><A/></P>")).unwrap();
+        let err = s.validate(&doc("<P><A/><A/><A/></P>")).unwrap_err();
+        assert!(matches!(err, SchemaError::UnexpectedElement { .. }), "{err}");
+    }
+
+    #[test]
+    fn simple_typed_element_text() {
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="N" type="xs:integer"/>
+</xs:schema>"#;
+        let s = Schema::parse(xsd).unwrap();
+        s.validate(&doc("<N>42</N>")).unwrap();
+        assert!(s.validate(&doc("<N>forty-two</N>")).is_err());
+    }
+
+    #[test]
+    fn simple_types() {
+        assert!(SimpleType::Integer.accepts("-12"));
+        assert!(!SimpleType::Integer.accepts("1.5"));
+        assert!(SimpleType::NonNegativeInteger.accepts("0"));
+        assert!(!SimpleType::NonNegativeInteger.accepts("-1"));
+        assert!(SimpleType::AnyUri.accepts("http://a/b?c=d"));
+        assert!(!SimpleType::AnyUri.accepts("has space"));
+        assert!(SimpleType::Boolean.accepts("true"));
+        assert!(!SimpleType::Boolean.accepts("yes"));
+    }
+
+    #[test]
+    fn simple_content_with_attributes() {
+        let xsd = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Price">
+    <xs:complexType>
+      <xs:simpleContent>
+        <xs:extension base="xs:integer">
+          <xs:attribute name="currency" use="required" type="xs:NCName"/>
+        </xs:extension>
+      </xs:simpleContent>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+        let s = Schema::parse(xsd).unwrap();
+        s.validate(&doc(r#"<Price currency="GBP">42</Price>"#)).unwrap();
+        assert!(s.validate(&doc(r#"<Price currency="GBP">dear</Price>"#)).is_err());
+        assert!(s.validate(&doc(r#"<Price>42</Price>"#)).is_err());
+    }
+
+    #[test]
+    fn schema_rejects_unsupported_constructs() {
+        let bad = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="A">
+    <xs:complexType>
+      <xs:all><xs:element ref="B"/></xs:all>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="B"/>
+</xs:schema>"#;
+        assert!(matches!(Schema::parse(bad), Err(SchemaError::InvalidSchema(_))));
+        // Root must be xs:schema.
+        assert!(Schema::parse("<notaschema/>").is_err());
+        // Bad occurs bounds.
+        let bad = r#"
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="A">
+    <xs:complexType>
+      <xs:sequence><xs:element ref="B" minOccurs="3" maxOccurs="2"/></xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="B"/>
+</xs:schema>"#;
+        assert!(Schema::parse(bad).is_err());
+    }
+
+    #[test]
+    fn xmlns_attributes_always_allowed() {
+        let s = Schema::parse(TOY).unwrap();
+        s.validate(&doc(
+            r#"<Set id="a" xmlns:x="http://example.org"><Item n="1"/></Set>"#,
+        ))
+        .unwrap();
+    }
+}

@@ -1,0 +1,206 @@
+//! Document serialization.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::node::{Document, Element, Node};
+
+/// Serialization options.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Emit an `<?xml version="1.0" encoding="UTF-8"?>` declaration.
+    pub declaration: bool,
+    /// Pretty-print: indent element-only content. Mixed content (elements
+    /// plus non-whitespace text) is always written verbatim to preserve
+    /// semantics.
+    pub pretty: bool,
+    /// Indentation unit used when `pretty` is on.
+    pub indent: &'static str,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { declaration: true, pretty: true, indent: "  " }
+    }
+}
+
+impl WriteOptions {
+    /// Compact single-line output, no declaration. Useful for hashing and
+    /// for tests comparing canonical forms.
+    pub fn compact() -> Self {
+        WriteOptions { declaration: false, pretty: false, indent: "" }
+    }
+}
+
+/// Serialize a full document.
+pub fn write_document(doc: &Document, opts: &WriteOptions) -> String {
+    let mut out = String::with_capacity(256);
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        out.push('\n');
+    }
+    write_element(&doc.root, opts, 0, &mut out);
+    if opts.pretty {
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize a single element subtree.
+pub fn write_element_string(el: &Element, opts: &WriteOptions) -> String {
+    let mut out = String::with_capacity(128);
+    write_element(el, opts, 0, &mut out);
+    out
+}
+
+fn write_element(el: &Element, opts: &WriteOptions, depth: usize, out: &mut String) {
+    out.push('<');
+    out.push_str(&el.name);
+    for (name, value) in &el.attributes {
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(value));
+        out.push('"');
+    }
+
+    // Drop whitespace-only text nodes when pretty printing element-only
+    // content; keep everything when content is mixed.
+    let mixed = el
+        .children
+        .iter()
+        .any(|n| matches!(n, Node::Text(t) if !t.trim().is_empty()));
+    let significant: Vec<&Node> = el
+        .children
+        .iter()
+        .filter(|n| mixed || !matches!(n, Node::Text(t) if t.trim().is_empty()))
+        .collect();
+
+    if significant.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+
+    let indent_children = opts.pretty && !mixed;
+    for node in &significant {
+        if indent_children {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(opts.indent);
+            }
+        }
+        match node {
+            Node::Element(child) => write_element(child, opts, depth + 1, out),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+            Node::Comment(c) => {
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+            }
+            Node::ProcessingInstruction { target, data } => {
+                out.push_str("<?");
+                out.push_str(target);
+                if !data.is_empty() {
+                    out.push(' ');
+                    out.push_str(data);
+                }
+                out.push_str("?>");
+            }
+        }
+    }
+    if indent_children {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(opts.indent);
+        }
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn roundtrip(xml: &str) {
+        let doc = parse_document(xml).unwrap();
+        let pretty = write_document(&doc, &WriteOptions::default());
+        let compact = write_document(&doc, &WriteOptions::compact());
+        let doc2 = parse_document(&pretty).unwrap();
+        let doc3 = parse_document(&compact).unwrap();
+        // Pretty output may alter whitespace-only text; compare compact forms.
+        assert_eq!(
+            write_document(&doc2, &WriteOptions::compact()),
+            write_document(&doc3, &WriteOptions::compact())
+        );
+    }
+
+    #[test]
+    fn writes_empty_element() {
+        let el = Element::new("a").with_attr("x", "1");
+        assert_eq!(write_element_string(&el, &WriteOptions::compact()), "<a x=\"1\"/>");
+    }
+
+    #[test]
+    fn escapes_attribute_values() {
+        let el = Element::new("a").with_attr("x", "1 < 2 & \"q\"");
+        let s = write_element_string(&el, &WriteOptions::compact());
+        assert_eq!(s, "<a x=\"1 &lt; 2 &amp; &quot;q&quot;\"/>");
+    }
+
+    #[test]
+    fn escapes_text() {
+        let el = Element::new("a").with_text("x < y & z");
+        let s = write_element_string(&el, &WriteOptions::compact());
+        assert_eq!(s, "<a>x &lt; y &amp; z</a>");
+    }
+
+    #[test]
+    fn pretty_indents_nested() {
+        let el = Element::new("a").with_child(Element::new("b").with_child(Element::new("c")));
+        let s = write_element_string(&el, &WriteOptions::default());
+        assert_eq!(s, "<a>\n  <b>\n    <c/>\n  </b>\n</a>");
+    }
+
+    #[test]
+    fn mixed_content_not_reindented() {
+        let el = Element::new("a").with_text("x").with_child(Element::new("b")).with_text("y");
+        let s = write_element_string(&el, &WriteOptions::default());
+        assert_eq!(s, "<a>x<b/>y</a>");
+    }
+
+    #[test]
+    fn declaration_emitted() {
+        let doc = Document::new(Element::new("r"));
+        let s = write_document(&doc, &WriteOptions::default());
+        assert!(s.starts_with("<?xml version=\"1.0\""));
+    }
+
+    #[test]
+    fn roundtrip_paper_policy() {
+        roundtrip(
+            r#"<MSoDPolicySet>
+  <MSoDPolicy BusinessContext="TaxOffice=!, taxRefundProcess=!">
+    <FirstStep operation="prepareCheck" targetURI="http://www.myTaxOffice.com/Check"/>
+    <MMEP ForbiddenCardinality="2">
+      <Operation value="prepareCheck" target="http://www.myTaxOffice.com/Check"/>
+      <Operation value="confirmCheck" target="http://secret.location.com/audit"/>
+    </MMEP>
+  </MSoDPolicy>
+</MSoDPolicySet>"#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_entities() {
+        roundtrip("<a x=\"&lt;&amp;&gt;\">&#65;&lt;tag&gt;</a>");
+    }
+
+    #[test]
+    fn comments_roundtrip() {
+        let doc = parse_document("<a><!-- keep me --><b/></a>").unwrap();
+        let s = write_document(&doc, &WriteOptions::compact());
+        assert!(s.contains("<!-- keep me -->"), "{s}");
+    }
+}

@@ -1,0 +1,269 @@
+//! `msod-cli` — command-line front end for the MSoD-for-RBAC library.
+//!
+//! ```text
+//! msod-cli validate <policy.xml>            parse + schema-validate a policy
+//! msod-cli decide   <policy.xml> <script>   run a decision script, print the trace
+//! msod-cli schema   [msod|rbac]             print a bundled XSD
+//! msod-cli example                          print the built-in bank-audit trace
+//! ```
+//!
+//! Decision scripts are line-oriented; fields are `|`-separated because
+//! business contexts contain commas:
+//!
+//! ```text
+//! # subject | roles (type:value or value) | operation | target | context | timestamp
+//! alice | Teller            | handleCash | till  | Branch=York, Period=2006 | 1
+//! alice | employee:Auditor  | audit      | books | Branch=Leeds, Period=2006 | 2
+//! ```
+
+use std::process::ExitCode;
+
+use msod_rbac::msod::RoleRef;
+use msod_rbac::permis::{DecisionRequest, Pdp};
+use msod_rbac::policy;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("validate") if args.len() == 2 => cmd_validate(&args[1]),
+        Some("decide") if args.len() == 3 => cmd_decide(&args[1], &args[2]),
+        Some("schema") => cmd_schema(args.get(1).map(String::as_str).unwrap_or("msod")),
+        Some("example") => cmd_example(),
+        _ => {
+            eprintln!(
+                "usage:\n  msod-cli validate <policy.xml>\n  msod-cli decide <policy.xml> <script>\n  msod-cli schema [msod|rbac]\n  msod-cli example"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_validate(path: &str) -> Result<(), String> {
+    let xml = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let p = policy::parse_rbac_policy(&xml).map_err(|e| e.to_string())?;
+    println!("policy {:?} is valid", p.id);
+    println!("  role type        : {}", p.role_type);
+    println!("  trusted SOAs     : {}", p.trusted_soas.len());
+    println!("  subject domains  : {}", p.subject_domains.len());
+    println!("  hierarchy edges  : {}", p.role_hierarchy.values().map(Vec::len).sum::<usize>());
+    println!("  target rules     : {}", p.targets.len());
+    println!("  MSoD policies    : {}", p.msod.len());
+    for (i, pol) in p.msod.policies().iter().enumerate() {
+        println!(
+            "    #{i}: context [{}], {} MMER, {} MMEP{}{}",
+            pol.business_context,
+            pol.mmer().len(),
+            pol.mmep().len(),
+            if pol.first_step.is_some() { ", first step" } else { "" },
+            if pol.last_step.is_some() { ", last step" } else { "" },
+        );
+    }
+    Ok(())
+}
+
+/// One parsed script line.
+#[derive(Debug, Clone, PartialEq)]
+struct ScriptLine {
+    subject: String,
+    roles: Vec<(String, String)>, // (type-or-empty, value)
+    operation: String,
+    target: String,
+    context: String,
+    timestamp: u64,
+}
+
+fn parse_script_line(line: &str) -> Result<Option<ScriptLine>, String> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = trimmed.split('|').map(str::trim).collect();
+    if fields.len() != 6 {
+        return Err(format!("expected 6 '|'-separated fields, got {}: {line:?}", fields.len()));
+    }
+    let roles = fields[1]
+        .split(',')
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(|r| match r.split_once(':') {
+            Some((t, v)) => (t.to_owned(), v.to_owned()),
+            None => (String::new(), r.to_owned()),
+        })
+        .collect();
+    Ok(Some(ScriptLine {
+        subject: fields[0].to_owned(),
+        roles,
+        operation: fields[2].to_owned(),
+        target: fields[3].to_owned(),
+        context: fields[4].to_owned(),
+        timestamp: fields[5]
+            .parse()
+            .map_err(|_| format!("bad timestamp {:?}", fields[5]))?,
+    }))
+}
+
+fn cmd_decide(policy_path: &str, script_path: &str) -> Result<(), String> {
+    let xml =
+        std::fs::read_to_string(policy_path).map_err(|e| format!("reading {policy_path}: {e}"))?;
+    let script =
+        std::fs::read_to_string(script_path).map_err(|e| format!("reading {script_path}: {e}"))?;
+    let mut pdp = Pdp::from_xml(&xml, b"msod-cli-trail-key".to_vec()).map_err(|e| e.to_string())?;
+    let role_type = pdp.policy().role_type.clone();
+
+    println!("| {:>4} | {:<12} | {:<22} | {:<14} | {:<28} | out   |", "t", "subject", "roles", "operation", "context");
+    let mut grants = 0usize;
+    let mut denies = 0usize;
+    for (no, raw) in script.lines().enumerate() {
+        let Some(line) = parse_script_line(raw).map_err(|e| format!("line {}: {e}", no + 1))?
+        else {
+            continue;
+        };
+        let roles: Vec<RoleRef> = line
+            .roles
+            .iter()
+            .map(|(t, v)| {
+                RoleRef::new(if t.is_empty() { role_type.clone() } else { t.clone() }, v.clone())
+            })
+            .collect();
+        let context = line
+            .context
+            .parse()
+            .map_err(|e| format!("line {}: bad context {:?}: {e}", no + 1, line.context))?;
+        let req = DecisionRequest::with_roles(
+            line.subject.clone(),
+            roles,
+            line.operation.clone(),
+            line.target.clone(),
+            context,
+            line.timestamp,
+        );
+        let out = pdp.decide(&req);
+        let verdict = if out.is_granted() {
+            grants += 1;
+            "GRANT".to_owned()
+        } else {
+            denies += 1;
+            format!("DENY ({})", out.deny_reason().map(|r| r.to_string()).unwrap_or_default())
+        };
+        println!(
+            "| {:>4} | {:<12} | {:<22} | {:<14} | {:<28} | {verdict}",
+            line.timestamp,
+            line.subject,
+            line.roles.iter().map(|(_, v)| v.as_str()).collect::<Vec<_>>().join(","),
+            line.operation,
+            line.context,
+        );
+    }
+    println!("\n{grants} granted, {denies} denied; retained ADI: {} record(s)", {
+        use msod_rbac::msod::RetainedAdi;
+        pdp.adi().len()
+    });
+    pdp.trail().verify().map_err(|e| e.to_string())?;
+    println!("audit trail: {} record(s), verified", pdp.trail().len());
+    Ok(())
+}
+
+fn cmd_schema(which: &str) -> Result<(), String> {
+    match which {
+        "msod" => {
+            println!("{}", policy::MSOD_SCHEMA_XSD);
+            Ok(())
+        }
+        "rbac" => {
+            println!("{}", policy::RBAC_SCHEMA_XSD);
+            Ok(())
+        }
+        other => Err(format!("unknown schema {other:?} (expected msod|rbac)")),
+    }
+}
+
+fn cmd_example() -> Result<(), String> {
+    // The built-in bank scenario, self-contained.
+    let policy = r#"<RBACPolicy id="bank" roleType="employee">
+  <SOAPolicy><SOA dn="cn=HR"/></SOAPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="handleCash" targetURI="till"><AllowedRole value="Teller"/></TargetAccess>
+    <TargetAccess operation="audit" targetURI="books"><AllowedRole value="Auditor"/></TargetAccess>
+    <TargetAccess operation="CommitAudit" targetURI="audit"><AllowedRole value="Auditor"/></TargetAccess>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <LastStep operation="CommitAudit" targetURI="audit"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>"#;
+    let script = "\
+# subject | roles | operation | target | context | timestamp
+alice | Teller  | handleCash  | till  | Branch=York, Period=2006  | 1
+alice | Auditor | audit       | books | Branch=Leeds, Period=2006 | 180
+bob   | Auditor | audit       | books | Branch=York, Period=2006  | 300
+bob   | Auditor | CommitAudit | audit | Branch=York, Period=2006  | 364
+alice | Auditor | audit       | books | Branch=York, Period=2006  | 370
+";
+    let dir = std::env::temp_dir().join(format!("msod-cli-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let ppath = dir.join("policy.xml");
+    let spath = dir.join("script.txt");
+    std::fs::write(&ppath, policy).map_err(|e| e.to_string())?;
+    std::fs::write(&spath, script).map_err(|e| e.to_string())?;
+    let r = cmd_decide(ppath.to_str().unwrap(), spath.to_str().unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_line_parsing() {
+        let l = parse_script_line(
+            "alice | Teller, employee:Clerk | handleCash | till | Branch=York, Period=2006 | 42",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(l.subject, "alice");
+        assert_eq!(
+            l.roles,
+            vec![(String::new(), "Teller".into()), ("employee".into(), "Clerk".into())]
+        );
+        assert_eq!(l.operation, "handleCash");
+        assert_eq!(l.context, "Branch=York, Period=2006");
+        assert_eq!(l.timestamp, 42);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        assert_eq!(parse_script_line("# comment").unwrap(), None);
+        assert_eq!(parse_script_line("   ").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse_script_line("too | few | fields").is_err());
+        assert!(parse_script_line("a | r | op | t | C=1 | not-a-number").is_err());
+    }
+
+    #[test]
+    fn example_runs() {
+        cmd_example().unwrap();
+    }
+
+    #[test]
+    fn schema_command() {
+        cmd_schema("msod").unwrap();
+        cmd_schema("rbac").unwrap();
+        assert!(cmd_schema("bogus").is_err());
+    }
+}
