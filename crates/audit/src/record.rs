@@ -10,7 +10,7 @@ use bytes::{Buf, BufMut};
 use crate::error::AuditError;
 
 /// What kind of event a record describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EventKind {
     /// Access granted. `msod_matched` says whether an MSoD policy
     /// matched (only those grants become retained ADI).
@@ -27,6 +27,7 @@ pub enum EventKind {
     /// PDP start-up marker (recovery boundary).
     Startup,
     /// Free-text operational note.
+    #[default]
     Note,
 }
 
@@ -74,12 +75,6 @@ pub struct AuditEvent {
     pub msod_matched: bool,
     /// Free text (Note / AdminPurge reason).
     pub note: String,
-}
-
-impl Default for EventKind {
-    fn default() -> Self {
-        EventKind::Note
-    }
 }
 
 impl AuditEvent {
@@ -274,11 +269,7 @@ mod tests {
                 timestamp: 6,
                 event: AuditEvent::deny("bob", vec![], "audit", "books", "Period=2006", "MSoD"),
             },
-            Record {
-                seq: 3,
-                timestamp: 9,
-                event: AuditEvent::context_terminated("Period=2006"),
-            },
+            Record { seq: 3, timestamp: 9, event: AuditEvent::context_terminated("Period=2006") },
             Record {
                 seq: 4,
                 timestamp: 10,

@@ -515,7 +515,14 @@ mod tests {
     fn deny_events_loggable() {
         let mut trail = AuditTrail::new(b"k".to_vec());
         trail.append(
-            AuditEvent::deny("bob", vec!["Auditor".into()], "audit", "books", "Period=2006", "MMER"),
+            AuditEvent::deny(
+                "bob",
+                vec!["Auditor".into()],
+                "audit",
+                "books",
+                "Period=2006",
+                "MMER",
+            ),
             1,
         );
         assert_eq!(trail.open_records()[0].event.kind, EventKind::Deny);

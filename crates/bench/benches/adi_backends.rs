@@ -14,13 +14,7 @@ use storage::PersistentAdi;
 use workflow::scenarios::{gen_requests, workload_policy_xml, WorkloadConfig};
 
 fn cfg(requests: usize) -> WorkloadConfig {
-    WorkloadConfig {
-        users: 50,
-        contexts: 10,
-        role_pairs: 4,
-        requests,
-        terminate_percent: 5,
-    }
+    WorkloadConfig { users: 50, contexts: 10, role_pairs: 4, requests, terminate_percent: 5 }
 }
 
 fn per_decision_overhead(c: &mut Criterion) {
@@ -96,8 +90,7 @@ fn startup_cost(c: &mut Criterion) {
         let jpath = dir.join("adi.journal");
         {
             let p = policy::parse_rbac_policy(&policy_xml).unwrap();
-            let mut pdp =
-                Pdp::with_adi(p, b"k".to_vec(), PersistentAdi::open(&jpath).unwrap());
+            let mut pdp = Pdp::with_adi(p, b"k".to_vec(), PersistentAdi::open(&jpath).unwrap());
             for req in &requests {
                 pdp.decide(req);
             }
@@ -166,9 +159,7 @@ fn raw_store_ops(c: &mut Criterion) {
     group.bench_function("memory_user_lookup_10k", |b| {
         b.iter(|| seeded.user_records("u50", &bound).len())
     });
-    group.bench_function("memory_context_active_10k", |b| {
-        b.iter(|| seeded.context_active(&bound))
-    });
+    group.bench_function("memory_context_active_10k", |b| b.iter(|| seeded.context_active(&bound)));
     group.finish();
 }
 

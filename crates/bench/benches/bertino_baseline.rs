@@ -61,8 +61,7 @@ fn msod_decide_vs_population(c: &mut Criterion) {
     let mut group = c.benchmark_group("baseline/msod_decide_vs_users");
     for n in [6usize, 20, 60, 200] {
         let mut pdp = Pdp::from_xml(TAX_POLICY, b"k".to_vec()).unwrap();
-        let ctx: context::ContextInstance =
-            "TaxOffice=Kent, taxRefundProcess=1".parse().unwrap();
+        let ctx: context::ContextInstance = "TaxOffice=Kent, taxRefundProcess=1".parse().unwrap();
         // Populate: T1 done, plus (n-2) bystanders acting in other
         // instances.
         pdp.decide(&DecisionRequest::with_roles(
@@ -127,13 +126,9 @@ fn full_process_comparison(c: &mut Criterion) {
         let planner = planner_with_users(10);
         b.iter(|| {
             let mut a = Assignment::new();
-            for (task, user) in [
-                ("T1", "clerk0"),
-                ("T2", "mgr0"),
-                ("T2", "mgr1"),
-                ("T3", "mgr2"),
-                ("T4", "clerk1"),
-            ] {
+            for (task, user) in
+                [("T1", "clerk0"), ("T2", "mgr0"), ("T2", "mgr1"), ("T3", "mgr2"), ("T4", "clerk1")]
+            {
                 assert!(planner.authorize(&a, task, user));
                 a.entry(task.to_owned()).or_default().push(user.to_owned());
             }

@@ -1,0 +1,122 @@
+//! Concurrent decision throughput: the split-plane PDP
+//! ([`permis::DecisionService`], lock-free read plane + sharded retained
+//! ADI) against the old architecture's single global lock
+//! (`Mutex<Pdp>`), swept over thread count × shard count.
+//!
+//! Every variant runs the identical workload: each thread issues
+//! `PER_THREAD` grant-path decisions for thread-distinct users, so the
+//! sharded store spreads the writes while the mutex baseline serialises
+//! everything — audit appends included — behind one lock. Threads are
+//! spawned inside the timed routine; the spawn cost is identical across
+//! variants and amortised over the per-thread request batch.
+//!
+//! On a single-core host the sweep measures lock *contention* (handoff
+//! and serialisation overhead), not parallel speedup — record the host
+//! shape next to the numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use msod::RoleRef;
+use parking_lot::Mutex;
+use permis::{DecisionRequest, DecisionService, Pdp};
+use workflow::scenarios::{workload_policy_xml, WorkloadConfig, WORK_OP, WORK_TARGET};
+
+/// Decisions issued by each thread per timed routine call.
+const PER_THREAD: usize = 200;
+
+fn cfg() -> WorkloadConfig {
+    WorkloadConfig { users: 64, contexts: 8, role_pairs: 2, ..Default::default() }
+}
+
+/// Per-thread request stream: thread-distinct users (so shards see
+/// independent writers), one conflict-free role each (pure grant path —
+/// every decision commits a retained record and an audit append).
+fn thread_requests(cfg: &WorkloadConfig, threads: usize) -> Vec<Vec<DecisionRequest>> {
+    (0..threads)
+        .map(|t| {
+            (0..PER_THREAD)
+                .map(|i| {
+                    let pair = i % cfg.role_pairs;
+                    DecisionRequest::with_roles(
+                        format!("t{t}-user{}", i % cfg.users),
+                        vec![RoleRef::new("permisRole", format!("A{pair}"))],
+                        WORK_OP,
+                        WORK_TARGET,
+                        format!("Proc={}", i % cfg.contexts).parse().unwrap(),
+                        (t * PER_THREAD + i) as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn concurrent_throughput(c: &mut Criterion) {
+    let cfg = cfg();
+    let parsed = policy::parse_rbac_policy(&workload_policy_xml(&cfg)).unwrap();
+    let mut group = c.benchmark_group("concurrent/decide_throughput");
+
+    for threads in [1usize, 2, 4, 8] {
+        let requests = thread_requests(&cfg, threads);
+        group.throughput(Throughput::Elements((threads * PER_THREAD) as u64));
+
+        // Baseline: the pre-split architecture — every PEP thread
+        // funnels through one Arc<Mutex<Pdp>>, decisions fully serial.
+        group.bench_with_input(BenchmarkId::new("mutex_pdp", threads), &threads, |b, _| {
+            b.iter_batched(
+                || Mutex::new(Pdp::new(parsed.clone(), b"k".to_vec())),
+                |pdp| {
+                    let pdp_ref = &pdp;
+                    std::thread::scope(|s| {
+                        for reqs in &requests {
+                            s.spawn(move || {
+                                for req in reqs {
+                                    let _ = pdp_ref.lock().decide(req);
+                                }
+                            });
+                        }
+                    });
+                    pdp
+                },
+                BatchSize::SmallInput,
+            )
+        });
+
+        // Split plane: decide(&self), retained ADI partitioned across
+        // `shards` user-keyed shard locks.
+        for shards in [1usize, 4, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("sharded_{shards}"), threads),
+                &threads,
+                |b, _| {
+                    b.iter_batched(
+                        || {
+                            DecisionService::<msod::MemoryAdi>::with_shard_count(
+                                parsed.clone(),
+                                b"k".to_vec(),
+                                shards,
+                            )
+                        },
+                        |service| {
+                            let service_ref = &service;
+                            std::thread::scope(|s| {
+                                for reqs in &requests {
+                                    s.spawn(move || {
+                                        for req in reqs {
+                                            let _ = service_ref.decide(req);
+                                        }
+                                    });
+                                }
+                            });
+                            service
+                        },
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, concurrent_throughput);
+criterion_main!(benches);

@@ -18,12 +18,7 @@ fn name_of_depth(depth: usize) -> ContextName {
 }
 
 fn instance_of_depth(depth: usize) -> ContextInstance {
-    (0..depth)
-        .map(|i| format!("L{i}=v{i}"))
-        .collect::<Vec<_>>()
-        .join(", ")
-        .parse()
-        .unwrap()
+    (0..depth).map(|i| format!("L{i}=v{i}")).collect::<Vec<_>>().join(", ").parse().unwrap()
 }
 
 fn matching_vs_depth(c: &mut Criterion) {
@@ -62,11 +57,9 @@ fn policy_set_matching(c: &mut Criterion) {
                     format!("Dept{i}=!").parse().unwrap(),
                     None,
                     None,
-                    vec![Mmer::new(
-                        vec![RoleRef::new("e", "A"), RoleRef::new("e", "B")],
-                        2,
-                    )
-                    .unwrap()],
+                    vec![
+                        Mmer::new(vec![RoleRef::new("e", "A"), RoleRef::new("e", "B")], 2).unwrap()
+                    ],
                     vec![],
                 )
                 .unwrap(),

@@ -89,11 +89,8 @@ fn fresh_context_miss(c: &mut Criterion) {
         let mut seeded = MemoryAdi::new();
         seed_adi(&mut seeded, &cfg, n, 7);
         let mut pdp_mem = Pdp::with_adi(gated.clone(), b"k".to_vec(), seeded.clone());
-        let mut pdp_idx = Pdp::with_adi(
-            gated.clone(),
-            b"k".to_vec(),
-            msod::IndexedAdi::load(seeded.snapshot()),
-        );
+        let mut pdp_idx =
+            Pdp::with_adi(gated.clone(), b"k".to_vec(), msod::IndexedAdi::load(seeded.snapshot()));
         assert!(pdp_mem.decide(&req).is_granted());
         assert_eq!(pdp_mem.adi().len(), n, "probe must not mutate");
         group.bench_with_input(BenchmarkId::new("memory", n), &n, |b, _| {

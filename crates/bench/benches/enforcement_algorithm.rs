@@ -206,11 +206,9 @@ fn first_step_mode_ablation(c: &mut Criterion) {
             "Proc=!".parse().unwrap(),
             None,
             None,
-            vec![Mmer::new(
-                (0..4).map(|i| RoleRef::new("e", format!("R{i}"))).collect(),
-                2,
-            )
-            .unwrap()],
+            vec![
+                Mmer::new((0..4).map(|i| RoleRef::new("e", format!("R{i}"))).collect(), 2).unwrap()
+            ],
             vec![],
         )
         .unwrap();

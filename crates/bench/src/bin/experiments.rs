@@ -73,7 +73,9 @@ fn e2_bank_trace() {
     decide_row(&mut pdp, "bob", "Auditor", "audit", "books", "Branch=York, Period=2006", 300);
     decide_row(&mut pdp, "bob", "Auditor", "CommitAudit", "audit", "Branch=York, Period=2006", 364);
     decide_row(&mut pdp, "alice", "Auditor", "audit", "books", "Branch=York, Period=2006", 370);
-    println!("(row 2: promoted teller denied across branch+session; row 5: free after CommitAudit)\n");
+    println!(
+        "(row 2: promoted teller denied across branch+session; row 5: free after CommitAudit)\n"
+    );
 }
 
 /// E3 — Example 2 decision trace.
@@ -98,7 +100,10 @@ fn e3_tax_trace() {
     ] {
         ts += 1;
         let out = run.attempt(&mut pdp, task, user, ts);
-        println!("| {task}   | {user:<5} | {:<31} |", format!("{out:?}").chars().take(31).collect::<String>());
+        println!(
+            "| {task}   | {user:<5} | {:<31} |",
+            format!("{out:?}").chars().take(31).collect::<String>()
+        );
     }
     // The same-manager-twice denial needs a direct PEP request (the
     // engine's distinct-user rule would mask it).
@@ -127,8 +132,10 @@ fn e3_tax_trace() {
         ctx,
         ts,
     ));
-    println!("(direct PEP bypass: mike approving twice -> {})\n",
-        if again.is_granted() { "GRANT (!!)" } else { "DENY — MMEP({p1,p1},2)" });
+    println!(
+        "(direct PEP bypass: mike approving twice -> {})\n",
+        if again.is_granted() { "GRANT (!!)" } else { "DENY — MMEP({p1,p1},2)" }
+    );
 }
 
 /// E4 — the three Figure-2 policy scopings.
@@ -175,7 +182,11 @@ fn e8_decision_latency() {
     // measure. Three configurations: plain RBAC, MSoD over the paper's
     // flat store, MSoD over the context-trie IndexedAdi.
     let cfg = WorkloadConfig { users: 200, contexts: 50, role_pairs: 4, ..Default::default() };
-    fn measure<A: msod::RetainedAdi>(mut pdp: Pdp<A>, req: &DecisionRequest, expect_deny: bool) -> std::time::Duration {
+    fn measure<A: msod::RetainedAdi>(
+        mut pdp: Pdp<A>,
+        req: &DecisionRequest,
+        expect_deny: bool,
+    ) -> std::time::Duration {
         assert_eq!(pdp.decide(req).is_granted(), !expect_deny);
         let iters = 2_000;
         let (_, dt) = time_it(|| {
@@ -237,10 +248,9 @@ fn e8_decision_latency() {
             "Proc=99999".parse().unwrap(), // never seeded: a guaranteed miss
             1,
         );
-        let gated = policy::parse_rbac_policy(&workflow::scenarios::workload_policy_xml_first_step(
-            &cfg,
-        ))
-        .unwrap();
+        let gated =
+            policy::parse_rbac_policy(&workflow::scenarios::workload_policy_xml_first_step(&cfg))
+                .unwrap();
         let t_flat =
             measure(Pdp::with_adi(gated.clone(), b"k".to_vec(), seeded.clone()), &req, false);
         let t_idx = measure(
@@ -336,11 +346,17 @@ fn e9_backend_ablation() {
 /// E10 — the §6 expressiveness matrix.
 fn e10_expressiveness_matrix() {
     println!("E10. Expressiveness matrix vs the section-6 baselines");
-    println!("| capability                                | MSoD | Bertino [12] | anti-role [18] |");
-    println!("|-------------------------------------------|------|--------------|----------------|");
+    println!(
+        "| capability                                | MSoD | Bertino [12] | anti-role [18] |"
+    );
+    println!(
+        "|-------------------------------------------|------|--------------|----------------|"
+    );
 
     // Workflow SoD (Example 2).
-    println!("| workflow SoD (Example 2)                  | yes  | yes          | partial        |");
+    println!(
+        "| workflow SoD (Example 2)                  | yes  | yes          | partial        |"
+    );
     // Non-workflow SoD (Example 1): Bertino planner cannot answer for
     // ad-hoc ops.
     let planner = BertinoPlanner::new(ProcessDefinition::tax_refund());
@@ -350,7 +366,9 @@ fn e10_expressiveness_matrix() {
         if cannot { "no " } else { "yes" }
     );
     // Partial role knowledge (VO).
-    println!("| sound without central user/role knowledge | yes  | no           | yes            |");
+    println!(
+        "| sound without central user/role knowledge | yes  | no           | yes            |"
+    );
     // m-out-of-n.
     let mut anti = AntiRoleEnforcer::new();
     anti.add_rule(vec![RoleRef::new("e", "A"), RoleRef::new("e", "B"), RoleRef::new("e", "C")]);
@@ -361,7 +379,9 @@ fn e10_expressiveness_matrix() {
         if over_restricts { "no " } else { "yes" }
     );
     // Scoped purge.
-    println!("| scoped history purge (per context inst.)  | yes  | n/a          | no             |");
+    println!(
+        "| scoped history purge (per context inst.)  | yes  | n/a          | no             |"
+    );
     println!();
 }
 

@@ -44,10 +44,9 @@ impl fmt::Display for ContextError {
                 f,
                 "cannot bind policy context {policy:?} to non-matching instance {instance:?}"
             ),
-            ContextError::UnboundComponent(c) => write!(
-                f,
-                "context component {c:?} is per-instance ('!') and must be bound first"
-            ),
+            ContextError::UnboundComponent(c) => {
+                write!(f, "context component {c:?} is per-instance ('!') and must be bound first")
+            }
         }
     }
 }

@@ -57,8 +57,7 @@ mod proptests {
 
     /// Distinct context types, shared between a policy and an instance.
     fn arb_types(n: usize) -> impl Strategy<Value = Vec<String>> {
-        proptest::collection::btree_set(arb_type(), 1..=n)
-            .prop_map(|s| s.into_iter().collect())
+        proptest::collection::btree_set(arb_type(), 1..=n).prop_map(|s| s.into_iter().collect())
     }
 
     fn arb_pattern() -> impl Strategy<Value = PatternValue> {

@@ -91,9 +91,8 @@ fn split_components(s: &str) -> impl Iterator<Item = &str> {
 }
 
 fn parse_pair(comp: &str) -> Result<(String, String), ContextError> {
-    let (t, v) = comp
-        .split_once('=')
-        .ok_or_else(|| ContextError::MalformedComponent(comp.to_owned()))?;
+    let (t, v) =
+        comp.split_once('=').ok_or_else(|| ContextError::MalformedComponent(comp.to_owned()))?;
     let (t, v) = (t.trim(), v.trim());
     if t.is_empty() || v.is_empty() {
         return Err(ContextError::EmptyField(comp.to_owned()));
@@ -342,7 +341,8 @@ mod tests {
 
     #[test]
     fn parse_and_display_roundtrip() {
-        for s in ["Branch=*, Period=!", "Branch=York, Period=!", "TaxOffice=!, taxRefundProcess=!"] {
+        for s in ["Branch=*, Period=!", "Branch=York, Period=!", "TaxOffice=!, taxRefundProcess=!"]
+        {
             assert_eq!(name(s).to_string(), s);
         }
         assert_eq!(ContextName::universal().to_string(), "");
@@ -362,10 +362,7 @@ mod tests {
         ));
         assert!(matches!("Branch=".parse::<ContextName>(), Err(ContextError::EmptyField(_))));
         assert!(matches!("=x".parse::<ContextName>(), Err(ContextError::EmptyField(_))));
-        assert!(matches!(
-            "A=1, A=2".parse::<ContextName>(),
-            Err(ContextError::DuplicateType(_))
-        ));
+        assert!(matches!("A=1, A=2".parse::<ContextName>(), Err(ContextError::DuplicateType(_))));
     }
 
     #[test]
@@ -430,7 +427,8 @@ mod tests {
     #[test]
     fn bind_truncates_to_policy_depth() {
         let policy = name("TaxOffice=!, taxRefundProcess=!");
-        let bound = policy.bind(&inst("TaxOffice=Kent, taxRefundProcess=77, Step=approve")).unwrap();
+        let bound =
+            policy.bind(&inst("TaxOffice=Kent, taxRefundProcess=77, Step=approve")).unwrap();
         assert_eq!(bound.to_string(), "TaxOffice=Kent, taxRefundProcess=77");
         assert!(bound.covers(&inst("TaxOffice=Kent, taxRefundProcess=77, Step=void")));
         assert!(!bound.covers(&inst("TaxOffice=Kent, taxRefundProcess=78")));

@@ -63,9 +63,8 @@ impl Authority {
         let subject = subject.into();
         let serial = self.next_serial;
         self.next_serial += 1;
-        let tbs = AttributeCredential::tbs_bytes(
-            &subject, &self.dn, &role, valid_from, valid_to, serial,
-        );
+        let tbs =
+            AttributeCredential::tbs_bytes(&subject, &self.dn, &role, valid_from, valid_to, serial);
         AttributeCredential {
             subject,
             issuer: self.dn.clone(),

@@ -80,9 +80,10 @@ impl CredentialValidationService {
         if !self.trusted.contains(&cred.issuer) {
             return Err(CredentialError::UntrustedIssuer { issuer: cred.issuer.clone() });
         }
-        let key = self.keys.get(&cred.issuer).ok_or_else(|| {
-            CredentialError::UnknownIssuerKey { issuer: cred.issuer.clone() }
-        })?;
+        let key = self
+            .keys
+            .get(&cred.issuer)
+            .ok_or_else(|| CredentialError::UnknownIssuerKey { issuer: cred.issuer.clone() })?;
         if !cred.verify(key) {
             return Err(CredentialError::BadSignature {
                 issuer: cred.issuer.clone(),

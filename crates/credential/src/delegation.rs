@@ -117,9 +117,8 @@ impl Delegator {
         let serial = self.next_serial;
         self.next_serial += 1;
         let role = leaf.credential.role.clone();
-        let tbs = AttributeCredential::tbs_bytes(
-            &subject, &self.dn, &role, valid_from, valid_to, serial,
-        );
+        let tbs =
+            AttributeCredential::tbs_bytes(&subject, &self.dn, &role, valid_from, valid_to, serial);
         let link = DelegableCredential {
             credential: AttributeCredential {
                 subject,

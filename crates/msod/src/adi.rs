@@ -34,7 +34,7 @@ pub struct AdiRecord {
     /// 5) the business-context instance.
     pub context: ContextInstance,
     /// 6) time/date of the grant decision (kept for administrative
-    /// purposes, e.g. age-based purging through the management port).
+    ///    purposes, e.g. age-based purging through the management port).
     pub timestamp: u64,
 }
 
@@ -118,10 +118,7 @@ impl RetainedAdi for MemoryAdi {
     }
 
     fn context_active(&self, bound: &BoundContext) -> bool {
-        self.by_user
-            .values()
-            .flatten()
-            .any(|r| bound.covers(&r.context))
+        self.by_user.values().flatten().any(|r| bound.covers(&r.context))
     }
 
     fn visit_user_records(
@@ -180,13 +177,24 @@ impl RetainedAdi for MemoryAdi {
 
     fn snapshot(&self) -> Vec<AdiRecord> {
         let mut out: Vec<AdiRecord> = self.by_user.values().flatten().cloned().collect();
-        // Total order so snapshots are comparable across backends.
-        out.sort_by(|a, b| {
-            (a.timestamp, &a.user, &a.context, &a.operation, &a.target, &a.roles)
-                .cmp(&(b.timestamp, &b.user, &b.context, &b.operation, &b.target, &b.roles))
-        });
+        sort_records(&mut out);
         out
     }
+}
+
+/// Total order so snapshots are comparable across backends (shared by
+/// [`MemoryAdi`] and the sharded store's exclusive view).
+pub(crate) fn sort_records(records: &mut [AdiRecord]) {
+    records.sort_by(|a, b| {
+        (a.timestamp, &a.user, &a.context, &a.operation, &a.target, &a.roles).cmp(&(
+            b.timestamp,
+            &b.user,
+            &b.context,
+            &b.operation,
+            &b.target,
+            &b.roles,
+        ))
+    });
 }
 
 #[cfg(test)]

@@ -94,12 +94,7 @@ impl Mmep {
     pub fn split_match<'a>(&'a self, operation: &str, target: &str) -> Option<Vec<&'a Privilege>> {
         let pos = self.privileges.iter().position(|p| p.matches(operation, target))?;
         Some(
-            self.privileges
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| i != pos)
-                .map(|(_, p)| p)
-                .collect(),
+            self.privileges.iter().enumerate().filter(|&(i, _)| i != pos).map(|(_, p)| p).collect(),
         )
     }
 }
@@ -114,21 +109,14 @@ fn split_multiset<'a, E, M>(
     let mut consumed = vec![false; entries.len()];
     let mut nr = 0usize;
     for m in matchers {
-        if let Some(i) = entries
-            .iter()
-            .enumerate()
-            .position(|(i, e)| !consumed[i] && matches(e, m))
+        if let Some(i) = entries.iter().enumerate().position(|(i, e)| !consumed[i] && matches(e, m))
         {
             consumed[i] = true;
             nr += 1;
         }
     }
-    let remaining = entries
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| !consumed[i])
-        .map(|(_, e)| e)
-        .collect();
+    let remaining =
+        entries.iter().enumerate().filter(|&(i, _)| !consumed[i]).map(|(_, e)| e).collect();
     (nr, remaining)
 }
 

@@ -157,6 +157,11 @@ impl MsodEngine {
         &self.policies
     }
 
+    /// The engine's behaviour options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
     /// Replace the policy set (PDP re-initialisation).
     pub fn set_policies(&mut self, policies: MsodPolicySet) {
         self.policies = policies;
@@ -182,10 +187,8 @@ impl MsodEngine {
             let policy = &self.policies.policies()[pi];
             // Step 1 (substitution): bind '!' components to the input
             // instance. Cannot fail: the instance just matched.
-            let bound = policy
-                .business_context
-                .bind(req.context)
-                .expect("matched instance must bind");
+            let bound =
+                policy.business_context.bind(req.context).expect("matched instance must bind");
 
             // Step 3: has this context instance already started (any
             // retained record within the bound context)?
@@ -194,8 +197,8 @@ impl MsodEngine {
             if !started {
                 // Step 4: recording starts at the policy's first step,
                 // or immediately when no first step is declared.
-                let starts_now = policy.first_step.is_none()
-                    || policy.is_first_step(req.operation, req.target);
+                let starts_now =
+                    policy.first_step.is_none() || policy.is_first_step(req.operation, req.target);
                 if starts_now {
                     if self.options.check_constraints_on_first_step {
                         if let Some(deny) = check_constraints(policy, pi, &bound, req, adi) {
@@ -259,10 +262,8 @@ impl MsodEngine {
         let mut terminations: Vec<BoundContext> = Vec::new();
         for &pi in &matched {
             let policy = &self.policies.policies()[pi];
-            let bound = policy
-                .business_context
-                .bind(req.context)
-                .expect("matched instance must bind");
+            let bound =
+                policy.business_context.bind(req.context).expect("matched instance must bind");
             let started = adi.context_active(&bound);
             if !started {
                 if policy.first_step.is_none() || policy.is_first_step(req.operation, req.target) {
@@ -285,7 +286,7 @@ impl MsodEngine {
     }
 }
 
-fn make_record(req: &MsodRequest<'_>) -> AdiRecord {
+pub(crate) fn make_record(req: &MsodRequest<'_>) -> AdiRecord {
     AdiRecord {
         user: req.user.to_owned(),
         roles: req.roles.to_vec(),
@@ -298,17 +299,14 @@ fn make_record(req: &MsodRequest<'_>) -> AdiRecord {
 
 /// Whether any constraint of `policy` is touched by the request (used to
 /// decide whether a step-5/6 grant retains a record).
-fn constraint_matches_request(policy: &MsodPolicy, req: &MsodRequest<'_>) -> bool {
+pub(crate) fn constraint_matches_request(policy: &MsodPolicy, req: &MsodRequest<'_>) -> bool {
     policy.mmer().iter().any(|m| m.split_matches(req.roles).0 > 0)
-        || policy
-            .mmep()
-            .iter()
-            .any(|m| m.split_match(req.operation, req.target).is_some())
+        || policy.mmep().iter().any(|m| m.split_match(req.operation, req.target).is_some())
 }
 
 /// Steps 5 (every MMER) and 6 (every MMEP) for one policy. Returns the
 /// first violation, if any.
-fn check_constraints(
+pub(crate) fn check_constraints(
     policy: &MsodPolicy,
     policy_index: usize,
     bound: &BoundContext,
@@ -323,9 +321,8 @@ fn check_constraints(
         for role in &rec.roles {
             *role_occ.entry(role.clone()).or_insert(0) += 1;
         }
-        *priv_occ
-            .entry(Privilege::new(rec.operation.clone(), rec.target.clone()))
-            .or_insert(0) += 1;
+        *priv_occ.entry(Privilege::new(rec.operation.clone(), rec.target.clone())).or_insert(0) +=
+            1;
     });
 
     // Step 5: MMER.
@@ -391,10 +388,7 @@ fn multiset_history_count<T: std::hash::Hash + Eq>(
     for e in remaining {
         *listed.entry(e).or_insert(0) += 1;
     }
-    listed
-        .into_iter()
-        .map(|(e, n)| n.min(occurrences.get(&e).copied().unwrap_or(0)))
-        .sum()
+    listed.into_iter().map(|(e, n)| n.min(occurrences.get(&e).copied().unwrap_or(0))).sum()
 }
 
 #[cfg(test)]
@@ -453,7 +447,8 @@ mod tests {
 
         // Session 1: alice handles cash as Teller in York.
         let teller = [rr("Teller")];
-        let d = engine.enforce(&mut adi, &request("alice", &teller, "handleCash", "till", &york, 1));
+        let d =
+            engine.enforce(&mut adi, &request("alice", &teller, "handleCash", "till", &york, 1));
         assert!(d.is_granted());
         assert_eq!(adi.len(), 1);
 
@@ -547,7 +542,10 @@ mod tests {
             vec![],
             vec![
                 Mmep::new(
-                    vec![Privilege::new("prepareCheck", check), Privilege::new("confirmCheck", audit)],
+                    vec![
+                        Privilege::new("prepareCheck", check),
+                        Privilege::new("confirmCheck", audit),
+                    ],
                     2,
                 )
                 .unwrap(),
@@ -613,7 +611,8 @@ mod tests {
         assert!(!engine
             .enforce(&mut adi, &request("carol", &clerk, "confirmCheck", AUDIT, &proc1, 7))
             .is_granted());
-        let d = engine.enforce(&mut adi, &request("chris", &clerk, "confirmCheck", AUDIT, &proc1, 8));
+        let d =
+            engine.enforce(&mut adi, &request("chris", &clerk, "confirmCheck", AUDIT, &proc1, 8));
         assert!(d.is_granted());
         // confirmCheck is the last step: the instance's ADI is flushed.
         assert_eq!(adi.len(), 0);
@@ -664,7 +663,8 @@ mod tests {
         let clerk = [rr("Clerk")];
         engine.enforce(&mut adi, &request("carol", &clerk, "prepareCheck", CHECK, &proc1, 1));
         let before = adi.snapshot();
-        let d = engine.enforce(&mut adi, &request("carol", &clerk, "confirmCheck", AUDIT, &proc1, 2));
+        let d =
+            engine.enforce(&mut adi, &request("carol", &clerk, "confirmCheck", AUDIT, &proc1, 2));
         assert!(!d.is_granted());
         assert_eq!(adi.snapshot(), before);
     }
@@ -719,11 +719,19 @@ mod tests {
         let mut adi = MemoryAdi::new();
         let ctx: ContextInstance = "P=1".parse().unwrap();
         // Two distinct conflicting roles are fine; the third is denied.
-        assert!(engine.enforce(&mut adi, &request("u", &[rr("A")], "o", "t", &ctx, 1)).is_granted());
-        assert!(engine.enforce(&mut adi, &request("u", &[rr("B")], "o", "t", &ctx, 2)).is_granted());
-        assert!(!engine.enforce(&mut adi, &request("u", &[rr("C")], "o", "t", &ctx, 3)).is_granted());
+        assert!(engine
+            .enforce(&mut adi, &request("u", &[rr("A")], "o", "t", &ctx, 1))
+            .is_granted());
+        assert!(engine
+            .enforce(&mut adi, &request("u", &[rr("B")], "o", "t", &ctx, 2))
+            .is_granted());
+        assert!(!engine
+            .enforce(&mut adi, &request("u", &[rr("C")], "o", "t", &ctx, 3))
+            .is_granted());
         // Re-using an already-held role stays fine.
-        assert!(engine.enforce(&mut adi, &request("u", &[rr("B")], "o", "t", &ctx, 4)).is_granted());
+        assert!(engine
+            .enforce(&mut adi, &request("u", &[rr("B")], "o", "t", &ctx, 4))
+            .is_granted());
     }
 
     #[test]
@@ -759,8 +767,12 @@ mod tests {
             .is_granted());
         // ...while policy 2 is per-process: C in Proc=5, then D denied in
         // Proc=5 but allowed in Proc=6.
-        assert!(engine.enforce(&mut adi, &request("u", &[rr("C")], "o", "t", &ctx, 3)).is_granted());
-        assert!(!engine.enforce(&mut adi, &request("u", &[rr("D")], "o", "t", &ctx, 4)).is_granted());
+        assert!(engine
+            .enforce(&mut adi, &request("u", &[rr("C")], "o", "t", &ctx, 3))
+            .is_granted());
+        assert!(!engine
+            .enforce(&mut adi, &request("u", &[rr("D")], "o", "t", &ctx, 4))
+            .is_granted());
         assert!(engine
             .enforce(&mut adi, &request("u", &[rr("D")], "o", "t", &other_proc, 5))
             .is_granted());

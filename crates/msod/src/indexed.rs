@@ -51,10 +51,7 @@ impl TrieNode {
         match pairs.first() {
             None => self.records_here.push(slot),
             Some((t, v)) => {
-                self.children
-                    .entry(edge_key(t, v))
-                    .or_default()
-                    .insert(&pairs[1..], slot);
+                self.children.entry(edge_key(t, v)).or_default().insert(&pairs[1..], slot);
             }
         }
     }
@@ -69,12 +66,10 @@ impl TrieNode {
     ) -> bool {
         match pattern.first() {
             None => visit(self),
-            Some((t, PatternValue::Literal(v))) => {
-                match self.children.get(&edge_key(t, v)) {
-                    Some(child) => child.walk(&pattern[1..], visit),
-                    None => false,
-                }
-            }
+            Some((t, PatternValue::Literal(v))) => match self.children.get(&edge_key(t, v)) {
+                Some(child) => child.walk(&pattern[1..], visit),
+                None => false,
+            },
             Some((t, _)) => {
                 // AllInstances: follow every edge with a matching type.
                 let prefix = format!("{t}\u{0}");
@@ -90,11 +85,7 @@ impl TrieNode {
 
     /// Collect every live slot at/below nodes matching the pattern, and
     /// subtract their counts along the way. Returns collected slots.
-    fn drain_matching(
-        &mut self,
-        pattern: &[(&str, &PatternValue)],
-        out: &mut Vec<Slot>,
-    ) -> usize {
+    fn drain_matching(&mut self, pattern: &[(&str, &PatternValue)], out: &mut Vec<Slot>) -> usize {
         match pattern.first() {
             None => {
                 let removed = self.subtree_count;
@@ -178,12 +169,7 @@ impl IndexedAdi {
     }
 
     fn pattern_of(bound: &BoundContext) -> Vec<(&str, &PatternValue)> {
-        bound
-            .name()
-            .components()
-            .iter()
-            .map(|c| (c.ctx_type.as_str(), &c.value))
-            .collect()
+        bound.name().components().iter().map(|c| (c.ctx_type.as_str(), &c.value)).collect()
     }
 
     fn maybe_compact(&mut self) {
@@ -250,11 +236,8 @@ impl RetainedAdi for IndexedAdi {
     fn purge_older_than(&mut self, cutoff: u64) -> usize {
         // Age has no index; rebuild (administrative operation, rare).
         let old = std::mem::take(&mut self.records);
-        let keep: Vec<AdiRecord> = old
-            .into_iter()
-            .flatten()
-            .filter(|r| r.timestamp >= cutoff)
-            .collect();
+        let keep: Vec<AdiRecord> =
+            old.into_iter().flatten().filter(|r| r.timestamp >= cutoff).collect();
         let removed = self.live - keep.len();
         *self = IndexedAdi::load(keep);
         removed
@@ -271,8 +254,14 @@ impl RetainedAdi for IndexedAdi {
     fn snapshot(&self) -> Vec<AdiRecord> {
         let mut out: Vec<AdiRecord> = self.records.iter().flatten().cloned().collect();
         out.sort_by(|a, b| {
-            (a.timestamp, &a.user, &a.context, &a.operation, &a.target, &a.roles)
-                .cmp(&(b.timestamp, &b.user, &b.context, &b.operation, &b.target, &b.roles))
+            (a.timestamp, &a.user, &a.context, &a.operation, &a.target, &a.roles).cmp(&(
+                b.timestamp,
+                &b.user,
+                &b.context,
+                &b.operation,
+                &b.target,
+                &b.roles,
+            ))
         });
         out
     }

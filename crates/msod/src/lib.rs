@@ -58,21 +58,23 @@
 
 pub mod adi;
 pub mod constraint;
-pub mod indexed;
 pub mod engine;
 pub mod error;
+pub mod indexed;
 pub mod policy;
 pub mod privilege;
+pub mod sharded;
 
 pub use adi::{AdiRecord, MemoryAdi, RetainedAdi};
-pub use indexed::IndexedAdi;
 pub use constraint::{Mmep, Mmer};
 pub use engine::{
     ConstraintKind, DenyDetail, EngineOptions, GrantDetail, MsodDecision, MsodEngine, MsodRequest,
 };
 pub use error::MsodError;
+pub use indexed::IndexedAdi;
 pub use policy::{MsodPolicy, MsodPolicySet};
 pub use privilege::{Privilege, RoleRef};
+pub use sharded::{ShardedAdi, DEFAULT_SHARDS};
 
 #[cfg(test)]
 mod adi_equivalence {
@@ -184,15 +186,9 @@ mod proptests {
     /// the core safety and liveness invariants of the algorithm.
     fn arb_stream() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, usize)>)> {
         // (n roles in MMER, m cardinality, requests of (user, role, ctx))
-        (2usize..5)
-            .prop_flat_map(|n| (Just(n), 2..=n))
-            .prop_flat_map(|(n, m)| {
-                (
-                    Just(n),
-                    Just(m),
-                    proptest::collection::vec((0usize..3, 0usize..6, 0usize..3), 1..40),
-                )
-            })
+        (2usize..5).prop_flat_map(|n| (Just(n), 2..=n)).prop_flat_map(|(n, m)| {
+            (Just(n), Just(m), proptest::collection::vec((0usize..3, 0usize..6, 0usize..3), 1..40))
+        })
     }
 
     proptest! {

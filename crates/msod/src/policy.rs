@@ -182,8 +182,7 @@ mod tests {
         let set = MsodPolicySet::new(vec![bank_policy(), tax_policy()]);
         let inst: context::ContextInstance = "Branch=York, Period=2006".parse().unwrap();
         assert_eq!(set.matching(&inst), vec![0]);
-        let tax: context::ContextInstance =
-            "TaxOffice=Kent, taxRefundProcess=77".parse().unwrap();
+        let tax: context::ContextInstance = "TaxOffice=Kent, taxRefundProcess=77".parse().unwrap();
         assert_eq!(set.matching(&tax), vec![1]);
         let neither: context::ContextInstance = "Dept=IT".parse().unwrap();
         assert!(set.matching(&neither).is_empty());
@@ -195,11 +194,7 @@ mod tests {
             "Branch=*".parse().unwrap(),
             None,
             None,
-            vec![Mmer::new(
-                vec![RoleRef::new("e", "A"), RoleRef::new("e", "B")],
-                2,
-            )
-            .unwrap()],
+            vec![Mmer::new(vec![RoleRef::new("e", "A"), RoleRef::new("e", "B")], 2).unwrap()],
             vec![],
         )
         .unwrap();

@@ -47,9 +47,11 @@ pub mod pdp;
 pub mod pep;
 pub mod recovery;
 pub mod request;
+pub mod service;
 
 pub use mgmt::{purge_scope, ManagementOp, MGMT_TARGET, RETAINED_ADI_CONTROLLER};
 pub use pdp::Pdp;
 pub use pep::{Pep, PepSession};
 pub use recovery::RecoveryReport;
 pub use request::{Credentials, DecisionOutcome, DecisionRequest, DenyReason};
+pub use service::{DecisionCore, DecisionService};

@@ -123,12 +123,7 @@ impl<A: RetainedAdi> Pdp<A> {
             return Err(reason.clone());
         }
         let records: Vec<msod::AdiRecord> = match user_filter {
-            Some(user) => self
-                .adi()
-                .snapshot()
-                .into_iter()
-                .filter(|r| r.user == user)
-                .collect(),
+            Some(user) => self.adi().snapshot().into_iter().filter(|r| r.user == user).collect(),
             None => self.adi().snapshot(),
         };
         self.trail_mut().append(
@@ -257,9 +252,8 @@ mod tests {
         let mut pdp = pdp();
         work(&mut pdp, "a", "Member", "p1", 1);
         work(&mut pdp, "b", "Member", "p2", 2);
-        let removed = pdp
-            .manage("cn=admin", controller_creds(), ManagementOp::PurgeAll, 10)
-            .unwrap();
+        let removed =
+            pdp.manage("cn=admin", controller_creds(), ManagementOp::PurgeAll, 10).unwrap();
         assert_eq!(removed, 2);
         assert!(pdp.adi().is_empty());
     }
@@ -293,9 +287,7 @@ mod tests {
         // Controller reads all, then filtered.
         let all = pdp.inspect("cn=admin", controller_creds(), None, 6).unwrap();
         assert_eq!(all.len(), 2);
-        let alice_only = pdp
-            .inspect("cn=admin", controller_creds(), Some("alice"), 7)
-            .unwrap();
+        let alice_only = pdp.inspect("cn=admin", controller_creds(), Some("alice"), 7).unwrap();
         assert_eq!(alice_only.len(), 1);
         assert_eq!(alice_only[0].user, "alice");
         // Reads never mutate.

@@ -181,49 +181,10 @@ impl<A: RetainedAdi> Pdp<A> {
     /// The §4/§5 decision pipeline: subject domain → CVS → RBAC → MSoD,
     /// with every request/response logged to the audit trail.
     pub fn decide(&mut self, req: &DecisionRequest) -> DecisionOutcome {
-        // §4.1: the user's ID is mandatory for MSoD — without it the
-        // PDP cannot link the user's sessions together.
-        if req.subject.trim().is_empty() {
-            return self.deny(req, vec![], DenyReason::InvalidRequest(
-                "subject ID is mandatory for multi-session SoD".into(),
-            ));
-        }
-        // The audit encoding stores the context instance in display
-        // form; reject values it cannot round-trip.
-        if req.context.pairs().iter().any(|(t, v)| t.contains(',') || v.contains(',')) {
-            return self.deny(req, vec![], DenyReason::InvalidRequest(
-                "business-context types/values must not contain ','".into(),
-            ));
-        }
-
-        if !self.policy.covers_subject(&req.subject) {
-            return self.deny(req, vec![], DenyReason::SubjectOutsideDomain);
-        }
-
-        // CVS stage.
-        let (roles, rejected) = match &req.credentials {
-            Credentials::Push(creds) => {
-                let out = self.cvs.validate_push(&req.subject, creds, req.timestamp);
-                (out.roles, out.rejected)
-            }
-            Credentials::Pull => {
-                let out = self.cvs.validate_pull(&req.subject, &self.directory, req.timestamp);
-                (out.roles, out.rejected)
-            }
-            Credentials::Validated(roles) => (roles.clone(), Vec::new()),
+        let roles = match validate_front_end(&self.policy, &self.cvs, &self.directory, req) {
+            Ok(roles) => roles,
+            Err((roles, reason)) => return self.deny(req, roles, reason),
         };
-        if roles.is_empty() {
-            return self.deny(req, roles, DenyReason::NoValidRoles { rejected });
-        }
-
-        // Interim RBAC decision (Figure 3's "normal checking"),
-        // including any environmental conditions on the matching rules.
-        if !self
-            .policy
-            .rbac_permits_env(&roles, &req.operation, &req.target, &req.environment)
-        {
-            return self.deny(req, roles, DenyReason::RbacDenied);
-        }
 
         // MSoD stage (§4.2).
         let msod_req = MsodRequest {
@@ -238,10 +199,8 @@ impl<A: RetainedAdi> Pdp<A> {
             MsodDecision::NotApplicable => self.grant(req, roles, None),
             MsodDecision::Grant(detail) => {
                 for bound in &detail.terminated {
-                    self.trail.append(
-                        AuditEvent::context_terminated(bound.to_string()),
-                        req.timestamp,
-                    );
+                    self.trail
+                        .append(AuditEvent::context_terminated(bound.to_string()), req.timestamp);
                 }
                 self.grant(req, roles, Some(detail))
             }
@@ -288,6 +247,64 @@ impl<A: RetainedAdi> Pdp<A> {
         );
         DecisionOutcome::Deny { roles, reason }
     }
+}
+
+/// The stateless decision front end — subject domain check, CVS
+/// credential validation, interim RBAC decision — shared by
+/// [`Pdp::decide`] and [`crate::DecisionService::decide`]. Every input
+/// is borrowed immutably, which is what lets the service run it against
+/// a shared core snapshot without locking. Returns the validated roles,
+/// or the roles known so far plus the denial.
+#[allow(clippy::result_large_err)]
+pub(crate) fn validate_front_end(
+    policy: &PdpPolicy,
+    cvs: &CredentialValidationService,
+    directory: &Directory,
+    req: &DecisionRequest,
+) -> Result<Vec<RoleRef>, (Vec<RoleRef>, DenyReason)> {
+    // §4.1: the user's ID is mandatory for MSoD — without it the PDP
+    // cannot link the user's sessions together.
+    if req.subject.trim().is_empty() {
+        return Err((
+            Vec::new(),
+            DenyReason::InvalidRequest("subject ID is mandatory for multi-session SoD".into()),
+        ));
+    }
+    // The audit encoding stores the context instance in display form;
+    // reject values it cannot round-trip.
+    if req.context.pairs().iter().any(|(t, v)| t.contains(',') || v.contains(',')) {
+        return Err((
+            Vec::new(),
+            DenyReason::InvalidRequest("business-context types/values must not contain ','".into()),
+        ));
+    }
+
+    if !policy.covers_subject(&req.subject) {
+        return Err((Vec::new(), DenyReason::SubjectOutsideDomain));
+    }
+
+    // CVS stage.
+    let (roles, rejected) = match &req.credentials {
+        Credentials::Push(creds) => {
+            let out = cvs.validate_push(&req.subject, creds, req.timestamp);
+            (out.roles, out.rejected)
+        }
+        Credentials::Pull => {
+            let out = cvs.validate_pull(&req.subject, directory, req.timestamp);
+            (out.roles, out.rejected)
+        }
+        Credentials::Validated(roles) => (roles.clone(), Vec::new()),
+    };
+    if roles.is_empty() {
+        return Err((roles, DenyReason::NoValidRoles { rejected }));
+    }
+
+    // Interim RBAC decision (Figure 3's "normal checking"), including
+    // any environmental conditions on the matching rules.
+    if !policy.rbac_permits_env(&roles, &req.operation, &req.target, &req.environment) {
+        return Err((roles, DenyReason::RbacDenied));
+    }
+    Ok(roles)
 }
 
 /// Roles are stored in audit records as `type:value` (role types are
@@ -464,7 +481,9 @@ mod tests {
             environment: vec![],
             timestamp: 10,
         });
-        assert!(matches!(out.deny_reason(), Some(DenyReason::NoValidRoles { rejected }) if rejected.len() == 1));
+        assert!(
+            matches!(out.deny_reason(), Some(DenyReason::NoValidRoles { rejected }) if rejected.len() == 1)
+        );
     }
 
     #[test]

@@ -1,24 +1,30 @@
 //! The PEP (ISO 10181-3 AEF) — the application-side enforcement point
 //! of Figure 3.
 //!
-//! [`Pep`] is what an application embeds: it holds a shared [`Pdp`],
-//! tracks user access-control *sessions* (which roles/credentials a
-//! user activated for the session — partial disclosure happens here),
-//! identifies the current business-context instance via the
-//! application's [`context::ContextRegistry`] ("The PEP, being part of
-//! the application, is easily able to identify the business context
-//! instance of each user request", §4.1), and forwards complete §4.1
-//! parameter sets to the PDP.
+//! [`Pep`] is what an application embeds: it holds a shared
+//! [`DecisionService`], tracks user access-control *sessions* (which
+//! roles/credentials a user activated for the session — partial
+//! disclosure happens here), identifies the current business-context
+//! instance via the application's [`context::ContextRegistry`] ("The
+//! PEP, being part of the application, is easily able to identify the
+//! business context instance of each user request", §4.1), and forwards
+//! complete §4.1 parameter sets to the PDP.
+//!
+//! Concurrency: the PEP holds no mutex around the decision path.
+//! Session IDs come from an atomic counter, the context registry sits
+//! behind a read/write lock (enforcement only reads it), and
+//! [`DecisionService::decide`] takes `&self`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use context::{ContextInstance, ContextRegistry};
 use credential::AttributeCredential;
-use msod::{RetainedAdi, RoleRef};
-use parking_lot::Mutex;
+use msod::{MemoryAdi, RetainedAdi, RoleRef};
+use parking_lot::RwLock;
 
-use crate::pdp::Pdp;
 use crate::request::{Credentials, DecisionOutcome, DecisionRequest};
+use crate::service::DecisionService;
 
 /// A user access-control session held by the PEP: the subject plus the
 /// credentials/roles the user chose to activate for this session.
@@ -32,21 +38,26 @@ pub struct PepSession {
 }
 
 /// The application-side policy enforcement point.
-pub struct Pep<A: RetainedAdi> {
-    pdp: Arc<Mutex<Pdp<A>>>,
-    registry: Mutex<ContextRegistry>,
-    next_session: Mutex<u64>,
+pub struct Pep<A: RetainedAdi = MemoryAdi> {
+    service: Arc<DecisionService<A>>,
+    registry: RwLock<ContextRegistry>,
+    next_session: AtomicU64,
 }
 
 impl<A: RetainedAdi> Pep<A> {
-    /// Build a PEP over a shared PDP.
-    pub fn new(pdp: Arc<Mutex<Pdp<A>>>) -> Self {
-        Pep { pdp, registry: Mutex::new(ContextRegistry::new()), next_session: Mutex::new(0) }
+    /// Build a PEP over a shared decision service.
+    pub fn new(service: Arc<DecisionService<A>>) -> Self {
+        Pep {
+            service,
+            registry: RwLock::new(ContextRegistry::new()),
+            next_session: AtomicU64::new(0),
+        }
     }
 
-    /// The shared PDP handle (e.g. for a second PEP over the same PDP).
-    pub fn pdp(&self) -> Arc<Mutex<Pdp<A>>> {
-        Arc::clone(&self.pdp)
+    /// The shared decision-service handle (e.g. for a second PEP over
+    /// the same PDP).
+    pub fn service(&self) -> Arc<DecisionService<A>> {
+        Arc::clone(&self.service)
     }
 
     /// Open a session in which `subject` activates exactly the pushed
@@ -74,15 +85,14 @@ impl<A: RetainedAdi> Pep<A> {
     }
 
     fn session(&self, subject: impl Into<String>, credentials: Credentials) -> PepSession {
-        let mut next = self.next_session.lock();
-        *next += 1;
-        PepSession { subject: subject.into(), credentials, id: *next }
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        PepSession { subject: subject.into(), credentials, id }
     }
 
     /// Open (or re-open) a business-context instance in the
     /// application's context registry.
     pub fn open_context(&self, instance: ContextInstance) {
-        self.registry.lock().open(instance);
+        self.registry.write().open(instance);
     }
 
     /// Mint a fresh instance of `ctx_type` under `parent` (e.g. a new
@@ -92,17 +102,17 @@ impl<A: RetainedAdi> Pep<A> {
         parent: &ContextInstance,
         ctx_type: &str,
     ) -> Result<ContextInstance, context::ContextError> {
-        self.registry.lock().fresh(parent, ctx_type)
+        self.registry.write().fresh(parent, ctx_type)
     }
 
     /// Close a context instance (and everything beneath it).
     pub fn close_context(&self, instance: &ContextInstance) -> Vec<ContextInstance> {
-        self.registry.lock().close(instance)
+        self.registry.write().close(instance)
     }
 
     /// Whether the registry currently has the instance open.
     pub fn context_active(&self, instance: &ContextInstance) -> bool {
-        self.registry.lock().is_active(instance)
+        self.registry.read().is_active(instance)
     }
 
     /// The guarded call: ask the PDP whether `session` may perform
@@ -111,6 +121,7 @@ impl<A: RetainedAdi> Pep<A> {
     ///
     /// The context instance must be open in the registry — a PEP never
     /// forwards requests for contexts the application hasn't begun.
+    #[allow(clippy::too_many_arguments)] // mirrors the §4.1 parameter set
     pub fn enforce<R>(
         &self,
         session: &PepSession,
@@ -138,7 +149,7 @@ impl<A: RetainedAdi> Pep<A> {
             environment,
             timestamp,
         };
-        let outcome = self.pdp.lock().decide(&req);
+        let outcome = self.service.decide(&req);
         match outcome {
             DecisionOutcome::Grant { .. } => Ok(action()),
             deny => Err(deny),
@@ -150,7 +161,7 @@ impl<A: RetainedAdi> Pep<A> {
 mod tests {
     use super::*;
     use credential::Authority;
-    use msod::MemoryAdi;
+    use std::collections::HashSet;
 
     const POLICY: &str = r#"<RBACPolicy id="pep" roleType="employee">
   <SOAPolicy><SOA dn="cn=HR"/></SOAPolicy>
@@ -169,10 +180,10 @@ mod tests {
 </RBACPolicy>"#;
 
     fn setup() -> (Pep<MemoryAdi>, Authority) {
-        let mut pdp = Pdp::from_xml(POLICY, b"k".to_vec()).unwrap();
+        let service = DecisionService::from_xml(POLICY, b"k".to_vec()).unwrap();
         let hr = Authority::new("cn=HR", b"hr".to_vec());
-        pdp.register_authority_key(hr.dn(), hr.verification_key().to_vec());
-        (Pep::new(Arc::new(Mutex::new(pdp))), hr)
+        service.register_authority_key(hr.dn(), hr.verification_key().to_vec());
+        (Pep::new(Arc::new(service)), hr)
     }
 
     #[test]
@@ -205,7 +216,7 @@ mod tests {
         let out = pep.enforce(&s, "work", "res", &ctx, vec![], 1, || ());
         assert!(out.is_err());
         // And the PDP was never consulted (no audit record).
-        assert_eq!(pep.pdp().lock().trail().len(), 0);
+        assert_eq!(pep.service().with_trail(|t| t.len()), 0);
     }
 
     #[test]
@@ -229,7 +240,7 @@ mod tests {
         // Two resource gateways (PEPs) in different domains route to the
         // same PDP — the distributed deployment of §1.
         let (pep1, _) = setup();
-        let pep2: Pep<MemoryAdi> = Pep::new(pep1.pdp());
+        let pep2: Pep<MemoryAdi> = Pep::new(pep1.service());
         let ctx: ContextInstance = "Proc=1".parse().unwrap();
         pep1.open_context(ctx.clone());
         pep2.open_context(ctx.clone());
@@ -249,5 +260,32 @@ mod tests {
         let a = pep.begin_session_roles("x", vec![]);
         let b = pep.begin_session_roles("y", vec![]);
         assert!(b.id > a.id);
+    }
+
+    #[test]
+    fn session_ids_unique_under_contention() {
+        let (pep, _) = setup();
+        let pep = Arc::new(pep);
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 200;
+        let mut all_ids: Vec<u64> = Vec::with_capacity(THREADS * PER_THREAD);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let pep = Arc::clone(&pep);
+                    s.spawn(move || {
+                        (0..PER_THREAD)
+                            .map(|i| pep.begin_session_roles(format!("u{t}-{i}"), vec![]).id)
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                all_ids.extend(h.join().unwrap());
+            }
+        });
+        let unique: HashSet<u64> = all_ids.iter().copied().collect();
+        assert_eq!(unique.len(), THREADS * PER_THREAD, "duplicate session IDs issued");
+        assert_eq!(all_ids.iter().max(), Some(&((THREADS * PER_THREAD) as u64)));
     }
 }

@@ -46,7 +46,7 @@ impl<A: RetainedAdi> Pdp<A> {
                 if rec.timestamp < from_time {
                     continue;
                 }
-                self.apply_recovered(&engine, rec, &mut report);
+                apply_recovered_record(&engine, self.adi_mut(), rec, &mut report);
             }
         }
         report.records_retained = self.adi().len();
@@ -54,71 +54,71 @@ impl<A: RetainedAdi> Pdp<A> {
         self.trail_mut().append(audit::AuditEvent::startup(), now);
         Ok(report)
     }
+}
 
-    fn apply_recovered(
-        &mut self,
-        engine: &msod::MsodEngine,
-        rec: &Record,
-        report: &mut RecoveryReport,
-    ) {
-        match rec.event.kind {
-            EventKind::Grant => {
-                let Ok(context) = rec.event.context.parse::<ContextInstance>() else {
-                    report.undecodable += 1;
-                    return;
-                };
-                let roles: Vec<RoleRef> =
-                    rec.event.roles.iter().filter_map(|s| decode_role(s)).collect();
-                if roles.len() != rec.event.roles.len() {
-                    report.undecodable += 1;
-                    return;
-                }
-                report.grants_replayed += 1;
-                let req = MsodRequest {
-                    user: &rec.event.user,
-                    roles: &roles,
-                    operation: &rec.event.operation,
-                    target: &rec.event.target,
-                    context: &context,
-                    timestamp: rec.timestamp,
-                };
-                engine.replay_grant(self.adi_mut(), &req);
+/// Re-apply one recovered audit record to an ADI being rebuilt — shared
+/// by [`Pdp::recover`] and
+/// [`crate::DecisionService::recover`](crate::DecisionService::recover).
+pub(crate) fn apply_recovered_record(
+    engine: &msod::MsodEngine,
+    adi: &mut dyn RetainedAdi,
+    rec: &Record,
+    report: &mut RecoveryReport,
+) {
+    match rec.event.kind {
+        EventKind::Grant => {
+            let Ok(context) = rec.event.context.parse::<ContextInstance>() else {
+                report.undecodable += 1;
+                return;
+            };
+            let roles: Vec<RoleRef> =
+                rec.event.roles.iter().filter_map(|s| decode_role(s)).collect();
+            if roles.len() != rec.event.roles.len() {
+                report.undecodable += 1;
+                return;
             }
-            EventKind::ContextTerminated | EventKind::AdminPurge => {
-                // Re-apply explicit purges (idempotent; replay_grant
-                // already purges for last-step grants, but management
-                // purges have no grant to carry them).
-                if rec.event.context.is_empty() {
-                    // Older-than purge convention: note = "olderThan:<t>".
-                    if let Some(cutoff) = rec
-                        .event
-                        .note
-                        .strip_prefix("olderThan:")
-                        .and_then(|s| s.parse::<u64>().ok())
-                    {
-                        self.adi_mut().purge_older_than(cutoff);
-                        report.purges_applied += 1;
-                    } else if rec.event.note == "purgeAll" {
-                        self.adi_mut().clear();
-                        report.purges_applied += 1;
-                    } else {
-                        report.undecodable += 1;
-                    }
-                    return;
-                }
-                let Ok(name) = rec.event.context.parse::<ContextName>() else {
-                    report.undecodable += 1;
-                    return;
-                };
-                let Ok(bound) = BoundContext::from_name(name) else {
-                    report.undecodable += 1;
-                    return;
-                };
-                self.adi_mut().purge(&bound);
-                report.purges_applied += 1;
-            }
-            EventKind::Deny | EventKind::Startup | EventKind::Note => {}
+            report.grants_replayed += 1;
+            let req = MsodRequest {
+                user: &rec.event.user,
+                roles: &roles,
+                operation: &rec.event.operation,
+                target: &rec.event.target,
+                context: &context,
+                timestamp: rec.timestamp,
+            };
+            engine.replay_grant(adi, &req);
         }
+        EventKind::ContextTerminated | EventKind::AdminPurge => {
+            // Re-apply explicit purges (idempotent; replay_grant
+            // already purges for last-step grants, but management
+            // purges have no grant to carry them).
+            if rec.event.context.is_empty() {
+                // Older-than purge convention: note = "olderThan:<t>".
+                if let Some(cutoff) =
+                    rec.event.note.strip_prefix("olderThan:").and_then(|s| s.parse::<u64>().ok())
+                {
+                    adi.purge_older_than(cutoff);
+                    report.purges_applied += 1;
+                } else if rec.event.note == "purgeAll" {
+                    adi.clear();
+                    report.purges_applied += 1;
+                } else {
+                    report.undecodable += 1;
+                }
+                return;
+            }
+            let Ok(name) = rec.event.context.parse::<ContextName>() else {
+                report.undecodable += 1;
+                return;
+            };
+            let Ok(bound) = BoundContext::from_name(name) else {
+                report.undecodable += 1;
+                return;
+            };
+            adi.purge(&bound);
+            report.purges_applied += 1;
+        }
+        EventKind::Deny | EventKind::Startup | EventKind::Note => {}
     }
 }
 
@@ -254,10 +254,7 @@ mod tests {
         }
         // Restart with a policy whose MSoD set no longer mentions the
         // bank context: nothing is retained.
-        let no_msod = POLICY.replace(
-            r#"Branch=*, Period=!"#,
-            r#"Completely=different, Scope=!"#,
-        );
+        let no_msod = POLICY.replace(r#"Branch=*, Period=!"#, r#"Completely=different, Scope=!"#);
         let mut pdp = Pdp::from_xml(&no_msod, b"key".to_vec()).unwrap();
         pdp.attach_store(TrailStore::open(&dir).unwrap());
         let report = pdp.recover(10, 0).unwrap();

@@ -28,9 +28,7 @@ pub mod msod_xml;
 pub mod rbac_xml;
 
 pub use error::PolicyError;
-pub use msod_xml::{
-    msod_policy_set_to_xml, msod_schema, parse_msod_policy_set, MSOD_SCHEMA_XSD,
-};
+pub use msod_xml::{msod_policy_set_to_xml, msod_schema, parse_msod_policy_set, MSOD_SCHEMA_XSD};
 pub use rbac_xml::{
     parse_rbac_policy, rbac_policy_to_xml, rbac_schema, Condition, PdpPolicy, TargetRule,
     RBAC_SCHEMA_XSD,
@@ -75,11 +73,7 @@ mod proptests {
         proptest::collection::vec((arb_name(), arb_name()), 2..5).prop_flat_map(|pairs| {
             let n = pairs.len();
             (Just(pairs), 2..=n).prop_map(|(pairs, m)| {
-                Mmer::new(
-                    pairs.into_iter().map(|(t, v)| RoleRef::new(t, v)).collect(),
-                    m,
-                )
-                .unwrap()
+                Mmer::new(pairs.into_iter().map(|(t, v)| RoleRef::new(t, v)).collect(), m).unwrap()
             })
         })
     }

@@ -138,11 +138,9 @@ fn cardinality(el: &Element) -> Result<usize, PolicyError> {
 
 fn policy_from_element(el: &Element) -> Result<MsodPolicy, PolicyError> {
     let bc_raw = require(el, "BusinessContext")?;
-    let business_context: ContextName =
-        bc_raw.parse().map_err(|source| PolicyError::Context {
-            value: bc_raw.to_owned(),
-            source,
-        })?;
+    let business_context: ContextName = bc_raw
+        .parse()
+        .map_err(|source| PolicyError::Context { value: bc_raw.to_owned(), source })?;
     let first_step = el.first_child_named("FirstStep").map(step).transpose()?;
     let last_step = el.first_child_named("LastStep").map(step).transpose()?;
 
@@ -209,8 +207,8 @@ fn policy_to_element(policy: &MsodPolicy) -> Element {
         );
     }
     for m in policy.mmer() {
-        let mut mmer =
-            Element::new("MMER").with_attr("ForbiddenCardinality", m.forbidden_cardinality().to_string());
+        let mut mmer = Element::new("MMER")
+            .with_attr("ForbiddenCardinality", m.forbidden_cardinality().to_string());
         for r in m.roles() {
             mmer = mmer.with_child(
                 Element::new("Role")
@@ -221,8 +219,8 @@ fn policy_to_element(policy: &MsodPolicy) -> Element {
         el = el.with_child(mmer);
     }
     for m in policy.mmep() {
-        let mut mmep =
-            Element::new("MMEP").with_attr("ForbiddenCardinality", m.forbidden_cardinality().to_string());
+        let mut mmep = Element::new("MMEP")
+            .with_attr("ForbiddenCardinality", m.forbidden_cardinality().to_string());
         for p in m.privileges() {
             mmep = mmep.with_child(
                 Element::new("Operation")

@@ -150,18 +150,13 @@ impl PdpPolicy {
             .iter()
             .filter(|t| t.admits_op(operation, target) && t.admits_env(environment))
             .any(|rule| {
-            roles.iter().any(|presented| {
-                presented.role_type == self.role_type
-                    && self
-                        .expand_role(&presented.value)
-                        .iter()
-                        .any(|sub| {
-                            rule.allowed_roles
-                                .iter()
-                                .any(|allowed| allowed.value == *sub)
+                roles.iter().any(|presented| {
+                    presented.role_type == self.role_type
+                        && self.expand_role(&presented.value).iter().any(|sub| {
+                            rule.allowed_roles.iter().any(|allowed| allowed.value == *sub)
                         })
+                })
             })
-        })
     }
 }
 
@@ -356,7 +351,9 @@ pub fn parse_rbac_policy(xml: &str) -> Result<PdpPolicy, PolicyError> {
 
     let trusted_soas = root
         .first_child_named("SOAPolicy")
-        .map(|sp| sp.children_named("SOA").filter_map(|d| d.attr("dn")).map(str::to_owned).collect())
+        .map(|sp| {
+            sp.children_named("SOA").filter_map(|d| d.attr("dn")).map(str::to_owned).collect()
+        })
         .unwrap_or_default();
 
     let mut role_hierarchy: HashMap<String, Vec<String>> = HashMap::new();
@@ -397,9 +394,7 @@ pub fn parse_rbac_policy(xml: &str) -> Result<PdpPolicy, PolicyError> {
                     Ok(Condition {
                         name: cond
                             .attr("name")
-                            .ok_or_else(|| {
-                                PolicyError::Semantic("Condition missing name".into())
-                            })?
+                            .ok_or_else(|| PolicyError::Semantic("Condition missing name".into()))?
                             .to_owned(),
                         ge: cond.attr("ge").map(str::to_owned),
                         le: cond.attr("le").map(str::to_owned),

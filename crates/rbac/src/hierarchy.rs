@@ -188,14 +188,8 @@ mod tests {
         let mut h = RoleHierarchy::default();
         h.add_inheritance(r(1), r(2)).unwrap();
         h.add_inheritance(r(2), r(3)).unwrap();
-        assert!(matches!(
-            h.add_inheritance(r(3), r(1)),
-            Err(RbacError::HierarchyCycle { .. })
-        ));
-        assert!(matches!(
-            h.add_inheritance(r(1), r(1)),
-            Err(RbacError::HierarchyCycle { .. })
-        ));
+        assert!(matches!(h.add_inheritance(r(3), r(1)), Err(RbacError::HierarchyCycle { .. })));
+        assert!(matches!(h.add_inheritance(r(1), r(1)), Err(RbacError::HierarchyCycle { .. })));
     }
 
     #[test]

@@ -11,12 +11,7 @@ impl Rbac {
     /// AssignedUsers: users directly assigned to `role`.
     pub fn assigned_users(&self, role: RoleId) -> Result<Vec<UserId>, RbacError> {
         self.role(role)?;
-        Ok(self
-            .ua
-            .iter()
-            .filter(|(_, roles)| roles.contains(&role))
-            .map(|(&u, _)| u)
-            .collect())
+        Ok(self.ua.iter().filter(|(_, roles)| roles.contains(&role)).map(|(&u, _)| u).collect())
     }
 
     /// AssignedRoles: roles directly assigned to `user`.

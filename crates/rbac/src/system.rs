@@ -246,9 +246,7 @@ impl Rbac {
         for user in users {
             let authorized = self.authorized_roles(user);
             if let Some(set) = self.first_violated_ssd(&authorized) {
-                self.hierarchy
-                    .delete_inheritance(senior, junior)
-                    .expect("edge was just added");
+                self.hierarchy.delete_inheritance(senior, junior).expect("edge was just added");
                 return Err(RbacError::SsdViolation { set, user });
             }
         }
@@ -487,16 +485,11 @@ impl Rbac {
         }
         let mut prospective = s.active_roles.clone();
         prospective.insert(role);
-        if let Some((&set, _)) =
-            self.dsd.sets.iter().find(|(_, set)| set.violated_by(&prospective))
+        if let Some((&set, _)) = self.dsd.sets.iter().find(|(_, set)| set.violated_by(&prospective))
         {
             return Err(RbacError::DsdViolation { set, session, role });
         }
-        self.sessions
-            .get_mut(&session)
-            .expect("checked above")
-            .active_roles
-            .insert(role);
+        self.sessions.get_mut(&session).expect("checked above").active_roles.insert(role);
         Ok(())
     }
 
@@ -527,9 +520,7 @@ impl Rbac {
         object: &str,
     ) -> Result<bool, RbacError> {
         let s = self.sessions.get(&session).ok_or(RbacError::UnknownSession(session))?;
-        let Some(&perm) =
-            self.perm_index.get(&Permission::new(operation, object))
-        else {
+        let Some(&perm) = self.perm_index.get(&Permission::new(operation, object)) else {
             return Ok(false);
         };
         Ok(self.roles_hold(&s.active_roles, perm))
@@ -638,11 +629,7 @@ impl Rbac {
     }
 
     fn first_violated_ssd(&self, authorized: &HashSet<RoleId>) -> Option<SodSetId> {
-        self.ssd
-            .sets
-            .iter()
-            .find(|(_, set)| set.violated_by(authorized))
-            .map(|(&id, _)| id)
+        self.ssd.sets.iter().find(|(_, set)| set.violated_by(authorized)).map(|(&id, _)| id)
     }
 }
 
@@ -676,15 +663,9 @@ mod tests {
     fn assign_and_deassign() {
         let (mut sys, alice, teller, _) = base();
         sys.assign_user(alice, teller).unwrap();
-        assert!(matches!(
-            sys.assign_user(alice, teller),
-            Err(RbacError::AlreadyAssigned { .. })
-        ));
+        assert!(matches!(sys.assign_user(alice, teller), Err(RbacError::AlreadyAssigned { .. })));
         sys.deassign_user(alice, teller).unwrap();
-        assert!(matches!(
-            sys.deassign_user(alice, teller),
-            Err(RbacError::NotAssigned { .. })
-        ));
+        assert!(matches!(sys.deassign_user(alice, teller), Err(RbacError::NotAssigned { .. })));
     }
 
     #[test]
@@ -740,10 +721,7 @@ mod tests {
         let (mut sys, alice, teller, auditor) = base();
         sys.create_ssd_set("bank", [teller, auditor], 2).unwrap();
         sys.assign_user(alice, teller).unwrap();
-        assert!(matches!(
-            sys.assign_user(alice, auditor),
-            Err(RbacError::SsdViolation { .. })
-        ));
+        assert!(matches!(sys.assign_user(alice, auditor), Err(RbacError::SsdViolation { .. })));
     }
 
     #[test]
@@ -753,15 +731,9 @@ mod tests {
         let boss = sys.add_role("Boss").unwrap();
         sys.add_inheritance(boss, teller).unwrap();
         sys.assign_user(alice, boss).unwrap(); // authorized for teller
-        assert!(matches!(
-            sys.assign_user(alice, auditor),
-            Err(RbacError::SsdViolation { .. })
-        ));
+        assert!(matches!(sys.assign_user(alice, auditor), Err(RbacError::SsdViolation { .. })));
         // Adding an edge that would make boss >= auditor must also fail.
-        assert!(matches!(
-            sys.add_inheritance(boss, auditor),
-            Err(RbacError::SsdViolation { .. })
-        ));
+        assert!(matches!(sys.add_inheritance(boss, auditor), Err(RbacError::SsdViolation { .. })));
         // ...and the failed edge must have been rolled back.
         assert!(!sys.hierarchy().descends(boss, auditor));
     }
@@ -823,7 +795,7 @@ mod tests {
         sys.delete_role(teller).unwrap();
         assert!(sys.session(session).unwrap().active_roles.is_empty());
         assert_eq!(sys.ssd_sets().count(), 0); // set fell below 2 members
-        // Alice can now be assigned auditor freely.
+                                               // Alice can now be assigned auditor freely.
         sys.assign_user(alice, auditor).unwrap();
     }
 

@@ -14,6 +14,7 @@ use std::path::Path;
 use bytes::{Buf, BufMut};
 use context::{BoundContext, ContextInstance, ContextName, PatternValue};
 use msod::{AdiRecord, MemoryAdi, RetainedAdi, RoleRef};
+use parking_lot::Mutex;
 
 use crate::error::StorageError;
 use crate::log::OpLog;
@@ -23,25 +24,83 @@ const OP_PURGE_BOUND: u8 = 1;
 const OP_PURGE_OLDER: u8 = 2;
 const OP_CLEAR: u8 = 3;
 
+/// Encoded frames buffered in memory before one batched `append` pass —
+/// a mutation costs a `Vec` push on the common path instead of a write
+/// syscall, which matters once the store sits on the PDP's hot path.
+const BATCH_FRAMES: usize = 64;
+
 /// Durable [`RetainedAdi`] backend.
+///
+/// Mutations are journaled as encoded frames into an in-memory batch
+/// (behind its own lock, so journaling never needs exclusive access to
+/// the index) and flushed to the [`OpLog`] in batches — every
+/// [`BATCH_FRAMES`] operations, on [`PersistentAdi::sync`], on
+/// compaction and on drop. Durability is therefore explicit: call
+/// `sync` at the points that must survive a crash.
 ///
 /// I/O failures on the journaling path are latched: the first error is
 /// stored and surfaced by [`PersistentAdi::sync`]; the in-memory state
 /// stays correct for the current process either way.
 pub struct PersistentAdi {
     index: MemoryAdi,
+    journal: Mutex<Journal>,
+}
+
+/// The write-side state: op log plus the pending frame batch.
+struct Journal {
     log: OpLog,
-    /// Journal frames written since the last compaction.
+    batch: Vec<Vec<u8>>,
+    /// Journal frames recorded since the last compaction.
     ops_since_compaction: u64,
     latched_error: Option<StorageError>,
 }
 
+impl Journal {
+    /// Queue one frame, flushing when the batch is full.
+    fn push(&mut self, frame: Vec<u8>) {
+        self.batch.push(frame);
+        self.ops_since_compaction += 1;
+        if self.batch.len() >= BATCH_FRAMES {
+            self.flush();
+        }
+    }
+
+    /// Append every batched frame to the log.
+    fn flush(&mut self) {
+        for frame in self.batch.drain(..) {
+            if let Err(e) = self.log.append(&frame) {
+                if self.latched_error.is_none() {
+                    self.latched_error = Some(e);
+                }
+            }
+        }
+    }
+
+    fn latch(&mut self, e: StorageError) {
+        if self.latched_error.is_none() {
+            self.latched_error = Some(e);
+        }
+    }
+}
+
 impl std::fmt::Debug for PersistentAdi {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let journal = self.journal.lock();
         f.debug_struct("PersistentAdi")
             .field("records", &self.index.len())
-            .field("log", &self.log)
+            .field("log", &journal.log)
+            .field("batched", &journal.batch.len())
             .finish()
+    }
+}
+
+impl Drop for PersistentAdi {
+    fn drop(&mut self) {
+        // Best effort: persist whatever is still batched. Errors cannot
+        // be surfaced from drop; callers needing certainty call `sync`.
+        let mut journal = self.journal.lock();
+        journal.flush();
+        let _ = journal.log.sync();
     }
 }
 
@@ -203,64 +262,74 @@ impl PersistentAdi {
             });
         }
         let ops = log.frames();
-        let mut adi =
-            PersistentAdi { index, log, ops_since_compaction: ops, latched_error: None };
+        let adi = PersistentAdi {
+            index,
+            journal: Mutex::new(Journal {
+                log,
+                batch: Vec::new(),
+                ops_since_compaction: ops,
+                latched_error: None,
+            }),
+        };
         // Opening is a natural compaction point when the journal has
         // grown well past the live set.
         adi.maybe_compact();
         Ok(adi)
     }
 
-    /// Flush the journal and surface any latched I/O error.
-    pub fn sync(&mut self) -> Result<(), StorageError> {
-        if let Some(e) = self.latched_error.take() {
+    /// Flush the batch and the journal, surfacing any latched I/O error.
+    pub fn sync(&self) -> Result<(), StorageError> {
+        let mut journal = self.journal.lock();
+        journal.flush();
+        if let Some(e) = journal.latched_error.take() {
             return Err(e);
         }
-        self.log.sync()
+        journal.log.sync()
     }
 
-    /// Force a compaction: rewrite the journal as one Add per live record.
-    pub fn compact(&mut self) -> Result<(), StorageError> {
+    /// Force a compaction: rewrite the journal as one Add per live
+    /// record. The pending batch is dropped — the snapshot already
+    /// reflects every batched mutation.
+    pub fn compact(&self) -> Result<(), StorageError> {
         let snapshot = self.index.snapshot();
         let frames: Vec<Vec<u8>> = snapshot.iter().map(encode_add).collect();
-        self.log.rewrite(frames.iter().map(|f| f.as_slice()))?;
-        self.ops_since_compaction = 0;
+        let mut journal = self.journal.lock();
+        journal.batch.clear();
+        journal.log.rewrite(frames.iter().map(|f| f.as_slice()))?;
+        journal.ops_since_compaction = 0;
         Ok(())
     }
 
-    /// Journal frames accumulated since the last compaction.
+    /// Journal frames (written or batched) since the last compaction.
     pub fn journal_ops(&self) -> u64 {
-        self.ops_since_compaction
+        self.journal.lock().ops_since_compaction
     }
 
-    fn maybe_compact(&mut self) {
+    /// Encoded frames waiting for the next batched append.
+    pub fn batched_ops(&self) -> usize {
+        self.journal.lock().batch.len()
+    }
+
+    fn maybe_compact(&self) {
         // Compact when the journal is more than double the live set
         // (plus slack so small stores never compact).
-        if self.ops_since_compaction > 2 * (self.index.len() as u64) + 512 {
+        let due = self.journal.lock().ops_since_compaction > 2 * (self.index.len() as u64) + 512;
+        if due {
             if let Err(e) = self.compact() {
-                self.latch(e);
+                self.journal.lock().latch(e);
             }
         }
     }
 
-    fn journal(&mut self, payload: &[u8]) {
-        if let Err(e) = self.log.append(payload) {
-            self.latch(e);
-        }
-        self.ops_since_compaction += 1;
+    fn journal(&self, payload: Vec<u8>) {
+        self.journal.lock().push(payload);
         self.maybe_compact();
-    }
-
-    fn latch(&mut self, e: StorageError) {
-        if self.latched_error.is_none() {
-            self.latched_error = Some(e);
-        }
     }
 }
 
 impl RetainedAdi for PersistentAdi {
     fn add(&mut self, record: AdiRecord) {
-        self.journal(&encode_add(&record));
+        self.journal(encode_add(&record));
         self.index.add(record);
     }
 
@@ -278,7 +347,7 @@ impl RetainedAdi for PersistentAdi {
     }
 
     fn purge(&mut self, bound: &BoundContext) -> usize {
-        self.journal(&encode_purge_bound(bound));
+        self.journal(encode_purge_bound(bound));
         self.index.purge(bound)
     }
 
@@ -286,7 +355,7 @@ impl RetainedAdi for PersistentAdi {
         let mut buf = Vec::with_capacity(9);
         buf.put_u8(OP_PURGE_OLDER);
         buf.put_u64_le(cutoff);
-        self.journal(&buf);
+        self.journal(buf);
         self.index.purge_older_than(cutoff)
     }
 
@@ -295,7 +364,7 @@ impl RetainedAdi for PersistentAdi {
     }
 
     fn clear(&mut self) {
-        self.journal(&[OP_CLEAR]);
+        self.journal(vec![OP_CLEAR]);
         self.index.clear();
     }
 
@@ -394,12 +463,8 @@ mod tests {
         let mut per = PersistentAdi::open(&path).unwrap();
         let ctxs = ["P=1", "P=2", "Q=1, R=2"];
         for i in 0..30u64 {
-            let r = rec(
-                &format!("u{}", i % 4),
-                &format!("role{}", i % 3),
-                ctxs[(i % 3) as usize],
-                i,
-            );
+            let r =
+                rec(&format!("u{}", i % 4), &format!("role{}", i % 3), ctxs[(i % 3) as usize], i);
             mem.add(r.clone());
             per.add(r);
             if i % 7 == 0 {
@@ -455,6 +520,42 @@ mod tests {
         // Live set is tiny; auto-compaction must have kept the journal
         // far below the 3000 ops issued.
         assert!(adi.journal_ops() < 1600, "journal_ops = {}", adi.journal_ops());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batched_frames_flush_on_sync_and_drop() {
+        let path = temp_path("batch");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut adi = PersistentAdi::open(&path).unwrap();
+            for i in 0..5 {
+                adi.add(rec("a", "r", "P=1", i));
+            }
+            // Below the batch threshold nothing has hit the log yet.
+            assert_eq!(adi.batched_ops(), 5);
+            adi.sync().unwrap();
+            assert_eq!(adi.batched_ops(), 0);
+            adi.add(rec("a", "r", "P=1", 99));
+            assert_eq!(adi.batched_ops(), 1);
+            // Dropped without sync: the drop flush persists the frame.
+        }
+        let adi = PersistentAdi::open(&path).unwrap();
+        assert_eq!(adi.len(), 6);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn large_batches_flush_automatically() {
+        let path = temp_path("autoflush");
+        let _ = std::fs::remove_file(&path);
+        let mut adi = PersistentAdi::open(&path).unwrap();
+        for i in 0..(BATCH_FRAMES as u64 + 3) {
+            adi.add(rec("a", "r", "P=1", i));
+        }
+        // One full batch went to the log; the tail is still pending.
+        assert_eq!(adi.batched_ops(), 3);
+        adi.sync().unwrap();
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -24,10 +24,7 @@ pub struct OpLog {
 
 impl std::fmt::Debug for OpLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OpLog")
-            .field("path", &self.path)
-            .field("frames", &self.frames)
-            .finish()
+        f.debug_struct("OpLog").field("path", &self.path).field("frames", &self.frames).finish()
     }
 }
 
@@ -54,9 +51,12 @@ impl OpLog {
         let mut valid_end = 0usize;
         let mut frames = 0u64;
         while offset + 4 <= data.len() {
-            let len =
-                u32::from_le_bytes([data[offset], data[offset + 1], data[offset + 2], data[offset + 3]])
-                    as usize;
+            let len = u32::from_le_bytes([
+                data[offset],
+                data[offset + 1],
+                data[offset + 2],
+                data[offset + 3],
+            ]) as usize;
             let frame_end = offset + 4 + len + 4;
             if frame_end > data.len() {
                 break; // torn trailing frame

@@ -88,9 +88,8 @@ impl BertinoPlanner {
 
     /// Whether `assignment ∪ {task ← user}` violates any constraint.
     fn consistent(&self, assignment: &Assignment, task: &str, user: &str) -> bool {
-        let performed = |t: &str| -> bool {
-            assignment.get(t).is_some_and(|us| us.iter().any(|u| u == user))
-        };
+        let performed =
+            |t: &str| -> bool { assignment.get(t).is_some_and(|us| us.iter().any(|u| u == user)) };
         for c in &self.constraints {
             match c {
                 WfConstraint::DistinctPerformers { task: t } => {

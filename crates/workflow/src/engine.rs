@@ -67,19 +67,12 @@ impl ProcessRun {
 
     /// Users who performed a task so far.
     pub fn performers(&self, task_id: &str) -> &[String] {
-        self.def
-            .task_index(task_id)
-            .map(|i| self.performed[i].as_slice())
-            .unwrap_or(&[])
+        self.def.task_index(task_id).map(|i| self.performed[i].as_slice()).unwrap_or(&[])
     }
 
     /// Whether every task has all its completions.
     pub fn is_complete(&self) -> bool {
-        self.def
-            .tasks
-            .iter()
-            .zip(&self.performed)
-            .all(|(t, users)| users.len() >= t.completions)
+        self.def.tasks.iter().zip(&self.performed).all(|(t, users)| users.len() >= t.completions)
     }
 
     /// The first incomplete task, if any.
@@ -205,10 +198,7 @@ mod tests {
         assert!(run.attempt(&mut pdp, "T2", "mary", 3).is_granted());
         assert!(run.attempt(&mut pdp, "T3", "max", 4).is_granted());
         let out = run.attempt(&mut pdp, "T4", "chris", 5);
-        assert_eq!(
-            out,
-            AttemptOutcome::Granted { task_complete: true, process_complete: true }
-        );
+        assert_eq!(out, AttemptOutcome::Granted { task_complete: true, process_complete: true });
         assert!(run.is_complete());
         // Last step flushed the instance's retained ADI.
         assert_eq!(pdp.adi().len(), 0);
@@ -217,15 +207,9 @@ mod tests {
     #[test]
     fn sequencing_enforced() {
         let (mut pdp, mut run) = setup();
-        assert!(matches!(
-            run.attempt(&mut pdp, "T2", "mike", 1),
-            AttemptOutcome::NotAvailable(_)
-        ));
+        assert!(matches!(run.attempt(&mut pdp, "T2", "mike", 1), AttemptOutcome::NotAvailable(_)));
         run.attempt(&mut pdp, "T1", "carol", 2);
-        assert!(matches!(
-            run.attempt(&mut pdp, "T3", "max", 3),
-            AttemptOutcome::NotAvailable(_)
-        ));
+        assert!(matches!(run.attempt(&mut pdp, "T3", "max", 3), AttemptOutcome::NotAvailable(_)));
         assert_eq!(run.current_task().unwrap().id, "T2");
     }
 

@@ -122,9 +122,8 @@ pub fn gen_requests(cfg: &WorkloadConfig, seed: u64) -> Vec<DecisionRequest> {
         let pair = rng.random_range(0..cfg.role_pairs);
         let side = if rng.random_range(0..2) == 0 { "A" } else { "B" };
         let role = RoleRef::new("permisRole", format!("{side}{pair}"));
-        let ctx: ContextInstance = format!("Proc={}", rng.random_range(0..cfg.contexts))
-            .parse()
-            .expect("valid instance");
+        let ctx: ContextInstance =
+            format!("Proc={}", rng.random_range(0..cfg.contexts)).parse().expect("valid instance");
         let terminate = rng.random_range(0..100u8) < cfg.terminate_percent;
         out.push(DecisionRequest::with_roles(
             user,

@@ -98,26 +98,18 @@ impl fmt::Display for XmlError {
             XmlErrorKind::UnmatchedCloseTag(name) => {
                 write!(f, "close tag </{name}> has no matching open tag")?
             }
-            XmlErrorKind::UnclosedElement(name) => {
-                write!(f, "element <{name}> was never closed")?
-            }
+            XmlErrorKind::UnclosedElement(name) => write!(f, "element <{name}> was never closed")?,
             XmlErrorKind::InvalidName(name) => write!(f, "invalid XML name {name:?}")?,
             XmlErrorKind::InvalidEntity(ent) => {
                 write!(f, "unknown or malformed entity reference &{ent};")?
             }
-            XmlErrorKind::DuplicateAttribute(name) => {
-                write!(f, "duplicate attribute {name:?}")?
-            }
+            XmlErrorKind::DuplicateAttribute(name) => write!(f, "duplicate attribute {name:?}")?,
             XmlErrorKind::NoRootElement => write!(f, "document has no root element")?,
             XmlErrorKind::MultipleRootElements => {
                 write!(f, "document has more than one root element")?
             }
-            XmlErrorKind::TrailingContent => {
-                write!(f, "content after the root element")?
-            }
-            XmlErrorKind::InvalidCharRef(s) => {
-                write!(f, "invalid character reference &#{s};")?
-            }
+            XmlErrorKind::TrailingContent => write!(f, "content after the root element")?,
+            XmlErrorKind::InvalidCharRef(s) => write!(f, "invalid character reference &#{s};")?,
             XmlErrorKind::InvalidDeclaration => write!(f, "malformed XML declaration")?,
             XmlErrorKind::InvalidComment => write!(f, "malformed comment")?,
         }

@@ -133,7 +133,9 @@ impl<'a> Lexer<'a> {
             Ok(())
         } else {
             match self.peek_char() {
-                Some(found) => Err(self.err(XmlErrorKind::UnexpectedChar { found, expected: what })),
+                Some(found) => {
+                    Err(self.err(XmlErrorKind::UnexpectedChar { found, expected: what }))
+                }
                 None => Err(self.err(XmlErrorKind::UnexpectedEof(what))),
             }
         }
@@ -278,8 +280,10 @@ impl<'a> Lexer<'a> {
                         Ok(Event::StartTag { name, attributes })
                     } else {
                         match self.peek_char() {
-                            Some(found) => Err(self
-                                .err(XmlErrorKind::UnexpectedChar { found, expected: "'>' or '/>'" })),
+                            Some(found) => Err(self.err(XmlErrorKind::UnexpectedChar {
+                                found,
+                                expected: "'>' or '/>'",
+                            })),
                             None => Err(self.err(XmlErrorKind::UnexpectedEof("tag"))),
                         }
                     }

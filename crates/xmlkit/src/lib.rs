@@ -86,10 +86,7 @@ mod proptests {
                 arb_name(),
                 proptest::collection::vec((arb_name(), arb_text()), 0..3),
                 proptest::collection::vec(
-                    prop_oneof![
-                        inner.prop_map(Node::Element),
-                        arb_text().prop_map(Node::Text),
-                    ],
+                    prop_oneof![inner.prop_map(Node::Element), arb_text().prop_map(Node::Text),],
                     0..4,
                 ),
             )

@@ -95,10 +95,8 @@ impl Element {
 
     /// Attribute value or a descriptive error naming the element.
     pub fn require_attr(&self, name: &str) -> Result<&str, MissingAttr> {
-        self.attr(name).ok_or_else(|| MissingAttr {
-            element: self.name.clone(),
-            attribute: name.to_owned(),
-        })
+        self.attr(name)
+            .ok_or_else(|| MissingAttr { element: self.name.clone(), attribute: name.to_owned() })
     }
 
     /// Set (replace or insert) an attribute.

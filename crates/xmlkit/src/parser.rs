@@ -39,9 +39,9 @@ pub fn parse_document(input: &str) -> Result<Document, XmlError> {
                 }
             }
             Event::EndTag { name } => {
-                let el = stack
-                    .pop()
-                    .ok_or_else(|| XmlError::new(XmlErrorKind::UnmatchedCloseTag(name.clone()), pos))?;
+                let el = stack.pop().ok_or_else(|| {
+                    XmlError::new(XmlErrorKind::UnmatchedCloseTag(name.clone()), pos)
+                })?;
                 if el.name != name {
                     return Err(XmlError::new(
                         XmlErrorKind::MismatchedCloseTag { open: el.name, close: name },
@@ -137,10 +137,7 @@ mod tests {
 
     #[test]
     fn parse_with_prolog() {
-        let doc = parse_document(
-            "<?xml version=\"1.0\"?>\n<!-- comment -->\n<root/>\n",
-        )
-        .unwrap();
+        let doc = parse_document("<?xml version=\"1.0\"?>\n<!-- comment -->\n<root/>\n").unwrap();
         assert_eq!(doc.root.name, "root");
     }
 
@@ -195,7 +192,11 @@ mod tests {
     #[test]
     fn comments_preserved_inside_root() {
         let doc = parse_document("<a><!-- note --><b/></a>").unwrap();
-        assert!(doc.root.children.iter().any(|n| matches!(n, Node::Comment(c) if c.contains("note"))));
+        assert!(doc
+            .root
+            .children
+            .iter()
+            .any(|n| matches!(n, Node::Comment(c) if c.contains("note"))));
     }
 
     #[test]

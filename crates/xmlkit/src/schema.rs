@@ -239,16 +239,15 @@ impl Schema {
         // Attributes.
         for ad in &decl.attributes {
             match el.attr(&ad.name) {
-                Some(v) => {
-                    if !ad.ty.accepts(v) {
-                        return Err(SchemaError::InvalidValue {
-                            element: el.name.clone(),
-                            attribute: Some(ad.name.clone()),
-                            ty: ad.ty.name().to_owned(),
-                            value: v.to_owned(),
-                        });
-                    }
+                Some(v) if !ad.ty.accepts(v) => {
+                    return Err(SchemaError::InvalidValue {
+                        element: el.name.clone(),
+                        attribute: Some(ad.name.clone()),
+                        ty: ad.ty.name().to_owned(),
+                        value: v.to_owned(),
+                    });
                 }
+                Some(_) => {}
                 None if ad.required => {
                     return Err(SchemaError::MissingAttribute {
                         element: el.name.clone(),
@@ -317,13 +316,12 @@ impl Schema {
 
         // Recurse.
         for child in &children {
-            let child_decl = self.elements.get(&child.name).ok_or_else(|| {
-                SchemaError::UnexpectedElement {
+            let child_decl =
+                self.elements.get(&child.name).ok_or_else(|| SchemaError::UnexpectedElement {
                     parent: el.name.clone(),
                     found: child.name.clone(),
                     expected: vec![],
-                }
-            })?;
+                })?;
             self.validate_element(child, child_decl)?;
         }
         Ok(())
@@ -602,9 +600,7 @@ fn parse_particle(el: &Element) -> Result<Particle, SchemaError> {
             }
             "sequence" | "choice" => items.push(parse_particle(child)?),
             other => {
-                return Err(SchemaError::InvalidSchema(format!(
-                    "unsupported particle <{other}>"
-                )))
+                return Err(SchemaError::InvalidSchema(format!("unsupported particle <{other}>")))
             }
         }
     }
@@ -707,9 +703,7 @@ mod tests {
     #[test]
     fn unexpected_child_rejected() {
         let s = Schema::parse(TOY).unwrap();
-        let err = s
-            .validate(&doc(r#"<Set id="a"><Item n="1"/><Other/></Set>"#))
-            .unwrap_err();
+        let err = s.validate(&doc(r#"<Set id="a"><Item n="1"/><Other/></Set>"#)).unwrap_err();
         assert!(matches!(err, SchemaError::UnexpectedElement { .. }), "{err}");
     }
 
@@ -881,9 +875,7 @@ mod tests {
     #[test]
     fn xmlns_attributes_always_allowed() {
         let s = Schema::parse(TOY).unwrap();
-        s.validate(&doc(
-            r#"<Set id="a" xmlns:x="http://example.org"><Item n="1"/></Set>"#,
-        ))
-        .unwrap();
+        s.validate(&doc(r#"<Set id="a" xmlns:x="http://example.org"><Item n="1"/></Set>"#))
+            .unwrap();
     }
 }

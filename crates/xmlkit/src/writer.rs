@@ -64,10 +64,7 @@ fn write_element(el: &Element, opts: &WriteOptions, depth: usize, out: &mut Stri
 
     // Drop whitespace-only text nodes when pretty printing element-only
     // content; keep everything when content is mixed.
-    let mixed = el
-        .children
-        .iter()
-        .any(|n| matches!(n, Node::Text(t) if !t.trim().is_empty()));
+    let mixed = el.children.iter().any(|n| matches!(n, Node::Text(t) if !t.trim().is_empty()));
     let significant: Vec<&Node> = el
         .children
         .iter()

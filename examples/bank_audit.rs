@@ -48,7 +48,15 @@ impl Bank {
         Bank { pdp, hr }
     }
 
-    fn request(&mut self, user: &str, role: &str, op: &str, target: &str, ctx: &str, ts: u64) -> bool {
+    fn request(
+        &mut self,
+        user: &str,
+        role: &str,
+        op: &str,
+        target: &str,
+        ctx: &str,
+        ts: u64,
+    ) -> bool {
         let dn = format!("cn={user}, o=bank");
         // The employee pushes exactly one credential per session —
         // partial disclosure, the scenario that defeats plain RBAC.
@@ -84,14 +92,42 @@ fn main() {
     let mut bank = Bank::new(dir.clone());
 
     println!("Q1: normal business.");
-    bank.request("alice", "Teller", "handleCash", "http://bank/till", "Branch=York, Period=2006", 5);
-    bank.request("carol", "Teller", "handleCash", "http://bank/till", "Branch=Leeds, Period=2006", 9);
-    bank.request("alice", "Teller", "handleCash", "http://bank/till", "Branch=York, Period=2006", 40);
+    bank.request(
+        "alice",
+        "Teller",
+        "handleCash",
+        "http://bank/till",
+        "Branch=York, Period=2006",
+        5,
+    );
+    bank.request(
+        "carol",
+        "Teller",
+        "handleCash",
+        "http://bank/till",
+        "Branch=Leeds, Period=2006",
+        9,
+    );
+    bank.request(
+        "alice",
+        "Teller",
+        "handleCash",
+        "http://bank/till",
+        "Branch=York, Period=2006",
+        40,
+    );
 
     println!("\nQ2: alice is promoted to Auditor. HR issues the credential —");
     println!("nothing stops that (no single authority sees a conflict).");
     println!("But when she tries to USE it this period:");
-    let denied = !bank.request("alice", "Auditor", "audit", "http://bank/books", "Branch=Leeds, Period=2006", 130);
+    let denied = !bank.request(
+        "alice",
+        "Auditor",
+        "audit",
+        "http://bank/books",
+        "Branch=Leeds, Period=2006",
+        130,
+    );
     assert!(denied);
 
     println!("\nMid-year: the PDP host crashes. The secure audit trail is the");
@@ -109,23 +145,47 @@ fn main() {
     assert_eq!(report.records_retained, adi_before);
 
     println!("\nQ3: alice tries again after the crash — history survived:");
-    assert!(!bank.request("alice", "Auditor", "audit", "http://bank/books", "Branch=York, Period=2006", 200));
+    assert!(!bank.request(
+        "alice",
+        "Auditor",
+        "audit",
+        "http://bank/books",
+        "Branch=York, Period=2006",
+        200
+    ));
 
     println!("\nQ4: the annual audit, by people who never touched cash:");
     bank.request("bob", "Auditor", "audit", "http://bank/books", "Branch=York, Period=2006", 300);
     bank.request("bob", "Auditor", "audit", "http://bank/books", "Branch=Leeds, Period=2006", 301);
 
     println!("\nYear end: bob commits the audit (the policy's last step).");
-    bank.request("bob", "Auditor", "CommitAudit", "http://audit.location.com/audit", "Branch=York, Period=2006", 364);
+    bank.request(
+        "bob",
+        "Auditor",
+        "CommitAudit",
+        "http://audit.location.com/audit",
+        "Branch=York, Period=2006",
+        364,
+    );
     println!("  retained ADI after CommitAudit: {} records", bank.pdp.adi().len());
     assert_eq!(bank.pdp.adi().len(), 0);
 
     println!("\n2007: a new period instance — alice audits at last.");
-    assert!(bank.request("alice", "Auditor", "audit", "http://bank/books", "Branch=York, Period=2007", 400));
+    assert!(bank.request(
+        "alice",
+        "Auditor",
+        "audit",
+        "http://bank/books",
+        "Branch=York, Period=2007",
+        400
+    ));
 
     bank.pdp.trail().verify().expect("tamper-evident");
-    println!("\nAudit trail: {} records across {} sealed segment(s) + head — verified.",
-        bank.pdp.trail().len(), bank.pdp.trail().segments().len());
+    println!(
+        "\nAudit trail: {} records across {} sealed segment(s) + head — verified.",
+        bank.pdp.trail().len(),
+        bank.pdp.trail().segments().len()
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -48,11 +48,25 @@ fn main() {
     println!("MSoD quickstart — MMER({{Teller, Auditor}}, 2, \"Branch=*, Period=!\")\n");
 
     println!("Session 1 (January): alice is a teller in York");
-    assert!(ask("alice", "Teller", "handleCash", "http://bank/till", "Branch=York, Period=2006", 1));
+    assert!(ask(
+        "alice",
+        "Teller",
+        "handleCash",
+        "http://bank/till",
+        "Branch=York, Period=2006",
+        1
+    ));
 
     println!("\nSession 2 (June): alice was promoted to auditor — different branch,");
     println!("different session, months later. Standard RBAC SSD/DSD see nothing:");
-    assert!(!ask("alice", "Auditor", "audit", "http://bank/books", "Branch=Leeds, Period=2006", 600));
+    assert!(!ask(
+        "alice",
+        "Auditor",
+        "audit",
+        "http://bank/books",
+        "Branch=Leeds, Period=2006",
+        600
+    ));
 
     println!("\nbob never handled cash this period, so he may audit:");
     assert!(ask("bob", "Auditor", "audit", "http://bank/books", "Branch=Leeds, Period=2006", 601));

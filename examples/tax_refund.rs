@@ -35,8 +35,10 @@ fn main() {
     let mut pdp = Pdp::from_xml(TAX_POLICY, b"tax-trail-key".to_vec()).expect("policy");
     let def = ProcessDefinition::tax_refund();
 
-    let mut refund_a = ProcessRun::new(def.clone(), "TaxOffice=Kent, taxRefundProcess=1001".parse().unwrap());
-    let mut refund_b = ProcessRun::new(def, "TaxOffice=Kent, taxRefundProcess=1002".parse().unwrap());
+    let mut refund_a =
+        ProcessRun::new(def.clone(), "TaxOffice=Kent, taxRefundProcess=1001".parse().unwrap());
+    let mut refund_b =
+        ProcessRun::new(def, "TaxOffice=Kent, taxRefundProcess=1002".parse().unwrap());
 
     println!("Two refunds run interleaved, across many user sessions:");
     let mut ts = 0u64;
@@ -86,7 +88,11 @@ fn main() {
     println!("policy demands. Retained ADI after the last steps: {} records", pdp.adi().len());
     assert_eq!(pdp.adi().len(), 0);
 
-    println!("\nCast of refund-A: T1={:?} T2={:?} T3={:?} T4={:?}",
-        refund_a.performers("T1"), refund_a.performers("T2"),
-        refund_a.performers("T3"), refund_a.performers("T4"));
+    println!(
+        "\nCast of refund-A: T1={:?} T2={:?} T3={:?} T4={:?}",
+        refund_a.performers("T1"),
+        refund_a.performers("T2"),
+        refund_a.performers("T3"),
+        refund_a.performers("T4")
+    );
 }

@@ -50,7 +50,8 @@ fn main() {
     // Two real-world authorities plus the VO office, each with its own
     // signing key. No one of them sees the whole picture.
     let mut university = Authority::new("cn=SOA, o=university", b"uni-key".to_vec());
-    let mut hospital = Authority::new("cn=SOA, o=hospital", b"hosp-key".to_vec()).with_saml_format();
+    let mut hospital =
+        Authority::new("cn=SOA, o=hospital", b"hosp-key".to_vec()).with_saml_format();
     let mut vo_office = Authority::new("cn=SOA, o=vo-office", b"vo-key2".to_vec());
     for a in [&university, &hospital, &vo_office] {
         pdp.register_authority_key(a.dn(), a.verification_key().to_vec());
@@ -63,14 +64,14 @@ fn main() {
     linker.link("o=hospital", "hosp-92c1", "jones@vo");
 
     let ask = |pdp: &mut Pdp,
-                   authority: &mut Authority,
-                   auth_name: &str,
-                   alias: &str,
-                   linker: &AliasLinker,
-                   role: &str,
-                   op: &str,
-                   trial: &str,
-                   ts: u64| {
+               authority: &mut Authority,
+               auth_name: &str,
+               alias: &str,
+               linker: &AliasLinker,
+               role: &str,
+               op: &str,
+               trial: &str,
+               ts: u64| {
         let local = linker.resolve_or_alias(auth_name, alias).to_owned();
         let cred = authority.issue(&local, RoleRef::new("voRole", role), 0, u64::MAX);
         let granted = pdp
@@ -92,22 +93,58 @@ fn main() {
     };
 
     println!("Dr Jones analyses trial T1 with her university identity:");
-    assert!(ask(&mut pdp, &mut university, "o=university", "uni-7f3a", &linker,
-        "Researcher", "analyse", "T1", 1));
+    assert!(ask(
+        &mut pdp,
+        &mut university,
+        "o=university",
+        "uni-7f3a",
+        &linker,
+        "Researcher",
+        "analyse",
+        "T1",
+        1
+    ));
 
     println!("\nMonths later the hospital nominates 'hosp-92c1' (also Dr Jones)");
     println!("to the ethics review of the SAME trial. Alias linking exposes her:");
-    assert!(!ask(&mut pdp, &mut hospital, "o=hospital", "hosp-92c1", &linker,
-        "EthicsReviewer", "review", "T1", 200));
+    assert!(!ask(
+        &mut pdp,
+        &mut hospital,
+        "o=hospital",
+        "hosp-92c1",
+        &linker,
+        "EthicsReviewer",
+        "review",
+        "T1",
+        200
+    ));
 
     println!("\nShe may review a DIFFERENT trial (per-instance scope):");
-    assert!(ask(&mut pdp, &mut hospital, "o=hospital", "hosp-92c1", &linker,
-        "EthicsReviewer", "review", "T2", 201));
+    assert!(ask(
+        &mut pdp,
+        &mut hospital,
+        "o=hospital",
+        "hosp-92c1",
+        &linker,
+        "EthicsReviewer",
+        "review",
+        "T2",
+        201
+    ));
 
     println!("\nThe role hierarchy works federatedly too: a PI outranks a");
     println!("Researcher, so a hospital PI can analyse:");
-    assert!(ask(&mut pdp, &mut hospital, "o=hospital", "hosp-0001", &linker,
-        "PrincipalInvestigator", "analyse", "T1", 300));
+    assert!(ask(
+        &mut pdp,
+        &mut hospital,
+        "o=hospital",
+        "hosp-0001",
+        &linker,
+        "PrincipalInvestigator",
+        "analyse",
+        "T1",
+        300
+    ));
 
     println!("\nTrials have no natural 'last step', so the ADI only grows:");
     println!("  retained ADI: {} records", pdp.adi().len());
@@ -131,8 +168,17 @@ fn main() {
     println!("  purged {removed} record(s); retained ADI now {}", pdp.adi().len());
 
     println!("\nWith T1 closed, Dr Jones may join its (re-run) ethics review:");
-    assert!(ask(&mut pdp, &mut hospital, "o=hospital", "hosp-92c1", &linker,
-        "EthicsReviewer", "review", "T1", 500));
+    assert!(ask(
+        &mut pdp,
+        &mut hospital,
+        "o=hospital",
+        "hosp-92c1",
+        &linker,
+        "EthicsReviewer",
+        "review",
+        "T1",
+        500
+    ));
 
     pdp.trail().verify().expect("trail verifies");
     println!("\nAudit trail: {} records — every grant, denial and management", pdp.trail().len());

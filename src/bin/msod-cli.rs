@@ -103,9 +103,7 @@ fn parse_script_line(line: &str) -> Result<Option<ScriptLine>, String> {
         operation: fields[2].to_owned(),
         target: fields[3].to_owned(),
         context: fields[4].to_owned(),
-        timestamp: fields[5]
-            .parse()
-            .map_err(|_| format!("bad timestamp {:?}", fields[5]))?,
+        timestamp: fields[5].parse().map_err(|_| format!("bad timestamp {:?}", fields[5]))?,
     }))
 }
 
@@ -117,7 +115,10 @@ fn cmd_decide(policy_path: &str, script_path: &str) -> Result<(), String> {
     let mut pdp = Pdp::from_xml(&xml, b"msod-cli-trail-key".to_vec()).map_err(|e| e.to_string())?;
     let role_type = pdp.policy().role_type.clone();
 
-    println!("| {:>4} | {:<12} | {:<22} | {:<14} | {:<28} | out   |", "t", "subject", "roles", "operation", "context");
+    println!(
+        "| {:>4} | {:<12} | {:<22} | {:<14} | {:<28} | out   |",
+        "t", "subject", "roles", "operation", "context"
+    );
     let mut grants = 0usize;
     let mut denies = 0usize;
     for (no, raw) in script.lines().enumerate() {

@@ -17,10 +17,7 @@ fn ssd_works_in_a_single_domain() {
     let auditor = sys.add_role("Auditor").unwrap();
     sys.create_ssd_set("bank", [teller, auditor], 2).unwrap();
     sys.assign_user(alice, teller).unwrap();
-    assert!(matches!(
-        sys.assign_user(alice, auditor),
-        Err(RbacError::SsdViolation { .. })
-    ));
+    assert!(matches!(sys.assign_user(alice, auditor), Err(RbacError::SsdViolation { .. })));
 }
 
 /// ...but in a VO each authority runs its own RBAC system: neither
@@ -64,10 +61,7 @@ fn dsd_blind_to_sequential_sessions() {
 
     let s1 = sys.create_session(alice, [teller]).unwrap();
     // Simultaneous activation IS blocked:
-    assert!(matches!(
-        sys.add_active_role(alice, s1, auditor),
-        Err(RbacError::DsdViolation { .. })
-    ));
+    assert!(matches!(sys.add_active_role(alice, s1, auditor), Err(RbacError::DsdViolation { .. })));
     sys.delete_session(alice, s1).unwrap();
     // ...but a fresh session activates the conflicting role unhindered.
     let s2 = sys.create_session(alice, [auditor]).unwrap();
@@ -97,27 +91,33 @@ fn msod_closes_the_multi_session_gap() {
     // Session 1: Teller.
     let teller = [RoleRef::new("employee", "Teller")];
     assert!(engine
-        .enforce(&mut adi, &MsodRequest {
-            user: "alice",
-            roles: &teller,
-            operation: "handleCash",
-            target: "till",
-            context: &ctx,
-            timestamp: 1,
-        })
+        .enforce(
+            &mut adi,
+            &MsodRequest {
+                user: "alice",
+                roles: &teller,
+                operation: "handleCash",
+                target: "till",
+                context: &ctx,
+                timestamp: 1,
+            }
+        )
         .is_granted());
 
     // Session 2, later: Auditor — denied where DSD was blind.
     let auditor = [RoleRef::new("employee", "Auditor")];
     assert!(!engine
-        .enforce(&mut adi, &MsodRequest {
-            user: "alice",
-            roles: &auditor,
-            operation: "audit",
-            target: "books",
-            context: &ctx,
-            timestamp: 99,
-        })
+        .enforce(
+            &mut adi,
+            &MsodRequest {
+                user: "alice",
+                roles: &auditor,
+                operation: "audit",
+                target: "books",
+                context: &ctx,
+                timestamp: 99,
+            }
+        )
         .is_granted());
 }
 

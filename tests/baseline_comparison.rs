@@ -133,22 +133,34 @@ fn bertino_requires_central_knowledge_msod_does_not() {
     let ctx: context::ContextInstance = "TaxOffice=Kent, taxRefundProcess=1".parse().unwrap();
     assert!(pdp
         .decide(&DecisionRequest::with_roles(
-            "carol", vec![rr("Clerk")], "prepareCheck",
-            "http://www.myTaxOffice.com/Check", ctx.clone(), 1,
+            "carol",
+            vec![rr("Clerk")],
+            "prepareCheck",
+            "http://www.myTaxOffice.com/Check",
+            ctx.clone(),
+            1,
         ))
         .is_granted());
     assert!(pdp
         .decide(&DecisionRequest::with_roles(
-            "carol", vec![rr("Manager")], "approve/disapproveCheck",
-            "http://www.myTaxOffice.com/Check", ctx.clone(), 2,
+            "carol",
+            vec![rr("Manager")],
+            "approve/disapproveCheck",
+            "http://www.myTaxOffice.com/Check",
+            ctx.clone(),
+            2,
         ))
         .is_granted());
     // But she cannot ALSO confirm the check she prepared — history, not
     // role knowledge, is what binds her.
     assert!(!pdp
         .decide(&DecisionRequest::with_roles(
-            "carol", vec![rr("Clerk")], "confirmCheck",
-            "http://secret.location.com/audit", ctx, 3,
+            "carol",
+            vec![rr("Clerk")],
+            "confirmCheck",
+            "http://secret.location.com/audit",
+            ctx,
+            3,
         ))
         .is_granted());
 }

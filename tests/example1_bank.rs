@@ -45,7 +45,15 @@ impl Bank {
         Bank { pdp, hr }
     }
 
-    fn request(&mut self, user: &str, role: &str, op: &str, target: &str, ctx: &str, ts: u64) -> bool {
+    fn request(
+        &mut self,
+        user: &str,
+        role: &str,
+        op: &str,
+        target: &str,
+        ctx: &str,
+        ts: u64,
+    ) -> bool {
         let dn = format!("cn={user}, o=bank");
         let cred = self.hr.issue(&dn, RoleRef::new("employee", role), 0, 1_000_000);
         self.pdp
@@ -176,10 +184,7 @@ fn audit_trail_complete_and_verifiable() {
     let kinds: Vec<EventKind> = trail.open_records().iter().map(|r| r.event.kind).collect();
     assert_eq!(kinds.iter().filter(|k| **k == EventKind::Grant).count(), 3);
     assert_eq!(kinds.iter().filter(|k| **k == EventKind::Deny).count(), 1);
-    assert_eq!(
-        kinds.iter().filter(|k| **k == EventKind::ContextTerminated).count(),
-        1
-    );
+    assert_eq!(kinds.iter().filter(|k| **k == EventKind::ContextTerminated).count(), 1);
 }
 
 /// Outsiders and forged credentials stay out regardless of MSoD.

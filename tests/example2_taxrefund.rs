@@ -52,10 +52,7 @@ fn each_sod_rule_bites() {
         r.context().clone(),
         3,
     );
-    assert!(matches!(
-        pdp.decide(&direct).deny_reason(),
-        Some(DenyReason::Msod(_))
-    ));
+    assert!(matches!(pdp.decide(&direct).deny_reason(), Some(DenyReason::Msod(_))));
 
     // (b) the collector must differ from both approvers.
     r.attempt(&mut pdp, "T2", "mary", 4);
@@ -118,7 +115,7 @@ fn constraints_span_sessions_and_interleavings() {
     // Day 2.
     assert!(r1.attempt(&mut pdp, "T2", "mike", 200).is_granted());
     assert!(r2.attempt(&mut pdp, "T2", "mike", 210).is_granted()); // other instance: OK
-    // Day 3.
+                                                                   // Day 3.
     assert!(r1.attempt(&mut pdp, "T2", "mary", 300).is_granted());
     assert!(r2.attempt(&mut pdp, "T2", "mary", 310).is_granted());
     // Day 30 — long after mike's session ended, he tries to collect.
@@ -156,10 +153,7 @@ fn sequencing_is_engine_side() {
     let mut pdp = pdp();
     let mut r = run(&mut pdp, 1);
     let before = pdp.trail().len();
-    assert!(matches!(
-        r.attempt(&mut pdp, "T4", "chris", 1),
-        AttemptOutcome::NotAvailable(_)
-    ));
+    assert!(matches!(r.attempt(&mut pdp, "T4", "chris", 1), AttemptOutcome::NotAvailable(_)));
     assert_eq!(pdp.trail().len(), before, "no PDP decision was made");
 }
 

@@ -160,14 +160,7 @@ fn strict_first_step_option_end_to_end() {
   </MSoDPolicySet>
 </RBACPolicy>"#;
     let both = vec![RoleRef::new("e", "A"), RoleRef::new("e", "B")];
-    let req = DecisionRequest::with_roles(
-        "u",
-        both,
-        "work",
-        "res",
-        "P=1".parse().unwrap(),
-        1,
-    );
+    let req = DecisionRequest::with_roles("u", both, "work", "res", "P=1".parse().unwrap(), 1);
 
     // Faithful mode: the starting operation slips through (step 4).
     let mut faithful = Pdp::from_xml(policy_xml, b"k".to_vec()).unwrap();
@@ -222,19 +215,13 @@ fn recovery_consistent_at_any_cut_point() {
     use audit::TrailStore;
     use workflow::scenarios::{gen_requests, workload_policy_xml, WorkloadConfig};
 
-    let cfg = WorkloadConfig {
-        users: 8,
-        contexts: 3,
-        role_pairs: 2,
-        requests: 60,
-        terminate_percent: 8,
-    };
+    let cfg =
+        WorkloadConfig { users: 8, contexts: 3, role_pairs: 2, requests: 60, terminate_percent: 8 };
     let policy = workload_policy_xml(&cfg);
     let requests = gen_requests(&cfg, 77);
 
     for cut in [1usize, 7, 23, 42, 59] {
-        let dir = std::env::temp_dir()
-            .join(format!("msod-cut-{}-{cut}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("msod-cut-{}-{cut}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
 
         let mut survivor = Pdp::from_xml(&policy, b"key".to_vec()).unwrap();

@@ -139,7 +139,8 @@ fn only_the_controller_role_may_manage() {
 
     // A forged controller credential is refused by the CVS.
     let mut wrong = Authority::new("cn=VO-Admin", b"not-the-key".to_vec());
-    let forged = wrong.issue("mallory", RoleRef::new("permisRole", RETAINED_ADI_CONTROLLER), 0, u64::MAX);
+    let forged =
+        wrong.issue("mallory", RoleRef::new("permisRole", RETAINED_ADI_CONTROLLER), 0, u64::MAX);
     let err = vo
         .pdp
         .manage("mallory", Credentials::Push(vec![forged]), ManagementOp::PurgeAll, 11)

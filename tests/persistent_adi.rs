@@ -26,8 +26,7 @@ fn persistent_backend_matches_memory_backend() {
     let policy = policy::parse_rbac_policy(&policy_xml).unwrap();
 
     let mut mem_pdp = Pdp::from_xml(&policy_xml, b"k".to_vec()).unwrap();
-    let mut per_pdp =
-        Pdp::with_adi(policy, b"k".to_vec(), PersistentAdi::open(&path).unwrap());
+    let mut per_pdp = Pdp::with_adi(policy, b"k".to_vec(), PersistentAdi::open(&path).unwrap());
 
     for (i, req) in gen_requests(&cfg, 3).iter().enumerate() {
         assert_eq!(
@@ -72,8 +71,7 @@ fn restart_without_trail_replay() {
     };
     {
         let policy = policy::parse_rbac_policy(policy_xml).unwrap();
-        let mut pdp =
-            Pdp::with_adi(policy, b"k".to_vec(), PersistentAdi::open(&path).unwrap());
+        let mut pdp = Pdp::with_adi(policy, b"k".to_vec(), PersistentAdi::open(&path).unwrap());
         assert!(act(&mut pdp, "alice", "A", 1));
         pdp.adi_backend_mut().sync().unwrap();
     }

@@ -195,10 +195,6 @@ fn startup_marker_logged() {
     let mut pdp = Pdp::from_xml(&policy, b"key".to_vec()).unwrap();
     pdp.attach_store(TrailStore::open(&dir).unwrap());
     pdp.recover(usize::MAX, 0).unwrap();
-    assert!(pdp
-        .trail()
-        .open_records()
-        .iter()
-        .any(|r| r.event.kind == audit::EventKind::Startup));
+    assert!(pdp.trail().open_records().iter().any(|r| r.event.kind == audit::EventKind::Startup));
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -155,10 +155,7 @@ fn comments_and_whitespace_are_insignificant() {
 </MSoDPolicySet>
 "#;
     let without = r#"<MSoDPolicySet><MSoDPolicy BusinessContext="P=!"><MMER ForbiddenCardinality="2"><Role type="e" value="A"/><Role type="e" value="B"/></MMER></MSoDPolicy></MSoDPolicySet>"#;
-    assert_eq!(
-        parse_msod_policy_set(with_noise).unwrap(),
-        parse_msod_policy_set(without).unwrap()
-    );
+    assert_eq!(parse_msod_policy_set(with_noise).unwrap(), parse_msod_policy_set(without).unwrap());
 }
 
 #[test]

@@ -1,0 +1,148 @@
+//! Offline drop-in subset of the `rand` 0.9 crate.
+//!
+//! Provides the pieces this workspace uses — `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], and [`Rng::random_range`] over
+//! half-open and inclusive integer ranges. The generator is xoshiro-
+//! style (splitmix64-seeded xorshift64*): deterministic per seed, which
+//! is all the workload generators need. Not cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random-number source. Only the methods the workspace uses.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Construction of RNGs from seed material.
+pub trait SeedableRng: Sized {
+    /// Derive a generator from a `u64` seed (splitmix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types [`Rng::random_range`] accepts.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample. Panics on an empty range.
+    fn sample(self, rng: &mut dyn RngCore) -> Self::Output;
+}
+
+/// Object-safe core so `SampleRange` impls can share one entry point.
+pub trait RngCore {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<T: Rng> RngCore for T {
+    fn next_u64(&mut self) -> u64 {
+        Rng::next_u64(self)
+    }
+}
+
+fn sample_i128(start: i128, end_excl: i128, rng: &mut dyn RngCore) -> i128 {
+    assert!(start < end_excl, "cannot sample empty range");
+    let span = (end_excl - start) as u128;
+    start + (rng.next_u64() as u128 % span) as i128
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                sample_i128(self.start as i128, self.end as i128, rng) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                sample_i128(*self.start() as i128, *self.end() as i128 + 1, rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 scramble so nearby seeds diverge immediately.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            StdRng { state: (z ^ (z >> 31)) | 1 }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* — fast, full-period for odd states.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(0u8..2);
+            assert!(w < 2);
+            let x = rng.random_range(5u64..=5);
+            assert_eq!(x, 5);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buckets = [0usize; 4];
+        for _ in 0..4000 {
+            buckets[rng.random_range(0usize..4)] += 1;
+        }
+        for b in buckets {
+            assert!(b > 700, "bucket badly skewed: {buckets:?}");
+        }
+    }
+}
