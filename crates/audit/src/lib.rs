@@ -40,7 +40,7 @@ pub use error::AuditError;
 pub use hmac::{hmac_sha256, HmacSha256};
 pub use record::{AuditEvent, EventKind, Record};
 pub use sha256::{sha256, Sha256};
-pub use trail::{AuditTrail, Segment, TrailStore};
+pub use trail::{AuditTrail, Segment, TrailMetrics, TrailStore};
 
 #[cfg(test)]
 mod proptests {

@@ -11,6 +11,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use bytes::{Buf, BufMut};
+use obs::{Counter, PromWriter};
 
 use crate::error::AuditError;
 use crate::hmac::{hmac_sha256, verify_tag};
@@ -106,6 +107,19 @@ impl Segment {
     }
 }
 
+/// Trail telemetry. Cloning a trail snapshots the counters (the clone
+/// counts independently); everything is a no-op under `obs-off`.
+/// Appends are counted but not individually timed — the decision plane
+/// already times its audit phase via checkpoints, and a per-append
+/// stopwatch would put two clock reads inside the audit mutex.
+#[derive(Debug, Clone, Default)]
+pub struct TrailMetrics {
+    /// Events appended to the trail.
+    pub appends: Counter,
+    /// Segment rotations (seals).
+    pub rotations: Counter,
+}
+
 /// The live audit trail: sealed segments plus an open head segment.
 #[derive(Debug, Clone)]
 pub struct AuditTrail {
@@ -116,6 +130,7 @@ pub struct AuditTrail {
     head_hash: [u8; DIGEST_LEN],
     next_seq: u64,
     last_timestamp: u64,
+    metrics: TrailMetrics,
 }
 
 /// The genesis chain value for a fresh trail.
@@ -135,6 +150,7 @@ impl AuditTrail {
             head_hash: g,
             next_seq: 0,
             last_timestamp: 0,
+            metrics: TrailMetrics::default(),
         }
     }
 
@@ -149,6 +165,7 @@ impl AuditTrail {
         let rec = Record { seq, timestamp, event };
         self.head_hash = extend_chain(&self.head_hash, &rec.to_bytes());
         self.open_records.push(rec);
+        self.metrics.appends.inc();
         seq
     }
 
@@ -167,7 +184,48 @@ impl AuditTrail {
         };
         self.open_start_hash = self.head_hash;
         self.segments.push(seg);
+        self.metrics.rotations.inc();
         Some(self.segments.len() - 1)
+    }
+
+    /// The trail's telemetry.
+    pub fn metrics(&self) -> &TrailMetrics {
+        &self.metrics
+    }
+
+    /// Render the trail's telemetry as Prometheus text: append/rotation
+    /// counters plus chain-length and segment-count gauges.
+    pub fn export_metrics(&self, w: &mut PromWriter) {
+        w.counter(
+            "audit_appends_total",
+            "Events appended to the audit trail.",
+            &[],
+            self.metrics.appends.get(),
+        );
+        w.counter(
+            "audit_rotations_total",
+            "Audit segments sealed by rotation.",
+            &[],
+            self.metrics.rotations.get(),
+        );
+        w.gauge(
+            "audit_chain_length",
+            "Total records in the trail (sealed + open).",
+            &[],
+            self.len() as u64,
+        );
+        w.gauge(
+            "audit_sealed_segments",
+            "Sealed segments currently held by the trail.",
+            &[],
+            self.segments.len() as u64,
+        );
+        w.gauge(
+            "audit_open_records",
+            "Records in the open (unsealed) head segment.",
+            &[],
+            self.open_records.len() as u64,
+        );
     }
 
     /// Sealed segments, oldest first.

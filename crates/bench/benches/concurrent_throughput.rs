@@ -118,5 +118,48 @@ fn concurrent_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, concurrent_throughput);
+/// Instrumentation overhead: the identical grant-path workload through
+/// the sharded service, with the compile-time obs configuration baked
+/// into the group name via [`obs::mode`]. Run the bench twice — once
+/// as-is (`obs_on`) and once with `--features obs-off` (`obs_off`) —
+/// and compare the two sweeps; `BENCH_obs.json` records the result
+/// (budget: ≤5 % decide-throughput cost).
+fn obs_overhead(c: &mut Criterion) {
+    let cfg = cfg();
+    let parsed = policy::parse_rbac_policy(&workload_policy_xml(&cfg)).unwrap();
+    let mut group = c.benchmark_group(format!("concurrent/obs_overhead_{}", obs::mode()));
+
+    for threads in [1usize, 4] {
+        let requests = thread_requests(&cfg, threads);
+        group.throughput(Throughput::Elements((threads * PER_THREAD) as u64));
+        group.bench_with_input(BenchmarkId::new("sharded_16", threads), &threads, |b, _| {
+            b.iter_batched(
+                || {
+                    DecisionService::<msod::MemoryAdi>::with_shard_count(
+                        parsed.clone(),
+                        b"k".to_vec(),
+                        16,
+                    )
+                },
+                |service| {
+                    let service_ref = &service;
+                    std::thread::scope(|s| {
+                        for reqs in &requests {
+                            s.spawn(move || {
+                                for req in reqs {
+                                    let _ = service_ref.decide(req);
+                                }
+                            });
+                        }
+                    });
+                    service
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, concurrent_throughput, obs_overhead);
 criterion_main!(benches);

@@ -44,7 +44,7 @@ fn xml_substrate(c: &mut Criterion) {
     });
     let doc = xmlkit::parse_document(&xml).unwrap();
     c.bench_function("policy/schema_validate_only", |b| {
-        b.iter(|| policy::rbac_schema().validate(black_box(&doc)).unwrap())
+        b.iter(|| policy::rbac_schema().unwrap().validate(black_box(&doc)).unwrap())
     });
 }
 

@@ -84,6 +84,14 @@ pub trait RetainedAdi {
     /// A full copy of the store's records (persistence / inspection /
     /// test oracle). Order is unspecified.
     fn snapshot(&self) -> Vec<AdiRecord>;
+
+    /// Render backend-specific metrics (journal depth, flush counts, …)
+    /// into a Prometheus exposition document, tagging every series with
+    /// `labels` (the sharded store passes `shard="<i>"`). In-memory
+    /// backends have nothing to report; the default is a no-op.
+    fn export_metrics(&self, writer: &mut obs::PromWriter, labels: &[(&str, &str)]) {
+        let _ = (writer, labels);
+    }
 }
 
 /// In-memory retained ADI with a per-user index, as in the paper's

@@ -67,6 +67,11 @@ pub struct DenyDetail {
     pub history_matches: usize,
     /// The constraint's forbidden cardinality `m`.
     pub forbidden_cardinality: usize,
+    /// Retained-ADI records visited while evaluating constraints for
+    /// this request, up to and including the violated policy
+    /// (observability only — not part of the §4.2 verdict, and not part
+    /// of the stable reason string).
+    pub records_consulted: usize,
 }
 
 impl std::fmt::Display for DenyDetail {
@@ -99,6 +104,9 @@ pub struct GrantDetail {
     pub terminated: Vec<BoundContext>,
     /// Records purged by those terminations.
     pub records_purged: usize,
+    /// Retained-ADI records visited while evaluating constraints
+    /// (observability only — 0 when no constraint was evaluated).
+    pub records_consulted: usize,
 }
 
 /// The MSoD stage's verdict on an interim-granted request.
@@ -180,6 +188,7 @@ impl MsodEngine {
         // identical whichever policy asks for it; retaining duplicates
         // would inflate later occurrence counts).
         let mut want_record = false;
+        let mut consulted = 0usize;
         let mut terminations: Vec<BoundContext> = Vec::new();
 
         // Step 2/8: iterate every matched policy.
@@ -201,7 +210,9 @@ impl MsodEngine {
                     policy.first_step.is_none() || policy.is_first_step(req.operation, req.target);
                 if starts_now {
                     if self.options.check_constraints_on_first_step {
-                        if let Some(deny) = check_constraints(policy, pi, &bound, req, adi) {
+                        if let Some(deny) =
+                            check_constraints(policy, pi, &bound, req, adi, &mut consulted)
+                        {
                             return MsodDecision::Deny(deny);
                         }
                     }
@@ -210,7 +221,7 @@ impl MsodEngine {
                 // goto 7.
             } else {
                 // Steps 5 and 6 against retained history.
-                match check_constraints(policy, pi, &bound, req, adi) {
+                match check_constraints(policy, pi, &bound, req, adi, &mut consulted) {
                     Some(deny) => return MsodDecision::Deny(deny),
                     None => {
                         if constraint_matches_request(policy, req) {
@@ -241,6 +252,7 @@ impl MsodEngine {
             records_added,
             terminated: terminations,
             records_purged,
+            records_consulted: consulted,
         })
     }
 }
@@ -305,19 +317,22 @@ pub(crate) fn constraint_matches_request(policy: &MsodPolicy, req: &MsodRequest<
 }
 
 /// Steps 5 (every MMER) and 6 (every MMEP) for one policy. Returns the
-/// first violation, if any.
+/// first violation, if any. `consulted` accumulates the retained
+/// records visited, for decision tracing.
 pub(crate) fn check_constraints(
     policy: &MsodPolicy,
     policy_index: usize,
     bound: &BoundContext,
     req: &MsodRequest<'_>,
     adi: &dyn RetainedAdi,
+    consulted: &mut usize,
 ) -> Option<DenyDetail> {
     // Occurrence maps over the user's retained history in this bound
     // context, built once per policy.
     let mut role_occ: HashMap<RoleRef, usize> = HashMap::new();
     let mut priv_occ: HashMap<Privilege, usize> = HashMap::new();
     adi.visit_user_records(req.user, bound, &mut |rec| {
+        *consulted += 1;
         for role in &rec.roles {
             *role_occ.entry(role.clone()).or_insert(0) += 1;
         }
@@ -347,6 +362,7 @@ pub(crate) fn check_constraints(
                 current_matches: nr,
                 history_matches: count,
                 forbidden_cardinality: m,
+                records_consulted: *consulted,
             });
         }
     }
@@ -370,6 +386,7 @@ pub(crate) fn check_constraints(
                 current_matches: 1,
                 history_matches: count,
                 forbidden_cardinality: m,
+                records_consulted: *consulted,
             });
         }
     }

@@ -74,7 +74,7 @@ pub use error::MsodError;
 pub use indexed::IndexedAdi;
 pub use policy::{MsodPolicy, MsodPolicySet};
 pub use privilege::{Privilege, RoleRef};
-pub use sharded::{ShardedAdi, DEFAULT_SHARDS};
+pub use sharded::{AdiMetrics, ShardMetrics, ShardedAdi, DEFAULT_SHARDS};
 
 #[cfg(test)]
 mod adi_equivalence {

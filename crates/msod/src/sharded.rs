@@ -43,6 +43,7 @@
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use context::BoundContext;
+use obs::{Counter, Histogram, PromWriter, Stopwatch};
 
 use crate::adi::{sort_records, AdiRecord, RetainedAdi};
 use crate::engine::{
@@ -65,6 +66,95 @@ fn fnv1a(user: &str) -> u64 {
     hash
 }
 
+/// Lock telemetry for one shard. All fields are lock-free counters
+/// (zero-sized no-ops under the `obs-off` feature).
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Times this shard's mutex was taken.
+    pub acquisitions: Counter,
+    /// Total nanoseconds spent waiting for this shard's mutex.
+    pub wait_ns: Counter,
+    /// Total nanoseconds this shard's mutex was held — estimated from
+    /// 1-in-[`HOLD_SAMPLE`]d acquisitions, scaled by the period.
+    pub hold_ns: Counter,
+    /// Gates hold-time clocking to sampled acquisitions.
+    hold_sampler: obs::Sampler,
+}
+
+/// Telemetry for the whole sharded store: per-shard lock contention,
+/// epoch-lock traffic, exclusive-section wall time and purge volume.
+#[derive(Debug)]
+pub struct AdiMetrics {
+    shards: Vec<ShardMetrics>,
+    /// Fast-path (shared) epoch-guard acquisitions.
+    pub epoch_reads: Counter,
+    /// Exclusive epoch-guard acquisitions (last steps, purges, recovery).
+    pub epoch_writes: Counter,
+    /// Wall time of each exclusive all-shards section, in nanoseconds.
+    pub exclusive_ns: Histogram,
+    /// Records removed by purges of any kind — last-step terminations
+    /// and administrative purges both run through the exclusive view.
+    pub purged_records: Counter,
+    /// Cross-shard "context already started?" probe sweeps (each sweep
+    /// briefly locks shards in order through the raw, unmetered path).
+    pub probe_sweeps: Counter,
+}
+
+impl AdiMetrics {
+    fn new(shard_count: usize) -> Self {
+        AdiMetrics {
+            shards: (0..shard_count).map(|_| ShardMetrics::default()).collect(),
+            epoch_reads: Counter::new(),
+            epoch_writes: Counter::new(),
+            exclusive_ns: Histogram::new(),
+            purged_records: Counter::new(),
+            probe_sweeps: Counter::new(),
+        }
+    }
+
+    /// Lock telemetry for shard `i`.
+    pub fn shard(&self, i: usize) -> &ShardMetrics {
+        &self.shards[i]
+    }
+}
+
+/// A locked shard that attributes its wait and hold time to the
+/// shard's metrics on acquisition and drop. `held` is `Some` only on
+/// sampled acquisitions ([`HOLD_SAMPLE`]); a sampled hold is scaled by
+/// the sampling period so `hold_ns` stays a total-time estimate.
+struct TimedShardGuard<'a, A> {
+    guard: MutexGuard<'a, A>,
+    held: Option<Stopwatch>,
+    metrics: &'a ShardMetrics,
+}
+
+impl<A> std::ops::Deref for TimedShardGuard<'_, A> {
+    type Target = A;
+    fn deref(&self) -> &A {
+        &self.guard
+    }
+}
+
+impl<A> std::ops::DerefMut for TimedShardGuard<'_, A> {
+    fn deref_mut(&mut self) -> &mut A {
+        &mut self.guard
+    }
+}
+
+impl<A> Drop for TimedShardGuard<'_, A> {
+    fn drop(&mut self) {
+        if let Some(held) = &self.held {
+            self.metrics.hold_ns.add(held.elapsed_ns() * HOLD_SAMPLE);
+        }
+    }
+}
+
+/// Hold time is clocked on every `HOLD_SAMPLE`-th shard acquisition and
+/// scaled back up — two clock reads around a sub-microsecond critical
+/// section would otherwise be the dominant cost of taking the lock.
+/// Acquisition and wait accounting stay exact.
+const HOLD_SAMPLE: u64 = 8;
+
 /// A user-keyed sharded retained-ADI store. See the module docs for the
 /// locking protocol.
 pub struct ShardedAdi<A> {
@@ -72,6 +162,7 @@ pub struct ShardedAdi<A> {
     /// Global epoch: readers are fast-path decisions, the writer is any
     /// operation that must see / mutate all shards atomically.
     epoch: RwLock<()>,
+    metrics: AdiMetrics,
 }
 
 impl<A: RetainedAdi + Default> ShardedAdi<A> {
@@ -91,7 +182,12 @@ impl<A: RetainedAdi> ShardedAdi<A> {
     /// e.g. one persistent store per shard). Panics if empty.
     pub fn from_shards(shards: Vec<A>) -> Self {
         assert!(!shards.is_empty(), "ShardedAdi needs at least one shard");
-        ShardedAdi { shards: shards.into_iter().map(Mutex::new).collect(), epoch: RwLock::new(()) }
+        let metrics = AdiMetrics::new(shards.len());
+        ShardedAdi {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            epoch: RwLock::new(()),
+            metrics,
+        }
     }
 
     /// Number of shards.
@@ -105,37 +201,72 @@ impl<A: RetainedAdi> ShardedAdi<A> {
     }
 
     pub(crate) fn epoch_read(&self) -> RwLockReadGuard<'_, ()> {
+        self.metrics.epoch_reads.inc();
         self.epoch.read()
+    }
+
+    /// Take shard `idx`'s mutex, attributing wait and (via the guard's
+    /// drop) hold time to the shard's metrics. An uncontended `try_lock`
+    /// succeeds without touching the clock — `wait_ns` only accumulates
+    /// when the lock was actually waited on — and hold time is clocked
+    /// on sampled acquisitions only, so the steady-state acquisition
+    /// costs two relaxed `fetch_add`s and no clock reads.
+    fn lock_shard(&self, idx: usize) -> TimedShardGuard<'_, A> {
+        let metrics = &self.metrics.shards[idx];
+        let guard = match self.shards[idx].try_lock() {
+            Some(guard) => guard,
+            None => {
+                let waited = Stopwatch::start();
+                let guard = self.shards[idx].lock();
+                metrics.wait_ns.add(waited.elapsed_ns());
+                guard
+            }
+        };
+        metrics.acquisitions.inc();
+        let held = metrics.hold_sampler.tick(HOLD_SAMPLE).then(Stopwatch::start);
+        TimedShardGuard { guard, held, metrics }
     }
 
     /// Run `f` under the lock of `user`'s shard (and a shared epoch
     /// guard, so exclusive operations cannot interleave).
     pub fn with_user_shard<R>(&self, user: &str, f: impl FnOnce(&mut A) -> R) -> R {
-        let _epoch = self.epoch.read();
-        f(&mut self.shards[self.shard_index(user)].lock())
+        let _epoch = self.epoch_read();
+        f(&mut self.lock_shard(self.shard_index(user)))
     }
 
     /// Whether any shard retains a record within `bound`. Locks shards
     /// one at a time; callers must not hold a shard lock.
     pub fn context_active(&self, bound: &BoundContext) -> bool {
-        let _epoch = self.epoch.read();
+        let _epoch = self.epoch_read();
         self.context_active_unsynced(bound)
     }
 
     /// As [`ShardedAdi::context_active`] but the caller already holds an
-    /// epoch guard. Still locks shards one at a time.
+    /// epoch guard. Still locks shards one at a time — through the raw,
+    /// unmetered mutexes: this read-only probe runs up to shard-count
+    /// times per decision, so metering each briefly-held lock would both
+    /// drown the contention metrics in probe noise and put
+    /// O(shards) clock reads on the decide fast path. The sweep is
+    /// counted once in [`AdiMetrics::probe_sweeps`] instead.
     fn context_active_unsynced(&self, bound: &BoundContext) -> bool {
-        self.shards.iter().any(|shard| shard.lock().context_active(bound))
+        self.metrics.probe_sweeps.inc();
+        self.shards.iter().any(|s| s.lock().context_active(bound))
     }
 
     /// Take the epoch write lock, lock every shard in index order and
     /// run `f` over a single [`RetainedAdi`] view of the whole store.
     /// This is the only way to mutate more than one shard atomically.
     pub fn with_exclusive<R>(&self, f: impl FnOnce(&mut dyn RetainedAdi) -> R) -> R {
+        self.metrics.epoch_writes.inc();
+        let section = Stopwatch::start();
         let _epoch = self.epoch.write();
-        let guards: Vec<MutexGuard<'_, A>> = self.shards.iter().map(|s| s.lock()).collect();
-        let mut view = ExclusiveView { guards };
-        f(&mut view)
+        let guards: Vec<TimedShardGuard<'_, A>> =
+            (0..self.shards.len()).map(|i| self.lock_shard(i)).collect();
+        let mut view = ExclusiveView { guards, purged: &self.metrics.purged_records };
+        let out = f(&mut view);
+        drop(view);
+        section.lap(&self.metrics.exclusive_ns);
+        out
     }
 
     /// Purge `bound` across all shards (admin / management path).
@@ -155,7 +286,7 @@ impl<A: RetainedAdi> ShardedAdi<A> {
 
     /// Total retained records across shards.
     pub fn len(&self) -> usize {
-        let _epoch = self.epoch.read();
+        let _epoch = self.epoch_read();
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
@@ -174,6 +305,86 @@ impl<A: RetainedAdi> ShardedAdi<A> {
     pub fn user_records(&self, user: &str, bound: &BoundContext) -> Vec<AdiRecord> {
         self.with_user_shard(user, |shard| shard.user_records(user, bound))
     }
+
+    /// The store's telemetry (per-shard lock contention, epoch traffic,
+    /// purge volume).
+    pub fn metrics(&self) -> &AdiMetrics {
+        &self.metrics
+    }
+
+    /// Render the store's telemetry — and each shard backend's own
+    /// metrics — as Prometheus text. Record-count gauges take each
+    /// shard's mutex briefly through the *unmetered* path, so exporting
+    /// does not inflate the lock counters it reports.
+    pub fn export_metrics(&self, w: &mut PromWriter) {
+        for (i, m) in self.metrics.shards.iter().enumerate() {
+            let shard = i.to_string();
+            let labels: [(&str, &str); 1] = [("shard", &shard)];
+            w.counter(
+                "msod_shard_lock_acquisitions_total",
+                "Times this ADI shard's mutex was taken.",
+                &labels,
+                m.acquisitions.get(),
+            );
+            w.counter(
+                "msod_shard_lock_wait_ns_total",
+                "Nanoseconds spent waiting for this ADI shard's mutex.",
+                &labels,
+                m.wait_ns.get(),
+            );
+            w.counter(
+                "msod_shard_lock_hold_ns_total",
+                "Nanoseconds this ADI shard's mutex was held (sampled estimate).",
+                &labels,
+                m.hold_ns.get(),
+            );
+        }
+        {
+            let _epoch = self.epoch.read();
+            for (i, s) in self.shards.iter().enumerate() {
+                let shard = i.to_string();
+                let labels: [(&str, &str); 1] = [("shard", &shard)];
+                let guard = s.lock();
+                w.gauge(
+                    "msod_shard_records",
+                    "Retained-ADI records currently in this shard.",
+                    &labels,
+                    guard.len() as u64,
+                );
+                guard.export_metrics(w, &labels);
+            }
+        }
+        w.counter(
+            "msod_epoch_read_acquisitions_total",
+            "Fast-path (shared) epoch-guard acquisitions.",
+            &[],
+            self.metrics.epoch_reads.get(),
+        );
+        w.counter(
+            "msod_epoch_write_acquisitions_total",
+            "Exclusive epoch-guard acquisitions (last steps, purges, recovery).",
+            &[],
+            self.metrics.epoch_writes.get(),
+        );
+        w.histogram(
+            "msod_exclusive_section_ns",
+            "Wall time of exclusive all-shards sections.",
+            &[],
+            &self.metrics.exclusive_ns.snapshot(),
+        );
+        w.counter(
+            "msod_adi_purged_records_total",
+            "Retained-ADI records removed by terminations and purges.",
+            &[],
+            self.metrics.purged_records.get(),
+        );
+        w.counter(
+            "msod_adi_probe_sweeps_total",
+            "Cross-shard context-active probe sweeps (unmetered locks).",
+            &[],
+            self.metrics.probe_sweeps.get(),
+        );
+    }
 }
 
 impl<A: RetainedAdi + std::fmt::Debug> std::fmt::Debug for ShardedAdi<A> {
@@ -185,7 +396,9 @@ impl<A: RetainedAdi + std::fmt::Debug> std::fmt::Debug for ShardedAdi<A> {
 /// All shards locked at once, presented as one [`RetainedAdi`] so the
 /// sequential algorithm (and recovery/management) runs unchanged.
 struct ExclusiveView<'a, A> {
-    guards: Vec<MutexGuard<'a, A>>,
+    guards: Vec<TimedShardGuard<'a, A>>,
+    /// Running total of records removed through this view.
+    purged: &'a Counter,
 }
 
 impl<A: RetainedAdi> ExclusiveView<'_, A> {
@@ -214,11 +427,15 @@ impl<A: RetainedAdi> RetainedAdi for ExclusiveView<'_, A> {
     }
 
     fn purge(&mut self, bound: &BoundContext) -> usize {
-        self.guards.iter_mut().map(|g| g.purge(bound)).sum()
+        let n = self.guards.iter_mut().map(|g| g.purge(bound)).sum();
+        self.purged.add(n as u64);
+        n
     }
 
     fn purge_older_than(&mut self, cutoff: u64) -> usize {
-        self.guards.iter_mut().map(|g| g.purge_older_than(cutoff)).sum()
+        let n = self.guards.iter_mut().map(|g| g.purge_older_than(cutoff)).sum();
+        self.purged.add(n as u64);
+        n
     }
 
     fn len(&self) -> usize {
@@ -226,6 +443,7 @@ impl<A: RetainedAdi> RetainedAdi for ExclusiveView<'_, A> {
     }
 
     fn clear(&mut self) {
+        self.purged.add(self.len() as u64);
         for g in &mut self.guards {
             g.clear();
         }
@@ -257,6 +475,19 @@ impl MsodEngine {
         // Step 1: match the input context instance against the policy
         // set; exit if nothing matches.
         let matched = self.policies().matching(req.context);
+        self.enforce_sharded_matched(adi, req, matched)
+    }
+
+    /// As [`MsodEngine::enforce_sharded`], but step 1 (context
+    /// matching) has already run: `matched` must be
+    /// `self.policies().matching(req.context)`. Lets callers time the
+    /// matching and enforcement phases separately.
+    pub fn enforce_sharded_matched<A: RetainedAdi>(
+        &self,
+        adi: &ShardedAdi<A>,
+        req: &MsodRequest<'_>,
+        matched: Vec<usize>,
+    ) -> MsodDecision {
         if matched.is_empty() {
             return MsodDecision::NotApplicable;
         }
@@ -288,8 +519,9 @@ impl MsodEngine {
         let started_elsewhere: Vec<bool> =
             bounds.iter().map(|b| adi.context_active_unsynced(b)).collect();
 
-        let shard = &mut *adi.shards[adi.shard_index(req.user)].lock();
+        let mut shard = adi.lock_shard(adi.shard_index(req.user));
         let mut want_record = false;
+        let mut consulted = 0usize;
         for (k, &pi) in matched.iter().enumerate() {
             let policy = &self.policies().policies()[pi];
             let bound = &bounds[k];
@@ -305,7 +537,9 @@ impl MsodEngine {
                     policy.first_step.is_none() || policy.is_first_step(req.operation, req.target);
                 if starts_now {
                     if self.options().check_constraints_on_first_step {
-                        if let Some(deny) = check_constraints(policy, pi, bound, req, &*shard) {
+                        if let Some(deny) =
+                            check_constraints(policy, pi, bound, req, &*shard, &mut consulted)
+                        {
                             return MsodDecision::Deny(deny);
                         }
                     }
@@ -315,7 +549,7 @@ impl MsodEngine {
             } else {
                 // Steps 5 and 6 read only the requesting user's
                 // history, which lives entirely in this shard.
-                match check_constraints(policy, pi, bound, req, &*shard) {
+                match check_constraints(policy, pi, bound, req, &*shard, &mut consulted) {
                     Some(deny) => return MsodDecision::Deny(deny),
                     None => {
                         if constraint_matches_request(policy, req) {
@@ -336,6 +570,7 @@ impl MsodEngine {
             records_added,
             terminated: Vec::new(),
             records_purged: 0,
+            records_consulted: consulted,
         })
     }
 }

@@ -1,0 +1,214 @@
+//! Lock-free counters and gauges.
+
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+///
+/// `inc`/`add` are single relaxed `fetch_add`s — safe to call from any
+/// thread, including under a shard mutex on the decide hot path.
+/// Under `obs-off` this is a zero-sized no-op.
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg(not(feature = "obs-off"))]
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter {
+            #[cfg(not(feature = "obs-off"))]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = n;
+    }
+
+    /// Current value (always 0 under `obs-off`).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(not(feature = "obs-off"))]
+        return self.value.load(Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        0
+    }
+}
+
+/// Cloning a counter snapshots its current value; the clone counts
+/// independently afterwards. Needed because instrumented owners (the
+/// audit trail, for one) are themselves `Clone`.
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        let c = Counter::new();
+        c.add(self.get());
+        c
+    }
+}
+
+/// A last-write-wins gauge for sampled values (queue depths, chain
+/// lengths). Zero-sized no-op under `obs-off`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    #[cfg(not(feature = "obs-off"))]
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge {
+            #[cfg(not(feature = "obs-off"))]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrite the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        self.value.store(v, Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        let _ = v;
+    }
+
+    /// Current value (always 0 under `obs-off`).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(not(feature = "obs-off"))]
+        return self.value.load(Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        0
+    }
+}
+
+impl Clone for Gauge {
+    fn clone(&self) -> Self {
+        let g = Gauge::new();
+        g.set(self.get());
+        g
+    }
+}
+
+/// A deterministic 1-in-N sampler for instrumentation whose cost is
+/// comparable to the operation it measures (e.g. clock reads around a
+/// sub-microsecond critical section). One relaxed `fetch_add` per
+/// [`Sampler::tick`]; zero-sized and always `false` under `obs-off`.
+#[derive(Debug, Default)]
+pub struct Sampler {
+    #[cfg(not(feature = "obs-off"))]
+    ticket: AtomicU64,
+}
+
+impl Sampler {
+    /// A sampler whose first tick samples.
+    pub const fn new() -> Self {
+        Sampler {
+            #[cfg(not(feature = "obs-off"))]
+            ticket: AtomicU64::new(0),
+        }
+    }
+
+    /// True on every `period`-th call, starting with the first. Pass a
+    /// power of two so the modulo folds to a mask.
+    #[inline]
+    pub fn tick(&self, period: u64) -> bool {
+        #[cfg(not(feature = "obs-off"))]
+        return self.ticket.fetch_add(1, Ordering::Relaxed).is_multiple_of(period);
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = period;
+            false
+        }
+    }
+}
+
+/// Cloning a sampler resets its phase — the clone samples on its own
+/// first tick. (Samplers carry no meaningful state to snapshot.)
+impl Clone for Sampler {
+    fn clone(&self) -> Self {
+        Sampler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let d = c.clone();
+        c.inc();
+        assert_eq!(d.get(), 42, "clone is an independent snapshot");
+        assert_eq!(c.get(), 43);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn counter_is_thread_safe() {
+        let c = std::sync::Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn gauge_overwrites() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn sampler_samples_one_in_n() {
+        let s = Sampler::new();
+        let hits = (0..16).filter(|_| s.tick(4)).count();
+        assert_eq!(hits, 4);
+        assert!(s.clone().tick(4), "a clone restarts its phase");
+    }
+
+    #[test]
+    #[cfg(feature = "obs-off")]
+    fn everything_is_a_no_op() {
+        let c = Counter::new();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(5);
+        assert_eq!(g.get(), 0);
+        let s = Sampler::new();
+        assert!(!s.tick(1), "sampler never fires under obs-off");
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Gauge>(), 0);
+        assert_eq!(std::mem::size_of::<Sampler>(), 0);
+    }
+}

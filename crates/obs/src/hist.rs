@@ -1,0 +1,269 @@
+//! Fixed-bucket latency histograms over atomic arrays.
+
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets. Bucket `0` holds the value `0`;
+/// bucket `i` (1 ≤ i < BUCKETS-1) holds values in `[2^(i-1), 2^i)`;
+/// the last bucket is the `+Inf` overflow. With 40 buckets the top
+/// finite bound is 2^38 ns ≈ 275 s — more than any decide path.
+pub const BUCKETS: usize = 40;
+
+/// Index of the bucket a value falls into.
+#[cfg_attr(feature = "obs-off", allow(dead_code))]
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`, or `None` for the `+Inf`
+/// overflow bucket.
+pub(crate) fn bucket_upper_bound(i: usize) -> Option<u64> {
+    if i + 1 >= BUCKETS {
+        None
+    } else if i == 0 {
+        Some(0)
+    } else {
+        Some((1u64 << i) - 1)
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples (latencies in
+/// nanoseconds, batch sizes, …). Recording is one relaxed `fetch_add`
+/// per sample plus sum/count bookkeeping — no locks, no allocation.
+/// Under `obs-off` this is a zero-sized no-op.
+#[derive(Debug)]
+pub struct Histogram {
+    #[cfg(not(feature = "obs-off"))]
+    buckets: [AtomicU64; BUCKETS],
+    #[cfg(not(feature = "obs-off"))]
+    sum: AtomicU64,
+    #[cfg(not(feature = "obs-off"))]
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            #[allow(clippy::declare_interior_mutable_const)]
+            const ZERO: AtomicU64 = AtomicU64::new(0);
+            Histogram { buckets: [ZERO; BUCKETS], sum: AtomicU64::new(0), count: AtomicU64::new(0) }
+        }
+        #[cfg(feature = "obs-off")]
+        Histogram {}
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(feature = "obs-off")]
+        let _ = v;
+    }
+
+    /// A point-in-time copy of the bucket counts. Buckets are read one
+    /// by one with relaxed loads, so a snapshot taken during
+    /// concurrent recording may be mid-update by at most the in-flight
+    /// samples — fine for monitoring.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let buckets: Vec<u64> =
+                self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+            HistogramSnapshot {
+                buckets,
+                sum: self.sum.load(Ordering::Relaxed),
+                count: self.count.load(Ordering::Relaxed),
+            }
+        }
+        #[cfg(feature = "obs-off")]
+        HistogramSnapshot { buckets: vec![0; BUCKETS], sum: 0, count: 0 }
+    }
+
+    /// Samples recorded so far (0 under `obs-off`).
+    pub fn count(&self) -> u64 {
+        #[cfg(not(feature = "obs-off"))]
+        return self.count.load(Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        0
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        let h = Histogram::new();
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let snap = self.snapshot();
+            for (i, n) in snap.buckets.iter().enumerate() {
+                h.buckets[i].store(*n, Ordering::Relaxed);
+            }
+            h.sum.store(snap.sum, Ordering::Relaxed);
+            h.count.store(snap.count, Ordering::Relaxed);
+        }
+        h
+    }
+}
+
+/// A mergeable, point-in-time copy of a [`Histogram`]. Plain data in
+/// both instrumentation configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts, `BUCKETS` long.
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot { buckets: vec![0; BUCKETS], sum: 0, count: 0 }
+    }
+
+    /// Fold another snapshot into this one (for aggregating per-shard
+    /// histograms into one series).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Mean of the recorded values, or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket at which the cumulative count first
+    /// reaches `q` (0.0–1.0) of all samples — a coarse quantile, exact
+    /// to within one power of two. Returns 0 for an empty snapshot and
+    /// `u64::MAX` when the quantile lands in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank.max(1) {
+                return bucket_upper_bound(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every bucket's inclusive upper bound maps back into it.
+        for i in 0..BUCKETS - 1 {
+            let ub = bucket_upper_bound(i).unwrap();
+            assert_eq!(bucket_index(ub), i, "upper bound of bucket {i}");
+            assert_eq!(bucket_index(ub + 1), i + 1);
+        }
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), None);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1011);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[3], 2); // 5 → [4,8)
+        assert_eq!(s.buckets[10], 1); // 1000 → [512,1024)
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+        assert_eq!(s.mean(), 202);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn merge_adds_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(3);
+        b.record(3);
+        b.record(100);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.buckets[2], 2);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn quantile_is_bucket_coarse() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8,16), upper bound 15
+        }
+        h.record(10_000); // bucket [8192,16384)
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 15);
+        assert_eq!(s.quantile(0.99), 15);
+        assert_eq!(s.quantile(1.0), 16383);
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), 0);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn clone_snapshots_counts() {
+        let h = Histogram::new();
+        h.record(7);
+        let c = h.clone();
+        h.record(7);
+        assert_eq!(c.count(), 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    #[cfg(feature = "obs-off")]
+    fn histogram_is_a_no_op() {
+        let h = Histogram::new();
+        h.record(123);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::empty());
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
+    }
+}

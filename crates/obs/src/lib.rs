@@ -1,0 +1,73 @@
+//! Hand-rolled observability primitives for the MSoD PDP.
+//!
+//! The workspace builds offline, so this crate re-implements the small
+//! subset of `metrics`/`tracing` the decision plane needs, on plain
+//! `std` atomics:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free monotonic counters and
+//!   last-write-wins gauges over `AtomicU64`.
+//! * [`Histogram`] — fixed power-of-two-bucket latency histograms
+//!   (atomic bucket arrays, mergeable [`HistogramSnapshot`]s).
+//! * [`Stopwatch`] / [`Span`] — lightweight span timing; a [`Span`] is
+//!   a scope guard that records its elapsed nanoseconds into a
+//!   histogram on drop and maintains a thread-local stack of active
+//!   span names for nested-phase attribution.
+//! * [`TraceRing`] — a bounded lock-free ring buffer of recent
+//!   decision traces, so "why was this denied?" is answerable after
+//!   the fact.
+//! * [`PromWriter`] — a Prometheus-text-format (version 0.0.4)
+//!   exporter for all of the above.
+//!
+//! # Compiling instrumentation out
+//!
+//! Everything in this crate is gated behind the `obs-off` cargo
+//! feature: with `--features obs-off` the counters, histograms and
+//! ring buffers become zero-sized no-ops and [`Stopwatch::start`]
+//! never reads the clock, so instrumented call sites cost nothing.
+//! The API is identical in both configurations; call sites never need
+//! `#[cfg]`.
+
+mod counter;
+mod hist;
+mod prom;
+mod ring;
+mod span;
+
+pub use counter::{Counter, Gauge, Sampler};
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use prom::PromWriter;
+pub use ring::TraceRing;
+pub use span::{active_spans, Span, Stopwatch};
+
+/// Which instrumentation configuration this crate was compiled with:
+/// `"on"` normally, `"off"` under the `obs-off` feature. Benchmarks
+/// embed this in their output so obs-on/obs-off sweeps are
+/// self-describing.
+pub fn mode() -> &'static str {
+    if enabled() {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+/// `true` unless instrumentation was compiled out with `obs-off`.
+/// Lets callers skip building trace payloads (string clones) that a
+/// no-op [`TraceRing::push`] would immediately discard.
+pub const fn enabled() -> bool {
+    !cfg!(feature = "obs-off")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_matches_feature() {
+        if cfg!(feature = "obs-off") {
+            assert_eq!(mode(), "off");
+        } else {
+            assert_eq!(mode(), "on");
+        }
+    }
+}

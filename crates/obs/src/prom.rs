@@ -1,0 +1,170 @@
+//! Prometheus text-format (0.0.4) rendering.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::hist::{bucket_upper_bound, HistogramSnapshot};
+
+/// Streams metric families into Prometheus exposition text. `# HELP`
+/// and `# TYPE` headers are emitted once per family even when the same
+/// family is written repeatedly with different label sets (per-shard
+/// series, for instance).
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+    declared: BTreeSet<String>,
+}
+
+impl PromWriter {
+    /// An empty exposition document.
+    pub fn new() -> Self {
+        PromWriter::default()
+    }
+
+    fn declare(&mut self, name: &str, help: &str, kind: &str) {
+        if self.declared.insert(name.to_owned()) {
+            let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    fn write_sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        if value == value.trunc() && value.abs() < 9e15 {
+            let _ = writeln!(self.out, " {}", value as i64);
+        } else {
+            let _ = writeln!(self.out, " {value}");
+        }
+    }
+
+    /// Emit one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.declare(name, help, "counter");
+        self.write_sample(name, labels, value as f64);
+    }
+
+    /// Emit one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.declare(name, help, "gauge");
+        self.write_sample(name, labels, value as f64);
+    }
+
+    /// Emit a histogram family: cumulative `_bucket{le=…}` samples
+    /// (trailing all-zero buckets are collapsed into `+Inf`), then
+    /// `_sum` and `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        self.declare(name, help, "histogram");
+        let last_used = snap.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (i, n) in snap.buckets.iter().enumerate().take(last_used + 1) {
+            cumulative += n;
+            let le = match bucket_upper_bound(i) {
+                Some(ub) => ub.to_string(),
+                None => "+Inf".to_owned(),
+            };
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.write_sample(&bucket_name, &with_le, cumulative as f64);
+        }
+        if bucket_upper_bound(last_used).is_some() {
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", "+Inf"));
+            self.write_sample(&bucket_name, &with_le, snap.count as f64);
+        }
+        self.write_sample(&format!("{name}_sum"), labels, snap.sum as f64);
+        self.write_sample(&format!("{name}_count"), labels, snap.count as f64);
+    }
+
+    /// The rendered exposition document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[cfg(not(feature = "obs-off"))]
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let mut w = PromWriter::new();
+        w.counter("pdp_decisions_total", "Decisions made.", &[], 7);
+        w.counter("pdp_decisions_total", "Decisions made.", &[("verdict", "deny")], 2);
+        w.gauge("adi_records", "Retained records.", &[("shard", "0")], 5);
+        let text = w.finish();
+        assert_eq!(
+            text.matches("# TYPE pdp_decisions_total counter").count(),
+            1,
+            "family declared once:\n{text}"
+        );
+        assert!(text.contains("pdp_decisions_total 7\n"));
+        assert!(text.contains("pdp_decisions_total{verdict=\"deny\"} 2\n"));
+        assert!(text.contains("# TYPE adi_records gauge"));
+        assert!(text.contains("adi_records{shard=\"0\"} 5\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new();
+        w.counter("m", "h", &[("ctx", "Branch=\"York\"\nx\\y")], 1);
+        let text = w.finish();
+        assert!(text.contains(r#"m{ctx="Branch=\"York\"\nx\\y"} 1"#), "{text}");
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(5);
+        h.record(5);
+        let mut w = PromWriter::new();
+        w.histogram("decide_ns", "Decide latency.", &[("phase", "msod")], &h.snapshot());
+        let text = w.finish();
+        assert!(text.contains("# TYPE decide_ns histogram"));
+        assert!(text.contains("decide_ns_bucket{phase=\"msod\",le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("decide_ns_bucket{phase=\"msod\",le=\"7\"} 3\n"), "{text}");
+        assert!(text.contains("decide_ns_bucket{phase=\"msod\",le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("decide_ns_sum{phase=\"msod\"} 11\n"));
+        assert!(text.contains("decide_ns_count{phase=\"msod\"} 3\n"));
+        // Trailing empty buckets collapse: nothing between 7 and +Inf.
+        assert!(!text.contains("le=\"15\""), "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_count() {
+        let mut w = PromWriter::new();
+        w.histogram("h_ns", "h", &[], &HistogramSnapshot::empty());
+        let text = w.finish();
+        assert!(text.contains("h_ns_bucket{le=\"0\"} 0\n"), "{text}");
+        assert!(text.contains("h_ns_bucket{le=\"+Inf\"} 0\n"), "{text}");
+        assert!(text.contains("h_ns_count 0\n"));
+    }
+}

@@ -1,0 +1,192 @@
+//! A bounded ring buffer of recent trace entries.
+//!
+//! Writers claim a slot with one atomic `fetch_add` on a global ticket
+//! counter, so pushes never contend on a shared lock: two concurrent
+//! pushes write to different slots. Each slot is guarded by its own
+//! tiny mutex purely to publish the payload safely without `unsafe`;
+//! a slot's mutex is only ever contended when the ring has wrapped
+//! all the way around to an entry a reader is copying, in which case
+//! the reader (`snapshot`) skips the in-flight slot rather than block
+//! the writer.
+
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "obs-off"))]
+use std::sync::Mutex;
+
+#[cfg(not(feature = "obs-off"))]
+#[derive(Debug)]
+struct Slot<T> {
+    /// Ticket + 1 of the entry currently in `data`; 0 = never written.
+    seq: AtomicU64,
+    data: Mutex<Option<T>>,
+}
+
+/// A bounded, concurrent ring of the most recent `capacity` entries.
+/// Under `obs-off`, pushes are no-ops and snapshots are empty.
+#[derive(Debug)]
+pub struct TraceRing<T> {
+    #[cfg(not(feature = "obs-off"))]
+    slots: Box<[Slot<T>]>,
+    #[cfg(not(feature = "obs-off"))]
+    head: AtomicU64,
+    #[cfg(feature = "obs-off")]
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Clone> TraceRing<T> {
+    /// A ring holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let n = capacity.max(1);
+            let slots = (0..n)
+                .map(|_| Slot { seq: AtomicU64::new(0), data: Mutex::new(None) })
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            TraceRing { slots, head: AtomicU64::new(0) }
+        }
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = capacity;
+            TraceRing { _marker: std::marker::PhantomData }
+        }
+    }
+
+    /// Append an entry, overwriting the oldest once full.
+    pub fn push(&self, entry: T) {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+            let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+            // Recover from a poisoned slot: the payload is replaced
+            // wholesale, so a panic mid-store leaves nothing torn.
+            let mut guard = match slot.data.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *guard = Some(entry);
+            slot.seq.store(ticket + 1, Ordering::Release);
+        }
+        #[cfg(feature = "obs-off")]
+        let _ = entry;
+    }
+
+    /// The retained entries, oldest first. Slots a concurrent writer
+    /// is mid-publish into are skipped rather than waited on.
+    pub fn snapshot(&self) -> Vec<T> {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let mut entries: Vec<(u64, T)> = Vec::with_capacity(self.slots.len());
+            for slot in self.slots.iter() {
+                if let Ok(guard) = slot.data.try_lock() {
+                    if let Some(v) = guard.as_ref() {
+                        entries.push((slot.seq.load(Ordering::Acquire), v.clone()));
+                    }
+                }
+            }
+            entries.sort_by_key(|(seq, _)| *seq);
+            entries.into_iter().map(|(_, v)| v).collect()
+        }
+        #[cfg(feature = "obs-off")]
+        Vec::new()
+    }
+
+    /// Entries currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let pushed = self.head.load(Ordering::Relaxed);
+            pushed.min(self.slots.len() as u64) as usize
+        }
+        #[cfg(feature = "obs-off")]
+        0
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum retained entries (0 under `obs-off`).
+    pub fn capacity(&self) -> usize {
+        #[cfg(not(feature = "obs-off"))]
+        return self.slots.len();
+        #[cfg(feature = "obs-off")]
+        0
+    }
+
+    /// Total entries ever pushed (monotonic, may exceed capacity).
+    pub fn pushed(&self) -> u64 {
+        #[cfg(not(feature = "obs-off"))]
+        return self.head.load(Ordering::Relaxed);
+        #[cfg(feature = "obs-off")]
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn keeps_most_recent_in_order() {
+        let ring = TraceRing::new(4);
+        assert!(ring.is_empty());
+        for i in 0..10u32 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![6, 7, 8, 9]);
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.capacity(), 4);
+        assert_eq!(ring.pushed(), 10);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn partial_fill_preserves_order() {
+        let ring = TraceRing::new(8);
+        ring.push("a");
+        ring.push("b");
+        assert_eq!(ring.snapshot(), vec!["a", "b"]);
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn concurrent_pushes_all_land() {
+        let ring = std::sync::Arc::new(TraceRing::new(1024));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let ring = ring.clone();
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        ring.push(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 400);
+        assert_eq!(ring.pushed(), 400);
+        // Per-thread order is preserved even though threads interleave.
+        for t in 0..4u32 {
+            let per_thread: Vec<u32> = snap.iter().copied().filter(|v| v / 1000 == t).collect();
+            let mut sorted = per_thread.clone();
+            sorted.sort();
+            assert_eq!(per_thread, sorted);
+            assert_eq!(per_thread.len(), 100);
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "obs-off")]
+    fn ring_is_a_no_op() {
+        let ring: TraceRing<u32> = TraceRing::new(16);
+        ring.push(1);
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.len(), 0);
+        assert_eq!(ring.capacity(), 0);
+    }
+}

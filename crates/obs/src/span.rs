@@ -1,0 +1,166 @@
+//! Lightweight span timing: a stopwatch plus a thread-local scope
+//! guard that records elapsed time into a [`Histogram`] on drop.
+
+use crate::hist::Histogram;
+
+#[cfg(not(feature = "obs-off"))]
+use std::cell::RefCell;
+#[cfg(not(feature = "obs-off"))]
+use std::time::Instant;
+
+#[cfg(not(feature = "obs-off"))]
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost
+    /// first. Lets nested instrumentation attribute work to a phase
+    /// without threading labels through every call.
+    static ACTIVE: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A monotonic stopwatch. Under `obs-off`, `start` never touches the
+/// clock and `elapsed_ns` is always 0, so instrumented sites compile
+/// to nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    #[cfg(not(feature = "obs-off"))]
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch {
+            #[cfg(not(feature = "obs-off"))]
+            started: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since `start`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(not(feature = "obs-off"))]
+        return u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        #[cfg(feature = "obs-off")]
+        0
+    }
+
+    /// Record the elapsed time into `hist` without consuming the
+    /// stopwatch; returns the recorded value.
+    #[inline]
+    pub fn lap(&self, hist: &Histogram) -> u64 {
+        let ns = self.elapsed_ns();
+        hist.record(ns);
+        ns
+    }
+}
+
+/// A named timing scope. Created by [`Span::enter`]; on drop it
+/// records the elapsed nanoseconds into its histogram and pops itself
+/// off the thread-local active-span stack.
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    #[cfg(not(feature = "obs-off"))]
+    name: &'static str,
+    sw: Stopwatch,
+}
+
+impl<'a> Span<'a> {
+    /// Open a span: pushes `name` onto this thread's active-span stack
+    /// and starts the clock.
+    #[inline]
+    pub fn enter(name: &'static str, hist: &'a Histogram) -> Span<'a> {
+        #[cfg(not(feature = "obs-off"))]
+        ACTIVE.with(|s| s.borrow_mut().push(name));
+        #[cfg(feature = "obs-off")]
+        let _ = name;
+        Span {
+            hist,
+            #[cfg(not(feature = "obs-off"))]
+            name,
+            sw: Stopwatch::start(),
+        }
+    }
+
+    /// Nanoseconds since the span opened.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.sw.elapsed_ns()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.sw.lap(self.hist);
+        #[cfg(not(feature = "obs-off"))]
+        ACTIVE.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop our own entry; scopes drop in LIFO order, but be
+            // defensive if a span was moved across an early return.
+            if let Some(pos) = stack.iter().rposition(|n| *n == self.name) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// The names of the spans currently open on this thread, outermost
+/// first. Empty under `obs-off`.
+pub fn active_spans() -> Vec<&'static str> {
+    #[cfg(not(feature = "obs-off"))]
+    return ACTIVE.with(|s| s.borrow().clone());
+    #[cfg(feature = "obs-off")]
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn span_records_on_drop_and_tracks_stack() {
+        let outer = Histogram::new();
+        let inner = Histogram::new();
+        assert!(active_spans().is_empty());
+        {
+            let _o = Span::enter("outer", &outer);
+            assert_eq!(active_spans(), vec!["outer"]);
+            {
+                let _i = Span::enter("inner", &inner);
+                assert_eq!(active_spans(), vec!["outer", "inner"]);
+            }
+            assert_eq!(active_spans(), vec!["outer"]);
+            assert_eq!(inner.count(), 1);
+            assert_eq!(outer.count(), 0, "outer still open");
+        }
+        assert!(active_spans().is_empty());
+        assert_eq!(outer.count(), 1);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn stopwatch_measures_forward_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let h = Histogram::new();
+        let ns = sw.lap(&h);
+        assert!(ns >= 2_000_000, "slept 2ms but measured {ns}ns");
+        assert_eq!(h.count(), 1);
+        assert!(sw.elapsed_ns() >= ns, "stopwatch keeps running after lap");
+    }
+
+    #[test]
+    #[cfg(feature = "obs-off")]
+    fn spans_compile_to_nothing() {
+        let h = Histogram::new();
+        let sw = Stopwatch::start();
+        assert_eq!(sw.elapsed_ns(), 0);
+        {
+            let s = Span::enter("x", &h);
+            assert_eq!(s.elapsed_ns(), 0);
+            assert!(active_spans().is_empty());
+        }
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -42,6 +42,7 @@
 //! assert!(out.is_granted());
 //! ```
 
+pub mod metrics;
 pub mod mgmt;
 pub mod pdp;
 pub mod pep;
@@ -49,6 +50,7 @@ pub mod recovery;
 pub mod request;
 pub mod service;
 
+pub use metrics::{DecideMetrics, DecisionTrace, TRACE_CAPACITY};
 pub use mgmt::{purge_scope, ManagementOp, MGMT_TARGET, RETAINED_ADI_CONTROLLER};
 pub use pdp::Pdp;
 pub use pep::{Pep, PepSession};

@@ -26,12 +26,14 @@ use std::sync::Arc;
 use audit::{AuditError, AuditEvent, AuditTrail, TrailStore};
 use credential::{AttributeCredential, CredentialValidationService, Directory};
 use msod::{
-    AdiRecord, EngineOptions, MemoryAdi, MsodDecision, MsodEngine, MsodRequest, RetainedAdi,
-    RoleRef, ShardedAdi,
+    AdiRecord, ConstraintKind, EngineOptions, MemoryAdi, MsodDecision, MsodEngine, MsodRequest,
+    RetainedAdi, RoleRef, ShardedAdi,
 };
+use obs::{PromWriter, Stopwatch};
 use parking_lot::{Mutex, RwLock};
 use policy::{parse_rbac_policy, PdpPolicy, PolicyError};
 
+use crate::metrics::{DecideMetrics, DecisionTrace};
 use crate::mgmt::{ManagementOp, MGMT_TARGET};
 use crate::pdp::{encode_role, validate_front_end};
 use crate::recovery::{apply_recovered_record, RecoveryReport};
@@ -84,6 +86,7 @@ pub struct DecisionService<A: RetainedAdi = MemoryAdi> {
     adi: ShardedAdi<A>,
     audit: Mutex<AuditPlane>,
     trail_key: Vec<u8>,
+    metrics: DecideMetrics,
 }
 
 impl<A: RetainedAdi> std::fmt::Debug for DecisionService<A> {
@@ -136,6 +139,7 @@ impl<A: RetainedAdi> DecisionService<A> {
                 store: None,
             }),
             trail_key,
+            metrics: DecideMetrics::default(),
         }
     }
 
@@ -193,6 +197,30 @@ impl<A: RetainedAdi> DecisionService<A> {
         *core = Arc::new(next);
     }
 
+    /// The decision-plane telemetry (counters, phase histograms, the
+    /// decision-trace ring).
+    pub fn metrics(&self) -> &DecideMetrics {
+        &self.metrics
+    }
+
+    /// Recent decision traces, oldest first — denies always, grants
+    /// when enabled via [`DecideMetrics::set_trace_grants`].
+    pub fn recent_traces(&self) -> Vec<DecisionTrace> {
+        self.metrics.recent_traces()
+    }
+
+    /// Render every layer's telemetry as one Prometheus text document:
+    /// decision-plane counters and phase latencies, per-shard ADI lock
+    /// contention (plus each shard backend's own metrics, e.g. the
+    /// persistent journal's), and the audit trail's counters.
+    pub fn metrics_text(&self) -> String {
+        let mut w = PromWriter::new();
+        self.metrics.export(&mut w);
+        self.adi.export_metrics(&mut w);
+        self.audit.lock().trail.export_metrics(&mut w);
+        w.finish()
+    }
+
     /// Run `f` over the live audit trail (read-only).
     pub fn with_trail<R>(&self, f: impl FnOnce(&AuditTrail) -> R) -> R {
         f(&self.audit.lock().trail)
@@ -220,26 +248,134 @@ impl<A: RetainedAdi> DecisionService<A> {
     /// an immutable core snapshot; the MSoD stage locks only the
     /// requesting user's ADI shard (plus the shared epoch); the audit
     /// append serialises on the audit mutex alone.
+    ///
+    /// Each phase is timed into [`DecideMetrics`], and the finished
+    /// decision lands in the trace ring (denies always; grants after
+    /// [`DecideMetrics::set_trace_grants`]).
     pub fn decide(&self, req: &DecisionRequest) -> DecisionOutcome {
+        // One stopwatch, checkpoint deltas between phases — taken only
+        // on sampled decisions. At microsecond decide latency the
+        // ~35 ns clock reads are themselves a measurable cost, so the
+        // steady state is a single read (the stopwatch start, needed in
+        // case the verdict ends up traced); the end checkpoint fires
+        // when the decision is sampled or traced, and the three phase
+        // checkpoints only on every
+        // [`PHASE_SAMPLE`](crate::metrics::PHASE_SAMPLE)-th decision.
+        let sample = self.metrics.phase_sampler.tick(crate::metrics::PHASE_SAMPLE);
+        let clock = Stopwatch::start();
         let core = self.core();
-        let roles = match validate_front_end(&core.policy, &core.cvs, &core.directory, req) {
-            Ok(roles) => roles,
-            Err((roles, reason)) => return self.deny(req, roles, reason),
+
+        // Phase 1: credential validation (subject domain, CVS, RBAC).
+        let front = validate_front_end(&core.policy, &core.cvs, &core.directory, req);
+        let t_front = if sample {
+            let t = clock.elapsed_ns();
+            self.metrics.front_end_ns.record(t);
+            t
+        } else {
+            0
         };
 
-        let msod_req = MsodRequest {
-            user: &req.subject,
-            roles: &roles,
-            operation: &req.operation,
-            target: &req.target,
-            context: &req.context,
-            timestamp: req.timestamp,
+        let (outcome, t_pre_audit) = match front {
+            Err((roles, reason)) => (self.deny(req, roles, reason), t_front),
+            Ok(roles) => {
+                let msod_req = MsodRequest {
+                    user: &req.subject,
+                    roles: &roles,
+                    operation: &req.operation,
+                    target: &req.target,
+                    context: &req.context,
+                    timestamp: req.timestamp,
+                };
+
+                // Phase 2: context match against the MSoD policy set.
+                let matched = core.engine.policies().matching(&req.context);
+                let t_match = if sample {
+                    let t = clock.elapsed_ns();
+                    self.metrics.context_match_ns.record(t - t_front);
+                    t
+                } else {
+                    0
+                };
+
+                // Phase 3: §4.2 enforcement over the sharded ADI.
+                let decision = core.engine.enforce_sharded_matched(&self.adi, &msod_req, matched);
+                let t_msod = if sample {
+                    let t = clock.elapsed_ns();
+                    self.metrics.msod_ns.record(t - t_match);
+                    t
+                } else {
+                    0
+                };
+
+                // Phase 4: the audit append inside grant/deny.
+                let outcome = match decision {
+                    MsodDecision::NotApplicable => self.grant(req, roles, None),
+                    MsodDecision::Grant(detail) => self.grant(req, roles, Some(detail)),
+                    MsodDecision::Deny(detail) => self.deny(req, roles, DenyReason::Msod(detail)),
+                };
+                (outcome, t_msod)
+            }
         };
-        match core.engine.enforce_sharded(&self.adi, &msod_req) {
-            MsodDecision::NotApplicable => self.grant(req, roles, None),
-            MsodDecision::Grant(detail) => self.grant(req, roles, Some(detail)),
-            MsodDecision::Deny(detail) => self.deny(req, roles, DenyReason::Msod(detail)),
+        let traced = self.metrics.should_trace(outcome.is_granted());
+        let t_total = if sample || traced { clock.elapsed_ns() } else { 0 };
+        if sample {
+            self.metrics.decide_ns.record(t_total);
+            self.metrics.audit_append_ns.record(t_total - t_pre_audit);
         }
+        self.finish_decision(req, &outcome, t_total);
+        outcome
+    }
+
+    /// Count the verdict and retain a [`DecisionTrace`] when this
+    /// verdict is traced. (Latency was already recorded by `decide`'s
+    /// checkpoints; `elapsed_ns` is 0 for unsampled, untraced
+    /// decisions.)
+    fn finish_decision(&self, req: &DecisionRequest, outcome: &DecisionOutcome, elapsed_ns: u64) {
+        let m = &self.metrics;
+        m.decisions.inc();
+        let (granted, constraint, reason, records_consulted) = match outcome {
+            DecisionOutcome::Grant { msod, .. } => {
+                m.grants.inc();
+                if !m.should_trace(true) {
+                    return;
+                }
+                (true, None, None, msod.as_ref().map_or(0, |d| d.records_consulted))
+            }
+            DecisionOutcome::Deny { reason, .. } => {
+                m.denies.inc();
+                if !m.should_trace(false) {
+                    return;
+                }
+                let (constraint, consulted) = match reason {
+                    DenyReason::Msod(d) => (
+                        Some(format!(
+                            "{} #{} of policy #{}",
+                            match d.kind {
+                                ConstraintKind::Mmer => "MMER",
+                                ConstraintKind::Mmep => "MMEP",
+                            },
+                            d.constraint_index,
+                            d.policy_index
+                        )),
+                        d.records_consulted,
+                    ),
+                    _ => (None, 0),
+                };
+                (false, constraint, Some(reason.to_string()), consulted)
+            }
+        };
+        m.record_trace(DecisionTrace {
+            timestamp: req.timestamp,
+            user: req.subject.clone(),
+            operation: req.operation.clone(),
+            target: req.target.clone(),
+            context: req.context.to_string(),
+            granted,
+            constraint,
+            reason,
+            records_consulted,
+            elapsed_ns,
+        });
     }
 
     fn grant(
@@ -371,6 +507,38 @@ impl<A: RetainedAdi> DecisionService<A> {
             timestamp,
         );
         Ok(records)
+    }
+
+    /// Read-only management: export the full metrics document
+    /// ([`DecisionService::metrics_text`]), authorized like
+    /// [`DecisionService::inspect`] but under the `metrics` operation
+    /// on the management target; audited as a note.
+    pub fn inspect_metrics(
+        &self,
+        subject: impl Into<String>,
+        credentials: Credentials,
+        timestamp: u64,
+    ) -> Result<String, DenyReason> {
+        let subject = subject.into();
+        let req = DecisionRequest {
+            subject: subject.clone(),
+            credentials,
+            operation: "metrics".to_owned(),
+            target: MGMT_TARGET.to_owned(),
+            context: context::ContextInstance::root(),
+            environment: Vec::new(),
+            timestamp,
+        };
+        let outcome = self.decide(&req);
+        if let Some(reason) = outcome.deny_reason() {
+            return Err(reason.clone());
+        }
+        let text = self.metrics_text();
+        self.audit
+            .lock()
+            .trail
+            .append(AuditEvent::note(format!("metrics exported by {subject}")), timestamp);
+        Ok(text)
     }
 
     /// §5.2 start-up recovery: rebuild the retained ADI from the

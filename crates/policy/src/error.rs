@@ -20,6 +20,15 @@ pub enum PolicyError {
     Msod(msod::MsodError),
     /// A semantic problem not covered by the schema.
     Semantic(String),
+    /// One of the bundled XSDs failed to parse. A build-integrity
+    /// problem, surfaced as an error so a PDP embedding this crate
+    /// degrades to denying policy loads instead of aborting.
+    BundledSchema {
+        /// Which schema (`"RBAC"` or `"MSoD"`).
+        which: &'static str,
+        /// The underlying parse failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for PolicyError {
@@ -32,6 +41,9 @@ impl fmt::Display for PolicyError {
             }
             PolicyError::Msod(e) => write!(f, "bad MSoD constraint: {e}"),
             PolicyError::Semantic(msg) => write!(f, "policy error: {msg}"),
+            PolicyError::BundledSchema { which, message } => {
+                write!(f, "bundled {which} schema is invalid: {message}")
+            }
         }
     }
 }
@@ -44,6 +56,7 @@ impl std::error::Error for PolicyError {
             PolicyError::Context { source, .. } => Some(source),
             PolicyError::Msod(e) => Some(e),
             PolicyError::Semantic(_) => None,
+            PolicyError::BundledSchema { .. } => None,
         }
     }
 }

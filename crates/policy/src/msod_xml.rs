@@ -95,17 +95,23 @@ pub const MSOD_SCHEMA_XSD: &str = r#"<?xml version="1.0"?>
   </xs:element>
 </xs:schema>"#;
 
-/// The parsed-and-validated schema, built on first use.
-pub fn msod_schema() -> &'static Schema {
+/// The parsed-and-validated schema, built (and its outcome cached) on
+/// first use. A parse failure of the bundled XSD is reported as
+/// [`PolicyError::BundledSchema`] rather than panicking, so a PDP
+/// loading policies can never be aborted from here.
+pub fn msod_schema() -> Result<&'static Schema, PolicyError> {
     use std::sync::OnceLock;
-    static SCHEMA: OnceLock<Schema> = OnceLock::new();
-    SCHEMA.get_or_init(|| Schema::parse(MSOD_SCHEMA_XSD).expect("bundled schema is valid"))
+    static SCHEMA: OnceLock<Result<Schema, String>> = OnceLock::new();
+    SCHEMA
+        .get_or_init(|| Schema::parse(MSOD_SCHEMA_XSD).map_err(|e| e.to_string()))
+        .as_ref()
+        .map_err(|message| PolicyError::BundledSchema { which: "MSoD", message: message.clone() })
 }
 
 /// Parse and schema-validate an `<MSoDPolicySet>` document.
 pub fn parse_msod_policy_set(xml: &str) -> Result<MsodPolicySet, PolicyError> {
     let doc = Document::parse(xml)?;
-    msod_schema().validate(&doc)?;
+    msod_schema()?.validate(&doc)?;
     policy_set_from_element(&doc.root)
 }
 
@@ -266,7 +272,7 @@ mod tests {
 
     #[test]
     fn bundled_schema_parses() {
-        let s = msod_schema();
+        let s = msod_schema().unwrap();
         assert!(s.element("MSoDPolicySet").is_some());
         assert!(s.element("MMEP").is_some());
     }

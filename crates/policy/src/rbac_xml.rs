@@ -319,18 +319,24 @@ pub const RBAC_SCHEMA_XSD: &str = r#"<?xml version="1.0"?>
   </xs:element>
 </xs:schema>"#;
 
-/// The parsed RBAC policy schema, built on first use.
-pub fn rbac_schema() -> &'static Schema {
+/// The parsed RBAC policy schema, built (and its outcome cached) on
+/// first use. A parse failure of the bundled XSD is reported as
+/// [`PolicyError::BundledSchema`] rather than panicking, so a PDP
+/// loading policies can never be aborted from here.
+pub fn rbac_schema() -> Result<&'static Schema, PolicyError> {
     use std::sync::OnceLock;
-    static SCHEMA: OnceLock<Schema> = OnceLock::new();
-    SCHEMA.get_or_init(|| Schema::parse(RBAC_SCHEMA_XSD).expect("bundled schema is valid"))
+    static SCHEMA: OnceLock<Result<Schema, String>> = OnceLock::new();
+    SCHEMA
+        .get_or_init(|| Schema::parse(RBAC_SCHEMA_XSD).map_err(|e| e.to_string()))
+        .as_ref()
+        .map_err(|message| PolicyError::BundledSchema { which: "RBAC", message: message.clone() })
 }
 
 /// Parse and schema-validate an `<RBACPolicy>` document into the
 /// compiled PDP form.
 pub fn parse_rbac_policy(xml: &str) -> Result<PdpPolicy, PolicyError> {
     let doc = Document::parse(xml)?;
-    rbac_schema().validate(&doc)?;
+    rbac_schema()?.validate(&doc)?;
     let root = &doc.root;
 
     let id = root

@@ -1,0 +1,86 @@
+//! Malformed policy XML must never abort the PDP: every parse entry
+//! point returns `Err(PolicyError)` — or `Ok` for benign inputs — but
+//! never panics.
+
+use policy::{parse_msod_policy_set, parse_rbac_policy, PolicyError};
+use proptest::prelude::*;
+
+/// Hand-picked pathological documents: truncation, wrong roots,
+/// schema violations, attribute garbage, stray bytes.
+const MALFORMED: &[&str] = &[
+    "",
+    "   ",
+    "<",
+    "<RBACPolicy",
+    "<RBACPolicy id=\"x\">",
+    "<RBACPolicy id=\"x\"></WrongClose>",
+    "<NotAPolicy/>",
+    "<?xml version=\"1.0\"?><RBACPolicy/>",
+    "<RBACPolicy id=\"x\"><Unknown/></RBACPolicy>",
+    "<RBACPolicy id=\"x\"><MSoDPolicySet><MSoDPolicy/></MSoDPolicySet></RBACPolicy>",
+    "<MSoDPolicySet><MSoDPolicy BusinessContext=\"???\"/></MSoDPolicySet>",
+    "<MSoDPolicySet><MSoDPolicy BusinessContext=\"Branch=*\">\
+     <MMER ForbiddenCardinality=\"-3\"><Role type=\"t\" value=\"v\"/></MMER>\
+     </MSoDPolicy></MSoDPolicySet>",
+    "<MSoDPolicySet><MSoDPolicy BusinessContext=\"Branch=*\">\
+     <MMER ForbiddenCardinality=\"two\"><Role type=\"t\" value=\"v\"/></MMER>\
+     </MSoDPolicy></MSoDPolicySet>",
+    "<RBACPolicy id=\"x\">\u{0}</RBACPolicy>",
+    "<RBACPolicy id=\"x\"><![CDATA[</RBACPolicy>",
+];
+
+#[test]
+fn malformed_documents_error_instead_of_panicking() {
+    for xml in MALFORMED {
+        assert!(parse_rbac_policy(xml).is_err(), "rbac accepted {xml:?}");
+        assert!(parse_msod_policy_set(xml).is_err(), "msod accepted {xml:?}");
+    }
+}
+
+#[test]
+fn errors_render_and_chain() {
+    for xml in MALFORMED {
+        let err = parse_rbac_policy(xml).unwrap_err();
+        // Every variant has a non-empty Display and a well-formed
+        // source chain (exercises the BundledSchema arm too).
+        assert!(!err.to_string().is_empty());
+        let _ = std::error::Error::source(&err);
+    }
+    let bundled = PolicyError::BundledSchema { which: "RBAC", message: "boom".into() };
+    assert_eq!(bundled.to_string(), "bundled RBAC schema is invalid: boom");
+}
+
+proptest! {
+    /// Arbitrary garbage — including XML-ish fragments — never panics
+    /// either parser.
+    #[test]
+    fn arbitrary_input_never_panics(xml in ".{0,200}") {
+        let _ = parse_rbac_policy(&xml);
+        let _ = parse_msod_policy_set(&xml);
+    }
+
+    /// Mutating one byte of a valid policy keeps the parsers panic-free.
+    #[test]
+    fn bit_flipped_policy_never_panics(pos in 0usize..300, byte in 0u8..=255) {
+        let valid = r#"<RBACPolicy id="bank" roleType="employee">
+  <SOAPolicy><SOA dn="cn=HR"/></SOAPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="audit" targetURI="books"><AllowedRole value="Auditor"/></TargetAccess>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>"#;
+        let mut bytes = valid.as_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] = byte;
+        if let Ok(xml) = String::from_utf8(bytes) {
+            let _ = parse_rbac_policy(&xml);
+        }
+    }
+}

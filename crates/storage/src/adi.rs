@@ -14,6 +14,7 @@ use std::path::Path;
 use bytes::{Buf, BufMut};
 use context::{BoundContext, ContextInstance, ContextName, PatternValue};
 use msod::{AdiRecord, MemoryAdi, RetainedAdi, RoleRef};
+use obs::{Counter, Histogram, PromWriter, Stopwatch};
 use parking_lot::Mutex;
 
 use crate::error::StorageError;
@@ -46,6 +47,23 @@ pub struct PersistentAdi {
     journal: Mutex<Journal>,
 }
 
+/// Journal telemetry (all lock-free; no-ops under `obs-off`). Lives
+/// inside the journal mutex with the state it describes, read out by
+/// [`RetainedAdi::export_metrics`].
+#[derive(Debug, Default)]
+struct JournalMetrics {
+    /// Mutation frames queued for the journal.
+    appends: Counter,
+    /// Batched-append passes that reached the op log.
+    flush_batches: Counter,
+    /// Frames written to the op log by those passes.
+    flushed_frames: Counter,
+    /// Journal compactions (manual, automatic and at-open).
+    compactions: Counter,
+    /// Wall time of each flush pass, in nanoseconds.
+    flush_ns: Histogram,
+}
+
 /// The write-side state: op log plus the pending frame batch.
 struct Journal {
     log: OpLog,
@@ -53,11 +71,13 @@ struct Journal {
     /// Journal frames recorded since the last compaction.
     ops_since_compaction: u64,
     latched_error: Option<StorageError>,
+    metrics: JournalMetrics,
 }
 
 impl Journal {
     /// Queue one frame, flushing when the batch is full.
     fn push(&mut self, frame: Vec<u8>) {
+        self.metrics.appends.inc();
         self.batch.push(frame);
         self.ops_since_compaction += 1;
         if self.batch.len() >= BATCH_FRAMES {
@@ -67,6 +87,11 @@ impl Journal {
 
     /// Append every batched frame to the log.
     fn flush(&mut self) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let timed = Stopwatch::start();
+        let frames = self.batch.len();
         for frame in self.batch.drain(..) {
             if let Err(e) = self.log.append(&frame) {
                 if self.latched_error.is_none() {
@@ -74,6 +99,9 @@ impl Journal {
                 }
             }
         }
+        self.metrics.flush_batches.inc();
+        self.metrics.flushed_frames.add(frames as u64);
+        timed.lap(&self.metrics.flush_ns);
     }
 
     fn latch(&mut self, e: StorageError) {
@@ -269,6 +297,7 @@ impl PersistentAdi {
                 batch: Vec::new(),
                 ops_since_compaction: ops,
                 latched_error: None,
+                metrics: JournalMetrics::default(),
             }),
         };
         // Opening is a natural compaction point when the journal has
@@ -297,6 +326,7 @@ impl PersistentAdi {
         journal.batch.clear();
         journal.log.rewrite(frames.iter().map(|f| f.as_slice()))?;
         journal.ops_since_compaction = 0;
+        journal.metrics.compactions.inc();
         Ok(())
     }
 
@@ -370,6 +400,52 @@ impl RetainedAdi for PersistentAdi {
 
     fn snapshot(&self) -> Vec<AdiRecord> {
         self.index.snapshot()
+    }
+
+    fn export_metrics(&self, w: &mut PromWriter, labels: &[(&str, &str)]) {
+        let journal = self.journal.lock();
+        w.counter(
+            "storage_journal_appends_total",
+            "Mutation frames queued for the ADI journal.",
+            labels,
+            journal.metrics.appends.get(),
+        );
+        w.counter(
+            "storage_journal_flush_batches_total",
+            "Batched-append passes that reached the op log.",
+            labels,
+            journal.metrics.flush_batches.get(),
+        );
+        w.counter(
+            "storage_journal_flushed_frames_total",
+            "Frames written to the op log.",
+            labels,
+            journal.metrics.flushed_frames.get(),
+        );
+        w.counter(
+            "storage_journal_compactions_total",
+            "Journal compactions (manual, automatic and at-open).",
+            labels,
+            journal.metrics.compactions.get(),
+        );
+        w.histogram(
+            "storage_journal_flush_ns",
+            "Wall time of each journal flush pass.",
+            labels,
+            &journal.metrics.flush_ns.snapshot(),
+        );
+        w.gauge(
+            "storage_journal_ops",
+            "Journal frames since the last compaction.",
+            labels,
+            journal.ops_since_compaction,
+        );
+        w.gauge(
+            "storage_journal_batched_frames",
+            "Encoded frames waiting for the next batched append.",
+            labels,
+            journal.batch.len() as u64,
+        );
     }
 }
 

@@ -3,6 +3,8 @@
 //! ```text
 //! msod-cli validate <policy.xml>            parse + schema-validate a policy
 //! msod-cli decide   <policy.xml> <script>   run a decision script, print the trace
+//! msod-cli metrics  <policy.xml> <script>   run a script, print Prometheus metrics
+//!                                           and the decision-trace ring
 //! msod-cli schema   [msod|rbac]             print a bundled XSD
 //! msod-cli example                          print the built-in bank-audit trace
 //! ```
@@ -19,7 +21,7 @@
 use std::process::ExitCode;
 
 use msod_rbac::msod::RoleRef;
-use msod_rbac::permis::{DecisionRequest, Pdp};
+use msod_rbac::permis::{DecisionRequest, DecisionService, Pdp};
 use msod_rbac::policy;
 
 fn main() -> ExitCode {
@@ -27,11 +29,12 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("validate") if args.len() == 2 => cmd_validate(&args[1]),
         Some("decide") if args.len() == 3 => cmd_decide(&args[1], &args[2]),
+        Some("metrics") if args.len() == 3 => cmd_metrics(&args[1], &args[2]),
         Some("schema") => cmd_schema(args.get(1).map(String::as_str).unwrap_or("msod")),
         Some("example") => cmd_example(),
         _ => {
             eprintln!(
-                "usage:\n  msod-cli validate <policy.xml>\n  msod-cli decide <policy.xml> <script>\n  msod-cli schema [msod|rbac]\n  msod-cli example"
+                "usage:\n  msod-cli validate <policy.xml>\n  msod-cli decide <policy.xml> <script>\n  msod-cli metrics <policy.xml> <script>\n  msod-cli schema [msod|rbac]\n  msod-cli example"
             );
             return ExitCode::from(2);
         }
@@ -107,6 +110,29 @@ fn parse_script_line(line: &str) -> Result<Option<ScriptLine>, String> {
     }))
 }
 
+/// Turn a parsed script line into a decision request, defaulting
+/// untyped roles to the policy's role type. `no` is the 1-based line
+/// number, for error messages.
+fn build_request(line: &ScriptLine, role_type: &str, no: usize) -> Result<DecisionRequest, String> {
+    let roles: Vec<RoleRef> = line
+        .roles
+        .iter()
+        .map(|(t, v)| RoleRef::new(if t.is_empty() { role_type } else { t }, v.clone()))
+        .collect();
+    let context = line
+        .context
+        .parse()
+        .map_err(|e| format!("line {no}: bad context {:?}: {e}", line.context))?;
+    Ok(DecisionRequest::with_roles(
+        line.subject.clone(),
+        roles,
+        line.operation.clone(),
+        line.target.clone(),
+        context,
+        line.timestamp,
+    ))
+}
+
 fn cmd_decide(policy_path: &str, script_path: &str) -> Result<(), String> {
     let xml =
         std::fs::read_to_string(policy_path).map_err(|e| format!("reading {policy_path}: {e}"))?;
@@ -126,25 +152,7 @@ fn cmd_decide(policy_path: &str, script_path: &str) -> Result<(), String> {
         else {
             continue;
         };
-        let roles: Vec<RoleRef> = line
-            .roles
-            .iter()
-            .map(|(t, v)| {
-                RoleRef::new(if t.is_empty() { role_type.clone() } else { t.clone() }, v.clone())
-            })
-            .collect();
-        let context = line
-            .context
-            .parse()
-            .map_err(|e| format!("line {}: bad context {:?}: {e}", no + 1, line.context))?;
-        let req = DecisionRequest::with_roles(
-            line.subject.clone(),
-            roles,
-            line.operation.clone(),
-            line.target.clone(),
-            context,
-            line.timestamp,
-        );
+        let req = build_request(&line, &role_type, no + 1)?;
         let out = pdp.decide(&req);
         let verdict = if out.is_granted() {
             grants += 1;
@@ -168,6 +176,55 @@ fn cmd_decide(policy_path: &str, script_path: &str) -> Result<(), String> {
     });
     pdp.trail().verify().map_err(|e| e.to_string())?;
     println!("audit trail: {} record(s), verified", pdp.trail().len());
+    Ok(())
+}
+
+/// Run a decision script through the two-plane [`DecisionService`]
+/// with grant tracing enabled, then print the Prometheus metrics
+/// document followed by the decision-trace ring — including the
+/// stable "why was this denied?" explanation for every deny.
+fn cmd_metrics(policy_path: &str, script_path: &str) -> Result<(), String> {
+    let xml =
+        std::fs::read_to_string(policy_path).map_err(|e| format!("reading {policy_path}: {e}"))?;
+    let script =
+        std::fs::read_to_string(script_path).map_err(|e| format!("reading {script_path}: {e}"))?;
+    let svc = DecisionService::from_xml(&xml, b"msod-cli-trail-key".to_vec())
+        .map_err(|e| e.to_string())?;
+    svc.metrics().set_trace_grants(true);
+    let role_type = svc.core().policy().role_type.clone();
+
+    for (no, raw) in script.lines().enumerate() {
+        let Some(line) = parse_script_line(raw).map_err(|e| format!("line {}: {e}", no + 1))?
+        else {
+            continue;
+        };
+        svc.decide(&build_request(&line, &role_type, no + 1)?);
+    }
+
+    println!("{}", svc.metrics_text());
+    let traces = svc.recent_traces();
+    if msod_rbac::obs::enabled() {
+        println!("# decision traces (oldest first, ring capacity {}):", {
+            use msod_rbac::permis::TRACE_CAPACITY;
+            TRACE_CAPACITY
+        });
+        for t in &traces {
+            let verdict = if t.granted { "GRANT" } else { "DENY " };
+            println!(
+                "#   t={} {} {} {} [{}] {} consulted={} elapsed={}ns",
+                t.timestamp,
+                verdict,
+                t.user,
+                t.operation,
+                t.context,
+                t.reason.as_deref().unwrap_or("-"),
+                t.records_consulted,
+                t.elapsed_ns,
+            );
+        }
+    } else {
+        println!("# instrumentation compiled out (obs-off): no decision traces retained");
+    }
     Ok(())
 }
 

@@ -1,0 +1,203 @@
+//! Observability end-to-end: every MMER and MMEP violation yields a
+//! distinct, *stable* reason string, and the same string surfaces in
+//! the decision-trace ring; the Prometheus export covers every layer;
+//! and the metrics management port is authorized like the rest of the
+//! management target.
+
+use msod_rbac::msod::RoleRef;
+use msod_rbac::permis::{
+    Credentials, DecisionOutcome, DecisionRequest, DecisionService, DenyReason,
+};
+
+/// One MMER policy (Teller vs Auditor per Branch) and one two-MMEP
+/// policy (approve/collect and audit/handleCash per Case), so denies
+/// can come from four distinct constraints.
+const POLICY: &str = r#"<RBACPolicy id="obs" roleType="employee">
+  <SOAPolicy><SOA dn="cn=HR"/></SOAPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="handleCash" targetURI="till"><AllowedRole value="Teller"/></TargetAccess>
+    <TargetAccess operation="audit" targetURI="books"><AllowedRole value="Auditor"/></TargetAccess>
+    <TargetAccess operation="approve" targetURI="check"><AllowedRole value="Manager"/></TargetAccess>
+    <TargetAccess operation="collect" targetURI="check"><AllowedRole value="Manager"/></TargetAccess>
+    <TargetAccess operation="*" targetURI="pdp:retainedADI"><AllowedRole value="RetainedADIController"/></TargetAccess>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=!">
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+    <MSoDPolicy BusinessContext="Case=!">
+      <MMEP ForbiddenCardinality="2">
+        <Privilege operation="approve" target="check"/>
+        <Privilege operation="collect" target="check"/>
+      </MMEP>
+      <MMEP ForbiddenCardinality="2">
+        <Privilege operation="audit" target="books"/>
+        <Privilege operation="handleCash" target="till"/>
+      </MMEP>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>"#;
+
+fn service() -> DecisionService {
+    DecisionService::from_xml(POLICY, b"obs-test-key".to_vec()).unwrap()
+}
+
+fn request(user: &str, role: &str, op: &str, target: &str, ctx: &str, ts: u64) -> DecisionRequest {
+    DecisionRequest::with_roles(
+        user,
+        vec![RoleRef::new("employee", role)],
+        op,
+        target,
+        ctx.parse().unwrap(),
+        ts,
+    )
+}
+
+fn deny_reason(outcome: &DecisionOutcome) -> String {
+    outcome.deny_reason().expect("expected a deny").to_string()
+}
+
+/// Drive one MMER deny and two distinct MMEP denies; returns the three
+/// reason strings in that order.
+fn provoke_all_violations(svc: &DecisionService) -> Vec<String> {
+    // MMER: alice tells, then tries to audit the same branch.
+    assert!(svc
+        .decide(&request("alice", "Teller", "handleCash", "till", "Branch=York", 1))
+        .is_granted());
+    let mmer =
+        deny_reason(&svc.decide(&request("alice", "Auditor", "audit", "books", "Branch=York", 2)));
+
+    // MMEP #0: bob approves, then tries to collect the same case.
+    assert!(svc.decide(&request("bob", "Manager", "approve", "check", "Case=7", 3)).is_granted());
+    let mmep0 =
+        deny_reason(&svc.decide(&request("bob", "Manager", "collect", "check", "Case=7", 4)));
+
+    // MMEP #1: carol audits, then tries to handle cash in the same case.
+    assert!(svc.decide(&request("carol", "Auditor", "audit", "books", "Case=7", 5)).is_granted());
+    let mmep1 =
+        deny_reason(&svc.decide(&request("carol", "Teller", "handleCash", "till", "Case=7", 6)));
+
+    vec![mmer, mmep0, mmep1]
+}
+
+#[test]
+fn violation_reasons_are_distinct_and_stable() {
+    let reasons = provoke_all_violations(&service());
+    // Stable: these exact strings are the public deny-explanation
+    // contract — tooling may parse them, so a change here is breaking.
+    assert_eq!(
+        reasons[0],
+        "MSoD violation: MMER #0 of policy #0 in context [Branch=York]: \
+         1 current + 1 historic >= 2"
+    );
+    assert_eq!(
+        reasons[1],
+        "MSoD violation: MMEP #0 of policy #1 in context [Case=7]: \
+         1 current + 1 historic >= 2"
+    );
+    assert_eq!(
+        reasons[2],
+        "MSoD violation: MMEP #1 of policy #1 in context [Case=7]: \
+         1 current + 1 historic >= 2"
+    );
+    // Distinct: every constraint names itself unambiguously.
+    for (i, a) in reasons.iter().enumerate() {
+        for b in reasons.iter().skip(i + 1) {
+            assert_ne!(a, b);
+        }
+    }
+    // Deterministic across a fresh service (same inputs, same strings).
+    assert_eq!(provoke_all_violations(&service()), reasons);
+}
+
+#[test]
+fn denied_decisions_surface_in_trace_ring() {
+    let svc = service();
+    let reasons = provoke_all_violations(&svc);
+    if !msod_rbac::obs::enabled() {
+        assert!(svc.recent_traces().is_empty());
+        return;
+    }
+    let traces = svc.recent_traces();
+    // Denies are always traced; grants were not enabled.
+    let denies: Vec<_> = traces.iter().filter(|t| !t.granted).collect();
+    assert_eq!(denies.len(), 3);
+    for (trace, reason) in denies.iter().zip(&reasons) {
+        assert_eq!(trace.reason.as_deref(), Some(reason.as_str()));
+        // The violated constraint is identified on its own, too.
+        let c = trace.constraint.as_deref().unwrap();
+        assert!(reason.contains(c), "constraint {c:?} not in {reason:?}");
+        // Each deny consulted the one historic record that triggered it.
+        assert_eq!(trace.records_consulted, 1);
+    }
+    assert_eq!(denies[0].user, "alice");
+    assert_eq!(denies[0].context, "Branch=York");
+    assert_eq!(denies[1].constraint.as_deref(), Some("MMEP #0 of policy #1"));
+    assert_eq!(denies[2].constraint.as_deref(), Some("MMEP #1 of policy #1"));
+
+    // Opting into grant tracing surfaces grants as well.
+    svc.metrics().set_trace_grants(true);
+    assert!(svc
+        .decide(&request("dave", "Teller", "handleCash", "till", "Branch=Leeds", 9))
+        .is_granted());
+    let last = svc.recent_traces().pop().unwrap();
+    assert!(last.granted);
+    assert_eq!(last.user, "dave");
+    assert_eq!(last.reason, None);
+}
+
+#[test]
+fn metrics_text_covers_every_layer() {
+    let svc = service();
+    provoke_all_violations(&svc);
+    svc.rotate_and_persist().unwrap();
+    let text = svc.metrics_text();
+    // Decision plane: verdict counters and all four phases.
+    for needle in [
+        "permis_decisions_total",
+        "permis_grants_total",
+        "permis_denies_total",
+        "permis_decide_ns",
+        "phase=\"front_end\"",
+        "phase=\"context_match\"",
+        "phase=\"msod\"",
+        "phase=\"audit_append\"",
+        // ADI plane: per-shard lock contention and epoch counters.
+        "msod_shard_lock_acquisitions_total",
+        "msod_shard_lock_hold_ns_total",
+        "msod_epoch_read_acquisitions_total",
+        // Audit plane: appends, rotations, chain length.
+        "audit_appends_total",
+        "audit_rotations_total",
+        "audit_chain_length",
+    ] {
+        assert!(text.contains(needle), "{needle} missing from:\n{text}");
+    }
+    if msod_rbac::obs::enabled() {
+        assert!(text.contains("permis_decisions_total 6"));
+        assert!(text.contains("permis_grants_total 3"));
+        assert!(text.contains("permis_denies_total 3"));
+        assert!(text.contains("audit_rotations_total 1"));
+    }
+}
+
+#[test]
+fn metrics_port_is_authorized() {
+    let svc = service();
+    let controller =
+        Credentials::Validated(vec![RoleRef::new("employee", "RetainedADIController")]);
+    let text = svc.inspect_metrics("cn=admin", controller, 1).unwrap();
+    assert!(text.contains("permis_decisions_total"));
+    // A non-controller is bounced before any export happens.
+    let err = svc
+        .inspect_metrics(
+            "cn=mallory",
+            Credentials::Validated(vec![RoleRef::new("employee", "Teller")]),
+            2,
+        )
+        .unwrap_err();
+    assert_eq!(err, DenyReason::RbacDenied);
+}

@@ -14,7 +14,7 @@ use xmlkit::Document;
 #[test]
 fn paper_policies_validate_against_schema() {
     let doc = Document::parse(PAPER_SECTION3_POLICIES).unwrap();
-    msod_schema().validate(&doc).unwrap();
+    msod_schema().unwrap().validate(&doc).unwrap();
 }
 
 #[test]
@@ -106,14 +106,14 @@ fn reserialized_policy_drives_identical_decisions() {
 #[test]
 fn bundled_schemas_are_self_consistent() {
     // Both bundled XSDs parse and expose their root elements.
-    assert!(msod_schema().element("MSoDPolicySet").is_some());
-    assert!(rbac_schema().element("RBACPolicy").is_some());
+    assert!(msod_schema().unwrap().element("MSoDPolicySet").is_some());
+    assert!(rbac_schema().unwrap().element("RBACPolicy").is_some());
     // Their element inventories cover every name the serializers emit.
     for name in ["MSoDPolicy", "FirstStep", "LastStep", "MMER", "MMEP", "Role", "Operation"] {
-        assert!(msod_schema().element(name).is_some(), "{name} missing");
+        assert!(msod_schema().unwrap().element(name).is_some(), "{name} missing");
     }
     for name in ["SOAPolicy", "TargetAccessPolicy", "TargetAccess", "AllowedRole", "SupRole"] {
-        assert!(rbac_schema().element(name).is_some(), "{name} missing");
+        assert!(rbac_schema().unwrap().element(name).is_some(), "{name} missing");
     }
 }
 

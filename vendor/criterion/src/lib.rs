@@ -14,12 +14,42 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Quick mode for smoke runs (CI): `MSOD_CRITERION_QUICK=1` shrinks
+/// the warm-up/measure budgets and sample count so a full bench suite
+/// finishes in seconds. Numbers from quick runs are for "does it run
+/// and roughly how fast", not for comparison. (Real criterion uses a
+/// `--quick`/`--test` CLI flag; this offline shim takes no CLI args,
+/// so an environment variable stands in.)
+fn quick() -> bool {
+    std::env::var_os("MSOD_CRITERION_QUICK").is_some_and(|v| v != "0")
+}
+
 /// How long each benchmark's measurement phase runs.
-const MEASURE_TARGET: Duration = Duration::from_millis(300);
+fn measure_target() -> Duration {
+    if quick() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
 /// How long the warm-up phase runs.
-const WARMUP_TARGET: Duration = Duration::from_millis(60);
+fn warmup_target() -> Duration {
+    if quick() {
+        Duration::from_millis(5)
+    } else {
+        Duration::from_millis(60)
+    }
+}
+
 /// Timed samples collected per benchmark.
-const SAMPLES: usize = 20;
+fn samples() -> usize {
+    if quick() {
+        5
+    } else {
+        20
+    }
+}
 
 /// Input-size hint for [`Bencher::iter_batched`]; ignored by this
 /// harness (every batch is one setup + one routine call).
@@ -81,18 +111,18 @@ impl Bencher {
         let mut calls_per_sample = 1u64;
         let warm_start = Instant::now();
         let mut warm_calls = 0u64;
-        while warm_start.elapsed() < WARMUP_TARGET {
+        while warm_start.elapsed() < warmup_target() {
             black_box(routine());
             warm_calls += 1;
         }
         let per_call = warm_start.elapsed().as_nanos() as f64 / warm_calls.max(1) as f64;
-        let sample_budget = MEASURE_TARGET.as_nanos() as f64 / SAMPLES as f64;
+        let sample_budget = measure_target().as_nanos() as f64 / samples() as f64;
         if per_call > 0.0 {
             calls_per_sample = ((sample_budget / per_call) as u64).clamp(1, 10_000_000);
         }
 
-        let mut samples = Vec::with_capacity(SAMPLES);
-        for _ in 0..SAMPLES {
+        let mut samples = Vec::with_capacity(self::samples());
+        for _ in 0..self::samples() {
             let t0 = Instant::now();
             for _ in 0..calls_per_sample {
                 black_box(routine());
@@ -115,11 +145,11 @@ impl Bencher {
         let t0 = Instant::now();
         black_box(routine(input));
         let per_call = t0.elapsed().as_nanos().max(1) as f64;
-        let sample_budget = MEASURE_TARGET.as_nanos() as f64 / SAMPLES as f64;
+        let sample_budget = measure_target().as_nanos() as f64 / samples() as f64;
         let calls_per_sample = ((sample_budget / per_call) as u64).clamp(1, 100_000);
 
-        let mut samples = Vec::with_capacity(SAMPLES);
-        for _ in 0..SAMPLES {
+        let mut samples = Vec::with_capacity(self::samples());
+        for _ in 0..self::samples() {
             let inputs: Vec<I> = (0..calls_per_sample).map(|_| setup()).collect();
             let t0 = Instant::now();
             for input in inputs {
