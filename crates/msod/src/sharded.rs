@@ -234,6 +234,14 @@ impl<A: RetainedAdi> ShardedAdi<A> {
         f(&mut self.lock_shard(self.shard_index(user)))
     }
 
+    /// Run `f` under the lock of shard `i` (and a shared epoch guard).
+    /// For per-shard maintenance — syncing or compacting a durable
+    /// backend shard by shard without stopping the world.
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&mut A) -> R) -> R {
+        let _epoch = self.epoch_read();
+        f(&mut self.lock_shard(i))
+    }
+
     /// Whether any shard retains a record within `bound`. Locks shards
     /// one at a time; callers must not hold a shard lock.
     pub fn context_active(&self, bound: &BoundContext) -> bool {

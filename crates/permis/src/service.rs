@@ -122,6 +122,59 @@ impl<A: RetainedAdi + Default> DecisionService<A> {
     }
 }
 
+impl DecisionService<storage::PersistentAdi> {
+    /// Durable service: one journaled [`storage::PersistentAdi`] per
+    /// shard, stored as `adi-shard-{i}.log` under `dir` (created if
+    /// absent). `shards` is clamped to at least 1 and must stay stable
+    /// across restarts — records are sharded by user.
+    ///
+    /// Crash recovery is surfaced, never silent: the per-shard
+    /// [`storage::RecoveryReport`]s are returned for the caller to
+    /// inspect, and every non-clean recovery (truncated bytes, dropped
+    /// frames, a stale compaction temp) is additionally recorded in
+    /// the audit trail as a note — losing retained ADI is a
+    /// security-relevant event, not just an I/O hiccup.
+    pub fn open_persistent(
+        policy: PdpPolicy,
+        trail_key: impl Into<Vec<u8>>,
+        dir: impl AsRef<std::path::Path>,
+        shards: usize,
+    ) -> Result<(Self, Vec<storage::RecoveryReport>), storage::StorageError> {
+        let dir = dir.as_ref();
+        let mut stores = Vec::with_capacity(shards.max(1));
+        let mut reports = Vec::with_capacity(shards.max(1));
+        for i in 0..shards.max(1) {
+            let adi = storage::PersistentAdi::open(dir.join(format!("adi-shard-{i}.log")))?;
+            reports.push(adi.recovery().clone());
+            stores.push(adi);
+        }
+        let service =
+            DecisionService::from_shards(policy, trail_key, ShardedAdi::from_shards(stores));
+        {
+            let mut audit = service.audit.lock();
+            for (i, report) in reports.iter().enumerate() {
+                if !report.is_clean() {
+                    audit
+                        .trail
+                        .append(AuditEvent::note(format!("ADI shard {i} recovery: {report}")), 0);
+                }
+            }
+        }
+        Ok((service, reports))
+    }
+
+    /// Flush and fsync every shard's journal, surfacing the first
+    /// latched I/O error. Call at the durability points that must
+    /// survive a crash (the decision path itself journals every grant
+    /// but leaves fsync policy to the embedder).
+    pub fn sync_adi(&self) -> Result<(), storage::StorageError> {
+        for i in 0..self.adi.shard_count() {
+            self.adi.with_shard(i, |shard| shard.sync())?;
+        }
+        Ok(())
+    }
+}
+
 impl<A: RetainedAdi> DecisionService<A> {
     /// Service over a pre-built sharded store (e.g. one
     /// `storage::PersistentAdi` per shard).
@@ -604,7 +657,13 @@ mod tests {
         DecisionService::from_xml(POLICY, b"key".to_vec()).unwrap()
     }
 
-    fn work(svc: &DecisionService, user: &str, role: &str, project: &str, ts: u64) -> bool {
+    fn work<A: RetainedAdi>(
+        svc: &DecisionService<A>,
+        user: &str,
+        role: &str,
+        project: &str,
+        ts: u64,
+    ) -> bool {
         svc.decide(&DecisionRequest::with_roles(
             user,
             vec![RoleRef::new("permisRole", role)],
@@ -681,6 +740,41 @@ mod tests {
         let kinds: Vec<EventKind> =
             svc.with_trail(|t| t.open_records().iter().map(|r| r.event.kind).collect());
         assert!(kinds.contains(&EventKind::AdminPurge));
+    }
+
+    #[test]
+    fn open_persistent_round_trips_and_audits_recovery() {
+        let dir = std::env::temp_dir().join(format!("svc-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let policy = || policy::parse_rbac_policy(POLICY).unwrap();
+        {
+            let (svc, reports) =
+                DecisionService::open_persistent(policy(), b"key".to_vec(), &dir, 2).unwrap();
+            assert!(reports.iter().all(|r| r.is_clean()));
+            assert!(work(&svc, "alice", "Member", "p1", 1));
+            assert!(work(&svc, "bob", "Reviewer", "p1", 2));
+            svc.sync_adi().unwrap();
+        }
+        // Tear the tail off one shard's journal: the reopen must
+        // recover, report it, and leave a note in the audit trail.
+        let torn = (0..2)
+            .map(|i| dir.join(format!("adi-shard-{i}.log")))
+            .find(|p| std::fs::metadata(p).unwrap().len() > 0)
+            .unwrap();
+        let data = std::fs::read(&torn).unwrap();
+        std::fs::write(&torn, &data[..data.len() - 2]).unwrap();
+        let (svc, reports) =
+            DecisionService::open_persistent(policy(), b"key".to_vec(), &dir, 2).unwrap();
+        assert!(reports.iter().any(|r| !r.is_clean()));
+        assert!(reports.iter().map(|r| r.bytes_truncated).sum::<u64>() > 0);
+        let notes = svc.with_trail(|t| {
+            t.open_records().iter().filter(|r| r.event.kind == EventKind::Note).count()
+        });
+        assert_eq!(notes, 1, "non-clean shard recovery must be audited");
+        // The surviving record still drives MSoD decisions.
+        let survivors = svc.adi().len();
+        assert_eq!(survivors, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -8,17 +8,24 @@
 //! trails), start-up only replays the *live* operation log, which
 //! compaction keeps proportional to the live record count — experiment
 //! E9 measures exactly this trade-off.
+//!
+//! All journal I/O flows through a [`Vfs`], so the crash-simulation
+//! harness (`tests/crash_sim.rs`) can power-cut the store mid-write and
+//! prove recovery always yields a prefix of the committed history.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
 use context::{BoundContext, ContextInstance, ContextName, PatternValue};
 use msod::{AdiRecord, MemoryAdi, RetainedAdi, RoleRef};
-use obs::{Counter, Histogram, PromWriter, Stopwatch};
+use obs::{Counter, Gauge, Histogram, PromWriter, Stopwatch};
 use parking_lot::Mutex;
 
 use crate::error::StorageError;
 use crate::log::OpLog;
+use crate::recovery::{std_vfs, RecoveryReport};
+use crate::vfs::Vfs;
 
 const OP_ADD: u8 = 0;
 const OP_PURGE_BOUND: u8 = 1;
@@ -30,6 +37,76 @@ const OP_CLEAR: u8 = 3;
 /// syscall, which matters once the store sits on the PDP's hot path.
 const BATCH_FRAMES: usize = 64;
 
+/// One journaled retained-ADI mutation — the unit of the frame format.
+///
+/// The encoding is exercised round-trip (arbitrary records, arbitrary
+/// split points) by `tests/frame_roundtrip.rs`; [`AdiOp::decode`] never
+/// panics on truncated or garbage input, it returns `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdiOp {
+    /// Retain one record.
+    Add(AdiRecord),
+    /// Purge every record covered by a bound business context.
+    Purge(BoundContext),
+    /// Purge every record older than a cutoff timestamp.
+    PurgeOlderThan(u64),
+    /// Drop all records.
+    Clear,
+}
+
+impl AdiOp {
+    /// Serialize to a journal-frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            AdiOp::Add(rec) => encode_add(rec),
+            AdiOp::Purge(bound) => encode_purge_bound(bound),
+            AdiOp::PurgeOlderThan(cutoff) => {
+                let mut buf = Vec::with_capacity(9);
+                buf.put_u8(OP_PURGE_OLDER);
+                buf.put_u64_le(*cutoff);
+                buf
+            }
+            AdiOp::Clear => vec![OP_CLEAR],
+        }
+    }
+
+    /// Parse a journal-frame payload. `None` when the payload is
+    /// truncated or structurally invalid — never panics.
+    pub fn decode(payload: &[u8]) -> Option<AdiOp> {
+        let mut buf = payload;
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            OP_ADD => decode_add(&mut buf).map(AdiOp::Add),
+            OP_PURGE_BOUND => decode_purge_bound(&mut buf).map(AdiOp::Purge),
+            OP_PURGE_OLDER => {
+                if buf.remaining() >= 8 {
+                    Some(AdiOp::PurgeOlderThan(buf.get_u64_le()))
+                } else {
+                    None
+                }
+            }
+            OP_CLEAR => Some(AdiOp::Clear),
+            _ => None,
+        }
+    }
+
+    /// Replay this operation into `adi`.
+    pub fn apply(self, adi: &mut dyn RetainedAdi) {
+        match self {
+            AdiOp::Add(rec) => adi.add(rec),
+            AdiOp::Purge(bound) => {
+                adi.purge(&bound);
+            }
+            AdiOp::PurgeOlderThan(cutoff) => {
+                adi.purge_older_than(cutoff);
+            }
+            AdiOp::Clear => adi.clear(),
+        }
+    }
+}
+
 /// Durable [`RetainedAdi`] backend.
 ///
 /// Mutations are journaled as encoded frames into an in-memory batch
@@ -40,11 +117,17 @@ const BATCH_FRAMES: usize = 64;
 /// `sync` at the points that must survive a crash.
 ///
 /// I/O failures on the journaling path are latched: the first error is
-/// stored and surfaced by [`PersistentAdi::sync`]; the in-memory state
-/// stays correct for the current process either way.
+/// stored and surfaced by the next [`PersistentAdi::flush`] or
+/// [`PersistentAdi::sync`]; a drop that still holds a latched error
+/// logs it to stderr (drop cannot return). Once an error latches, no
+/// further frames are appended — writing them would leave a hole in
+/// the history — so the on-disk journal stays a strict prefix of the
+/// mutation sequence until a catch-up rewrite (a compaction from the
+/// authoritative in-memory index) succeeds and re-synchronizes it.
 pub struct PersistentAdi {
     index: MemoryAdi,
     journal: Mutex<Journal>,
+    recovery: RecoveryReport,
 }
 
 /// Journal telemetry (all lock-free; no-ops under `obs-off`). Lives
@@ -60,8 +143,16 @@ struct JournalMetrics {
     flushed_frames: Counter,
     /// Journal compactions (manual, automatic and at-open).
     compactions: Counter,
+    /// Frames dropped because an I/O error latched mid-batch.
+    append_errors: Counter,
     /// Wall time of each flush pass, in nanoseconds.
     flush_ns: Histogram,
+    /// Frames the last open replayed into the index.
+    recovery_frames_replayed: Gauge,
+    /// Frames the last open discarded (at or past the first anomaly).
+    recovery_frames_dropped: Gauge,
+    /// Bytes the last open truncated off the journal.
+    recovery_bytes_truncated: Gauge,
 }
 
 /// The write-side state: op log plus the pending frame batch.
@@ -71,6 +162,11 @@ struct Journal {
     /// Journal frames recorded since the last compaction.
     ops_since_compaction: u64,
     latched_error: Option<StorageError>,
+    /// An append failed mid-batch, so the on-disk journal is missing
+    /// frames the index has. Until a rewrite (compaction from the
+    /// index) succeeds, further appends are withheld — writing them
+    /// would put a hole in the history.
+    needs_rewrite: bool,
     metrics: JournalMetrics,
 }
 
@@ -85,22 +181,39 @@ impl Journal {
         }
     }
 
-    /// Append every batched frame to the log.
+    /// Append batched frames to the log, stopping at the first I/O
+    /// error: the error latches, the rest of the batch is dropped
+    /// (counted in `append_errors`) rather than written after a hole,
+    /// and the journal is marked for a full rewrite from the index.
     fn flush(&mut self) {
         if self.batch.is_empty() {
             return;
         }
+        if self.needs_rewrite {
+            // The journal is behind the index; appending now would
+            // land these frames after a hole. The pending rewrite
+            // restores the journal from the authoritative index, which
+            // already reflects every batched mutation.
+            self.metrics.append_errors.add(self.batch.len() as u64);
+            self.batch.clear();
+            return;
+        }
         let timed = Stopwatch::start();
-        let frames = self.batch.len();
-        for frame in self.batch.drain(..) {
-            if let Err(e) = self.log.append(&frame) {
+        let mut written = 0usize;
+        for frame in &self.batch {
+            if let Err(e) = self.log.append(frame) {
+                self.metrics.append_errors.add((self.batch.len() - written) as u64);
                 if self.latched_error.is_none() {
                     self.latched_error = Some(e);
                 }
+                self.needs_rewrite = true;
+                break;
             }
+            written += 1;
         }
+        self.batch.clear();
         self.metrics.flush_batches.inc();
-        self.metrics.flushed_frames.add(frames as u64);
+        self.metrics.flushed_frames.add(written as u64);
         timed.lap(&self.metrics.flush_ns);
     }
 
@@ -124,11 +237,29 @@ impl std::fmt::Debug for PersistentAdi {
 
 impl Drop for PersistentAdi {
     fn drop(&mut self) {
-        // Best effort: persist whatever is still batched. Errors cannot
-        // be surfaced from drop; callers needing certainty call `sync`.
+        // Best effort: persist whatever is still batched, including
+        // the catch-up rewrite if an append failed earlier. Drop
+        // cannot return an error, but it must not swallow one either —
+        // a latched journal error at drop means durable history was
+        // lost, so make it loud; callers needing certainty call `sync`.
+        let needs_rewrite = {
+            let mut journal = self.journal.lock();
+            journal.flush();
+            journal.needs_rewrite
+        };
+        if needs_rewrite {
+            let _ = self.compact();
+        }
         let mut journal = self.journal.lock();
-        journal.flush();
-        let _ = journal.log.sync();
+        if let Err(e) = journal.log.sync() {
+            journal.latch(e);
+        }
+        if let Some(e) = journal.latched_error.take() {
+            eprintln!(
+                "storage: retained-ADI journal {:?} dropped with unsurfaced I/O error: {e}",
+                journal.log.path()
+            );
+        }
     }
 }
 
@@ -250,46 +381,46 @@ fn decode_purge_bound(buf: &mut &[u8]) -> Option<BoundContext> {
 }
 
 impl PersistentAdi {
-    /// Open (creating if absent) the store at `path`, replaying its
-    /// journal to rebuild the in-memory index.
+    /// Open (creating if absent) the store at `path` on the real
+    /// filesystem. See [`PersistentAdi::open_with_vfs`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StorageError> {
-        let mut index = MemoryAdi::new();
-        let mut bad_frame = false;
-        let log = OpLog::open(path, |payload| {
-            let mut buf = payload;
-            if buf.remaining() < 1 {
-                bad_frame = true;
-                return;
-            }
-            match buf.get_u8() {
-                OP_ADD => match decode_add(&mut buf) {
-                    Some(rec) => index.add(rec),
-                    None => bad_frame = true,
-                },
-                OP_PURGE_BOUND => match decode_purge_bound(&mut buf) {
-                    Some(bound) => {
-                        index.purge(&bound);
-                    }
-                    None => bad_frame = true,
-                },
-                OP_PURGE_OLDER => {
-                    if buf.remaining() >= 8 {
-                        index.purge_older_than(buf.get_u64_le());
-                    } else {
-                        bad_frame = true;
-                    }
-                }
-                OP_CLEAR => index.clear(),
-                _ => bad_frame = true,
-            }
-        })?;
-        if bad_frame {
-            return Err(StorageError::BadOp {
-                offset: 0,
-                reason: "journal contains an undecodable operation".to_owned(),
-            });
+        PersistentAdi::open_with_vfs(std_vfs(), path.as_ref())
+    }
+
+    /// Open (creating if absent) the store at `path` through `vfs`,
+    /// replaying its journal to rebuild the in-memory index.
+    ///
+    /// This is the crash-recovery path: a torn trailing write, a
+    /// CRC-corrupt frame or an undecodable payload truncates the
+    /// journal at the first anomaly (the recovered state is always a
+    /// prefix of the committed history), a stale compaction temp file
+    /// is removed, and everything that happened is reported by
+    /// [`PersistentAdi::recovery`] instead of panicking or silently
+    /// skipping.
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>, path: &Path) -> Result<Self, StorageError> {
+        // A crash between a compaction's temp write and its rename
+        // leaves the old journal plus a stale temp file: recover from
+        // the old journal, discard the temp.
+        let tmp = OpLog::compaction_tmp_path(path);
+        let stale_tmp = vfs.exists(&tmp);
+        if stale_tmp {
+            vfs.remove_file(&tmp)?;
         }
+        let mut index = MemoryAdi::new();
+        let (log, mut report) =
+            OpLog::open_with_vfs(vfs, path, |payload| match AdiOp::decode(payload) {
+                Some(op) => {
+                    op.apply(&mut index);
+                    true
+                }
+                None => false,
+            })?;
+        report.stale_compaction_tmp = stale_tmp;
         let ops = log.frames();
+        let metrics = JournalMetrics::default();
+        metrics.recovery_frames_replayed.set(report.frames_replayed);
+        metrics.recovery_frames_dropped.set(report.frames_dropped);
+        metrics.recovery_bytes_truncated.set(report.bytes_truncated);
         let adi = PersistentAdi {
             index,
             journal: Mutex::new(Journal {
@@ -297,8 +428,10 @@ impl PersistentAdi {
                 batch: Vec::new(),
                 ops_since_compaction: ops,
                 latched_error: None,
-                metrics: JournalMetrics::default(),
+                needs_rewrite: false,
+                metrics,
             }),
+            recovery: report,
         };
         // Opening is a natural compaction point when the journal has
         // grown well past the live set.
@@ -306,10 +439,42 @@ impl PersistentAdi {
         Ok(adi)
     }
 
-    /// Flush the batch and the journal, surfacing any latched I/O error.
+    /// What the open/recovery found and did.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Flush the pending batch to the op log (no fsync), surfacing any
+    /// latched I/O error instead of swallowing it.
+    ///
+    /// When an earlier append failed, this also attempts the pending
+    /// journal rewrite so the on-disk log catches back up with the
+    /// index — the error is still returned (durability *was*
+    /// interrupted), but a subsequent call starts from a consistent
+    /// journal.
+    pub fn flush(&self) -> Result<(), StorageError> {
+        let (err, needs_rewrite) = {
+            let mut journal = self.journal.lock();
+            journal.flush();
+            (journal.latched_error.take(), journal.needs_rewrite)
+        };
+        if needs_rewrite {
+            if let Err(e) = self.compact() {
+                self.journal.lock().latch(e);
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Flush the batch and fsync the journal, surfacing any latched
+    /// I/O error. Like [`PersistentAdi::flush`], a failed earlier
+    /// append triggers the catch-up rewrite first.
     pub fn sync(&self) -> Result<(), StorageError> {
+        self.flush()?;
         let mut journal = self.journal.lock();
-        journal.flush();
         if let Some(e) = journal.latched_error.take() {
             return Err(e);
         }
@@ -326,6 +491,7 @@ impl PersistentAdi {
         journal.batch.clear();
         journal.log.rewrite(frames.iter().map(|f| f.as_slice()))?;
         journal.ops_since_compaction = 0;
+        journal.needs_rewrite = false;
         journal.metrics.compactions.inc();
         Ok(())
     }
@@ -342,8 +508,14 @@ impl PersistentAdi {
 
     fn maybe_compact(&self) {
         // Compact when the journal is more than double the live set
-        // (plus slack so small stores never compact).
-        let due = self.journal.lock().ops_since_compaction > 2 * (self.index.len() as u64) + 512;
+        // (plus slack so small stores never compact), or when a failed
+        // append left the journal behind the index and a rewrite is
+        // the only way to catch it back up.
+        let due = {
+            let journal = self.journal.lock();
+            journal.needs_rewrite
+                || journal.ops_since_compaction > 2 * (self.index.len() as u64) + 512
+        };
         if due {
             if let Err(e) = self.compact() {
                 self.journal.lock().latch(e);
@@ -351,9 +523,13 @@ impl PersistentAdi {
         }
     }
 
+    /// Queue one encoded mutation. Compaction is NOT considered here:
+    /// the caller must update the index first and then call
+    /// [`PersistentAdi::maybe_compact`] — compacting from a snapshot
+    /// that predates the mutation whose frame was just batched would
+    /// silently drop it.
     fn journal(&self, payload: Vec<u8>) {
         self.journal.lock().push(payload);
-        self.maybe_compact();
     }
 }
 
@@ -361,6 +537,7 @@ impl RetainedAdi for PersistentAdi {
     fn add(&mut self, record: AdiRecord) {
         self.journal(encode_add(&record));
         self.index.add(record);
+        self.maybe_compact();
     }
 
     fn context_active(&self, bound: &BoundContext) -> bool {
@@ -378,15 +555,16 @@ impl RetainedAdi for PersistentAdi {
 
     fn purge(&mut self, bound: &BoundContext) -> usize {
         self.journal(encode_purge_bound(bound));
-        self.index.purge(bound)
+        let n = self.index.purge(bound);
+        self.maybe_compact();
+        n
     }
 
     fn purge_older_than(&mut self, cutoff: u64) -> usize {
-        let mut buf = Vec::with_capacity(9);
-        buf.put_u8(OP_PURGE_OLDER);
-        buf.put_u64_le(cutoff);
-        self.journal(buf);
-        self.index.purge_older_than(cutoff)
+        self.journal(AdiOp::PurgeOlderThan(cutoff).encode());
+        let n = self.index.purge_older_than(cutoff);
+        self.maybe_compact();
+        n
     }
 
     fn len(&self) -> usize {
@@ -394,8 +572,9 @@ impl RetainedAdi for PersistentAdi {
     }
 
     fn clear(&mut self) {
-        self.journal(vec![OP_CLEAR]);
+        self.journal(AdiOp::Clear.encode());
         self.index.clear();
+        self.maybe_compact();
     }
 
     fn snapshot(&self) -> Vec<AdiRecord> {
@@ -428,6 +607,12 @@ impl RetainedAdi for PersistentAdi {
             labels,
             journal.metrics.compactions.get(),
         );
+        w.counter(
+            "storage_journal_append_errors_total",
+            "Frames dropped because an I/O error latched mid-batch.",
+            labels,
+            journal.metrics.append_errors.get(),
+        );
         w.histogram(
             "storage_journal_flush_ns",
             "Wall time of each journal flush pass.",
@@ -446,12 +631,31 @@ impl RetainedAdi for PersistentAdi {
             labels,
             journal.batch.len() as u64,
         );
+        w.gauge(
+            "storage_recovery_frames_replayed",
+            "Journal frames replayed into the index by the last open.",
+            labels,
+            journal.metrics.recovery_frames_replayed.get(),
+        );
+        w.gauge(
+            "storage_recovery_frames_dropped",
+            "Journal frames discarded by the last open's recovery.",
+            labels,
+            journal.metrics.recovery_frames_dropped.get(),
+        );
+        w.gauge(
+            "storage_recovery_bytes_truncated",
+            "Bytes truncated off the journal by the last open's recovery.",
+            labels,
+            journal.metrics.recovery_bytes_truncated.get(),
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultPlan, FaultVfs};
     use std::path::PathBuf;
 
     fn temp_path(tag: &str) -> PathBuf {
@@ -480,12 +684,15 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut adi = PersistentAdi::open(&path).unwrap();
+            assert!(adi.recovery().is_clean());
             adi.add(rec("alice", "Teller", "Branch=York, Period=2006", 1));
             adi.add(rec("bob", "Auditor", "Branch=Leeds, Period=2006", 2));
             adi.sync().unwrap();
         }
         let adi = PersistentAdi::open(&path).unwrap();
         assert_eq!(adi.len(), 2);
+        assert!(adi.recovery().is_clean());
+        assert_eq!(adi.recovery().frames_replayed, 2);
         let b = bound("Branch=*, Period=!", "Branch=York, Period=2006");
         assert_eq!(adi.user_records("alice", &b).len(), 1);
         std::fs::remove_file(&path).unwrap();
@@ -659,5 +866,86 @@ mod tests {
         let adi = PersistentAdi::open(&path).unwrap();
         assert_eq!(adi.snapshot()[0].context.pairs()[0].1, "weird=value, with, commas");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Regression: auto-compaction used to run inside `journal()`
+    /// *before* the index was updated, so a compaction triggered
+    /// exactly on a mutation snapshotted the index without it and
+    /// cleared the batch holding its frame — the record vanished.
+    #[test]
+    fn compaction_on_mutation_boundary_loses_nothing() {
+        let path = temp_path("boundary");
+        let _ = std::fs::remove_file(&path);
+        let mut mem = MemoryAdi::new();
+        let mut per = PersistentAdi::open(&path).unwrap();
+        // Purge-heavy workload keeps the live set tiny while the op
+        // count climbs, so the threshold trips mid-sequence — on an
+        // add for some iterations, on a purge for others.
+        for i in 0..600u64 {
+            let r = rec("a", "r", "P=1", i);
+            mem.add(r.clone());
+            per.add(r);
+            if i % 2 == 1 {
+                let b = bound("P=!", "P=1");
+                assert_eq!(mem.purge(&b), per.purge(&b), "iteration {i}");
+            }
+            assert_eq!(mem.len(), per.len(), "iteration {i}");
+        }
+        assert_eq!(mem.snapshot(), per.snapshot());
+        per.sync().unwrap();
+        drop(per);
+        let reopened = PersistentAdi::open(&path).unwrap();
+        assert_eq!(mem.snapshot(), reopened.snapshot());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Regression: a latched journal I/O error must surface through
+    /// `flush()`/`sync()` as a typed error, not vanish silently.
+    #[test]
+    fn flush_surfaces_latched_write_error() {
+        let vfs = FaultVfs::new(FaultPlan { fail_write_at: Some(0), ..Default::default() });
+        let path = Path::new("/adi.log");
+        let mut adi = PersistentAdi::open_with_vfs(Arc::new(vfs.clone()), path).unwrap();
+        adi.add(rec("a", "r", "P=1", 1));
+        adi.add(rec("b", "r", "P=2", 2));
+        // The first append fails (transient injected fault); the error
+        // latches and the whole batch is dropped rather than written
+        // with a hole.
+        let err = adi.flush().expect_err("latched write error must surface");
+        assert!(matches!(err, StorageError::Io(_)), "got {err:?}");
+        // The error is surfaced exactly once, and the flush also ran
+        // the catch-up rewrite, restoring the journal from the index.
+        adi.flush().unwrap();
+        adi.add(rec("c", "r", "P=3", 3));
+        adi.sync().unwrap();
+        drop(adi);
+        let reopened = PersistentAdi::open_with_vfs(Arc::new(vfs), path).unwrap();
+        // Nothing was lost and nothing was written after a hole: the
+        // rewrite recovered "a" and "b" from the index.
+        assert_eq!(reopened.len(), 3);
+        let users: Vec<_> = reopened.snapshot().iter().map(|r| r.user.clone()).collect();
+        assert_eq!(users, ["a", "b", "c"]);
+    }
+
+    /// A crash between a compaction's temp write and its rename leaves
+    /// a stale temp file; the next open removes it and says so.
+    #[test]
+    fn stale_compaction_tmp_removed_and_flagged() {
+        let vfs = FaultVfs::default();
+        let path = Path::new("/adi.log");
+        {
+            let mut adi = PersistentAdi::open_with_vfs(Arc::new(vfs.clone()), path).unwrap();
+            adi.add(rec("a", "r", "P=1", 1));
+            adi.sync().unwrap();
+        }
+        let tmp = OpLog::compaction_tmp_path(path);
+        let mut f = Vfs::open_append(&vfs, &tmp).unwrap();
+        f.append(b"half-written compaction").unwrap();
+        drop(f);
+        let adi = PersistentAdi::open_with_vfs(Arc::new(vfs.clone()), path).unwrap();
+        assert!(adi.recovery().stale_compaction_tmp);
+        assert!(!adi.recovery().is_clean());
+        assert_eq!(adi.recovery().frames_replayed, 1);
+        assert!(!vfs.exists(&tmp), "stale temp must be removed");
     }
 }

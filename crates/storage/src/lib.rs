@@ -45,11 +45,15 @@ pub mod adi;
 pub mod crc;
 pub mod error;
 pub mod log;
+pub mod recovery;
+pub mod vfs;
 
-pub use adi::PersistentAdi;
+pub use adi::{AdiOp, PersistentAdi};
 pub use crc::crc32;
 pub use error::StorageError;
 pub use log::OpLog;
+pub use recovery::{verify_journal, verify_journal_with_vfs, JournalVerifyReport, RecoveryReport};
+pub use vfs::{FaultPlan, FaultVfs, StdVfs, Vfs, VfsFile};
 
 #[cfg(test)]
 mod proptests {

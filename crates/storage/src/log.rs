@@ -1,23 +1,28 @@
-//! Framed, CRC-protected append-only operation log.
+//! Framed, CRC-protected append-only operation log over a [`Vfs`].
 //!
 //! Frame layout: `[u32 len][payload: len bytes][u32 crc32(payload)]`,
-//! all little-endian. On open, frames are replayed in order; a trailing
-//! partial frame (torn write after a crash) is truncated away, while a
-//! CRC mismatch on a complete frame is reported as corruption.
+//! all little-endian. On open, frames are replayed in order up to the
+//! first anomaly — a torn trailing write, a CRC mismatch, or a payload
+//! the visitor rejects — and the file is truncated there, so the log
+//! the process continues with is always a durable prefix of what was
+//! written. What was truncated and why is reported in a typed
+//! [`RecoveryReport`] rather than panicking or silently skipping.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use bytes::BufMut;
 
 use crate::crc::crc32;
 use crate::error::StorageError;
+use crate::recovery::{count_complete_frames, scan_frames, std_vfs, FrameOutcome, RecoveryReport};
+use crate::vfs::{Vfs, VfsFile};
 
 /// An append-only log of opaque byte payloads.
 pub struct OpLog {
+    vfs: Arc<dyn Vfs>,
     path: PathBuf,
-    writer: BufWriter<File>,
+    file: Box<dyn VfsFile>,
     /// Number of frames currently in the file.
     frames: u64,
 }
@@ -28,81 +33,96 @@ impl std::fmt::Debug for OpLog {
     }
 }
 
+fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.put_u32_le(payload.len() as u32);
+    frame.put_slice(payload);
+    frame.put_u32_le(crc32(payload));
+    frame
+}
+
 impl OpLog {
-    /// Open (creating if absent) the log at `path`, replaying every
-    /// intact frame through `visitor`. A torn trailing frame is
-    /// truncated; corruption in the middle is an error.
+    /// Open (creating if absent) the log at `path` on the real
+    /// filesystem. See [`OpLog::open_with_vfs`].
     pub fn open(
         path: impl AsRef<Path>,
-        mut visitor: impl FnMut(&[u8]),
-    ) -> Result<Self, StorageError> {
-        let path = path.as_ref().to_path_buf();
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        let mut file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
-        let mut data = Vec::new();
-        file.seek(SeekFrom::Start(0))?;
-        file.read_to_end(&mut data)?;
+        visitor: impl FnMut(&[u8]) -> bool,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        OpLog::open_with_vfs(std_vfs(), path.as_ref(), visitor)
+    }
 
-        let mut offset = 0usize;
+    /// Open (creating if absent) the log at `path` through `vfs`,
+    /// replaying every intact frame through `visitor` until it returns
+    /// `false` (an undecodable payload). The file is truncated at the
+    /// first anomaly — torn trailing write, CRC failure, or rejected
+    /// payload — and the returned [`RecoveryReport`] says what was
+    /// replayed, dropped and cut.
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        mut visitor: impl FnMut(&[u8]) -> bool,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        let data = match vfs.read(path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+
+        let mut report = RecoveryReport::default();
         let mut valid_end = 0usize;
-        let mut frames = 0u64;
-        while offset + 4 <= data.len() {
-            let len = u32::from_le_bytes([
-                data[offset],
-                data[offset + 1],
-                data[offset + 2],
-                data[offset + 3],
-            ]) as usize;
-            let frame_end = offset + 4 + len + 4;
-            if frame_end > data.len() {
-                break; // torn trailing frame
+        let mut stopped = false;
+        let mut bad_crc = false;
+        scan_frames(&data, |offset, outcome| {
+            if stopped {
+                return;
             }
-            let payload = &data[offset + 4..offset + 4 + len];
-            let stored_crc = u32::from_le_bytes([
-                data[frame_end - 4],
-                data[frame_end - 3],
-                data[frame_end - 2],
-                data[frame_end - 1],
-            ]);
-            if crc32(payload) != stored_crc {
-                // A bad CRC on the *last* complete frame is treated as a
-                // torn write too; earlier ones are hard corruption.
-                if frame_end == data.len() {
-                    break;
+            match outcome {
+                FrameOutcome::Intact(payload) => {
+                    if visitor(payload) {
+                        report.frames_replayed += 1;
+                        // The frame ends 8 bytes past its payload.
+                        valid_end = offset as usize + 4 + payload.len() + 4;
+                    } else {
+                        report.corruption_offset = Some(offset);
+                        stopped = true;
+                    }
                 }
-                return Err(StorageError::CorruptFrame { offset: offset as u64 });
+                FrameOutcome::BadCrc => {
+                    report.corruption_offset = Some(offset);
+                    bad_crc = true;
+                    stopped = true;
+                }
+                FrameOutcome::TornTail(_) => stopped = true,
             }
-            visitor(payload);
-            frames += 1;
-            offset = frame_end;
-            valid_end = frame_end;
-        }
+        });
+
+        let mut file = vfs.open_append(path)?;
         if valid_end < data.len() {
+            report.bytes_truncated = (data.len() - valid_end) as u64;
+            report.frames_dropped = count_complete_frames(&data[valid_end..]);
+            // A bad CRC on the very last complete frame is
+            // indistinguishable from a torn write and just as expected
+            // after a crash; only corruption with intact frames beyond
+            // it (or a CRC-valid payload that fails to decode) is a
+            // hard anomaly worth flagging as corruption.
+            if bad_crc && report.frames_dropped <= 1 {
+                report.corruption_offset = None;
+            }
             file.set_len(valid_end as u64)?;
         }
-        file.seek(SeekFrom::End(0))?;
-        Ok(OpLog { path, writer: BufWriter::new(file), frames })
+        Ok((OpLog { vfs, path: path.to_path_buf(), file, frames: report.frames_replayed }, report))
     }
 
     /// Append one payload frame.
     pub fn append(&mut self, payload: &[u8]) -> Result<(), StorageError> {
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.put_u32_le(payload.len() as u32);
-        frame.put_slice(payload);
-        frame.put_u32_le(crc32(payload));
-        self.writer.write_all(&frame)?;
+        self.file.append(&frame_bytes(payload))?;
         self.frames += 1;
         Ok(())
     }
 
-    /// Flush buffered frames to the OS (and fsync).
+    /// Flush buffered frames to the OS and fsync.
     pub fn sync(&mut self) -> Result<(), StorageError> {
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.file.sync()?;
         Ok(())
     }
 
@@ -116,33 +136,38 @@ impl OpLog {
         &self.path
     }
 
+    /// The path of the sibling temp file compaction writes before the
+    /// atomic swap (left behind by a crash between the two).
+    pub fn compaction_tmp_path(path: &Path) -> PathBuf {
+        path.with_extension("compact-tmp")
+    }
+
     /// Atomically replace the log's contents with `payloads`
-    /// (compaction): writes a sibling temp file, fsyncs, renames.
+    /// (compaction): writes a sibling temp file, fsyncs, renames. A
+    /// crash anywhere in between leaves either the old log (plus a
+    /// stale temp file removed at the next open) or the new one —
+    /// never a mixture.
     pub fn rewrite<'a>(
         &mut self,
         payloads: impl Iterator<Item = &'a [u8]>,
     ) -> Result<(), StorageError> {
-        let tmp_path = self.path.with_extension("compact-tmp");
-        let mut frames = 0u64;
-        {
-            let tmp = File::create(&tmp_path)?;
-            let mut w = BufWriter::new(tmp);
-            for payload in payloads {
-                let mut frame = Vec::with_capacity(payload.len() + 8);
-                frame.put_u32_le(payload.len() as u32);
-                frame.put_slice(payload);
-                frame.put_u32_le(crc32(payload));
-                w.write_all(&frame)?;
-                frames += 1;
-            }
-            w.flush()?;
-            w.get_ref().sync_data()?;
+        let tmp_path = OpLog::compaction_tmp_path(&self.path);
+        if self.vfs.exists(&tmp_path) {
+            self.vfs.remove_file(&tmp_path)?;
         }
-        // Close the old writer before replacing the file.
-        self.writer.flush()?;
-        std::fs::rename(&tmp_path, &self.path)?;
-        let file = OpenOptions::new().read(true).append(true).open(&self.path)?;
-        self.writer = BufWriter::new(file);
+        let mut tmp = self.vfs.open_append(&tmp_path)?;
+        let mut frames = 0u64;
+        for payload in payloads {
+            tmp.append(&frame_bytes(payload))?;
+            frames += 1;
+        }
+        tmp.sync()?;
+        drop(tmp);
+        // Make our own pending writes visible before the swap, then
+        // replace the file and reopen the handle onto the new inode.
+        self.file.sync()?;
+        self.vfs.rename(&tmp_path, &self.path)?;
+        self.file = self.vfs.open_append(&self.path)?;
         self.frames = frames;
         Ok(())
     }
@@ -156,10 +181,14 @@ mod tests {
         std::env::temp_dir().join(format!("oplog-{}-{tag}.log", std::process::id()))
     }
 
-    fn collect_open(path: &Path) -> (OpLog, Vec<Vec<u8>>) {
+    fn collect_open(path: &Path) -> (OpLog, Vec<Vec<u8>>, RecoveryReport) {
         let mut seen = Vec::new();
-        let log = OpLog::open(path, |p| seen.push(p.to_vec())).unwrap();
-        (log, seen)
+        let (log, report) = OpLog::open(path, |p| {
+            seen.push(p.to_vec());
+            true
+        })
+        .unwrap();
+        (log, seen, report)
     }
 
     #[test]
@@ -167,15 +196,18 @@ mod tests {
         let path = temp_path("basic");
         let _ = std::fs::remove_file(&path);
         {
-            let mut log = OpLog::open(&path, |_| {}).unwrap();
+            let (mut log, report) = OpLog::open(&path, |_| true).unwrap();
+            assert!(report.is_clean());
             log.append(b"one").unwrap();
             log.append(b"two").unwrap();
             log.append(b"").unwrap();
             log.sync().unwrap();
         }
-        let (log, seen) = collect_open(&path);
+        let (log, seen, report) = collect_open(&path);
         assert_eq!(seen, vec![b"one".to_vec(), b"two".to_vec(), vec![]]);
         assert_eq!(log.frames(), 3);
+        assert!(report.is_clean());
+        assert_eq!(report.frames_replayed, 3);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -184,7 +216,7 @@ mod tests {
         let path = temp_path("torn");
         let _ = std::fs::remove_file(&path);
         {
-            let mut log = OpLog::open(&path, |_| {}).unwrap();
+            let (mut log, _) = OpLog::open(&path, |_| true).unwrap();
             log.append(b"keep").unwrap();
             log.append(b"lost").unwrap();
             log.sync().unwrap();
@@ -192,32 +224,69 @@ mod tests {
         // Chop the last 3 bytes: the second frame becomes torn.
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 3]).unwrap();
-        let (mut log, seen) = collect_open(&path);
+        let (mut log, seen, report) = collect_open(&path);
         assert_eq!(seen, vec![b"keep".to_vec()]);
+        assert_eq!(report.frames_replayed, 1);
+        assert_eq!(report.bytes_truncated, 12 - 3);
+        assert_eq!(report.corruption_offset, None, "a torn tail is not corruption");
         // Appending after truncation keeps the log consistent.
         log.append(b"new").unwrap();
         log.sync().unwrap();
         drop(log);
-        let (_, seen) = collect_open(&path);
+        let (_, seen, report) = collect_open(&path);
         assert_eq!(seen, vec![b"keep".to_vec(), b"new".to_vec()]);
+        assert!(report.is_clean());
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn mid_file_corruption_detected() {
+    fn mid_file_corruption_truncates_and_reports() {
         let path = temp_path("corrupt");
         let _ = std::fs::remove_file(&path);
         {
-            let mut log = OpLog::open(&path, |_| {}).unwrap();
+            let (mut log, _) = OpLog::open(&path, |_| true).unwrap();
             log.append(b"aaaa").unwrap();
             log.append(b"bbbb").unwrap();
+            log.append(b"cccc").unwrap();
             log.sync().unwrap();
         }
         let mut data = std::fs::read(&path).unwrap();
         data[5] ^= 0xff; // inside the first payload
         std::fs::write(&path, &data).unwrap();
-        let err = OpLog::open(&path, |_| {}).unwrap_err();
-        assert!(matches!(err, StorageError::CorruptFrame { offset: 0 }));
+        let (log, seen, report) = collect_open(&path);
+        // Truncate-at-first-corruption: nothing before frame 0 is
+        // intact, so the whole file goes, and the report says so.
+        assert_eq!(seen, Vec::<Vec<u8>>::new());
+        assert_eq!(log.frames(), 0);
+        assert_eq!(report.frames_replayed, 0);
+        assert_eq!(report.frames_dropped, 3);
+        assert_eq!(report.bytes_truncated, data.len() as u64);
+        assert_eq!(report.corruption_offset, Some(0));
+        assert!(!report.is_clean());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_preserves_intact_prefix() {
+        let path = temp_path("prefix");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut log, _) = OpLog::open(&path, |_| true).unwrap();
+            log.append(b"good-1").unwrap();
+            log.append(b"bad!!!").unwrap();
+            log.append(b"gone-3").unwrap();
+            log.sync().unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        data[14 + 5] ^= 0xff; // inside the second payload
+        std::fs::write(&path, &data).unwrap();
+        let (_, seen, report) = collect_open(&path);
+        assert_eq!(seen, vec![b"good-1".to_vec()]);
+        assert_eq!(report.frames_replayed, 1);
+        assert_eq!(report.frames_dropped, 2);
+        assert_eq!(report.corruption_offset, Some(14));
+        assert_eq!(report.bytes_truncated, 28);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -226,7 +295,7 @@ mod tests {
         let path = temp_path("tail-corrupt");
         let _ = std::fs::remove_file(&path);
         {
-            let mut log = OpLog::open(&path, |_| {}).unwrap();
+            let (mut log, _) = OpLog::open(&path, |_| true).unwrap();
             log.append(b"good").unwrap();
             log.append(b"bad!").unwrap();
             log.sync().unwrap();
@@ -235,8 +304,35 @@ mod tests {
         let n = data.len();
         data[n - 6] ^= 0xff; // inside last payload
         std::fs::write(&path, &data).unwrap();
-        let (_, seen) = collect_open(&path);
+        let (_, seen, report) = collect_open(&path);
         assert_eq!(seen, vec![b"good".to_vec()]);
+        assert_eq!(report.frames_replayed, 1);
+        assert_eq!(report.frames_dropped, 1);
+        // The last complete frame failing its CRC is the torn-write
+        // signature, not hard corruption.
+        assert_eq!(report.corruption_offset, None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejected_payload_truncates() {
+        let path = temp_path("reject");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut log, _) = OpLog::open(&path, |_| true).unwrap();
+            log.append(b"ok").unwrap();
+            log.append(b"poison").unwrap();
+            log.append(b"after").unwrap();
+            log.sync().unwrap();
+        }
+        let (_, report) = OpLog::open(&path, |p| p != b"poison").unwrap();
+        assert_eq!(report.frames_replayed, 1);
+        assert_eq!(report.frames_dropped, 2);
+        assert!(report.corruption_offset.is_some());
+        // Reopening now sees only the intact prefix.
+        let (_, seen, report) = collect_open(&path);
+        assert_eq!(seen, vec![b"ok".to_vec()]);
+        assert!(report.is_clean());
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -245,7 +341,7 @@ mod tests {
         let path = temp_path("rewrite");
         let _ = std::fs::remove_file(&path);
         {
-            let mut log = OpLog::open(&path, |_| {}).unwrap();
+            let (mut log, _) = OpLog::open(&path, |_| true).unwrap();
             for i in 0..100u32 {
                 log.append(&i.to_le_bytes()).unwrap();
             }
@@ -257,8 +353,9 @@ mod tests {
             log.append(b"z").unwrap();
             log.sync().unwrap();
         }
-        let (_, seen) = collect_open(&path);
+        let (_, seen, report) = collect_open(&path);
         assert_eq!(seen, vec![b"x".to_vec(), b"y".to_vec(), b"z".to_vec()]);
+        assert!(report.is_clean());
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -1,0 +1,222 @@
+//! Typed crash-recovery reporting and read-only journal verification.
+//!
+//! Opening a journal after a crash is a *recovery*, and security code
+//! cannot afford to guess about it: a silently dropped retained-ADI
+//! frame means the PDP may grant a role activation the MSoD policy
+//! forbids. Every open therefore produces a [`RecoveryReport`] saying
+//! exactly how many frames were replayed, how many were dropped and
+//! how many bytes were truncated — and [`verify_journal`] performs the
+//! same scan without mutating the file, for offline auditing
+//! (`msod-cli verify-journal`).
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use msod::RetainedAdi;
+
+use crate::adi::AdiOp;
+use crate::crc::crc32;
+use crate::error::StorageError;
+use crate::vfs::{StdVfs, Vfs};
+
+/// What opening a journal found and did. Produced by every
+/// [`OpLog::open_with_vfs`](crate::OpLog::open_with_vfs) /
+/// [`PersistentAdi::open`](crate::PersistentAdi::open); a clean open
+/// reads `frames_replayed = n`, everything else zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact frames replayed into the in-memory state.
+    pub frames_replayed: u64,
+    /// Structurally complete frames discarded because they sat at or
+    /// beyond the first corrupt frame (best-effort count: framing
+    /// beyond a corruption is untrustworthy).
+    pub frames_dropped: u64,
+    /// Bytes cut off the end of the file — a torn trailing write
+    /// and/or everything from the first corrupt frame on.
+    pub bytes_truncated: u64,
+    /// Byte offset of the first frame whose CRC failed or whose
+    /// payload did not decode. `None` when only a torn trailing write
+    /// (the expected crash residue) was truncated.
+    pub corruption_offset: Option<u64>,
+    /// A stale compaction temp file (crash between the compaction
+    /// write and its rename into place) was found and removed.
+    pub stale_compaction_tmp: bool,
+}
+
+impl RecoveryReport {
+    /// True when the open found the journal exactly as the last sync
+    /// left it — nothing truncated, no corruption, no stale temp file.
+    pub fn is_clean(&self) -> bool {
+        self.bytes_truncated == 0 && self.corruption_offset.is_none() && !self.stale_compaction_tmp
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} frame(s) replayed, {} dropped, {} byte(s) truncated",
+            self.frames_replayed, self.frames_dropped, self.bytes_truncated
+        )?;
+        if let Some(off) = self.corruption_offset {
+            write!(f, ", corruption at byte {off}")?;
+        }
+        if self.stale_compaction_tmp {
+            write!(f, ", stale compaction temp removed")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of a read-only [`verify_journal`] scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalVerifyReport {
+    /// File size in bytes.
+    pub total_bytes: u64,
+    /// Frames that passed CRC *and* decoded to a valid ADI operation.
+    pub frames_intact: u64,
+    /// The intact prefix — frames an open would actually replay.
+    /// Differs from `frames_intact` when intact frames sit beyond the
+    /// first corrupt one (recovery truncates there; framing past a
+    /// corruption is untrustworthy).
+    pub frames_replayable: u64,
+    /// Frames that passed CRC but did not decode.
+    pub undecodable_frames: u64,
+    /// Byte offset of the first CRC failure, if any.
+    pub corruption_offset: Option<u64>,
+    /// Trailing bytes that do not form a complete frame (torn write).
+    pub trailing_torn_bytes: u64,
+    /// Live retained-ADI records after replaying the intact prefix.
+    pub live_records: usize,
+}
+
+impl JournalVerifyReport {
+    /// True when every byte of the file is accounted for by intact,
+    /// decodable frames.
+    pub fn is_clean(&self) -> bool {
+        self.undecodable_frames == 0
+            && self.corruption_offset.is_none()
+            && self.trailing_torn_bytes == 0
+    }
+}
+
+impl fmt::Display for JournalVerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} byte(s), {} intact frame(s), {} live record(s)",
+            self.total_bytes, self.frames_intact, self.live_records
+        )?;
+        if self.undecodable_frames > 0 {
+            write!(f, ", {} undecodable frame(s)", self.undecodable_frames)?;
+        }
+        if let Some(off) = self.corruption_offset {
+            write!(f, ", CRC failure at byte {off}")?;
+        }
+        if self.trailing_torn_bytes > 0 {
+            write!(f, ", {} torn trailing byte(s)", self.trailing_torn_bytes)?;
+        }
+        Ok(())
+    }
+}
+
+/// Scan a retained-ADI journal without modifying it: walk every frame,
+/// CRC-check and decode each one, and replay the intact prefix into a
+/// scratch index to count live records. Unlike opening the journal,
+/// verification never truncates — it only reports.
+pub fn verify_journal(path: impl AsRef<Path>) -> Result<JournalVerifyReport, StorageError> {
+    verify_journal_with_vfs(&StdVfs, path.as_ref())
+}
+
+/// [`verify_journal`] over an explicit [`Vfs`].
+pub fn verify_journal_with_vfs(
+    vfs: &dyn Vfs,
+    path: &Path,
+) -> Result<JournalVerifyReport, StorageError> {
+    let data = vfs.read(path)?;
+    let mut report = JournalVerifyReport { total_bytes: data.len() as u64, ..Default::default() };
+    let mut index = msod::MemoryAdi::new();
+    let mut intact = true;
+    scan_frames(&data, |offset, outcome| match outcome {
+        FrameOutcome::Intact(payload) => match AdiOp::decode(payload) {
+            Some(op) if intact => {
+                report.frames_intact += 1;
+                report.frames_replayable += 1;
+                op.apply(&mut index);
+            }
+            Some(_) => report.frames_intact += 1,
+            None => {
+                report.undecodable_frames += 1;
+                intact = false;
+            }
+        },
+        FrameOutcome::BadCrc => {
+            if report.corruption_offset.is_none() {
+                report.corruption_offset = Some(offset);
+            }
+            intact = false;
+        }
+        FrameOutcome::TornTail(len) => report.trailing_torn_bytes = len,
+    });
+    report.live_records = index.len();
+    Ok(report)
+}
+
+/// One frame-scan event, passed to the callback of [`scan_frames`].
+pub(crate) enum FrameOutcome<'a> {
+    /// A complete frame whose CRC matched; the payload.
+    Intact(&'a [u8]),
+    /// A complete frame whose CRC failed.
+    BadCrc,
+    /// The final bytes do not form a complete frame; the count.
+    TornTail(u64),
+}
+
+/// Walk the `[u32 len][payload][u32 crc]` framing of `data`, calling
+/// `visit(offset, outcome)` for every frame (and once for a torn
+/// tail). The walk continues past bad CRCs — framing beyond corruption
+/// is best-effort, which is exactly what the drop-count in a
+/// [`RecoveryReport`] wants.
+pub(crate) fn scan_frames(data: &[u8], mut visit: impl FnMut(u64, FrameOutcome<'_>)) {
+    let mut offset = 0usize;
+    while offset + 4 <= data.len() {
+        let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
+        let Some(frame_end) = offset.checked_add(4 + len + 4) else {
+            break;
+        };
+        if frame_end > data.len() {
+            break;
+        }
+        let payload = &data[offset + 4..offset + 4 + len];
+        let stored = u32::from_le_bytes(data[frame_end - 4..frame_end].try_into().unwrap());
+        if crc32(payload) == stored {
+            visit(offset as u64, FrameOutcome::Intact(payload));
+        } else {
+            visit(offset as u64, FrameOutcome::BadCrc);
+        }
+        offset = frame_end;
+    }
+    if offset < data.len() {
+        visit(offset as u64, FrameOutcome::TornTail((data.len() - offset) as u64));
+    }
+}
+
+/// Count the structurally complete frames in `data` — the best-effort
+/// "frames dropped" figure for a [`RecoveryReport`].
+pub(crate) fn count_complete_frames(data: &[u8]) -> u64 {
+    let mut n = 0;
+    scan_frames(data, |_, outcome| {
+        if !matches!(outcome, FrameOutcome::TornTail(_)) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// Shared default-VFS handle, so every `PersistentAdi::open` does not
+/// allocate a fresh trait object.
+pub(crate) fn std_vfs() -> Arc<dyn Vfs> {
+    static VFS: std::sync::OnceLock<Arc<dyn Vfs>> = std::sync::OnceLock::new();
+    Arc::clone(VFS.get_or_init(|| Arc::new(StdVfs)))
+}

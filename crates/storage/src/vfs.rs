@@ -1,0 +1,474 @@
+//! Virtual filesystem under the journal — the seam where crash
+//! simulation plugs in.
+//!
+//! [`OpLog`](crate::OpLog) performs every byte of I/O through the
+//! [`Vfs`] trait. Production code uses [`StdVfs`] (plain `std::fs`);
+//! the crash-simulation harness uses [`FaultVfs`], an in-memory
+//! filesystem that injects scripted faults — short writes, torn
+//! frames, fsync failures, rename failures — and can then simulate a
+//! power cut that discards or tears everything written since the last
+//! successful sync.
+//!
+//! The durability contract both implementations honour:
+//!
+//! - bytes acknowledged by [`VfsFile::sync`] survive a power cut
+//!   intact and in order;
+//! - bytes written but not synced may survive fully, partially
+//!   (truncated at an arbitrary byte — a *short write*), or not at
+//!   all, and the last surviving unsynced byte may be garbage (a
+//!   *torn frame*);
+//! - [`Vfs::rename`] is atomic: after a crash the destination path
+//!   holds either the old or the new file, never a mixture.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An open, append-only file handle.
+pub trait VfsFile: Send {
+    /// Append `data` at the end of the file.
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+    /// Make everything appended so far durable.
+    fn sync(&mut self) -> io::Result<()>;
+    /// Truncate the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// The filesystem operations the journal needs.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Read a whole file. `NotFound` if it does not exist.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Open `path` for appending, creating it (and missing parent
+    /// directories) if absent.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomically replace `to` with `from`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+// ---------------------------------------------------------------- StdVfs
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+struct StdVfsFile {
+    writer: BufWriter<File>,
+}
+
+impl VfsFile for StdVfsFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.writer.write_all(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().set_len(len)
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().append(true).create(true).open(path)?;
+        Ok(Box::new(StdVfsFile { writer: BufWriter::new(file) }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// -------------------------------------------------------------- FaultVfs
+
+/// A scripted fault schedule for [`FaultVfs`]. All counters are
+/// 0-based and global across files, so one plan pins one crash point
+/// deterministically.
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    /// Power cut mid-write: once this many bytes of write traffic have
+    /// been applied, the write that crosses the budget is applied only
+    /// up to it (a short write), fails, and the filesystem goes dead
+    /// until [`FaultVfs::power_cut`].
+    pub crash_after_write_bytes: Option<u64>,
+    /// The `n`-th [`VfsFile::sync`] call fails and the filesystem goes
+    /// dead — the classic fsync failure followed by the process dying.
+    pub crash_at_sync: Option<u64>,
+    /// The first [`Vfs::rename`] fails *without being applied* and the
+    /// filesystem goes dead — a crash between a compaction's temp-file
+    /// write and its swap into place.
+    pub crash_at_rename: bool,
+    /// The `n`-th write call fails cleanly (nothing applied) *without*
+    /// killing the filesystem — a transient I/O error the caller must
+    /// latch and surface, not a crash.
+    pub fail_write_at: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct MemFile {
+    /// Contents as the process sees them.
+    data: Vec<u8>,
+    /// Prefix known durable (acknowledged by a successful sync).
+    synced_len: usize,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    files: HashMap<PathBuf, MemFile>,
+    plan: FaultPlan,
+    bytes_written: u64,
+    writes: u64,
+    syncs: u64,
+    /// Set when a fatal fault fired: every subsequent operation fails
+    /// until [`FaultVfs::power_cut`] resets the "machine".
+    dead: bool,
+}
+
+/// An in-memory filesystem with scripted fault injection and a
+/// power-cut simulation — deterministic under a fixed [`FaultPlan`]
+/// and seed. Cloning yields another handle onto the same filesystem.
+#[derive(Debug, Default, Clone)]
+pub struct FaultVfs {
+    inner: Arc<Mutex<FaultState>>,
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+impl FaultVfs {
+    /// An empty in-memory filesystem with `plan` armed. A default plan
+    /// injects nothing — `FaultVfs::default()` is a plain RAM disk.
+    pub fn new(plan: FaultPlan) -> Self {
+        let vfs = FaultVfs::default();
+        vfs.inner.lock().plan = plan;
+        vfs
+    }
+
+    /// Whether a fatal fault has fired (the simulated machine is down).
+    pub fn died(&self) -> bool {
+        self.inner.lock().dead
+    }
+
+    /// Total bytes of write traffic applied so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.lock().bytes_written
+    }
+
+    /// Re-arm a fault plan mid-run, resetting the write/sync/byte
+    /// counters so the plan's offsets are relative to this call — e.g.
+    /// build a store fault-free, then script a crash into the next
+    /// compaction. The simulated machine must be up.
+    pub fn arm(&self, plan: FaultPlan) {
+        let mut st = self.inner.lock();
+        assert!(!st.dead, "cannot arm a plan on a dead filesystem");
+        st.plan = plan;
+        st.bytes_written = 0;
+        st.writes = 0;
+        st.syncs = 0;
+    }
+
+    /// Simulate the power cut and reboot: for every file the synced
+    /// prefix survives intact; the unsynced tail survives only up to a
+    /// seed-chosen byte (possibly zero), and with probability 1/4 the
+    /// last surviving unsynced byte is garbage — a torn frame. The
+    /// fault plan is disarmed and the filesystem serves I/O again, so
+    /// the recovery path can reopen files fault-free.
+    pub fn power_cut(&self, seed: u64) {
+        let mut st = self.inner.lock();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for file in st.files.values_mut() {
+            let tail = file.data.len() - file.synced_len;
+            if tail > 0 {
+                let keep = rng.random_range(0..=tail);
+                file.data.truncate(file.synced_len + keep);
+                if keep > 0 && rng.random_range(0..4u32) == 0 {
+                    let last = file.data.len() - 1;
+                    file.data[last] ^= 0x5A;
+                }
+            }
+            file.synced_len = file.data.len();
+        }
+        st.plan = FaultPlan::default();
+        st.bytes_written = 0;
+        st.writes = 0;
+        st.syncs = 0;
+        st.dead = false;
+    }
+}
+
+struct FaultFile {
+    inner: Arc<Mutex<FaultState>>,
+    path: PathBuf,
+}
+
+impl VfsFile for FaultFile {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        let mut st = self.inner.lock();
+        if st.dead {
+            return Err(injected("filesystem is dead"));
+        }
+        if st.plan.fail_write_at == Some(st.writes) {
+            st.writes += 1;
+            return Err(injected("transient write failure"));
+        }
+        st.writes += 1;
+        let applied = match st.plan.crash_after_write_bytes {
+            Some(budget) => {
+                let remaining = (budget.saturating_sub(st.bytes_written)) as usize;
+                remaining.min(data.len())
+            }
+            None => data.len(),
+        };
+        st.bytes_written += applied as u64;
+        let file = st.files.entry(self.path.clone()).or_default();
+        file.data.extend_from_slice(&data[..applied]);
+        if applied < data.len() {
+            st.dead = true;
+            return Err(injected("power cut mid-write (short write applied)"));
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut st = self.inner.lock();
+        if st.dead {
+            return Err(injected("filesystem is dead"));
+        }
+        if st.plan.crash_at_sync == Some(st.syncs) {
+            st.syncs += 1;
+            st.dead = true;
+            return Err(injected("fsync failure (crash)"));
+        }
+        st.syncs += 1;
+        let file = st.files.entry(self.path.clone()).or_default();
+        file.synced_len = file.data.len();
+        Ok(())
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        let mut st = self.inner.lock();
+        if st.dead {
+            return Err(injected("filesystem is dead"));
+        }
+        let file = st.files.entry(self.path.clone()).or_default();
+        file.data.truncate(len as usize);
+        file.synced_len = file.synced_len.min(file.data.len());
+        Ok(())
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let st = self.inner.lock();
+        if st.dead {
+            return Err(injected("filesystem is dead"));
+        }
+        match st.files.get(path) {
+            Some(f) => Ok(f.data.clone()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut st = self.inner.lock();
+        if st.dead {
+            return Err(injected("filesystem is dead"));
+        }
+        st.files.entry(path.to_path_buf()).or_default();
+        Ok(Box::new(FaultFile { inner: Arc::clone(&self.inner), path: path.to_path_buf() }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.inner.lock();
+        if st.dead {
+            return Err(injected("filesystem is dead"));
+        }
+        if st.plan.crash_at_rename {
+            st.plan.crash_at_rename = false;
+            st.dead = true;
+            return Err(injected("power cut before rename"));
+        }
+        match st.files.remove(from) {
+            Some(f) => {
+                st.files.insert(to.to_path_buf(), f);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "rename source missing")),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.inner.lock();
+        if st.dead {
+            return Err(injected("filesystem is dead"));
+        }
+        match st.files.remove(path) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.lock().files.contains_key(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn plain_ram_disk_round_trips() {
+        let vfs = FaultVfs::default();
+        let mut f = vfs.open_append(&p("/a")).unwrap();
+        f.append(b"hello ").unwrap();
+        f.append(b"world").unwrap();
+        f.sync().unwrap();
+        assert_eq!(vfs.read(&p("/a")).unwrap(), b"hello world");
+        f.set_len(5).unwrap();
+        assert_eq!(vfs.read(&p("/a")).unwrap(), b"hello");
+        vfs.rename(&p("/a"), &p("/b")).unwrap();
+        assert!(!vfs.exists(&p("/a")));
+        assert_eq!(vfs.read(&p("/b")).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn write_budget_applies_short_write_then_kills() {
+        let vfs =
+            FaultVfs::new(FaultPlan { crash_after_write_bytes: Some(7), ..Default::default() });
+        let mut f = vfs.open_append(&p("/j")).unwrap();
+        f.append(b"aaaa").unwrap();
+        // This write crosses the 7-byte budget: 3 bytes land, then death.
+        assert!(f.append(b"bbbb").is_err());
+        assert!(vfs.died());
+        assert!(f.append(b"cccc").is_err());
+        vfs.power_cut(0);
+        // Nothing was synced: the survivor is some prefix of "aaaabbb".
+        let data = vfs.read(&p("/j")).unwrap();
+        assert!(data.len() <= 7);
+    }
+
+    #[test]
+    fn synced_prefix_survives_power_cut_intact() {
+        for seed in 0..50 {
+            let vfs = FaultVfs::default();
+            let mut f = vfs.open_append(&p("/j")).unwrap();
+            f.append(b"durable").unwrap();
+            f.sync().unwrap();
+            f.append(b"-volatile").unwrap();
+            vfs.power_cut(seed);
+            let data = vfs.read(&p("/j")).unwrap();
+            assert!(data.len() >= 7, "synced bytes lost (seed {seed})");
+            assert_eq!(&data[..7], b"durable", "synced bytes damaged (seed {seed})");
+            assert!(data.len() <= 7 + 9);
+        }
+    }
+
+    #[test]
+    fn transient_write_failure_is_not_fatal() {
+        let vfs = FaultVfs::new(FaultPlan { fail_write_at: Some(1), ..Default::default() });
+        let mut f = vfs.open_append(&p("/j")).unwrap();
+        f.append(b"one").unwrap();
+        assert!(f.append(b"two").is_err());
+        assert!(!vfs.died());
+        f.append(b"three").unwrap();
+        f.sync().unwrap();
+        assert_eq!(vfs.read(&p("/j")).unwrap(), b"onethree");
+    }
+
+    #[test]
+    fn sync_crash_leaves_data_unsynced() {
+        let vfs = FaultVfs::new(FaultPlan { crash_at_sync: Some(0), ..Default::default() });
+        let mut f = vfs.open_append(&p("/j")).unwrap();
+        f.append(b"payload").unwrap();
+        assert!(f.sync().is_err());
+        assert!(vfs.died());
+        // Worst-case power cut (seed chosen so the tail is dropped
+        // entirely at some seed): the unsynced bytes may vanish.
+        let mut saw_empty = false;
+        for seed in 0..20 {
+            let vfs2 = FaultVfs::new(FaultPlan { crash_at_sync: Some(0), ..Default::default() });
+            let mut f2 = vfs2.open_append(&p("/j")).unwrap();
+            f2.append(b"payload").unwrap();
+            let _ = f2.sync();
+            vfs2.power_cut(seed);
+            saw_empty |= vfs2.read(&p("/j")).unwrap().is_empty();
+        }
+        assert!(saw_empty, "no seed dropped the unsynced tail");
+    }
+
+    #[test]
+    fn rename_crash_keeps_both_files() {
+        let vfs = FaultVfs::new(FaultPlan { crash_at_rename: true, ..Default::default() });
+        let mut old = vfs.open_append(&p("/j")).unwrap();
+        old.append(b"old").unwrap();
+        old.sync().unwrap();
+        let mut tmp = vfs.open_append(&p("/j.tmp")).unwrap();
+        tmp.append(b"new").unwrap();
+        tmp.sync().unwrap();
+        assert!(vfs.rename(&p("/j.tmp"), &p("/j")).is_err());
+        vfs.power_cut(3);
+        // The swap never happened: the old file is untouched and the
+        // temp file is still lying around for recovery to clean up.
+        assert_eq!(vfs.read(&p("/j")).unwrap(), b"old");
+        assert!(vfs.exists(&p("/j.tmp")));
+    }
+
+    #[test]
+    fn std_vfs_round_trips() {
+        let dir = std::env::temp_dir().join(format!("stdvfs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("file.log");
+        let vfs = StdVfs;
+        let mut f = vfs.open_append(&path).unwrap();
+        f.append(b"abc").unwrap();
+        f.sync().unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"abc");
+        f.set_len(1).unwrap();
+        f.append(b"Z").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"aZ");
+        let dest = dir.join("renamed.log");
+        vfs.rename(&path, &dest).unwrap();
+        assert!(vfs.exists(&dest) && !vfs.exists(&path));
+        vfs.remove_file(&dest).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

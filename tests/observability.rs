@@ -184,6 +184,64 @@ fn metrics_text_covers_every_layer() {
     }
 }
 
+/// Sum the values of every series of gauge `name` in a Prometheus text
+/// document (one line per shard label).
+fn gauge_sum(text: &str, name: &str) -> u64 {
+    text.lines()
+        .filter(|l| l.starts_with(name) && !l.starts_with('#'))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum()
+}
+
+/// The persistent backend pins its recovery gauges into the service
+/// export: `storage_recovery_frames_replayed` and
+/// `storage_recovery_bytes_truncated` are stable metric names, and
+/// after a torn-tail reopen their totals match the recovery reports.
+#[test]
+fn persistent_backend_pins_recovery_metrics() {
+    let dir = std::env::temp_dir().join(format!("obs-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = || msod_rbac::policy::parse_rbac_policy(POLICY).unwrap();
+    {
+        let (svc, reports) =
+            DecisionService::open_persistent(policy(), b"obs-test-key".to_vec(), &dir, 2).unwrap();
+        assert!(reports.iter().all(|r| r.is_clean()));
+        assert!(svc
+            .decide(&request("alice", "Teller", "handleCash", "till", "Branch=York", 1))
+            .is_granted());
+        assert!(svc
+            .decide(&request("bob", "Manager", "approve", "check", "Case=7", 2))
+            .is_granted());
+        svc.sync_adi().unwrap();
+    }
+    // Tear the tail off one non-empty shard journal so the reopen has a
+    // non-clean recovery to report.
+    let torn = (0..2)
+        .map(|i| dir.join(format!("adi-shard-{i}.log")))
+        .find(|p| std::fs::metadata(p).unwrap().len() > 0)
+        .unwrap();
+    let data = std::fs::read(&torn).unwrap();
+    std::fs::write(&torn, &data[..data.len() - 1]).unwrap();
+
+    let (svc, reports) =
+        DecisionService::open_persistent(policy(), b"obs-test-key".to_vec(), &dir, 2).unwrap();
+    let truncated: u64 = reports.iter().map(|r| r.bytes_truncated).sum();
+    assert!(truncated > 0);
+    let text = svc.metrics_text();
+    // Pinned: these names are the recovery-observability contract.
+    for needle in ["storage_recovery_frames_replayed", "storage_recovery_bytes_truncated"] {
+        assert!(text.contains(needle), "{needle} missing from:\n{text}");
+    }
+    if msod_rbac::obs::enabled() {
+        assert_eq!(gauge_sum(&text, "storage_recovery_bytes_truncated"), truncated);
+        assert_eq!(
+            gauge_sum(&text, "storage_recovery_frames_replayed"),
+            reports.iter().map(|r| r.frames_replayed).sum::<u64>()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn metrics_port_is_authorized() {
     let svc = service();
