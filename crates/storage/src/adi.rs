@@ -489,7 +489,16 @@ impl PersistentAdi {
         let frames: Vec<Vec<u8>> = snapshot.iter().map(encode_add).collect();
         let mut journal = self.journal.lock();
         journal.batch.clear();
-        journal.log.rewrite(frames.iter().map(|f| f.as_slice()))?;
+        if let Err(e) = journal.log.rewrite(frames.iter().map(|f| f.as_slice())) {
+            // The batch is already gone (superseded by the snapshot)
+            // but the rewrite that was to carry its mutations did not
+            // land, so the on-disk journal is now behind the index.
+            // Mark it so: appends are withheld until a rewrite
+            // succeeds — otherwise they would land after a hole and
+            // recovery would silently replay a holed history.
+            journal.needs_rewrite = true;
+            return Err(e);
+        }
         journal.ops_since_compaction = 0;
         journal.needs_rewrite = false;
         journal.metrics.compactions.inc();
@@ -925,6 +934,38 @@ mod tests {
         assert_eq!(reopened.len(), 3);
         let users: Vec<_> = reopened.snapshot().iter().map(|r| r.user.clone()).collect();
         assert_eq!(users, ["a", "b", "c"]);
+    }
+
+    /// Regression: `compact()` clears the pending batch before the
+    /// rewrite, so a rewrite that fails with a *transient* I/O error
+    /// (no crash — e.g. ENOSPC on the temp file) must leave the
+    /// journal marked behind the index. It used to leave
+    /// `needs_rewrite = false`, so subsequent appends landed after the
+    /// gap and recovery silently replayed a holed history.
+    #[test]
+    fn failed_compaction_rewrite_marks_journal_behind() {
+        let vfs = FaultVfs::default();
+        let path = Path::new("/adi.log");
+        let mut adi = PersistentAdi::open_with_vfs(Arc::new(vfs.clone()), path).unwrap();
+        // Leave the mutations batched (below BATCH_FRAMES, no sync) so
+        // the failed rewrite is the only thing carrying them to disk.
+        for i in 0..5 {
+            adi.add(rec(&format!("u{i}"), "r", "P=1", i));
+        }
+        assert_eq!(adi.batched_ops(), 5);
+        // The compaction's first temp-file write fails transiently.
+        vfs.arm(FaultPlan { fail_write_at: Some(0), ..Default::default() });
+        adi.compact().expect_err("injected temp-write failure must surface");
+        // Keep mutating: these frames must NOT be appended after the
+        // hole; the catch-up rewrite has to restore everything.
+        adi.add(rec("late", "r", "P=2", 100));
+        adi.sync().unwrap();
+        drop(adi);
+        let reopened = PersistentAdi::open_with_vfs(Arc::new(vfs), path).unwrap();
+        assert_eq!(reopened.len(), 6, "recovered a holed history");
+        let mut users: Vec<_> = reopened.snapshot().iter().map(|r| r.user.clone()).collect();
+        users.sort();
+        assert_eq!(users, ["late", "u0", "u1", "u2", "u3", "u4"]);
     }
 
     /// A crash between a compaction's temp write and its rename leaves

@@ -62,6 +62,28 @@ pub trait Vfs: Send + Sync + fmt::Debug {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct StdVfs;
 
+/// Fsync the directory containing `path`, making a just-created or
+/// just-renamed directory entry durable. On POSIX a `rename()` (or
+/// file creation) that returned is *not* crash-durable until the
+/// parent directory itself is synced — without this, a power cut can
+/// roll the rename back or lose the new file entirely, breaking the
+/// [`Vfs`] contract the crash simulator proves against.
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+/// Directories cannot be opened/fsynced portably off unix; rely on the
+/// platform's rename semantics there.
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) -> io::Result<()> {
+    Ok(())
+}
+
 struct StdVfsFile {
     writer: BufWriter<File>,
 }
@@ -93,12 +115,20 @@ impl Vfs for StdVfs {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        let created = !path.exists();
         let file = OpenOptions::new().append(true).create(true).open(path)?;
+        if created {
+            // Make the new directory entry durable, not just the inode.
+            sync_parent_dir(path)?;
+        }
         Ok(Box::new(StdVfsFile { writer: BufWriter::new(file) }))
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        std::fs::rename(from, to)
+        std::fs::rename(from, to)?;
+        // The rename is only crash-durable once the directory holding
+        // the destination entry is synced.
+        sync_parent_dir(to)
     }
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
