@@ -1,0 +1,419 @@
+//! The differential driver: replay one workload through every engine
+//! variant in lockstep with the oracle, comparing verdicts after every
+//! operation and retained-ADI snapshots after every operation.
+//!
+//! Variants:
+//!
+//! 1. `monolith` — the classic [`Pdp`] over [`MemoryAdi`];
+//! 2. `service` — the lock-free [`DecisionService`] over sharded
+//!    [`MemoryAdi`];
+//! 3. `indexed` — [`DecisionService`] over sharded [`IndexedAdi`];
+//! 4. `persistent` — [`DecisionService`] over journaled
+//!    [`storage::PersistentAdi`] shards on a [`FaultVfs`] RAM disk;
+//! 5. `crash` — like `persistent`, but powers off mid-sequence
+//!    ([`FaultVfs::power_cut`]) after a sync and reopens through the
+//!    recovery path before continuing.
+//!
+//! All requests carry pre-validated roles and an all-permitting RBAC
+//! target rule, so every decision reaches the MSoD stage and every
+//! deny is an MSoD deny; management purges act on the ADI stores
+//! directly (the policy-authorized management port has its own tests).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use context::ContextName;
+use msod::{AdiRecord, IndexedAdi, MemoryAdi, RetainedAdi};
+use permis::{DecisionOutcome, DecisionRequest, DecisionService, DenyReason, Pdp};
+use policy::{PdpPolicy, TargetRule};
+use storage::{FaultVfs, PersistentAdi, Vfs};
+
+use crate::gen::{role_pool, Op, Workload, ROLE_TYPE};
+use crate::oracle::{sort_snapshot, Mutation, Oracle, OracleRequest, Verdict};
+
+/// Wrap an MSoD policy set in a PDP policy that lets every generated
+/// request through the front end: no subject domains, pre-validated
+/// credentials, one wildcard target rule allowing the whole role pool.
+pub fn wrap_policy(w: &Workload) -> PdpPolicy {
+    PdpPolicy {
+        id: "modelcheck".into(),
+        role_type: ROLE_TYPE.into(),
+        trusted_soas: Vec::new(),
+        subject_domains: Vec::new(),
+        role_hierarchy: HashMap::new(),
+        targets: vec![TargetRule {
+            operation: "*".into(),
+            target: "*".into(),
+            allowed_roles: role_pool(),
+            conditions: Vec::new(),
+        }],
+        msod: w.policies.clone(),
+    }
+}
+
+/// Project a full [`DecisionOutcome`] onto the semantic core every
+/// variant must agree on (drops roles and observability counters).
+pub fn project(outcome: &DecisionOutcome) -> Verdict {
+    match outcome {
+        DecisionOutcome::Grant { msod: None, .. } => Verdict::NotApplicable,
+        DecisionOutcome::Grant { msod: Some(d), .. } => Verdict::Grant {
+            matched: d.matched_policies.clone(),
+            added: d.records_added,
+            terminated: d.terminated.iter().map(|b| b.to_string()).collect(),
+            purged: d.records_purged,
+        },
+        DecisionOutcome::Deny { reason: DenyReason::Msod(d), .. } => Verdict::Deny {
+            policy: d.policy_index,
+            bound: d.bound.to_string(),
+            kind: match d.kind {
+                msod::ConstraintKind::Mmer => "MMER",
+                msod::ConstraintKind::Mmep => "MMEP",
+            },
+            constraint: d.constraint_index,
+            current: d.current_matches,
+            historic: d.history_matches,
+            cardinality: d.forbidden_cardinality,
+        },
+        DecisionOutcome::Deny { reason, .. } => Verdict::FrontEnd(reason.to_string()),
+    }
+}
+
+/// One disagreement between a variant and the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the operation the variants disagreed on.
+    pub op_index: usize,
+    /// Which variant disagreed.
+    pub variant: &'static str,
+    /// What disagreed: `"verdict"`, `"purge-count"` or `"state"`.
+    pub check: &'static str,
+    /// The oracle's answer.
+    pub expected: String,
+    /// The variant's answer.
+    pub actual: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "op #{}: variant `{}` diverged on {}:\n  oracle: {}\n  engine: {}",
+            self.op_index, self.variant, self.check, self.expected, self.actual
+        )
+    }
+}
+
+const TRAIL_KEY: &[u8] = b"modelcheck";
+
+fn shard_path(i: usize) -> std::path::PathBuf {
+    Path::new("/adi").join(format!("adi-shard-{i}.log"))
+}
+
+fn open_persistent_shards(vfs: &FaultVfs, shards: usize) -> Vec<PersistentAdi> {
+    (0..shards)
+        .map(|i| {
+            let vfs: Arc<dyn Vfs> = Arc::new(vfs.clone());
+            PersistentAdi::open_with_vfs(vfs, &shard_path(i)).expect("RAM-disk journal must open")
+        })
+        .collect()
+}
+
+fn persistent_service(
+    policy: &PdpPolicy,
+    vfs: &FaultVfs,
+    shards: usize,
+) -> DecisionService<PersistentAdi> {
+    DecisionService::from_shards(
+        policy.clone(),
+        TRAIL_KEY.to_vec(),
+        msod::ShardedAdi::from_shards(open_persistent_shards(vfs, shards)),
+    )
+}
+
+/// One engine variant under test.
+enum Variant {
+    Monolith(Box<Pdp<MemoryAdi>>),
+    Service(DecisionService<MemoryAdi>),
+    Indexed(DecisionService<IndexedAdi>),
+    Persistent { svc: DecisionService<PersistentAdi>, _vfs: FaultVfs },
+    Crash { svc: Option<DecisionService<PersistentAdi>>, vfs: FaultVfs, shards: usize },
+}
+
+impl Variant {
+    fn name(&self) -> &'static str {
+        match self {
+            Variant::Monolith(_) => "monolith",
+            Variant::Service(_) => "service",
+            Variant::Indexed(_) => "indexed",
+            Variant::Persistent { .. } => "persistent",
+            Variant::Crash { .. } => "crash",
+        }
+    }
+
+    fn decide(&mut self, req: &DecisionRequest) -> DecisionOutcome {
+        match self {
+            Variant::Monolith(pdp) => pdp.decide(req),
+            Variant::Service(svc) => svc.decide(req),
+            Variant::Indexed(svc) => svc.decide(req),
+            Variant::Persistent { svc, .. } => svc.decide(req),
+            Variant::Crash { svc, .. } => svc.as_ref().expect("service is open").decide(req),
+        }
+    }
+
+    fn purge_scope(&mut self, scope: &ContextName) -> usize {
+        let bound = context::BoundContext::from_name(scope.clone())
+            .expect("management scope carries no '!'");
+        match self {
+            Variant::Monolith(pdp) => pdp.adi_backend_mut().purge(&bound),
+            Variant::Service(svc) => svc.adi().purge(&bound),
+            Variant::Indexed(svc) => svc.adi().purge(&bound),
+            Variant::Persistent { svc, .. } => svc.adi().purge(&bound),
+            Variant::Crash { svc, .. } => svc.as_ref().expect("open").adi().purge(&bound),
+        }
+    }
+
+    fn purge_older_than(&mut self, cutoff: u64) -> usize {
+        match self {
+            Variant::Monolith(pdp) => pdp.adi_backend_mut().purge_older_than(cutoff),
+            Variant::Service(svc) => svc.adi().purge_older_than(cutoff),
+            Variant::Indexed(svc) => svc.adi().purge_older_than(cutoff),
+            Variant::Persistent { svc, .. } => svc.adi().purge_older_than(cutoff),
+            Variant::Crash { svc, .. } => {
+                svc.as_ref().expect("open").adi().purge_older_than(cutoff)
+            }
+        }
+    }
+
+    fn purge_all(&mut self) -> usize {
+        fn clear_sharded<A: RetainedAdi>(svc: &DecisionService<A>) -> usize {
+            svc.adi().with_exclusive(|view| {
+                let n = view.len();
+                view.clear();
+                n
+            })
+        }
+        match self {
+            Variant::Monolith(pdp) => {
+                let adi = pdp.adi_backend_mut();
+                let n = adi.len();
+                adi.clear();
+                n
+            }
+            Variant::Service(svc) => clear_sharded(svc),
+            Variant::Indexed(svc) => clear_sharded(svc),
+            Variant::Persistent { svc, .. } => clear_sharded(svc),
+            Variant::Crash { svc, .. } => clear_sharded(svc.as_ref().expect("open")),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<AdiRecord> {
+        let mut snap = match self {
+            Variant::Monolith(pdp) => pdp.adi().snapshot(),
+            Variant::Service(svc) => svc.adi().snapshot(),
+            Variant::Indexed(svc) => svc.adi().snapshot(),
+            Variant::Persistent { svc, .. } => svc.adi().snapshot(),
+            Variant::Crash { svc, .. } => svc.as_ref().expect("open").adi().snapshot(),
+        };
+        sort_snapshot(&mut snap);
+        snap
+    }
+
+    /// The crash variant's mid-sequence power cut: sync every shard
+    /// journal, drop the service, cut power (the synced prefixes
+    /// survive), and reopen through the recovery path. Other variants
+    /// no-op.
+    fn power_cycle(&mut self, policy: &PdpPolicy, seed: u64) {
+        if let Variant::Crash { svc, vfs, shards } = self {
+            svc.as_ref().expect("open").sync_adi().expect("RAM-disk sync");
+            *svc = None; // drop: flush any batched tail before the cut
+            vfs.power_cut(seed);
+            let stores = open_persistent_shards(vfs, *shards);
+            assert!(
+                stores.iter().all(|s| s.recovery().is_clean()),
+                "synced journals must recover cleanly after a power cut"
+            );
+            *svc = Some(DecisionService::from_shards(
+                policy.clone(),
+                TRAIL_KEY.to_vec(),
+                msod::ShardedAdi::from_shards(stores),
+            ));
+        }
+    }
+}
+
+fn render_snapshot(records: &[AdiRecord]) -> String {
+    let lines: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{} {} {}@{} [{}] roles={:?}",
+                r.timestamp, r.user, r.operation, r.target, r.context, r.roles
+            )
+        })
+        .collect();
+    format!("{} record(s)\n    {}", records.len(), lines.join("\n    "))
+}
+
+/// Replay `w` through every variant against a faithful oracle.
+pub fn run_workload(w: &Workload) -> Option<Divergence> {
+    run_workload_with(w, Mutation::None)
+}
+
+/// Replay `w` against an oracle carrying `mutation` — with a mutation
+/// other than [`Mutation::None`] a healthy harness should *find* a
+/// divergence on most workloads that exercise the mutated rule.
+pub fn run_workload_with(w: &Workload, mutation: Mutation) -> Option<Divergence> {
+    let policy = wrap_policy(w);
+    let mut oracle = Oracle::with_mutation(w.policies.clone(), mutation);
+
+    let persist_vfs = FaultVfs::default();
+    let crash_vfs = FaultVfs::default();
+    let mut variants = vec![
+        Variant::Monolith(Box::new(Pdp::with_adi(
+            policy.clone(),
+            TRAIL_KEY.to_vec(),
+            MemoryAdi::new(),
+        ))),
+        Variant::Service(DecisionService::with_shard_count(
+            policy.clone(),
+            TRAIL_KEY.to_vec(),
+            w.shards,
+        )),
+        Variant::Indexed(DecisionService::<IndexedAdi>::with_shard_count(
+            policy.clone(),
+            TRAIL_KEY.to_vec(),
+            w.shards,
+        )),
+        Variant::Persistent {
+            svc: persistent_service(&policy, &persist_vfs, w.shards),
+            _vfs: persist_vfs,
+        },
+        Variant::Crash {
+            svc: Some(persistent_service(&policy, &crash_vfs, w.shards)),
+            vfs: crash_vfs,
+            shards: w.shards,
+        },
+    ];
+
+    for (i, op) in w.ops.iter().enumerate() {
+        if w.crash_at == Some(i) {
+            for v in &mut variants {
+                // The power-cut seed is arbitrary but fixed: after a
+                // sync the journals have no unsynced tail to tear.
+                v.power_cycle(&policy, 0xC0FFEE ^ i as u64);
+            }
+        }
+
+        // The oracle first.
+        enum Expected {
+            Verdict(Verdict),
+            Purged(usize),
+        }
+        let expected = match op {
+            Op::Decide { user, roles, operation, target, context, timestamp } => {
+                Expected::Verdict(oracle.decide(&OracleRequest {
+                    user: user.clone(),
+                    roles: roles.clone(),
+                    operation: operation.clone(),
+                    target: target.clone(),
+                    context: context.clone(),
+                    timestamp: *timestamp,
+                }))
+            }
+            Op::PurgeContext(scope) => Expected::Purged(oracle.purge_scope(scope)),
+            Op::PurgeOlderThan(cutoff) => Expected::Purged(oracle.purge_older_than(*cutoff)),
+            Op::PurgeAll => Expected::Purged(oracle.purge_all()),
+        };
+        let oracle_snap = oracle.snapshot();
+
+        // Then every variant, each compared to the oracle.
+        for v in &mut variants {
+            match &expected {
+                Expected::Verdict(want) => {
+                    let Op::Decide { user, roles, operation, target, context, timestamp } = op
+                    else {
+                        unreachable!("Verdict expectation only arises from Decide ops")
+                    };
+                    let outcome = v.decide(&DecisionRequest::with_roles(
+                        user.clone(),
+                        roles.clone(),
+                        operation.clone(),
+                        target.clone(),
+                        context.clone(),
+                        *timestamp,
+                    ));
+                    let got = project(&outcome);
+                    if got != *want {
+                        return Some(Divergence {
+                            op_index: i,
+                            variant: v.name(),
+                            check: "verdict",
+                            expected: format!("{want:?}"),
+                            actual: format!("{got:?}"),
+                        });
+                    }
+                }
+                Expected::Purged(want) => {
+                    let got = match op {
+                        Op::PurgeContext(scope) => v.purge_scope(scope),
+                        Op::PurgeOlderThan(cutoff) => v.purge_older_than(*cutoff),
+                        Op::PurgeAll => v.purge_all(),
+                        Op::Decide { .. } => {
+                            unreachable!("Purged expectation only arises from purge ops")
+                        }
+                    };
+                    if got != *want {
+                        return Some(Divergence {
+                            op_index: i,
+                            variant: v.name(),
+                            check: "purge-count",
+                            expected: want.to_string(),
+                            actual: got.to_string(),
+                        });
+                    }
+                }
+            }
+
+            let snap = v.snapshot();
+            if snap != oracle_snap {
+                return Some(Divergence {
+                    op_index: i,
+                    variant: v.name(),
+                    check: "state",
+                    expected: render_snapshot(&oracle_snap),
+                    actual: render_snapshot(&snap),
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn faithful_oracle_agrees_on_a_seed_batch() {
+        for seed in 0..25 {
+            let w = generate(seed);
+            if let Some(d) = run_workload(&w) {
+                panic!("seed {seed} diverged:\n{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_oracle_disagrees_somewhere() {
+        let mut found = 0;
+        for seed in 0..60 {
+            let w = generate(seed);
+            if run_workload_with(&w, Mutation::MmerThresholdOffByOne).is_some() {
+                found += 1;
+            }
+        }
+        assert!(found > 0, "an off-by-one MMER threshold must be visible to the harness");
+    }
+}

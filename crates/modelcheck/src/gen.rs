@@ -1,0 +1,268 @@
+//! Seeded workload generation: random-but-valid MSoD policy sets and
+//! operation sequences, deterministic under one `u64` seed.
+//!
+//! The generator is biased, not uniform: constraint entries duplicate
+//! privileges and roles on purpose, contexts mix `*`/`!`/literal
+//! scopes, operations are drawn mostly from the constraint pools (so
+//! constraints actually fire), and last-step/management operations are
+//! frequent enough that purge paths run in nearly every workload.
+
+use context::{ContextInstance, ContextName};
+use msod::{Mmep, Mmer, MsodPolicy, MsodPolicySet, Privilege, RoleRef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Role attribute type every generated role uses (must equal the PDP
+/// policy's `roleType` for the RBAC front end to accept them).
+pub const ROLE_TYPE: &str = "role";
+
+/// One workload operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// An access-control decision request.
+    Decide {
+        /// Subject ID.
+        user: String,
+        /// Activated roles.
+        roles: Vec<RoleRef>,
+        /// Requested operation.
+        operation: String,
+        /// Requested target.
+        target: String,
+        /// Business-context instance.
+        context: ContextInstance,
+        /// Request time.
+        timestamp: u64,
+    },
+    /// Management purge of one bound scope (a context name without `!`).
+    PurgeContext(ContextName),
+    /// Management purge of records strictly older than the cutoff.
+    PurgeOlderThan(u64),
+    /// Management reset of the whole store.
+    PurgeAll,
+}
+
+/// A generated workload: policies plus an operation sequence, with the
+/// crash-variant's crash point and the shard count baked in so a seed
+/// pins every degree of freedom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// The MSoD policy set under test.
+    pub policies: MsodPolicySet,
+    /// Operations, replayed in order on every engine variant.
+    pub ops: Vec<Op>,
+    /// Index of the op *before* which the crash-reopen variant powers
+    /// off and recovers; `None` disables the crash (the variant then
+    /// just runs persistently).
+    pub crash_at: Option<usize>,
+    /// ADI shard count for the sharded variants.
+    pub shards: usize,
+}
+
+const CTX_TYPES: [&str; 3] = ["Org", "Proc", "Task"];
+const CTX_VALUES: [&str; 3] = ["a", "b", "c"];
+const USERS: [&str; 4] = ["u0", "u1", "u2", "u3"];
+const OPERATIONS: [&str; 4] = ["read", "write", "sign", "ship"];
+const TARGETS: [&str; 2] = ["t0", "t1"];
+
+fn role(i: usize) -> RoleRef {
+    RoleRef::new(ROLE_TYPE, format!("R{i}"))
+}
+
+/// The closed role universe workloads draw from.
+pub fn role_pool() -> Vec<RoleRef> {
+    (0..5).map(role).collect()
+}
+
+fn privilege(rng: &mut StdRng) -> Privilege {
+    Privilege::new(
+        OPERATIONS[rng.random_range(0..OPERATIONS.len())],
+        TARGETS[rng.random_range(0..TARGETS.len())],
+    )
+}
+
+/// A policy context: 1–3 components in the fixed type order, each
+/// literal, `*` or `!`.
+fn gen_context_name(rng: &mut StdRng) -> ContextName {
+    let depth = rng.random_range(1..=CTX_TYPES.len());
+    let spec: String = (0..depth)
+        .map(|i| {
+            let v = match rng.random_range(0..10u32) {
+                0..=2 => CTX_VALUES[rng.random_range(0..CTX_VALUES.len())],
+                3..=5 => "*",
+                _ => "!",
+            };
+            format!("{}={v}", CTX_TYPES[i])
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    spec.parse().expect("generated context name is well-formed")
+}
+
+/// A concrete instance: 1–3 components, literal values only.
+fn gen_instance(rng: &mut StdRng) -> ContextInstance {
+    let depth = rng.random_range(1..=CTX_TYPES.len());
+    let spec: String = (0..depth)
+        .map(|i| format!("{}={}", CTX_TYPES[i], CTX_VALUES[rng.random_range(0..CTX_VALUES.len())]))
+        .collect::<Vec<_>>()
+        .join(", ");
+    spec.parse().expect("generated instance is well-formed")
+}
+
+fn gen_mmer(rng: &mut StdRng) -> Mmer {
+    let n = rng.random_range(2..=4usize);
+    let mut roles: Vec<RoleRef> = Vec::with_capacity(n);
+    for _ in 0..n {
+        // 1-in-3: duplicate an already-picked entry (the multiset rule).
+        if !roles.is_empty() && rng.random_range(0..3u32) == 0 {
+            let i = rng.random_range(0..roles.len());
+            let dup = roles[i].clone();
+            roles.push(dup);
+        } else {
+            roles.push(role(rng.random_range(0..5usize)));
+        }
+    }
+    let m = rng.random_range(2..=n);
+    Mmer::new(roles, m).expect("generated MMER is valid")
+}
+
+fn gen_mmep(rng: &mut StdRng) -> Mmep {
+    let n = rng.random_range(2..=4usize);
+    let mut privs: Vec<Privilege> = Vec::with_capacity(n);
+    for _ in 0..n {
+        if !privs.is_empty() && rng.random_range(0..3u32) == 0 {
+            let i = rng.random_range(0..privs.len());
+            let dup = privs[i].clone();
+            privs.push(dup);
+        } else {
+            privs.push(privilege(rng));
+        }
+    }
+    let m = rng.random_range(2..=n);
+    Mmep::new(privs, m).expect("generated MMEP is valid")
+}
+
+fn gen_policy(rng: &mut StdRng) -> MsodPolicy {
+    let n_mmer = rng.random_range(0..=2);
+    // At least one constraint overall.
+    let n_mmep = if n_mmer == 0 { rng.random_range(1..=2) } else { rng.random_range(0..=2) };
+    let mmer: Vec<Mmer> = (0..n_mmer).map(|_| gen_mmer(rng)).collect();
+    let mmep: Vec<Mmep> = (0..n_mmep).map(|_| gen_mmep(rng)).collect();
+    let first_step = (rng.random_range(0..10u32) < 3).then(|| privilege(rng));
+    let last_step = (rng.random_range(0..10u32) < 5).then(|| privilege(rng));
+    MsodPolicy::new(gen_context_name(rng), first_step, last_step, mmer, mmep)
+        .expect("generated policy has a constraint")
+}
+
+/// Draw an operation/target pair, biased (4-in-5) toward privileges
+/// the policies actually name — constraint entries, first steps, last
+/// steps — so MMEP checks and terminations fire often.
+fn gen_privilege_biased(rng: &mut StdRng, interesting: &[Privilege]) -> (String, String) {
+    if !interesting.is_empty() && rng.random_range(0..5u32) != 0 {
+        let p = &interesting[rng.random_range(0..interesting.len())];
+        (p.operation.clone(), p.target.clone())
+    } else {
+        let p = privilege(rng);
+        (p.operation, p.target)
+    }
+}
+
+/// Generate the workload for `seed`.
+pub fn generate(seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_policies = rng.random_range(1..=3);
+    let policies: Vec<MsodPolicy> = (0..n_policies).map(|_| gen_policy(&mut rng)).collect();
+
+    // Privileges the policies name, for biased request generation.
+    let mut interesting: Vec<Privilege> = Vec::new();
+    for p in &policies {
+        interesting.extend(p.first_step.iter().cloned());
+        interesting.extend(p.last_step.iter().cloned());
+        for m in p.mmep() {
+            interesting.extend(m.privileges().iter().cloned());
+        }
+    }
+
+    let n_ops = rng.random_range(15..=40usize);
+    let mut ops = Vec::with_capacity(n_ops);
+    for i in 0..n_ops {
+        let timestamp = 1_000 + i as u64;
+        let op = match rng.random_range(0..20u32) {
+            0 => {
+                // Bind a random policy context to a matching instance;
+                // retry a few times, falling back to an age purge.
+                let scope = (0..8)
+                    .map(|_| {
+                        let p = &policies[rng.random_range(0..policies.len())];
+                        let inst = gen_instance(&mut rng);
+                        p.business_context.bind(&inst).ok().map(|b| b.name().clone())
+                    })
+                    .find(Option::is_some)
+                    .flatten();
+                match scope {
+                    Some(name) => Op::PurgeContext(name),
+                    None => Op::PurgeOlderThan(1_000 + rng.random_range(0..n_ops as u64)),
+                }
+            }
+            1 => Op::PurgeOlderThan(1_000 + rng.random_range(0..n_ops as u64)),
+            2 => Op::PurgeAll,
+            _ => {
+                let n_roles = rng.random_range(1..=2);
+                let roles = (0..n_roles).map(|_| role(rng.random_range(0..5usize))).collect();
+                let (operation, target) = gen_privilege_biased(&mut rng, &interesting);
+                Op::Decide {
+                    user: USERS[rng.random_range(0..USERS.len())].to_owned(),
+                    roles,
+                    operation,
+                    target,
+                    context: gen_instance(&mut rng),
+                    timestamp,
+                }
+            }
+        };
+        ops.push(op);
+    }
+
+    let crash_at = (rng.random_range(0..4u32) != 0).then(|| rng.random_range(0..ops.len()));
+    let shards = rng.random_range(1..=8usize);
+    Workload { policies: MsodPolicySet::new(policies), ops, crash_at, shards }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(generate(42), generate(42));
+        assert_ne!(generate(42), generate(43));
+    }
+
+    #[test]
+    fn workloads_are_valid() {
+        for seed in 0..50 {
+            let w = generate(seed);
+            assert!(!w.policies.is_empty());
+            assert!(!w.ops.is_empty());
+            assert!(w.shards >= 1);
+            if let Some(c) = w.crash_at {
+                assert!(c < w.ops.len());
+            }
+            for p in w.policies.policies() {
+                assert!(!p.mmer().is_empty() || !p.mmep().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn decides_dominate_and_constraints_fire() {
+        let mut decides = 0;
+        let mut total = 0;
+        for seed in 0..20 {
+            let w = generate(seed);
+            total += w.ops.len();
+            decides += w.ops.iter().filter(|o| matches!(o, Op::Decide { .. })).count();
+        }
+        assert!(decides * 10 > total * 7, "decides should dominate: {decides}/{total}");
+    }
+}

@@ -1,0 +1,628 @@
+//! The naive executable oracle: MSoD semantics transcribed directly
+//! from the paper text (§2.2 context scoping, §2.3–2.4 MMER/MMEP
+//! multisets, §4.2 steps 1–8, §4.3 management purges) with no
+//! optimisation, no sharding, no persistence and no shared code with
+//! the production engine beyond the plain data types.
+//!
+//! Everything algorithmic is re-derived here on purpose: context
+//! matching and binding, multiset splitting, history counting, record
+//! coverage, purge scoping. If the `context`/`msod` crates and this
+//! file disagree on any workload, the differential driver reports a
+//! divergence — that is the whole point.
+
+use context::{ContextInstance, ContextName, PatternValue};
+use msod::{AdiRecord, MsodPolicy, MsodPolicySet, Privilege, RoleRef};
+
+/// A deliberately injected semantic bug, used to prove the harness can
+/// actually see divergences (and to exercise the shrinker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// Faithful semantics.
+    #[default]
+    None,
+    /// Off-by-one on the MMER threshold: deny only at `m + 1` matches.
+    MmerThresholdOffByOne,
+    /// A granted last step no longer purges the context instance.
+    SkipLastStepPurge,
+    /// Duplicate MMEP entries collapse to one, so "at most once per
+    /// instance" degrades to "at most n-1 distinct privileges".
+    MmepDuplicateCollapse,
+}
+
+/// One decision verdict, projected to the fields every engine variant
+/// must agree on. Observability extras (`records_consulted`) are
+/// deliberately absent: they are not part of the §4.2 semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// No MSoD policy context matched; the interim grant stands.
+    NotApplicable,
+    /// The grant stands.
+    Grant {
+        /// Indices of the policies whose context matched.
+        matched: Vec<usize>,
+        /// Records retained (0 or 1).
+        added: usize,
+        /// Bound contexts terminated by a last step, in policy order.
+        terminated: Vec<String>,
+        /// Records purged by those terminations.
+        purged: usize,
+    },
+    /// The grant was flipped to deny.
+    Deny {
+        /// Index of the violated policy.
+        policy: usize,
+        /// The bound context the violation occurred in (display form).
+        bound: String,
+        /// `"MMER"` or `"MMEP"`.
+        kind: &'static str,
+        /// Index of the violated constraint within the policy.
+        constraint: usize,
+        /// Entries consumed by the current request.
+        current: usize,
+        /// Entries matched against retained history.
+        historic: usize,
+        /// The constraint's forbidden cardinality `m`.
+        cardinality: usize,
+    },
+    /// The request never reached the MSoD stage (front-end deny). The
+    /// generator never produces such requests; seeing this verdict in a
+    /// comparison is itself a divergence worth reporting.
+    FrontEnd(String),
+}
+
+/// One decide request, owned (the oracle keeps no references).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleRequest {
+    /// The user's authenticated ID.
+    pub user: String,
+    /// Activated roles.
+    pub roles: Vec<RoleRef>,
+    /// Requested operation.
+    pub operation: String,
+    /// Requested target.
+    pub target: String,
+    /// The business-context instance.
+    pub context: ContextInstance,
+    /// Decision time.
+    pub timestamp: u64,
+}
+
+/// A bound policy context: `!` components pinned to the trigger
+/// instance, `*` kept as a wildcard. Re-derived from the paper, not
+/// from `context::BoundContext`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Bound(Vec<(String, Option<String>)>); // None = `*`
+
+impl Bound {
+    /// Equal-or-subordinate coverage: the bound components are a prefix
+    /// of the instance pairs, types equal, `*` admitting any value.
+    fn covers(&self, instance: &ContextInstance) -> bool {
+        let pairs = instance.pairs();
+        self.0.len() <= pairs.len()
+            && self
+                .0
+                .iter()
+                .zip(pairs)
+                .all(|((t, v), (it, iv))| t == it && v.as_ref().is_none_or(|v| v == iv))
+    }
+
+    fn display(&self) -> String {
+        self.0
+            .iter()
+            .map(|(t, v)| format!("{t}={}", v.as_deref().unwrap_or("*")))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// §4.2 step 1 matching, from the paper: the instance is equal or
+/// subordinate to the policy context — the policy components are a
+/// prefix of the instance pairs with matching types, `*`/`!` admitting
+/// any value.
+fn matches(policy_ctx: &ContextName, instance: &ContextInstance) -> bool {
+    let pairs = instance.pairs();
+    policy_ctx.components().len() <= pairs.len()
+        && policy_ctx.components().iter().zip(pairs).all(|(c, (t, v))| {
+            c.ctx_type == *t
+                && match &c.value {
+                    PatternValue::Literal(l) => l == v,
+                    PatternValue::AllInstances | PatternValue::PerInstance => true,
+                }
+        })
+}
+
+/// §4.2 step 1 substitution: pin every `!` to the instance value,
+/// truncating to the policy's depth. Caller guarantees a match.
+fn bind(policy_ctx: &ContextName, instance: &ContextInstance) -> Bound {
+    Bound(
+        policy_ctx
+            .components()
+            .iter()
+            .zip(instance.pairs())
+            .map(|(c, (_, v))| {
+                let val = match &c.value {
+                    PatternValue::Literal(l) => Some(l.clone()),
+                    PatternValue::PerInstance => Some(v.clone()),
+                    PatternValue::AllInstances => None,
+                };
+                (c.ctx_type.clone(), val)
+            })
+            .collect(),
+    )
+}
+
+/// The oracle: the policy set plus a flat, unindexed record list.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    policies: MsodPolicySet,
+    records: Vec<AdiRecord>,
+    mutation: Mutation,
+}
+
+impl Oracle {
+    /// Faithful oracle over a policy set.
+    pub fn new(policies: MsodPolicySet) -> Self {
+        Oracle::with_mutation(policies, Mutation::None)
+    }
+
+    /// Oracle with an injected semantic bug (harness sensitivity tests).
+    pub fn with_mutation(policies: MsodPolicySet, mutation: Mutation) -> Self {
+        Oracle { policies, records: Vec::new(), mutation }
+    }
+
+    /// §4.2 steps 1–8 for one interim-granted request.
+    pub fn decide(&mut self, req: &OracleRequest) -> Verdict {
+        // Step 1: collect every policy whose context matches.
+        let matched: Vec<usize> = (0..self.policies.len())
+            .filter(|&i| matches(&self.policies.policies()[i].business_context, &req.context))
+            .collect();
+        if matched.is_empty() {
+            return Verdict::NotApplicable;
+        }
+
+        let mut want_record = false;
+        let mut terminations: Vec<Bound> = Vec::new();
+
+        // Steps 2–8 per matched policy, in document order.
+        for &pi in &matched {
+            let policy = &self.policies.policies()[pi];
+            let bound = bind(&policy.business_context, &req.context);
+
+            // Step 3: has the context instance started (any record, any
+            // user, within the bound context)?
+            let started = self.records.iter().any(|r| bound.covers(&r.context));
+
+            if !started {
+                // Step 4: recording starts at the declared first step,
+                // or immediately when none is declared. The published
+                // algorithm jumps straight to step 7, so the starting
+                // request is never constraint-checked (faithful mode).
+                if policy.first_step.is_none() || policy.is_first_step(&req.operation, &req.target)
+                {
+                    want_record = true;
+                }
+            } else {
+                // Steps 5/6 against retained history.
+                if let Some(deny) = self.check_constraints(policy, pi, &bound, req) {
+                    return deny; // closing note: deny leaves ADI unchanged
+                }
+                if self.touches_constraint(policy, req) {
+                    want_record = true;
+                }
+            }
+
+            // Step 7: a granted last step terminates the instance.
+            if policy.is_last_step(&req.operation, &req.target) {
+                terminations.push(bound);
+            }
+        }
+
+        // Commit (grant): retain at most one record, then flush every
+        // terminated instance — including the record just added.
+        let added = usize::from(want_record);
+        if want_record {
+            self.records.push(AdiRecord {
+                user: req.user.clone(),
+                roles: req.roles.clone(),
+                operation: req.operation.clone(),
+                target: req.target.clone(),
+                context: req.context.clone(),
+                timestamp: req.timestamp,
+            });
+        }
+        let mut purged = 0;
+        for bound in &terminations {
+            if self.mutation != Mutation::SkipLastStepPurge {
+                purged += self.purge_bound(bound);
+            }
+        }
+        Verdict::Grant {
+            matched,
+            added,
+            terminated: terminations.iter().map(Bound::display).collect(),
+            purged,
+        }
+    }
+
+    /// Steps 5 (every MMER, in order) then 6 (every MMEP): first
+    /// violation denies.
+    fn check_constraints(
+        &self,
+        policy: &MsodPolicy,
+        pi: usize,
+        bound: &Bound,
+        req: &OracleRequest,
+    ) -> Option<Verdict> {
+        let history: Vec<&AdiRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.user == req.user && bound.covers(&r.context))
+            .collect();
+
+        for (ci, mmer) in policy.mmer().iter().enumerate() {
+            // 5.i: each activated role consumes at most one entry.
+            let mut consumed = vec![false; mmer.roles().len()];
+            for role in &req.roles {
+                if let Some(i) =
+                    (0..consumed.len()).find(|&i| !consumed[i] && mmer.roles()[i] == *role)
+                {
+                    consumed[i] = true;
+                }
+            }
+            let nr = consumed.iter().filter(|&&c| c).count();
+            if nr == 0 {
+                continue; // 5.ii
+            }
+            // 5.iii: remaining entries satisfiable from history — each
+            // historic role activation satisfies at most one entry.
+            let mut activations: Vec<&RoleRef> =
+                history.iter().flat_map(|r| r.roles.iter()).collect();
+            let mut historic = 0;
+            for (i, c) in consumed.iter().enumerate() {
+                if *c {
+                    continue;
+                }
+                if let Some(pos) = activations.iter().position(|a| **a == mmer.roles()[i]) {
+                    activations.remove(pos);
+                    historic += 1;
+                }
+            }
+            // 5.iv: grant iff historic < m - nr.
+            let mut m = mmer.forbidden_cardinality();
+            if self.mutation == Mutation::MmerThresholdOffByOne {
+                m += 1;
+            }
+            if historic + nr >= m {
+                return Some(Verdict::Deny {
+                    policy: pi,
+                    bound: bound.display(),
+                    kind: "MMER",
+                    constraint: ci,
+                    current: nr,
+                    historic,
+                    cardinality: mmer.forbidden_cardinality(),
+                });
+            }
+        }
+
+        for (ci, mmep) in policy.mmep().iter().enumerate() {
+            // 6.i/ii: the requested privilege consumes ONE matching
+            // entry; no match means the constraint is not in play.
+            let mut entries: Vec<&Privilege> = mmep.privileges().iter().collect();
+            if self.mutation == Mutation::MmepDuplicateCollapse {
+                // The injected bug: treat the multiset as a set, so a
+                // duplicated entry can never demand a repeat.
+                let mut seen: Vec<&Privilege> = Vec::new();
+                entries.retain(|p| {
+                    if seen.contains(p) {
+                        false
+                    } else {
+                        seen.push(p);
+                        true
+                    }
+                });
+            }
+            let Some(hit) = entries.iter().position(|p| p.matches(&req.operation, &req.target))
+            else {
+                continue;
+            };
+            let remaining: Vec<&Privilege> =
+                entries.iter().enumerate().filter(|&(i, _)| i != hit).map(|(_, p)| *p).collect();
+            // 6.iii: each historic exercise satisfies at most one entry.
+            let mut exercises: Vec<(&str, &str)> =
+                history.iter().map(|r| (r.operation.as_str(), r.target.as_str())).collect();
+            let mut historic = 0;
+            for p in &remaining {
+                if let Some(pos) = exercises.iter().position(|(o, t)| p.matches(o, t)) {
+                    exercises.remove(pos);
+                    historic += 1;
+                }
+            }
+            if historic + 1 >= mmep.forbidden_cardinality() {
+                return Some(Verdict::Deny {
+                    policy: pi,
+                    bound: bound.display(),
+                    kind: "MMEP",
+                    constraint: ci,
+                    current: 1,
+                    historic,
+                    cardinality: mmep.forbidden_cardinality(),
+                });
+            }
+        }
+        None
+    }
+
+    /// Whether a step-5/6 grant retains a record: any MMER entry is
+    /// matched by an activated role, or any MMEP entry by the request's
+    /// privilege.
+    fn touches_constraint(&self, policy: &MsodPolicy, req: &OracleRequest) -> bool {
+        policy.mmer().iter().any(|m| m.roles().iter().any(|e| req.roles.contains(e)))
+            || policy
+                .mmep()
+                .iter()
+                .any(|m| m.privileges().iter().any(|p| p.matches(&req.operation, &req.target)))
+    }
+
+    fn purge_bound(&mut self, bound: &Bound) -> usize {
+        let before = self.records.len();
+        self.records.retain(|r| !bound.covers(&r.context));
+        before - self.records.len()
+    }
+
+    /// §5.2 start-up recovery analog of [`Oracle::decide`]: re-apply a
+    /// *historic granted* request without ever denying. Returns whether
+    /// a record was retained.
+    pub fn replay_grant(&mut self, req: &OracleRequest) -> bool {
+        let matched: Vec<usize> = (0..self.policies.len())
+            .filter(|&i| matches(&self.policies.policies()[i].business_context, &req.context))
+            .collect();
+        if matched.is_empty() {
+            return false;
+        }
+        let mut want_record = false;
+        let mut terminations = Vec::new();
+        for &pi in &matched {
+            let policy = &self.policies.policies()[pi];
+            let bound = bind(&policy.business_context, &req.context);
+            let started = self.records.iter().any(|r| bound.covers(&r.context));
+            if !started {
+                if policy.first_step.is_none() || policy.is_first_step(&req.operation, &req.target)
+                {
+                    want_record = true;
+                }
+            } else if self.touches_constraint(policy, req) {
+                want_record = true;
+            }
+            if policy.is_last_step(&req.operation, &req.target) {
+                terminations.push(bound);
+            }
+        }
+        if want_record {
+            self.records.push(AdiRecord {
+                user: req.user.clone(),
+                roles: req.roles.clone(),
+                operation: req.operation.clone(),
+                target: req.target.clone(),
+                context: req.context.clone(),
+                timestamp: req.timestamp,
+            });
+        }
+        for bound in &terminations {
+            self.purge_bound(bound);
+        }
+        want_record
+    }
+
+    /// §4.3 management purge of one bound scope (no `!` components).
+    /// The scope arrives as a fully bound [`ContextName`].
+    pub fn purge_scope(&mut self, scope: &ContextName) -> usize {
+        let bound = Bound(
+            scope
+                .components()
+                .iter()
+                .map(|c| {
+                    let v = match &c.value {
+                        PatternValue::Literal(l) => Some(l.clone()),
+                        PatternValue::AllInstances => None,
+                        PatternValue::PerInstance => {
+                            unreachable!("management scope must be bound")
+                        }
+                    };
+                    (c.ctx_type.clone(), v)
+                })
+                .collect(),
+        );
+        self.purge_bound(&bound)
+    }
+
+    /// §4.3 age-based purge: remove records strictly older than
+    /// `cutoff`.
+    pub fn purge_older_than(&mut self, cutoff: u64) -> usize {
+        let before = self.records.len();
+        self.records.retain(|r| r.timestamp >= cutoff);
+        before - self.records.len()
+    }
+
+    /// §4.3 administrative reset.
+    pub fn purge_all(&mut self) -> usize {
+        let n = self.records.len();
+        self.records.clear();
+        n
+    }
+
+    /// Retained records under the canonical total order, comparable
+    /// against any engine variant's snapshot.
+    pub fn snapshot(&self) -> Vec<AdiRecord> {
+        let mut out = self.records.clone();
+        sort_snapshot(&mut out);
+        out
+    }
+}
+
+/// The canonical snapshot order: (timestamp, user, context, operation,
+/// target, roles) — the same total order every backend sorts by.
+pub fn sort_snapshot(records: &mut [AdiRecord]) {
+    records.sort_by(|a, b| {
+        (a.timestamp, &a.user, &a.context, &a.operation, &a.target, &a.roles).cmp(&(
+            b.timestamp,
+            &b.user,
+            &b.context,
+            &b.operation,
+            &b.target,
+            &b.roles,
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msod::{Mmep, Mmer};
+
+    fn rr(v: &str) -> RoleRef {
+        RoleRef::new("employee", v)
+    }
+
+    fn req(
+        user: &str,
+        roles: &[RoleRef],
+        op: &str,
+        target: &str,
+        ctx: &str,
+        ts: u64,
+    ) -> OracleRequest {
+        OracleRequest {
+            user: user.into(),
+            roles: roles.to_vec(),
+            operation: op.into(),
+            target: target.into(),
+            context: ctx.parse().unwrap(),
+            timestamp: ts,
+        }
+    }
+
+    fn bank() -> Oracle {
+        let policy = MsodPolicy::new(
+            "Branch=*, Period=!".parse().unwrap(),
+            None,
+            Some(Privilege::new("CommitAudit", "audit")),
+            vec![Mmer::new(vec![rr("Teller"), rr("Auditor")], 2).unwrap()],
+            vec![],
+        )
+        .unwrap();
+        Oracle::new(MsodPolicySet::new(vec![policy]))
+    }
+
+    #[test]
+    fn paper_example1_walkthrough() {
+        let mut o = bank();
+        let teller = [rr("Teller")];
+        let auditor = [rr("Auditor")];
+        assert!(matches!(
+            o.decide(&req("alice", &teller, "handleCash", "till", "Branch=York, Period=2006", 1)),
+            Verdict::Grant { added: 1, .. }
+        ));
+        // Star scope bites in another branch, another session.
+        assert!(matches!(
+            o.decide(&req("alice", &auditor, "audit", "books", "Branch=Leeds, Period=2006", 9)),
+            Verdict::Deny { kind: "MMER", current: 1, historic: 1, .. }
+        ));
+        assert_eq!(o.snapshot().len(), 1, "deny must not mutate the ADI");
+        // Another user commits the audit: the instance terminates.
+        match o.decide(&req(
+            "bob",
+            &auditor,
+            "CommitAudit",
+            "audit",
+            "Branch=York, Period=2006",
+            10,
+        )) {
+            Verdict::Grant { terminated, purged, .. } => {
+                assert_eq!(terminated, vec!["Branch=*, Period=2006".to_string()]);
+                assert!(purged >= 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(o.snapshot().is_empty());
+    }
+
+    #[test]
+    fn unmatched_context_not_applicable() {
+        let mut o = bank();
+        let v = o.decide(&req("alice", &[rr("Teller")], "op", "t", "Dept=IT", 1));
+        assert_eq!(v, Verdict::NotApplicable);
+    }
+
+    #[test]
+    fn duplicate_mmep_entry_caps_at_once() {
+        let p = Privilege::new("approve", "check");
+        let policy = MsodPolicy::new(
+            "Proc=!".parse().unwrap(),
+            None,
+            None,
+            vec![],
+            vec![Mmep::new(vec![p.clone(), p], 2).unwrap()],
+        )
+        .unwrap();
+        let mut o = Oracle::new(MsodPolicySet::new(vec![policy]));
+        assert!(matches!(
+            o.decide(&req("mike", &[rr("Manager")], "approve", "check", "Proc=1", 1)),
+            Verdict::Grant { .. }
+        ));
+        assert!(matches!(
+            o.decide(&req("mike", &[rr("Manager")], "approve", "check", "Proc=1", 2)),
+            Verdict::Deny { kind: "MMEP", historic: 1, cardinality: 2, .. }
+        ));
+        // A different user approves freely; a different instance resets.
+        assert!(matches!(
+            o.decide(&req("mary", &[rr("Manager")], "approve", "check", "Proc=1", 3)),
+            Verdict::Grant { .. }
+        ));
+        assert!(matches!(
+            o.decide(&req("mike", &[rr("Manager")], "approve", "check", "Proc=2", 4)),
+            Verdict::Grant { .. }
+        ));
+    }
+
+    #[test]
+    fn mutations_change_semantics() {
+        let p = Privilege::new("approve", "check");
+        let make = |mutation| {
+            let policy = MsodPolicy::new(
+                "Proc=!".parse().unwrap(),
+                None,
+                None,
+                vec![Mmer::new(vec![rr("A"), rr("B")], 2).unwrap()],
+                vec![Mmep::new(vec![p.clone(), p.clone()], 2).unwrap()],
+            )
+            .unwrap();
+            Oracle::with_mutation(MsodPolicySet::new(vec![policy]), mutation)
+        };
+        // Off-by-one MMER: the second conflicting role slips through.
+        let mut o = make(Mutation::MmerThresholdOffByOne);
+        o.decide(&req("u", &[rr("A")], "op", "t", "Proc=1", 1));
+        assert!(matches!(
+            o.decide(&req("u", &[rr("B")], "op", "t", "Proc=1", 2)),
+            Verdict::Grant { .. }
+        ));
+        // Duplicate collapse: the second approval slips through.
+        let mut o = make(Mutation::MmepDuplicateCollapse);
+        o.decide(&req("u", &[rr("A")], "approve", "check", "Proc=1", 1));
+        assert!(matches!(
+            o.decide(&req("u", &[rr("A")], "approve", "check", "Proc=1", 2)),
+            Verdict::Grant { .. }
+        ));
+    }
+
+    #[test]
+    fn management_purges() {
+        let mut o = bank();
+        o.decide(&req("a", &[rr("Teller")], "op", "t", "Branch=York, Period=2006", 1));
+        o.decide(&req("b", &[rr("Teller")], "op", "t", "Branch=York, Period=2007", 2));
+        let scope: ContextName = "Branch=*, Period=2006".parse().unwrap();
+        assert_eq!(o.purge_scope(&scope), 1);
+        assert_eq!(o.purge_older_than(3), 1);
+        assert_eq!(o.purge_all(), 0);
+    }
+}

@@ -1,0 +1,357 @@
+//! A line-based text form of [`Workload`], so a shrunk divergence can
+//! be printed as a ready-to-paste regression test and parsed back
+//! without regenerating from a seed.
+//!
+//! ```text
+//! shards 4
+//! crash_at 7
+//! policy ctx="Org=!, Proc=*" first="read@t0" last="ship@t1"
+//! mmer m=2 roles="role:R0, role:R1, role:R1"
+//! mmep m=2 privs="read@t0, read@t0"
+//! end
+//! decide user=u1 roles="role:R0" priv="read@t0" ctx="Org=a, Proc=b" ts=1000
+//! purge_ctx "Org=a, Proc=*"
+//! purge_older 1005
+//! purge_all
+//! ```
+//!
+//! Roles are encoded `type:value`, privileges `operation@target`;
+//! values must not contain `"`, `,`, `:` or `@` (the generator's pools
+//! never do).
+
+use context::ContextName;
+use msod::{Mmep, Mmer, MsodPolicy, MsodPolicySet, Privilege, RoleRef};
+
+use crate::gen::{Op, Workload};
+
+fn role_str(r: &RoleRef) -> String {
+    format!("{}:{}", r.role_type, r.value)
+}
+
+fn priv_str(p: &Privilege) -> String {
+    format!("{}@{}", p.operation, p.target)
+}
+
+fn parse_role(s: &str) -> Result<RoleRef, String> {
+    let (t, v) = s.split_once(':').ok_or_else(|| format!("role `{s}` is not type:value"))?;
+    Ok(RoleRef::new(t.trim(), v.trim()))
+}
+
+fn parse_priv(s: &str) -> Result<Privilege, String> {
+    let (o, t) = s.split_once('@').ok_or_else(|| format!("priv `{s}` is not op@target"))?;
+    Ok(Privilege::new(o.trim(), t.trim()))
+}
+
+fn parse_list<T>(s: &str, f: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {
+    s.split(',').map(str::trim).filter(|p| !p.is_empty()).map(f).collect()
+}
+
+/// Split one line into bare words and `key=value` pairs, honouring
+/// double quotes around values.
+fn tokenize(line: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        let mut token = String::new();
+        let mut value = None;
+        while let Some(&c) = chars.peek() {
+            match c {
+                '=' => {
+                    chars.next();
+                    let mut v = String::new();
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        for c in chars.by_ref() {
+                            if c == '"' {
+                                break;
+                            }
+                            v.push(c);
+                        }
+                    } else {
+                        while let Some(&c) = chars.peek() {
+                            if c.is_whitespace() {
+                                break;
+                            }
+                            v.push(c);
+                            chars.next();
+                        }
+                    }
+                    value = Some(v);
+                    break;
+                }
+                '"' => {
+                    // A bare quoted word (e.g. purge_ctx "A=1").
+                    chars.next();
+                    for c in chars.by_ref() {
+                        if c == '"' {
+                            break;
+                        }
+                        token.push(c);
+                    }
+                    break;
+                }
+                c if c.is_whitespace() => break,
+                c => {
+                    token.push(c);
+                    chars.next();
+                }
+            }
+        }
+        out.push((token, value.unwrap_or_default()));
+    }
+    if out.is_empty() {
+        return Err(format!("empty line: `{line}`"));
+    }
+    Ok(out)
+}
+
+fn get<'a>(kv: &'a [(String, String)], key: &str) -> Result<&'a str, String> {
+    kv.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| format!("missing `{key}=`"))
+}
+
+impl Workload {
+    /// Render as the text script format.
+    pub fn to_script(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("shards {}\n", self.shards));
+        if let Some(c) = self.crash_at {
+            out.push_str(&format!("crash_at {c}\n"));
+        }
+        for p in self.policies.policies() {
+            out.push_str(&format!("policy ctx=\"{}\"", p.business_context));
+            if let Some(f) = &p.first_step {
+                out.push_str(&format!(" first=\"{}\"", priv_str(f)));
+            }
+            if let Some(l) = &p.last_step {
+                out.push_str(&format!(" last=\"{}\"", priv_str(l)));
+            }
+            out.push('\n');
+            for m in p.mmer() {
+                let roles: Vec<String> = m.roles().iter().map(role_str).collect();
+                out.push_str(&format!(
+                    "mmer m={} roles=\"{}\"\n",
+                    m.forbidden_cardinality(),
+                    roles.join(", ")
+                ));
+            }
+            for m in p.mmep() {
+                let privs: Vec<String> = m.privileges().iter().map(priv_str).collect();
+                out.push_str(&format!(
+                    "mmep m={} privs=\"{}\"\n",
+                    m.forbidden_cardinality(),
+                    privs.join(", ")
+                ));
+            }
+            out.push_str("end\n");
+        }
+        for op in &self.ops {
+            match op {
+                Op::Decide { user, roles, operation, target, context, timestamp } => {
+                    let roles: Vec<String> = roles.iter().map(role_str).collect();
+                    out.push_str(&format!(
+                        "decide user={user} roles=\"{}\" priv=\"{}@{}\" ctx=\"{context}\" ts={timestamp}\n",
+                        roles.join(", "),
+                        operation,
+                        target
+                    ));
+                }
+                Op::PurgeContext(scope) => out.push_str(&format!("purge_ctx \"{scope}\"\n")),
+                Op::PurgeOlderThan(cutoff) => out.push_str(&format!("purge_older {cutoff}\n")),
+                Op::PurgeAll => out.push_str("purge_all\n"),
+            }
+        }
+        out
+    }
+
+    /// Parse the text script format back into a workload.
+    pub fn from_script(script: &str) -> Result<Workload, String> {
+        let mut shards = 1usize;
+        let mut crash_at = None;
+        let mut policies: Vec<MsodPolicy> = Vec::new();
+        let mut ops: Vec<Op> = Vec::new();
+        // In-flight policy: (ctx, first, last, mmer, mmep).
+        type OpenPolicy = (ContextName, Option<Privilege>, Option<Privilege>, Vec<Mmer>, Vec<Mmep>);
+        let mut open: Option<OpenPolicy> = None;
+
+        for (ln, raw) in script.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let kv = tokenize(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
+            let err = |e: String| format!("line {}: {e}", ln + 1);
+            match kv[0].0.as_str() {
+                "shards" => {
+                    shards = kv
+                        .get(1)
+                        .ok_or_else(|| err("missing count".into()))?
+                        .0
+                        .parse()
+                        .map_err(|e| err(format!("bad shard count: {e}")))?;
+                }
+                "crash_at" => {
+                    crash_at = Some(
+                        kv.get(1)
+                            .ok_or_else(|| err("missing index".into()))?
+                            .0
+                            .parse()
+                            .map_err(|e| err(format!("bad crash index: {e}")))?,
+                    );
+                }
+                "policy" => {
+                    if open.is_some() {
+                        return Err(err("previous policy not closed with `end`".into()));
+                    }
+                    let ctx: ContextName =
+                        get(&kv, "ctx").map_err(&err)?.parse().map_err(|e| err(format!("{e}")))?;
+                    let first = get(&kv, "first").ok().map(parse_priv).transpose().map_err(&err)?;
+                    let last = get(&kv, "last").ok().map(parse_priv).transpose().map_err(&err)?;
+                    open = Some((ctx, first, last, Vec::new(), Vec::new()));
+                }
+                "mmer" => {
+                    let p = open.as_mut().ok_or_else(|| err("mmer outside policy".into()))?;
+                    let m = get(&kv, "m")
+                        .map_err(&err)?
+                        .parse()
+                        .map_err(|e| err(format!("bad m: {e}")))?;
+                    let roles =
+                        parse_list(get(&kv, "roles").map_err(&err)?, parse_role).map_err(&err)?;
+                    p.3.push(Mmer::new(roles, m).map_err(|e| err(e.to_string()))?);
+                }
+                "mmep" => {
+                    let p = open.as_mut().ok_or_else(|| err("mmep outside policy".into()))?;
+                    let m = get(&kv, "m")
+                        .map_err(&err)?
+                        .parse()
+                        .map_err(|e| err(format!("bad m: {e}")))?;
+                    let privs =
+                        parse_list(get(&kv, "privs").map_err(&err)?, parse_priv).map_err(&err)?;
+                    p.4.push(Mmep::new(privs, m).map_err(|e| err(e.to_string()))?);
+                }
+                "end" => {
+                    let (ctx, first, last, mmer, mmep) =
+                        open.take().ok_or_else(|| err("end without policy".into()))?;
+                    policies.push(
+                        MsodPolicy::new(ctx, first, last, mmer, mmep)
+                            .map_err(|e| err(e.to_string()))?,
+                    );
+                }
+                "decide" => {
+                    let p = parse_priv(get(&kv, "priv").map_err(&err)?).map_err(&err)?;
+                    ops.push(Op::Decide {
+                        user: get(&kv, "user").map_err(&err)?.to_owned(),
+                        roles: parse_list(get(&kv, "roles").map_err(&err)?, parse_role)
+                            .map_err(&err)?,
+                        operation: p.operation,
+                        target: p.target,
+                        context: get(&kv, "ctx")
+                            .map_err(&err)?
+                            .parse()
+                            .map_err(|e| err(format!("{e}")))?,
+                        timestamp: get(&kv, "ts")
+                            .map_err(&err)?
+                            .parse()
+                            .map_err(|e| err(format!("bad ts: {e}")))?,
+                    });
+                }
+                "purge_ctx" => {
+                    let scope = kv
+                        .get(1)
+                        .ok_or_else(|| err("missing scope".into()))?
+                        .0
+                        .parse()
+                        .map_err(|e| err(format!("{e}")))?;
+                    ops.push(Op::PurgeContext(scope));
+                }
+                "purge_older" => {
+                    ops.push(Op::PurgeOlderThan(
+                        kv.get(1)
+                            .ok_or_else(|| err("missing cutoff".into()))?
+                            .0
+                            .parse()
+                            .map_err(|e| err(format!("bad cutoff: {e}")))?,
+                    ));
+                }
+                "purge_all" => ops.push(Op::PurgeAll),
+                other => return Err(err(format!("unknown directive `{other}`"))),
+            }
+        }
+        if open.is_some() {
+            return Err("unterminated policy (missing `end`)".into());
+        }
+        if policies.is_empty() {
+            return Err("script declares no policies".into());
+        }
+        Ok(Workload { policies: MsodPolicySet::new(policies), ops, crash_at, shards })
+    }
+}
+
+/// Render a shrunk divergence as a ready-to-paste `#[test]` that
+/// replays the workload and asserts the engines agree with the oracle.
+pub fn regression_test(name: &str, w: &Workload, divergence: &crate::diff::Divergence) -> String {
+    let script = w.to_script();
+    format!(
+        "// Divergence found by the modelcheck harness:\n\
+         // {}\n\
+         #[test]\n\
+         fn {name}() {{\n\
+         \x20   let script = r#\"\n{script}\"#;\n\
+         \x20   let w = modelcheck::Workload::from_script(script).unwrap();\n\
+         \x20   if let Some(d) = modelcheck::run_workload(&w) {{\n\
+         \x20       panic!(\"still diverges:\\n{{d}}\");\n\
+         \x20   }}\n\
+         }}\n",
+        divergence.to_string().replace('\n', "\n// "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn generated_workloads_round_trip() {
+        for seed in 0..40 {
+            let w = generate(seed);
+            let script = w.to_script();
+            let back = Workload::from_script(&script)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{script}"));
+            assert_eq!(w, back, "seed {seed} failed to round-trip:\n{script}");
+        }
+    }
+
+    #[test]
+    fn hand_written_script_parses() {
+        let script = r#"
+# comment
+shards 2
+policy ctx="Org=!, Proc=*" last="ship@t1"
+mmer m=2 roles="role:R0, role:R1"
+end
+decide user=u1 roles="role:R0" priv="read@t0" ctx="Org=a, Proc=b" ts=1000
+purge_ctx "Org=a, Proc=*"
+purge_older 1001
+purge_all
+"#;
+        let w = Workload::from_script(script).unwrap();
+        assert_eq!(w.shards, 2);
+        assert_eq!(w.crash_at, None);
+        assert_eq!(w.ops.len(), 4);
+        assert_eq!(w.policies.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let err = Workload::from_script("bogus 1\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(Workload::from_script("shards 1\n").unwrap_err().contains("no policies"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Divergence minimizer: delta-debugging over a [`Workload`] under an
+//! arbitrary "still diverges" predicate.
+//!
+//! The shrinker never needs to know *why* a workload diverges — it
+//! greedily removes operations (chunked, then one by one), drops whole
+//! policies, drops individual constraints, and simplifies incidental
+//! degrees of freedom (crash point, first/last steps), re-checking the
+//! predicate after every candidate edit and keeping any reduction that
+//! still diverges. Runs are capped by a predicate-evaluation budget so
+//! shrinking a pathological case stays bounded.
+
+use msod::{MsodPolicy, MsodPolicySet};
+
+use crate::gen::Workload;
+
+/// Default predicate-evaluation budget for [`shrink`].
+pub const DEFAULT_BUDGET: usize = 600;
+
+struct Shrinker<'a, F: Fn(&Workload) -> bool> {
+    diverges: &'a F,
+    budget: usize,
+}
+
+impl<F: Fn(&Workload) -> bool> Shrinker<'_, F> {
+    /// Check a candidate, spending budget; out of budget means "treat
+    /// as not diverging" so shrinking just stops improving.
+    fn check(&mut self, w: &Workload) -> bool {
+        if self.budget == 0 {
+            return false;
+        }
+        self.budget -= 1;
+        (self.diverges)(w)
+    }
+}
+
+/// Remove ops `[start, start+len)` and re-point `crash_at` at the same
+/// surviving op (dropping it if the crash landed inside the hole or
+/// fell off the end).
+fn without_ops(w: &Workload, start: usize, len: usize) -> Workload {
+    let mut out = w.clone();
+    out.ops.drain(start..start + len);
+    out.crash_at = match w.crash_at {
+        Some(c) if c < start => Some(c),
+        Some(c) if c < start + len => None,
+        Some(c) => Some(c - len),
+        None => None,
+    };
+    out
+}
+
+fn rebuild_policy(
+    p: &MsodPolicy,
+    drop_mmer: Option<usize>,
+    drop_mmep: Option<usize>,
+    clear_first: bool,
+    clear_last: bool,
+) -> Option<MsodPolicy> {
+    let mut mmer = p.mmer().to_vec();
+    let mut mmep = p.mmep().to_vec();
+    if let Some(i) = drop_mmer {
+        mmer.remove(i);
+    }
+    if let Some(i) = drop_mmep {
+        mmep.remove(i);
+    }
+    MsodPolicy::new(
+        p.business_context.clone(),
+        if clear_first { None } else { p.first_step.clone() },
+        if clear_last { None } else { p.last_step.clone() },
+        mmer,
+        mmep,
+    )
+    .ok()
+}
+
+fn with_policies(w: &Workload, policies: Vec<MsodPolicy>) -> Workload {
+    Workload { policies: MsodPolicySet::new(policies), ..w.clone() }
+}
+
+/// One full greedy pass; returns the reduced workload and whether
+/// anything changed.
+fn pass<F: Fn(&Workload) -> bool>(mut w: Workload, s: &mut Shrinker<'_, F>) -> (Workload, bool) {
+    let mut changed = false;
+
+    // 1. Chunked op removal, halving chunk sizes down to single ops.
+    let mut chunk = (w.ops.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < w.ops.len() {
+            let len = chunk.min(w.ops.len() - start);
+            let cand = without_ops(&w, start, len);
+            if s.check(&cand) {
+                w = cand;
+                changed = true;
+                // Same start now holds the next ops; don't advance.
+            } else {
+                start += 1;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // 2. Drop whole policies (keep at least one).
+    let mut i = 0;
+    while w.policies.len() > 1 && i < w.policies.len() {
+        let mut ps = w.policies.policies().to_vec();
+        ps.remove(i);
+        let cand = with_policies(&w, ps);
+        if s.check(&cand) {
+            w = cand;
+            changed = true;
+        } else {
+            i += 1;
+        }
+    }
+
+    // 3. Drop individual constraints (a policy must keep >= 1, which
+    // rebuild_policy enforces by failing the build otherwise).
+    let mut pi = 0;
+    while pi < w.policies.len() {
+        let p = &w.policies.policies()[pi];
+        let mut reduced = None;
+        for mi in 0..p.mmer().len() {
+            if let Some(np) = rebuild_policy(p, Some(mi), None, false, false) {
+                let mut ps = w.policies.policies().to_vec();
+                ps[pi] = np;
+                let cand = with_policies(&w, ps);
+                if s.check(&cand) {
+                    reduced = Some(cand);
+                    break;
+                }
+            }
+        }
+        if reduced.is_none() {
+            for mi in 0..p.mmep().len() {
+                if let Some(np) = rebuild_policy(p, None, Some(mi), false, false) {
+                    let mut ps = w.policies.policies().to_vec();
+                    ps[pi] = np;
+                    let cand = with_policies(&w, ps);
+                    if s.check(&cand) {
+                        reduced = Some(cand);
+                        break;
+                    }
+                }
+            }
+        }
+        match reduced {
+            Some(cand) => {
+                w = cand;
+                changed = true;
+                // Retry the same policy: it may shed another constraint.
+            }
+            None => pi += 1,
+        }
+    }
+
+    // 4. Simplify incidentals: drop the crash, clear first/last steps.
+    if w.crash_at.is_some() {
+        let cand = Workload { crash_at: None, ..w.clone() };
+        if s.check(&cand) {
+            w = cand;
+            changed = true;
+        }
+    }
+    for pi in 0..w.policies.len() {
+        for (clear_first, clear_last) in [(true, false), (false, true)] {
+            let p = w.policies.policies()[pi].clone();
+            if (clear_first && p.first_step.is_none()) || (clear_last && p.last_step.is_none()) {
+                continue;
+            }
+            if let Some(np) = rebuild_policy(&p, None, None, clear_first, clear_last) {
+                let mut ps = w.policies.policies().to_vec();
+                ps[pi] = np;
+                let cand = with_policies(&w, ps);
+                if s.check(&cand) {
+                    w = cand;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    (w, changed)
+}
+
+/// Shrink `w` to a locally-minimal workload that still satisfies
+/// `diverges`, spending at most `budget` predicate evaluations.
+///
+/// The caller must ensure `diverges(w)` holds on entry; the result is
+/// then guaranteed to satisfy it too (every kept edit was re-checked).
+pub fn shrink_with_budget<F: Fn(&Workload) -> bool>(
+    w: &Workload,
+    diverges: &F,
+    budget: usize,
+) -> Workload {
+    let mut s = Shrinker { diverges, budget };
+    let mut cur = w.clone();
+    loop {
+        let (next, changed) = pass(cur, &mut s);
+        cur = next;
+        if !changed || s.budget == 0 {
+            return cur;
+        }
+    }
+}
+
+/// [`shrink_with_budget`] with [`DEFAULT_BUDGET`].
+pub fn shrink<F: Fn(&Workload) -> bool>(w: &Workload, diverges: &F) -> Workload {
+    shrink_with_budget(w, diverges, DEFAULT_BUDGET)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, Op};
+
+    /// A synthetic predicate: "diverges" iff the workload still
+    /// contains at least 2 decide ops for user u0 and any policy with
+    /// an MMER constraint. The shrinker should strip everything else.
+    fn toy_predicate(w: &Workload) -> bool {
+        let u0 =
+            w.ops.iter().filter(|o| matches!(o, Op::Decide { user, .. } if user == "u0")).count();
+        u0 >= 2 && w.policies.policies().iter().any(|p| !p.mmer().is_empty())
+    }
+
+    #[test]
+    fn shrinks_to_local_minimum() {
+        for seed in 0..200 {
+            let w = generate(seed);
+            if !toy_predicate(&w) {
+                continue;
+            }
+            let small = shrink(&w, &toy_predicate);
+            assert!(toy_predicate(&small), "seed {seed}: shrink lost the property");
+            assert_eq!(small.ops.len(), 2, "seed {seed}: kept extra ops");
+            assert_eq!(small.policies.len(), 1, "seed {seed}: kept extra policies");
+            let p = &small.policies.policies()[0];
+            assert_eq!(p.mmer().len() + p.mmep().len(), 1, "seed {seed}: kept extra constraints");
+            assert!(small.crash_at.is_none(), "seed {seed}: kept the crash");
+            return; // One qualifying seed is enough.
+        }
+        panic!("no seed satisfied the toy predicate");
+    }
+
+    #[test]
+    fn crash_index_tracks_op_removal() {
+        let w = Workload { crash_at: Some(3), ..generate(1) };
+        let cut = without_ops(&w, 0, 2);
+        assert_eq!(cut.crash_at, Some(1));
+        let cut = without_ops(&w, 2, 2);
+        assert_eq!(cut.crash_at, None);
+        let cut = without_ops(&w, 4, 2);
+        assert_eq!(cut.crash_at, Some(3));
+    }
+}

@@ -216,6 +216,102 @@ fn concurrent_peps_share_history() {
 }
 
 #[test]
+fn hammered_service_matches_oracle_replay() {
+    // Oracle-checked variant of the hammer: after the multithreaded
+    // run, replay the serialized audit order through the naive spec
+    // oracle and require the exact same retained ADI. With no
+    // first/last step in POLICY, every MSoD-matched grant adds exactly
+    // one record and nothing purges, so the grants commute and the
+    // audit serialization is a faithful witness of the final state no
+    // matter how the threads interleaved.
+    let service = Arc::new(DecisionService::from_xml(POLICY, b"k".to_vec()).unwrap());
+    let threads = 8;
+    let per_thread = 200;
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let service = Arc::clone(&service);
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let user = format!("user{}", (t * 7 + i) % 5);
+                    let role = if usize::is_multiple_of(t + i, 2) { "A" } else { "B" };
+                    let req = DecisionRequest::with_roles(
+                        user,
+                        vec![RoleRef::new("employee", role)],
+                        "work",
+                        "res",
+                        format!("Proc={}", i % 3).parse().unwrap(),
+                        (t * per_thread + i) as u64,
+                    );
+                    let _ = service.decide(&req);
+                }
+            });
+        }
+    });
+
+    // The audit trail's serialization of the run: MSoD-matched grants
+    // only (denials and non-MSoD grants never enter the retained ADI).
+    // The trail clamps timestamps to stay monotone under out-of-order
+    // concurrent appends, so record timestamps are NOT the request
+    // timestamps; the equivalence below is therefore stated over the
+    // timestamp-erased record multiset (nothing here purges by age, so
+    // no semantics hide in the erased field).
+    let mut grants: Vec<audit::Record> = Vec::new();
+    service.with_trail(|trail| {
+        for seg in trail.segments() {
+            grants.extend(seg.records.iter().cloned());
+        }
+        grants.extend(trail.open_records().iter().cloned());
+    });
+    grants.retain(|r| r.event.kind == audit::EventKind::Grant && r.event.msod_matched);
+    assert!(!grants.is_empty(), "the hammer must produce MSoD-matched grants");
+
+    let msod_policy = msod::MsodPolicy::new(
+        "Proc=!".parse().unwrap(),
+        None,
+        None,
+        vec![msod::Mmer::new(
+            vec![RoleRef::new("employee", "A"), RoleRef::new("employee", "B")],
+            2,
+        )
+        .unwrap()],
+        vec![],
+    )
+    .unwrap();
+    let mut oracle = modelcheck::Oracle::new(msod::MsodPolicySet::new(vec![msod_policy]));
+    for rec in &grants {
+        let roles = rec
+            .event
+            .roles
+            .iter()
+            .map(|s| {
+                let (t, v) = s.split_once(':').expect("audit roles are type:value");
+                RoleRef::new(t, v)
+            })
+            .collect();
+        oracle.replay_grant(&modelcheck::OracleRequest {
+            user: rec.event.user.clone(),
+            roles,
+            operation: rec.event.operation.clone(),
+            target: rec.event.target.clone(),
+            context: rec.event.context.parse().unwrap(),
+            timestamp: 0,
+        });
+    }
+
+    let mut engine_snap = service.adi().snapshot();
+    for rec in &mut engine_snap {
+        rec.timestamp = 0;
+    }
+    modelcheck::sort_snapshot(&mut engine_snap);
+    assert_eq!(
+        engine_snap,
+        oracle.snapshot(),
+        "retained ADI after the hammer must equal the oracle's replay of the audit order"
+    );
+}
+
+#[test]
 fn concurrent_rotation_and_decisions() {
     // Decisions racing trail rotations from another thread — both via
     // &self, no outer lock: all records survive into some segment, the

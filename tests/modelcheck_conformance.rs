@@ -1,0 +1,50 @@
+//! Tier-1 smoke slice of the differential conformance harness: a
+//! modest fixed sweep so `cargo test` at the workspace root always
+//! exercises oracle-vs-engines equivalence, plus a pinned check that
+//! the harness itself still has teeth. The full-scale randomized sweep
+//! lives in `crates/modelcheck/tests/differential.rs` and runs in the
+//! dedicated CI job.
+
+use modelcheck::{catch_mutation, check_seed, generate, run_workload, Mutation, Op, Workload};
+
+#[test]
+fn engines_match_the_spec_oracle() {
+    for seed in 0..150 {
+        if let Err(report) = check_seed(seed) {
+            panic!("{report}");
+        }
+    }
+}
+
+#[test]
+fn a_mutated_oracle_is_caught() {
+    assert!(
+        (0..100).any(|s| catch_mutation(s, Mutation::SkipLastStepPurge).is_some()),
+        "skipping the last-step purge must be visible within 100 seeds"
+    );
+}
+
+#[test]
+fn script_round_trip_survives_the_facade() {
+    // The repro format is part of the harness contract: a workload
+    // printed by the shrinker must replay identically from text.
+    let w = generate(7);
+    let w2 = Workload::from_script(&w.to_script()).unwrap();
+    assert_eq!(w, w2);
+    assert_eq!(run_workload(&w).is_none(), run_workload(&w2).is_none());
+}
+
+#[test]
+fn shrunk_repros_stay_small() {
+    // One representative mutation end-to-end: catch, shrink, and the
+    // minimized workload is dominated by what the bug needs.
+    let (small, d) = (0..200)
+        .find_map(|s| catch_mutation(s, Mutation::MmerThresholdOffByOne))
+        .expect("an MMER off-by-one must be catchable");
+    assert!(small.ops.len() <= 10, "repro has {} ops:\n{}", small.ops.len(), small.to_script());
+    assert!(
+        small.ops.iter().any(|o| matches!(o, Op::Decide { .. })),
+        "an MMER divergence needs at least one decide op"
+    );
+    assert!(!d.to_string().is_empty());
+}
