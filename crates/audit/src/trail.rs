@@ -131,6 +131,10 @@ pub struct AuditTrail {
     next_seq: u64,
     last_timestamp: u64,
     metrics: TrailMetrics,
+    /// Reusable encode buffer for the hash-chain extension — `append`
+    /// sits on every decision's hot path, and re-allocating a ~300-byte
+    /// encoding per event is measurable there.
+    scratch: Vec<u8>,
 }
 
 /// The genesis chain value for a fresh trail.
@@ -151,6 +155,7 @@ impl AuditTrail {
             next_seq: 0,
             last_timestamp: 0,
             metrics: TrailMetrics::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -163,7 +168,9 @@ impl AuditTrail {
         let seq = self.next_seq;
         self.next_seq += 1;
         let rec = Record { seq, timestamp, event };
-        self.head_hash = extend_chain(&self.head_hash, &rec.to_bytes());
+        self.scratch.clear();
+        rec.encode(&mut self.scratch);
+        self.head_hash = extend_chain(&self.head_hash, &self.scratch);
         self.open_records.push(rec);
         self.metrics.appends.inc();
         seq

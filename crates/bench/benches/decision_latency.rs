@@ -12,7 +12,7 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use msod::{MemoryAdi, RetainedAdi, RoleRef};
-use permis::{DecisionRequest, Pdp};
+use permis::{DecisionRequest, DecisionService, Pdp};
 use workflow::scenarios::{
     seed_adi, workload_policy_xml, workload_policy_xml_no_msod, WorkloadConfig,
 };
@@ -62,6 +62,61 @@ fn decide_vs_adi_size(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
             b.iter(|| pdp_idx.decide(black_box(&req)))
+        });
+    }
+    group.finish();
+}
+
+fn symbolized_vs_string_service(c: &mut Criterion) {
+    // The PR-6 hot-path ablation (BENCH_hotpath.json): the full
+    // DecisionService front end over the string-keyed indexed store
+    // versus the symbolized plane (intern-once boundary, u32 matchers,
+    // SymAdi trie, zero-alloc warm decide), same denied probe as E8.
+    let mut group = c.benchmark_group("decide/symbolized_vs_string_service");
+    let cfg = cfg();
+    let policy = policy::parse_rbac_policy(&workload_policy_xml(&cfg)).unwrap();
+    let probe_record = || msod::AdiRecord {
+        user: "user0".into(),
+        roles: vec![RoleRef::new("permisRole", "A0")],
+        operation: workflow::scenarios::WORK_OP.into(),
+        target: workflow::scenarios::WORK_TARGET.into(),
+        context: "Proc=0".parse().unwrap(),
+        timestamp: 0,
+    };
+    let req = DecisionRequest::with_roles(
+        "user0",
+        vec![RoleRef::new("permisRole", "B0")],
+        workflow::scenarios::WORK_OP,
+        workflow::scenarios::WORK_TARGET,
+        "Proc=0".parse().unwrap(),
+        1,
+    );
+    for n in [0usize, 1_000, 10_000, 100_000] {
+        let mut seeded = MemoryAdi::new();
+        seed_adi(&mut seeded, &cfg, n, 7);
+        seeded.add(probe_record());
+
+        let string_svc = DecisionService::<msod::IndexedAdi>::with_shard_count(
+            policy.clone(),
+            b"k".to_vec(),
+            msod::DEFAULT_SHARDS,
+        );
+        let sym_svc = DecisionService::new_symbolized(policy.clone(), b"k".to_vec());
+        assert!(
+            sym_svc.core().sym_engine().is_some(),
+            "workload policy must compile onto the symbol plane"
+        );
+        for rec in seeded.snapshot() {
+            string_svc.adi().with_user_shard(&rec.user.clone(), |s| s.add(rec.clone()));
+            sym_svc.adi().with_user_shard(&rec.user.clone(), |s| s.add(rec));
+        }
+        assert!(!string_svc.decide(&req).is_granted());
+        assert!(!sym_svc.decide(&req).is_granted());
+        group.bench_with_input(BenchmarkId::new("string_indexed", n), &n, |b, _| {
+            b.iter(|| string_svc.decide(black_box(&req)))
+        });
+        group.bench_with_input(BenchmarkId::new("symbolized", n), &n, |b, _| {
+            b.iter(|| sym_svc.decide(black_box(&req)))
         });
     }
     group.finish();
@@ -211,6 +266,7 @@ fn deny_vs_grant_latency(c: &mut Criterion) {
 criterion_group!(
     benches,
     decide_vs_adi_size,
+    symbolized_vs_string_service,
     fresh_context_miss,
     msod_overhead_vs_plain_rbac,
     decide_throughput_workload,

@@ -12,7 +12,12 @@
 //!    [`storage::PersistentAdi`] shards on a [`FaultVfs`] RAM disk;
 //! 5. `crash` — like `persistent`, but powers off mid-sequence
 //!    ([`FaultVfs::power_cut`]) after a sync and reopens through the
-//!    recovery path before continuing.
+//!    recovery path before continuing; on alternating power cuts the
+//!    surviving journals are first rewritten with string-era (v1)
+//!    frames, so every sweep also covers crash-reopen of a journal
+//!    written before the symbol-frame format existed;
+//! 6. `symbolized` — [`DecisionService`] over sharded [`SymAdi`],
+//!    the interned fast path ([`permis::DecisionService::new_symbolized`]).
 //!
 //! All requests carry pre-validated roles and an all-permitting RBAC
 //! target rule, so every decision reaches the MSoD stage and every
@@ -24,10 +29,10 @@ use std::path::Path;
 use std::sync::Arc;
 
 use context::ContextName;
-use msod::{AdiRecord, IndexedAdi, MemoryAdi, RetainedAdi};
+use msod::{AdiRecord, IndexedAdi, MemoryAdi, RetainedAdi, SymAdi};
 use permis::{DecisionOutcome, DecisionRequest, DecisionService, DenyReason, Pdp};
 use policy::{PdpPolicy, TargetRule};
-use storage::{FaultVfs, PersistentAdi, Vfs};
+use storage::{AdiOp, FaultVfs, OpLog, PersistentAdi, Vfs};
 
 use crate::gen::{role_pool, Op, Workload, ROLE_TYPE};
 use crate::oracle::{sort_snapshot, Mutation, Oracle, OracleRequest, Verdict};
@@ -131,6 +136,27 @@ fn persistent_service(
     )
 }
 
+/// Rewrite every shard journal with string-era (v1) `AdiOp::Add`
+/// frames carrying its current records, as a journal written before
+/// the symbol-frame format would have. The subsequent reopen must
+/// migrate transparently ([`storage::ReplayDecoder`] replays v1 frames
+/// unchanged; the next compaction rewrites them as symbol frames).
+fn downgrade_shards_to_v1(vfs: &FaultVfs, shards: usize) {
+    for i in 0..shards {
+        let path = shard_path(i);
+        let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        let records = PersistentAdi::open_with_vfs(Arc::clone(&arc), &path)
+            .expect("journal must reopen for downgrade")
+            .snapshot();
+        vfs.remove_file(&path).expect("RAM-disk remove");
+        let (mut log, _) = OpLog::open_with_vfs(arc, &path, |_| true).expect("fresh v1 journal");
+        for rec in records {
+            log.append(&AdiOp::Add(rec).encode()).expect("RAM-disk append");
+        }
+        log.sync().expect("RAM-disk sync");
+    }
+}
+
 /// One engine variant under test.
 enum Variant {
     Monolith(Box<Pdp<MemoryAdi>>),
@@ -138,6 +164,7 @@ enum Variant {
     Indexed(DecisionService<IndexedAdi>),
     Persistent { svc: DecisionService<PersistentAdi>, _vfs: FaultVfs },
     Crash { svc: Option<DecisionService<PersistentAdi>>, vfs: FaultVfs, shards: usize },
+    Symbolized(DecisionService<SymAdi>),
 }
 
 impl Variant {
@@ -148,6 +175,7 @@ impl Variant {
             Variant::Indexed(_) => "indexed",
             Variant::Persistent { .. } => "persistent",
             Variant::Crash { .. } => "crash",
+            Variant::Symbolized(_) => "symbolized",
         }
     }
 
@@ -158,6 +186,7 @@ impl Variant {
             Variant::Indexed(svc) => svc.decide(req),
             Variant::Persistent { svc, .. } => svc.decide(req),
             Variant::Crash { svc, .. } => svc.as_ref().expect("service is open").decide(req),
+            Variant::Symbolized(svc) => svc.decide(req),
         }
     }
 
@@ -170,6 +199,7 @@ impl Variant {
             Variant::Indexed(svc) => svc.adi().purge(&bound),
             Variant::Persistent { svc, .. } => svc.adi().purge(&bound),
             Variant::Crash { svc, .. } => svc.as_ref().expect("open").adi().purge(&bound),
+            Variant::Symbolized(svc) => svc.adi().purge(&bound),
         }
     }
 
@@ -182,11 +212,12 @@ impl Variant {
             Variant::Crash { svc, .. } => {
                 svc.as_ref().expect("open").adi().purge_older_than(cutoff)
             }
+            Variant::Symbolized(svc) => svc.adi().purge_older_than(cutoff),
         }
     }
 
     fn purge_all(&mut self) -> usize {
-        fn clear_sharded<A: RetainedAdi>(svc: &DecisionService<A>) -> usize {
+        fn clear_sharded<A: RetainedAdi + 'static>(svc: &DecisionService<A>) -> usize {
             svc.adi().with_exclusive(|view| {
                 let n = view.len();
                 view.clear();
@@ -204,6 +235,7 @@ impl Variant {
             Variant::Indexed(svc) => clear_sharded(svc),
             Variant::Persistent { svc, .. } => clear_sharded(svc),
             Variant::Crash { svc, .. } => clear_sharded(svc.as_ref().expect("open")),
+            Variant::Symbolized(svc) => clear_sharded(svc),
         }
     }
 
@@ -214,6 +246,7 @@ impl Variant {
             Variant::Indexed(svc) => svc.adi().snapshot(),
             Variant::Persistent { svc, .. } => svc.adi().snapshot(),
             Variant::Crash { svc, .. } => svc.as_ref().expect("open").adi().snapshot(),
+            Variant::Symbolized(svc) => svc.adi().snapshot(),
         };
         sort_snapshot(&mut snap);
         snap
@@ -221,13 +254,18 @@ impl Variant {
 
     /// The crash variant's mid-sequence power cut: sync every shard
     /// journal, drop the service, cut power (the synced prefixes
-    /// survive), and reopen through the recovery path. Other variants
-    /// no-op.
+    /// survive), and reopen through the recovery path. On even seeds
+    /// the surviving journals are first downgraded to string-era (v1)
+    /// frames, so reopening also exercises the frame-format migration.
+    /// Other variants no-op.
     fn power_cycle(&mut self, policy: &PdpPolicy, seed: u64) {
         if let Variant::Crash { svc, vfs, shards } = self {
             svc.as_ref().expect("open").sync_adi().expect("RAM-disk sync");
             *svc = None; // drop: flush any batched tail before the cut
             vfs.power_cut(seed);
+            if seed & 1 == 0 {
+                downgrade_shards_to_v1(vfs, *shards);
+            }
             let stores = open_persistent_shards(vfs, *shards);
             assert!(
                 stores.iter().all(|s| s.recovery().is_clean()),
@@ -294,6 +332,11 @@ pub fn run_workload_with(w: &Workload, mutation: Mutation) -> Option<Divergence>
             vfs: crash_vfs,
             shards: w.shards,
         },
+        Variant::Symbolized(DecisionService::symbolized_with_shard_count(
+            policy.clone(),
+            TRAIL_KEY.to_vec(),
+            w.shards,
+        )),
     ];
 
     for (i, op) in w.ops.iter().enumerate() {

@@ -3,9 +3,11 @@
 //! Every seed generates one workload (policies + operation sequence)
 //! and replays it through all engine variants — monolithic `Pdp`,
 //! `DecisionService` over the memory and indexed backends, the
-//! persistent backend, and a mid-sequence crash-reopen variant —
-//! asserting verdict-for-verdict and retained-ADI-state equivalence
-//! against the naive spec oracle.
+//! persistent backend, a mid-sequence crash-reopen variant (which on
+//! alternating power cuts reopens a journal downgraded to string-era
+//! v1 frames, covering the frame-format migration), and the
+//! symbolized interned fast path — asserting verdict-for-verdict and
+//! retained-ADI-state equivalence against the naive spec oracle.
 //!
 //! Knobs (mirroring the crash-sim suite):
 //!

@@ -12,9 +12,13 @@
 //! 3. step 7 — purge every record covered by the bound context when its
 //!    last step is granted.
 //!
-//! [`MemoryAdi`] mirrors the paper's in-core implementation (§5.2); the
-//! `storage` crate provides the persistent backend the paper names as
-//! future work (§6), behind the same [`RetainedAdi`] trait.
+//! `MemoryAdi` mirrors the paper's in-core implementation (§5.2) and is
+//! quarantined behind the `test-oracle` feature: its O(n) fresh-context
+//! scan makes it a differential-testing oracle, not a production
+//! backend. Production code uses the trie-indexed store
+//! (`crate::indexed::IndexedAdi`), the symbolized store
+//! (`crate::sym::SymAdi`), or the `storage` crate's persistent backend
+//! (§6 future work), all behind the same [`RetainedAdi`] trait.
 
 use context::{BoundContext, ContextInstance};
 
@@ -96,13 +100,21 @@ pub trait RetainedAdi {
 
 /// In-memory retained ADI with a per-user index, as in the paper's
 /// PERMIS implementation (§5.2: "stored as retained ADI in memory").
+///
+/// Test oracle only: the `context_active` scan is O(n) over every
+/// retained record, so this backend is compiled only under `cfg(test)`
+/// or the `test-oracle` feature and serves as the reference
+/// implementation that the indexed and symbolized stores are
+/// differentially checked against.
 #[derive(Debug, Default, Clone)]
+#[cfg(any(test, feature = "test-oracle"))]
 pub struct MemoryAdi {
     /// user -> records, in insertion order.
     by_user: std::collections::HashMap<String, Vec<AdiRecord>>,
     len: usize,
 }
 
+#[cfg(any(test, feature = "test-oracle"))]
 impl MemoryAdi {
     /// New empty store.
     pub fn new() -> Self {
@@ -119,6 +131,7 @@ impl MemoryAdi {
     }
 }
 
+#[cfg(any(test, feature = "test-oracle"))]
 impl RetainedAdi for MemoryAdi {
     fn add(&mut self, record: AdiRecord) {
         self.by_user.entry(record.user.clone()).or_default().push(record);
@@ -191,7 +204,7 @@ impl RetainedAdi for MemoryAdi {
 }
 
 /// Total order so snapshots are comparable across backends (shared by
-/// [`MemoryAdi`] and the sharded store's exclusive view).
+/// the concrete stores and the sharded store's exclusive view).
 pub(crate) fn sort_records(records: &mut [AdiRecord]) {
     records.sort_by(|a, b| {
         (a.timestamp, &a.user, &a.context, &a.operation, &a.target, &a.roles).cmp(&(

@@ -15,8 +15,6 @@
 //! matched policies are buffered and committed only when the overall
 //! outcome is a grant.
 
-use std::collections::HashMap;
-
 use context::{BoundContext, ContextInstance};
 
 use crate::adi::{AdiRecord, RetainedAdi};
@@ -327,28 +325,46 @@ pub(crate) fn check_constraints(
     adi: &dyn RetainedAdi,
     consulted: &mut usize,
 ) -> Option<DenyDetail> {
-    // Occurrence maps over the user's retained history in this bound
-    // context, built once per policy.
-    let mut role_occ: HashMap<RoleRef, usize> = HashMap::new();
-    let mut priv_occ: HashMap<Privilege, usize> = HashMap::new();
+    // Split every constraint against the request first; the per-entry
+    // tallies borrow the constraint entries themselves, so the single
+    // history pass below counts over borrows — no cloned keys, no
+    // per-record allocation.
+    let mut mmer_splits: Vec<(usize, Vec<Tally<'_, RoleRef>>)> =
+        policy.mmer().iter().map(|m| split_to_tallies(m.split_matches(req.roles))).collect();
+    let mut mmep_splits: Vec<Option<Vec<Tally<'_, Privilege>>>> = policy
+        .mmep()
+        .iter()
+        .map(|m| m.split_match(req.operation, req.target).map(tally_remaining))
+        .collect();
+
+    // One pass over the user's retained history in this bound context:
+    // for each remaining constraint entry, count how often history
+    // satisfies it (role occurrences for MMER, one privilege occurrence
+    // per record for MMEP).
     adi.visit_user_records(req.user, bound, &mut |rec| {
         *consulted += 1;
-        for role in &rec.roles {
-            *role_occ.entry(role.clone()).or_insert(0) += 1;
+        for (_, tallies) in &mut mmer_splits {
+            for t in tallies.iter_mut() {
+                t.seen += rec.roles.iter().filter(|r| *r == t.entry).count();
+            }
         }
-        *priv_occ.entry(Privilege::new(rec.operation.clone(), rec.target.clone())).or_insert(0) +=
-            1;
+        for tallies in mmep_splits.iter_mut().flatten() {
+            for t in tallies.iter_mut() {
+                if t.entry.matches(&rec.operation, &rec.target) {
+                    t.seen += 1;
+                }
+            }
+        }
     });
 
     // Step 5: MMER.
-    for (ci, mmer) in policy.mmer().iter().enumerate() {
-        // 5.i: match activated roles against the constraint's roles.
-        let (nr, remaining) = mmer.split_matches(req.roles);
-        if nr == 0 {
-            continue; // 5.ii
+    for (ci, (mmer, (nr, tallies))) in policy.mmer().iter().zip(&mmer_splits).enumerate() {
+        // 5.i/5.ii: skip constraints no activated role touches.
+        if *nr == 0 {
+            continue;
         }
         // 5.iii: count remaining entries satisfiable from history.
-        let count = multiset_history_count(remaining.iter().map(|r| (*r).clone()), &role_occ);
+        let count = multiset_count(tallies);
         // 5.iv: grant iff count < ForbiddenCardinality - nr. (When
         // nr >= m the right-hand side is <= 0 and the request — which
         // activates m conflicting roles at once — is denied outright.)
@@ -359,7 +375,7 @@ pub(crate) fn check_constraints(
                 bound: bound.clone(),
                 kind: ConstraintKind::Mmer,
                 constraint_index: ci,
-                current_matches: nr,
+                current_matches: *nr,
                 history_matches: count,
                 forbidden_cardinality: m,
                 records_consulted: *consulted,
@@ -368,14 +384,14 @@ pub(crate) fn check_constraints(
     }
 
     // Step 6: MMEP.
-    for (ci, mmep) in policy.mmep().iter().enumerate() {
+    for (ci, (mmep, split)) in policy.mmep().iter().zip(&mmep_splits).enumerate() {
         // 6.i/6.ii: does the requested privilege match an entry?
-        let Some(remaining) = mmep.split_match(req.operation, req.target) else {
+        let Some(tallies) = split else {
             continue;
         };
         // 6.iii: count remaining entries satisfiable from history,
         // then grant iff count < ForbiddenCardinality - 1.
-        let count = multiset_history_count(remaining.iter().map(|p| (*p).clone()), &priv_occ);
+        let count = multiset_count(tallies);
         let m = mmep.forbidden_cardinality();
         if count + 1 >= m {
             return Some(DenyDetail {
@@ -393,19 +409,35 @@ pub(crate) fn check_constraints(
     None
 }
 
-/// How many of the `remaining` constraint entries (a multiset) can be
-/// matched by historic occurrences: for each distinct entry, at most
-/// `min(times listed, times seen in history)` — so a duplicated entry
-/// needs genuinely repeated history to count twice.
-fn multiset_history_count<T: std::hash::Hash + Eq>(
-    remaining: impl Iterator<Item = T>,
-    occurrences: &HashMap<T, usize>,
-) -> usize {
-    let mut listed: HashMap<T, usize> = HashMap::new();
-    for e in remaining {
-        *listed.entry(e).or_insert(0) += 1;
+/// One distinct remaining constraint entry: how many times the
+/// constraint lists it (`listed`) and how many historic occurrences
+/// were seen (`seen`). Borrows the entry from the constraint itself.
+struct Tally<'a, T> {
+    entry: &'a T,
+    listed: usize,
+    seen: usize,
+}
+
+fn tally_remaining<T: Eq>(remaining: Vec<&T>) -> Vec<Tally<'_, T>> {
+    let mut tallies: Vec<Tally<'_, T>> = Vec::with_capacity(remaining.len());
+    for entry in remaining {
+        match tallies.iter_mut().find(|t| t.entry == entry) {
+            Some(t) => t.listed += 1,
+            None => tallies.push(Tally { entry, listed: 1, seen: 0 }),
+        }
     }
-    listed.into_iter().map(|(e, n)| n.min(occurrences.get(&e).copied().unwrap_or(0))).sum()
+    tallies
+}
+
+fn split_to_tallies<T: Eq>((nr, remaining): (usize, Vec<&T>)) -> (usize, Vec<Tally<'_, T>>) {
+    (nr, tally_remaining(remaining))
+}
+
+/// How many remaining entries (a multiset) history satisfies: for each
+/// distinct entry, at most `min(times listed, times seen)` — so a
+/// duplicated entry needs genuinely repeated history to count twice.
+fn multiset_count<T>(tallies: &[Tally<'_, T>]) -> usize {
+    tallies.iter().map(|t| t.listed.min(t.seen)).sum()
 }
 
 #[cfg(test)]
@@ -797,13 +829,21 @@ mod tests {
 
     #[test]
     fn multiset_history_counting() {
-        let mut occ = HashMap::new();
-        occ.insert("p1", 1usize);
-        occ.insert("p2", 3);
+        let p1 = "p1".to_owned();
+        let p2 = "p2".to_owned();
+        let seen = |tallies: &mut Vec<Tally<'_, String>>, occ: &[(&str, usize)]| {
+            for t in tallies.iter_mut() {
+                t.seen = occ.iter().find(|(e, _)| e == t.entry).map_or(0, |(_, n)| *n);
+            }
+        };
         // remaining {p1, p1, p2}: p1 counted once (1 occurrence), p2 once.
-        assert_eq!(multiset_history_count(vec!["p1", "p1", "p2"].into_iter(), &occ), 2);
+        let mut t = tally_remaining(vec![&p1, &p1, &p2]);
+        seen(&mut t, &[("p1", 1), ("p2", 3)]);
+        assert_eq!(multiset_count(&t), 2);
         // remaining {p2, p2}: both satisfiable (3 occurrences).
-        assert_eq!(multiset_history_count(vec!["p2", "p2"].into_iter(), &occ), 2);
-        assert_eq!(multiset_history_count(Vec::<&str>::new().into_iter(), &occ), 0);
+        let mut t = tally_remaining(vec![&p2, &p2]);
+        seen(&mut t, &[("p1", 1), ("p2", 3)]);
+        assert_eq!(multiset_count(&t), 2);
+        assert_eq!(multiset_count(&tally_remaining(Vec::<&String>::new())), 0);
     }
 }

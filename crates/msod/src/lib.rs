@@ -14,14 +14,16 @@
 //!   once per context instance);
 //! - [`MsodPolicy`] / [`MsodPolicySet`] — constraints scoped by a
 //!   hierarchical business context with optional first/last steps;
-//! - [`RetainedAdi`] / [`MemoryAdi`] — the ISO 10181-3 retained
-//!   access-control decision information store;
+//! - [`RetainedAdi`] / [`IndexedAdi`] — the ISO 10181-3 retained
+//!   access-control decision information store (trie-indexed);
 //! - [`MsodEngine`] — the §4.2 enforcement algorithm, run by the PDP
-//!   after the normal RBAC check grants.
+//!   after the normal RBAC check grants;
+//! - [`sym`] — the symbol plane: interned requests, flat multiset
+//!   matchers, and the allocation-free [`sym::SymEngine`] fast path.
 //!
 //! ```
 //! use context::ContextInstance;
-//! use msod::{MemoryAdi, Mmer, MsodEngine, MsodPolicy, MsodPolicySet,
+//! use msod::{IndexedAdi, Mmer, MsodEngine, MsodPolicy, MsodPolicySet,
 //!            MsodRequest, RoleRef};
 //!
 //! // Example 1 of the paper: no one may act as both Teller and Auditor
@@ -35,7 +37,7 @@
 //!     vec![],
 //! ).unwrap();
 //! let engine = MsodEngine::new(MsodPolicySet::new(vec![policy]));
-//! let mut adi = MemoryAdi::new();
+//! let mut adi = IndexedAdi::new();
 //!
 //! let york: ContextInstance = "Branch=York, Period=2006".parse().unwrap();
 //! let leeds: ContextInstance = "Branch=Leeds, Period=2006".parse().unwrap();
@@ -64,8 +66,11 @@ pub mod indexed;
 pub mod policy;
 pub mod privilege;
 pub mod sharded;
+pub mod sym;
 
-pub use adi::{AdiRecord, MemoryAdi, RetainedAdi};
+#[cfg(any(test, feature = "test-oracle"))]
+pub use adi::MemoryAdi;
+pub use adi::{AdiRecord, RetainedAdi};
 pub use constraint::{Mmep, Mmer};
 pub use engine::{
     ConstraintKind, DenyDetail, EngineOptions, GrantDetail, MsodDecision, MsodEngine, MsodRequest,
@@ -75,6 +80,9 @@ pub use indexed::IndexedAdi;
 pub use policy::{MsodPolicy, MsodPolicySet};
 pub use privilege::{Privilege, RoleRef};
 pub use sharded::{AdiMetrics, ShardMetrics, ShardedAdi, DEFAULT_SHARDS};
+pub use sym::{
+    intern_request, sharded_sym_adi, MatchedBuf, ReqBufs, SymAdi, SymEngine, SymOutcome, SymRequest,
+};
 
 #[cfg(test)]
 mod adi_equivalence {

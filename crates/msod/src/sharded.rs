@@ -122,7 +122,7 @@ impl AdiMetrics {
 /// shard's metrics on acquisition and drop. `held` is `Some` only on
 /// sampled acquisitions ([`HOLD_SAMPLE`]); a sampled hold is scaled by
 /// the sampling period so `hold_ns` stays a total-time estimate.
-struct TimedShardGuard<'a, A> {
+pub(crate) struct TimedShardGuard<'a, A> {
     guard: MutexGuard<'a, A>,
     held: Option<Stopwatch>,
     metrics: &'a ShardMetrics,
@@ -158,11 +158,11 @@ const HOLD_SAMPLE: u64 = 8;
 /// A user-keyed sharded retained-ADI store. See the module docs for the
 /// locking protocol.
 pub struct ShardedAdi<A> {
-    shards: Vec<Mutex<A>>,
+    pub(crate) shards: Vec<Mutex<A>>,
     /// Global epoch: readers are fast-path decisions, the writer is any
     /// operation that must see / mutate all shards atomically.
     epoch: RwLock<()>,
-    metrics: AdiMetrics,
+    pub(crate) metrics: AdiMetrics,
 }
 
 impl<A: RetainedAdi + Default> ShardedAdi<A> {
@@ -211,7 +211,7 @@ impl<A: RetainedAdi> ShardedAdi<A> {
     /// when the lock was actually waited on — and hold time is clocked
     /// on sampled acquisitions only, so the steady-state acquisition
     /// costs two relaxed `fetch_add`s and no clock reads.
-    fn lock_shard(&self, idx: usize) -> TimedShardGuard<'_, A> {
+    pub(crate) fn lock_shard(&self, idx: usize) -> TimedShardGuard<'_, A> {
         let metrics = &self.metrics.shards[idx];
         let guard = match self.shards[idx].try_lock() {
             Some(guard) => guard,

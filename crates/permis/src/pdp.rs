@@ -4,7 +4,7 @@
 
 use audit::{AuditEvent, AuditTrail, TrailStore};
 use credential::{CredentialValidationService, Directory};
-use msod::{MemoryAdi, MsodDecision, MsodEngine, MsodRequest, RetainedAdi, RoleRef};
+use msod::{IndexedAdi, MsodDecision, MsodEngine, MsodRequest, RetainedAdi, RoleRef};
 use policy::{parse_rbac_policy, PdpPolicy, PolicyError};
 
 use crate::request::{Credentials, DecisionOutcome, DecisionRequest, DenyReason};
@@ -12,7 +12,7 @@ use crate::request::{Credentials, DecisionOutcome, DecisionRequest, DenyReason};
 /// The integrated CVS/PDP over a pluggable retained-ADI backend
 /// (in-memory by default; `storage::PersistentAdi` for the durable
 /// variant).
-pub struct Pdp<A: RetainedAdi = MemoryAdi> {
+pub struct Pdp<A: RetainedAdi = IndexedAdi> {
     policy: PdpPolicy,
     cvs: CredentialValidationService,
     directory: Directory,
@@ -51,10 +51,10 @@ impl<A: RetainedAdi> std::fmt::Debug for Pdp<A> {
     }
 }
 
-impl Pdp<MemoryAdi> {
-    /// PDP over the in-memory retained ADI (the paper's shipped design).
+impl Pdp<IndexedAdi> {
+    /// PDP over the in-memory trie-indexed retained ADI.
     pub fn new(policy: PdpPolicy, trail_key: impl Into<Vec<u8>>) -> Self {
-        Pdp::with_adi(policy, trail_key, MemoryAdi::new())
+        Pdp::with_adi(policy, trail_key, IndexedAdi::new())
     }
 
     /// Parse an `<RBACPolicy>` document and build a PDP from it — the

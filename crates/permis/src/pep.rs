@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use context::{ContextInstance, ContextRegistry};
 use credential::AttributeCredential;
-use msod::{MemoryAdi, RetainedAdi, RoleRef};
+use msod::{IndexedAdi, RetainedAdi, RoleRef};
 use parking_lot::RwLock;
 
 use crate::request::{Credentials, DecisionOutcome, DecisionRequest};
@@ -38,13 +38,13 @@ pub struct PepSession {
 }
 
 /// The application-side policy enforcement point.
-pub struct Pep<A: RetainedAdi = MemoryAdi> {
+pub struct Pep<A: RetainedAdi = IndexedAdi> {
     service: Arc<DecisionService<A>>,
     registry: RwLock<ContextRegistry>,
     next_session: AtomicU64,
 }
 
-impl<A: RetainedAdi> Pep<A> {
+impl<A: RetainedAdi + 'static> Pep<A> {
     /// Build a PEP over a shared decision service.
     pub fn new(service: Arc<DecisionService<A>>) -> Self {
         Pep {
@@ -179,7 +179,7 @@ mod tests {
   </MSoDPolicySet>
 </RBACPolicy>"#;
 
-    fn setup() -> (Pep<MemoryAdi>, Authority) {
+    fn setup() -> (Pep<IndexedAdi>, Authority) {
         let service = DecisionService::from_xml(POLICY, b"k".to_vec()).unwrap();
         let hr = Authority::new("cn=HR", b"hr".to_vec());
         service.register_authority_key(hr.dn(), hr.verification_key().to_vec());
@@ -240,7 +240,7 @@ mod tests {
         // Two resource gateways (PEPs) in different domains route to the
         // same PDP — the distributed deployment of §1.
         let (pep1, _) = setup();
-        let pep2: Pep<MemoryAdi> = Pep::new(pep1.service());
+        let pep2: Pep<IndexedAdi> = Pep::new(pep1.service());
         let ctx: ContextInstance = "Proc=1".parse().unwrap();
         pep1.open_context(ctx.clone());
         pep2.open_context(ctx.clone());

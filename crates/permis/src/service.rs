@@ -26,12 +26,14 @@ use std::sync::Arc;
 use audit::{AuditError, AuditEvent, AuditTrail, TrailStore};
 use credential::{AttributeCredential, CredentialValidationService, Directory};
 use msod::{
-    AdiRecord, ConstraintKind, EngineOptions, MemoryAdi, MsodDecision, MsodEngine, MsodRequest,
-    RetainedAdi, RoleRef, ShardedAdi,
+    sharded_sym_adi, AdiRecord, ConstraintKind, EngineOptions, IndexedAdi, MatchedBuf,
+    MsodDecision, MsodEngine, MsodRequest, ReqBufs, RetainedAdi, RoleRef, ShardedAdi, SymAdi,
+    SymEngine,
 };
 use obs::{PromWriter, Stopwatch};
 use parking_lot::{Mutex, RwLock};
 use policy::{parse_rbac_policy, PdpPolicy, PolicyError};
+use symtab::SymbolTable;
 
 use crate::metrics::{DecideMetrics, DecisionTrace};
 use crate::mgmt::{ManagementOp, MGMT_TARGET};
@@ -48,16 +50,23 @@ pub struct DecisionCore {
     cvs: CredentialValidationService,
     directory: Directory,
     engine: MsodEngine,
+    /// The symbolized MSoD engine, compiled against the service's
+    /// symbol table on symbolized services (`None` otherwise, or when
+    /// the policy set exceeds the fast path's fixed bounds — the
+    /// string engine then handles every request).
+    sym: Option<SymEngine>,
 }
 
 impl DecisionCore {
-    fn from_policy(policy: PdpPolicy) -> Self {
+    fn from_policy(policy: PdpPolicy, table: Option<&SymbolTable>) -> Self {
         let mut cvs = CredentialValidationService::new();
         for soa in &policy.trusted_soas {
             cvs.trust(soa.clone());
         }
         let engine = MsodEngine::new(policy.msod.clone());
-        DecisionCore { policy, cvs, directory: Directory::new(), engine }
+        let sym =
+            table.and_then(|t| SymEngine::compile(engine.policies(), &EngineOptions::default(), t));
+        DecisionCore { policy, cvs, directory: Directory::new(), engine, sym }
     }
 
     /// The loaded policy.
@@ -68,6 +77,11 @@ impl DecisionCore {
     /// The compiled MSoD engine.
     pub fn engine(&self) -> &MsodEngine {
         &self.engine
+    }
+
+    /// The compiled symbolized engine, when this core has one.
+    pub fn sym_engine(&self) -> Option<&SymEngine> {
+        self.sym.as_ref()
     }
 }
 
@@ -81,11 +95,16 @@ struct AuditPlane {
 
 /// The two-plane PDP. All methods take `&self`; share it between
 /// threads with a plain [`Arc`].
-pub struct DecisionService<A: RetainedAdi = MemoryAdi> {
+pub struct DecisionService<A: RetainedAdi = IndexedAdi> {
     core: RwLock<Arc<DecisionCore>>,
     adi: ShardedAdi<A>,
     audit: Mutex<AuditPlane>,
     trail_key: Vec<u8>,
+    /// Present on symbolized services: the append-only table shared by
+    /// the ADI shards and every compiled [`SymEngine`]. Policy swaps
+    /// recompile against the same table, so symbols stay stable for
+    /// the life of the service.
+    sym_table: Option<Arc<SymbolTable>>,
     metrics: DecideMetrics,
 }
 
@@ -99,7 +118,7 @@ impl<A: RetainedAdi> std::fmt::Debug for DecisionService<A> {
     }
 }
 
-impl DecisionService<MemoryAdi> {
+impl DecisionService<IndexedAdi> {
     /// Service over in-memory retained ADI with the default shard count.
     pub fn new(policy: PdpPolicy, trail_key: impl Into<Vec<u8>>) -> Self {
         DecisionService::with_shard_count(policy, trail_key, msod::DEFAULT_SHARDS)
@@ -111,7 +130,43 @@ impl DecisionService<MemoryAdi> {
     }
 }
 
-impl<A: RetainedAdi + Default> DecisionService<A> {
+impl DecisionService<SymAdi> {
+    /// Fully symbolized service: requests are interned once at the
+    /// boundary and the whole §4.2 pipeline — engine, trie index,
+    /// sharded store — runs on dense `u32` symbols, allocation-free on
+    /// the warm path. Decisions are identical to the string engine's
+    /// (the symbolized engine falls back to it per-request where the
+    /// fast path does not apply).
+    pub fn new_symbolized(policy: PdpPolicy, trail_key: impl Into<Vec<u8>>) -> Self {
+        DecisionService::symbolized_with_shard_count(policy, trail_key, msod::DEFAULT_SHARDS)
+    }
+
+    /// Symbolized service with `shards` shards (clamped to at least 1).
+    pub fn symbolized_with_shard_count(
+        policy: PdpPolicy,
+        trail_key: impl Into<Vec<u8>>,
+        shards: usize,
+    ) -> Self {
+        let table = Arc::new(SymbolTable::new());
+        let adi = sharded_sym_adi(&table, shards);
+        DecisionService::assemble(policy, trail_key.into(), adi, Some(table))
+    }
+
+    /// Parse an `<RBACPolicy>` document and build a symbolized service.
+    pub fn from_xml_symbolized(
+        xml: &str,
+        trail_key: impl Into<Vec<u8>>,
+    ) -> Result<Self, PolicyError> {
+        Ok(DecisionService::new_symbolized(parse_rbac_policy(xml)?, trail_key))
+    }
+
+    /// The symbol table shared by this service's engine and ADI.
+    pub fn symbol_table(&self) -> &Arc<SymbolTable> {
+        self.sym_table.as_ref().expect("symbolized service always holds a table")
+    }
+}
+
+impl<A: RetainedAdi + Default + 'static> DecisionService<A> {
     /// Service with `shards` empty ADI shards (clamped to at least 1).
     pub fn with_shard_count(
         policy: PdpPolicy,
@@ -175,7 +230,7 @@ impl DecisionService<storage::PersistentAdi> {
     }
 }
 
-impl<A: RetainedAdi> DecisionService<A> {
+impl<A: RetainedAdi + 'static> DecisionService<A> {
     /// Service over a pre-built sharded store (e.g. one
     /// `storage::PersistentAdi` per shard).
     pub fn from_shards(
@@ -183,15 +238,24 @@ impl<A: RetainedAdi> DecisionService<A> {
         trail_key: impl Into<Vec<u8>>,
         adi: ShardedAdi<A>,
     ) -> Self {
-        let trail_key = trail_key.into();
+        DecisionService::assemble(policy, trail_key.into(), adi, None)
+    }
+
+    fn assemble(
+        policy: PdpPolicy,
+        trail_key: Vec<u8>,
+        adi: ShardedAdi<A>,
+        sym_table: Option<Arc<SymbolTable>>,
+    ) -> Self {
         DecisionService {
-            core: RwLock::new(Arc::new(DecisionCore::from_policy(policy))),
+            core: RwLock::new(Arc::new(DecisionCore::from_policy(policy, sym_table.as_deref()))),
             adi,
             audit: Mutex::new(AuditPlane {
                 trail: AuditTrail::new(trail_key.clone()),
                 store: None,
             }),
             trail_key,
+            sym_table,
             metrics: DecideMetrics::default(),
         }
     }
@@ -213,7 +277,7 @@ impl<A: RetainedAdi> DecisionService<A> {
     /// re-filter history against the new policy set.
     pub fn set_policy(&self, policy: PdpPolicy) {
         let mut core = self.core.write();
-        let mut next = DecisionCore::from_policy(policy);
+        let mut next = DecisionCore::from_policy(policy, self.sym_table.as_deref());
         next.directory = core.directory.clone();
         *core = Arc::new(next);
     }
@@ -237,6 +301,10 @@ impl<A: RetainedAdi> DecisionService<A> {
     /// mode) while keeping the compiled policy set.
     pub fn set_engine_options(&self, options: EngineOptions) {
         self.mutate_core(|core| {
+            core.sym = self
+                .sym_table
+                .as_deref()
+                .and_then(|t| SymEngine::compile(core.engine.policies(), &options, t));
             core.engine = MsodEngine::with_options(core.engine.policies().clone(), options);
         });
     }
@@ -340,18 +408,42 @@ impl<A: RetainedAdi> DecisionService<A> {
                     timestamp: req.timestamp,
                 };
 
-                // Phase 2: context match against the MSoD policy set.
-                let matched = core.engine.policies().matching(&req.context);
-                let t_match = if sample {
-                    let t = clock.elapsed_ns();
-                    self.metrics.context_match_ns.record(t - t_front);
-                    t
-                } else {
-                    0
+                // Phases 2–3: context match + §4.2 enforcement. On a
+                // symbolized service both run inside the symbol plane —
+                // the request is interned once and matching happens on
+                // dense symbols, so the phases fuse (context_match_ns
+                // is recorded only on the string path, where matching
+                // is a separate allocation-bearing step).
+                let t_match;
+                let decision = 'msod: {
+                    if let (Some(sym), Some(table)) = (core.sym.as_ref(), self.sym_table.as_deref())
+                    {
+                        if let Some(sym_adi) =
+                            (&self.adi as &dyn std::any::Any).downcast_ref::<ShardedAdi<SymAdi>>()
+                        {
+                            t_match = t_front;
+                            let mut bufs = ReqBufs::new();
+                            let mut matched = MatchedBuf::new();
+                            break 'msod sym.enforce_or_fallback(
+                                &core.engine,
+                                table,
+                                sym_adi,
+                                &msod_req,
+                                &mut bufs,
+                                &mut matched,
+                            );
+                        }
+                    }
+                    let matched = core.engine.policies().matching(&req.context);
+                    t_match = if sample {
+                        let t = clock.elapsed_ns();
+                        self.metrics.context_match_ns.record(t - t_front);
+                        t
+                    } else {
+                        0
+                    };
+                    core.engine.enforce_sharded_matched(&self.adi, &msod_req, matched)
                 };
-
-                // Phase 3: §4.2 enforcement over the sharded ADI.
-                let decision = core.engine.enforce_sharded_matched(&self.adi, &msod_req, matched);
                 let t_msod = if sample {
                     let t = clock.elapsed_ns();
                     self.metrics.msod_ns.record(t - t_match);
@@ -657,7 +749,7 @@ mod tests {
         DecisionService::from_xml(POLICY, b"key".to_vec()).unwrap()
     }
 
-    fn work<A: RetainedAdi>(
+    fn work<A: RetainedAdi + 'static>(
         svc: &DecisionService<A>,
         user: &str,
         role: &str,
@@ -797,6 +889,49 @@ mod tests {
         // alice is still locked out of the reviewer seat on p1.
         assert!(!work(&svc, "alice", "Reviewer", "p1", 100));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn symbolized_service_matches_string_service() {
+        let svc = service();
+        let sym = DecisionService::from_xml_symbolized(POLICY, b"key".to_vec()).unwrap();
+        assert!(sym.core().sym_engine().is_some(), "policy must compile to the fast path");
+        let steps = [
+            ("alice", "Member", "p1"),
+            ("alice", "Reviewer", "p1"),
+            ("bob", "Reviewer", "p1"),
+            ("bob", "Member", "p2"),
+            ("alice", "Member", "p2"),
+            ("carol", "Reviewer", "p2"),
+            ("carol", "Member", "p2"),
+        ];
+        for (ts, (user, role, project)) in steps.into_iter().enumerate() {
+            let req = DecisionRequest::with_roles(
+                user,
+                vec![RoleRef::new("permisRole", role)],
+                "work",
+                "http://vo/resource",
+                format!("Project={project}").parse().unwrap(),
+                ts as u64,
+            );
+            assert_eq!(svc.decide(&req), sym.decide(&req), "step {ts}");
+        }
+        assert_eq!(svc.adi().snapshot(), sym.adi().snapshot());
+        // Policy swap recompiles the symbolized engine against the same
+        // table; decisions stay aligned afterwards.
+        let p = || policy::parse_rbac_policy(POLICY).unwrap();
+        svc.set_policy(p());
+        sym.set_policy(p());
+        assert!(sym.core().sym_engine().is_some());
+        let req = DecisionRequest::with_roles(
+            "alice",
+            vec![RoleRef::new("permisRole", "Reviewer")],
+            "work",
+            "http://vo/resource",
+            "Project=p1".parse().unwrap(),
+            50,
+        );
+        assert_eq!(svc.decide(&req), sym.decide(&req));
     }
 
     #[test]

@@ -3,11 +3,34 @@
 //!
 //! [`PersistentAdi`] journals every mutation (add / purge / clear) to a
 //! CRC-framed [`OpLog`] and serves queries from an in-memory
-//! [`MemoryAdi`] index rebuilt by replay at open. Compared with the
+//! [`IndexedAdi`] index rebuilt by replay at open. Compared with the
 //! paper's shipped design (in-core ADI rebuilt by replaying secure audit
 //! trails), start-up only replays the *live* operation log, which
 //! compaction keeps proportional to the live record count — experiment
 //! E9 measures exactly this trade-off.
+//!
+//! ## Frame versions: string (v1) and symbol (v2) encodings
+//!
+//! Add frames come in two generations. The string-era [`OP_ADD`]
+//! encoding spells out every identity (user, role, operation, target,
+//! context pairs) in full. The symbol-era encoding matches the
+//! process-wide symbol plane (`symtab`): a journal-local dictionary
+//! maps each distinct string to a dense `u32` id, persisted as
+//! [`SymDict`] *define* frames ([`OP_DEF`]) followed by compact
+//! [`OP_ADD_V2`] frames that carry only ids. New writes and compaction
+//! rewrites always emit the symbol encoding; a [`ReplayDecoder`]
+//! replays both generations transparently, so a string-era journal
+//! migrates on open with no conversion step — its frames decode as
+//! before, and the first compaction rewrites the file all-v2.
+//!
+//! Dictionary ids are *journal-scoped*, not process-scoped: they are
+//! defined by `OP_DEF` frames inside the file itself and carry no
+//! relation to the live `symtab::SymbolTable`. After a reopen the
+//! writer's dictionary restarts empty and re-defines every string
+//! before first use, so a later `OP_DEF` may redefine an id from an
+//! earlier epoch; the decoder applies definitions in frame order, which
+//! makes redefinition safe (every add only references the most recent
+//! definition at its point in the stream).
 //!
 //! All journal I/O flows through a [`Vfs`], so the crash-simulation
 //! harness (`tests/crash_sim.rs`) can power-cut the store mid-write and
@@ -18,7 +41,7 @@ use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
 use context::{BoundContext, ContextInstance, ContextName, PatternValue};
-use msod::{AdiRecord, MemoryAdi, RetainedAdi, RoleRef};
+use msod::{AdiRecord, IndexedAdi, RetainedAdi, RoleRef};
 use obs::{Counter, Gauge, Histogram, PromWriter, Stopwatch};
 use parking_lot::Mutex;
 
@@ -31,6 +54,10 @@ const OP_ADD: u8 = 0;
 const OP_PURGE_BOUND: u8 = 1;
 const OP_PURGE_OLDER: u8 = 2;
 const OP_CLEAR: u8 = 3;
+/// Symbol-era frame: define one dictionary id → string binding.
+const OP_DEF: u8 = 4;
+/// Symbol-era frame: one retained record, all identities as dict ids.
+const OP_ADD_V2: u8 = 5;
 
 /// Encoded frames buffered in memory before one batched `append` pass —
 /// a mutation costs a `Vec` push on the common path instead of a write
@@ -55,7 +82,11 @@ pub enum AdiOp {
 }
 
 impl AdiOp {
-    /// Serialize to a journal-frame payload.
+    /// Serialize to a string-era (v1) journal-frame payload. Live
+    /// writers emit symbol-encoded add frames instead (see
+    /// [`encode_add_v2`]); this encoding is kept because purge/clear
+    /// frames still use it, and because migration tests need to author
+    /// string-era journals.
     pub fn encode(&self) -> Vec<u8> {
         match self {
             AdiOp::Add(rec) => encode_add(rec),
@@ -70,8 +101,10 @@ impl AdiOp {
         }
     }
 
-    /// Parse a journal-frame payload. `None` when the payload is
-    /// truncated or structurally invalid — never panics.
+    /// Parse a string-era (v1) journal-frame payload. `None` when the
+    /// payload is truncated or structurally invalid — never panics.
+    /// Symbol-era frames need dictionary state and are handled by
+    /// [`ReplayDecoder::decode`], which falls back to this for v1 tags.
     pub fn decode(payload: &[u8]) -> Option<AdiOp> {
         let mut buf = payload;
         if buf.remaining() < 1 {
@@ -125,7 +158,7 @@ impl AdiOp {
 /// mutation sequence until a catch-up rewrite (a compaction from the
 /// authoritative in-memory index) succeeds and re-synchronizes it.
 pub struct PersistentAdi {
-    index: MemoryAdi,
+    index: IndexedAdi,
     journal: Mutex<Journal>,
     recovery: RecoveryReport,
 }
@@ -167,10 +200,25 @@ struct Journal {
     /// index) succeeds, further appends are withheld — writing them
     /// would put a hole in the history.
     needs_rewrite: bool,
+    /// Write-side dictionary for symbol-encoded add frames. Restarts
+    /// empty at open and is replaced wholesale by each successful
+    /// compaction (whose rewrite defines its own ids); both keep the
+    /// invariant that every id the dictionary knows has had its
+    /// `OP_DEF` frame queued ahead of any frame referencing it.
+    dict: SymDict,
     metrics: JournalMetrics,
 }
 
 impl Journal {
+    /// Queue one record as symbol-encoded frames (defs + add).
+    fn push_add(&mut self, rec: &AdiRecord) {
+        let mut frames = Vec::with_capacity(1);
+        encode_add_v2(&mut self.dict, rec, &mut frames);
+        for frame in frames {
+            self.push(frame);
+        }
+    }
+
     /// Queue one frame, flushing when the batch is full.
     fn push(&mut self, frame: Vec<u8>) {
         self.metrics.appends.inc();
@@ -380,6 +428,165 @@ fn decode_purge_bound(buf: &mut &[u8]) -> Option<BoundContext> {
     BoundContext::from_name(name).ok()
 }
 
+/// Write-side journal dictionary for the symbol-encoded (v2) add
+/// frames: string → dense `u32` id, with ids assigned on first sight.
+///
+/// Ids are scoped to one journal epoch (from open or compaction until
+/// the next compaction). [`SymDict::sym`] returns the id and, on first
+/// sight, pushes the [`OP_DEF`] frame that persists the binding —
+/// callers must journal those frames *before* the frame that
+/// references them, which [`encode_add_v2`] guarantees by emitting into
+/// one ordered frame list.
+#[derive(Debug, Default)]
+pub struct SymDict {
+    ids: std::collections::HashMap<String, u32>,
+}
+
+impl SymDict {
+    /// New empty dictionary (next id: 0).
+    pub fn new() -> Self {
+        SymDict::default()
+    }
+
+    /// Id for `s`, appending an [`OP_DEF`] frame to `frames` when the
+    /// string has not been seen this epoch.
+    fn sym(&mut self, s: &str, frames: &mut Vec<Vec<u8>>) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.ids.len() as u32;
+        self.ids.insert(s.to_owned(), id);
+        let mut def = Vec::with_capacity(9 + s.len());
+        def.put_u8(OP_DEF);
+        def.put_u32_le(id);
+        put_str(&mut def, s);
+        frames.push(def);
+        id
+    }
+}
+
+/// Encode `rec` as the symbol-era frame sequence: zero or more
+/// [`OP_DEF`] frames (for strings `dict` has not defined this epoch)
+/// followed by exactly one [`OP_ADD_V2`] frame. Frames are appended to
+/// `out` in replay order — definitions strictly before use — so a crash
+/// that persists any prefix never leaves an add referencing an
+/// undefined id.
+pub fn encode_add_v2(dict: &mut SymDict, rec: &AdiRecord, out: &mut Vec<Vec<u8>>) {
+    let mut buf = Vec::with_capacity(32 + 8 * rec.roles.len() + 8 * rec.context.pairs().len());
+    buf.put_u8(OP_ADD_V2);
+    buf.put_u64_le(rec.timestamp);
+    buf.put_u32_le(dict.sym(&rec.user, out));
+    buf.put_u32_le(rec.roles.len() as u32);
+    for r in &rec.roles {
+        buf.put_u32_le(dict.sym(&r.role_type, out));
+        buf.put_u32_le(dict.sym(&r.value, out));
+    }
+    buf.put_u32_le(dict.sym(&rec.operation, out));
+    buf.put_u32_le(dict.sym(&rec.target, out));
+    buf.put_u32_le(rec.context.pairs().len() as u32);
+    for (t, v) in rec.context.pairs() {
+        buf.put_u32_le(dict.sym(t, out));
+        buf.put_u32_le(dict.sym(v, out));
+    }
+    out.push(buf);
+}
+
+/// One decoded journal frame, as seen by [`ReplayDecoder::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayFrame {
+    /// A mutation to apply to the index.
+    Op(AdiOp),
+    /// A dictionary definition — already absorbed into the decoder's
+    /// state; nothing to apply.
+    Def,
+}
+
+/// Stateful decoder that replays *both* frame generations: string-era
+/// v1 frames pass straight through to [`AdiOp::decode`], symbol-era
+/// [`OP_DEF`] frames accumulate the journal-local dictionary, and
+/// [`OP_ADD_V2`] frames resolve their ids against it. A fresh decoder
+/// must be used per journal scan, and frames must be fed in file order
+/// (id redefinitions across writer epochs rely on it).
+#[derive(Debug, Default)]
+pub struct ReplayDecoder {
+    strings: std::collections::HashMap<u32, String>,
+}
+
+impl ReplayDecoder {
+    /// New decoder with an empty dictionary.
+    pub fn new() -> Self {
+        ReplayDecoder::default()
+    }
+
+    /// Decode the next frame payload. `None` when the payload is
+    /// truncated, structurally invalid, or references an undefined
+    /// dictionary id — never panics.
+    pub fn decode(&mut self, payload: &[u8]) -> Option<ReplayFrame> {
+        let mut buf = payload;
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match payload[0] {
+            OP_DEF => {
+                buf.advance(1);
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                let id = buf.get_u32_le();
+                let s = get_str(&mut buf)?;
+                // Later definitions win: after a reopen the writer's
+                // dictionary restarts and re-defines ids before use.
+                self.strings.insert(id, s);
+                Some(ReplayFrame::Def)
+            }
+            OP_ADD_V2 => {
+                buf.advance(1);
+                self.decode_add_v2(&mut buf).map(|rec| ReplayFrame::Op(AdiOp::Add(rec)))
+            }
+            _ => AdiOp::decode(payload).map(ReplayFrame::Op),
+        }
+    }
+
+    fn resolve(&self, id: u32) -> Option<String> {
+        self.strings.get(&id).cloned()
+    }
+
+    fn decode_add_v2(&self, buf: &mut &[u8]) -> Option<AdiRecord> {
+        if buf.remaining() < 16 {
+            return None;
+        }
+        let timestamp = buf.get_u64_le();
+        let user = self.resolve(buf.get_u32_le())?;
+        let n_roles = buf.get_u32_le() as usize;
+        if n_roles > buf.remaining() / 8 {
+            return None;
+        }
+        let mut roles = Vec::with_capacity(n_roles);
+        for _ in 0..n_roles {
+            let role_type = self.resolve(buf.get_u32_le())?;
+            let value = self.resolve(buf.get_u32_le())?;
+            roles.push(RoleRef::new(role_type, value));
+        }
+        if buf.remaining() < 12 {
+            return None;
+        }
+        let operation = self.resolve(buf.get_u32_le())?;
+        let target = self.resolve(buf.get_u32_le())?;
+        let n_pairs = buf.get_u32_le() as usize;
+        if n_pairs > buf.remaining() / 8 {
+            return None;
+        }
+        let mut pairs = Vec::with_capacity(n_pairs);
+        for _ in 0..n_pairs {
+            let t = self.resolve(buf.get_u32_le())?;
+            let v = self.resolve(buf.get_u32_le())?;
+            pairs.push((t, v));
+        }
+        let context = ContextInstance::from_pairs(pairs).ok()?;
+        Some(AdiRecord { user, roles, operation, target, context, timestamp })
+    }
+}
+
 impl PersistentAdi {
     /// Open (creating if absent) the store at `path` on the real
     /// filesystem. See [`PersistentAdi::open_with_vfs`].
@@ -406,13 +613,15 @@ impl PersistentAdi {
         if stale_tmp {
             vfs.remove_file(&tmp)?;
         }
-        let mut index = MemoryAdi::new();
+        let mut index = IndexedAdi::new();
+        let mut decoder = ReplayDecoder::new();
         let (log, mut report) =
-            OpLog::open_with_vfs(vfs, path, |payload| match AdiOp::decode(payload) {
-                Some(op) => {
+            OpLog::open_with_vfs(vfs, path, |payload| match decoder.decode(payload) {
+                Some(ReplayFrame::Op(op)) => {
                     op.apply(&mut index);
                     true
                 }
+                Some(ReplayFrame::Def) => true,
                 None => false,
             })?;
         report.stale_compaction_tmp = stale_tmp;
@@ -429,6 +638,10 @@ impl PersistentAdi {
                 ops_since_compaction: ops,
                 latched_error: None,
                 needs_rewrite: false,
+                // Fresh epoch: ids are re-defined before first use, and
+                // the decoder's later-definition-wins rule keeps old
+                // frames decoding correctly.
+                dict: SymDict::new(),
                 metrics,
             }),
             recovery: report,
@@ -481,12 +694,18 @@ impl PersistentAdi {
         journal.log.sync()
     }
 
-    /// Force a compaction: rewrite the journal as one Add per live
-    /// record. The pending batch is dropped — the snapshot already
-    /// reflects every batched mutation.
+    /// Force a compaction: rewrite the journal symbol-encoded — the
+    /// dictionary's define frames plus one add per live record. A
+    /// string-era (v1) journal therefore migrates to the symbol format
+    /// on its first compaction. The pending batch is dropped — the
+    /// snapshot already reflects every batched mutation.
     pub fn compact(&self) -> Result<(), StorageError> {
         let snapshot = self.index.snapshot();
-        let frames: Vec<Vec<u8>> = snapshot.iter().map(encode_add).collect();
+        let mut dict = SymDict::new();
+        let mut frames: Vec<Vec<u8>> = Vec::with_capacity(snapshot.len());
+        for rec in &snapshot {
+            encode_add_v2(&mut dict, rec, &mut frames);
+        }
         let mut journal = self.journal.lock();
         journal.batch.clear();
         if let Err(e) = journal.log.rewrite(frames.iter().map(|f| f.as_slice())) {
@@ -501,6 +720,9 @@ impl PersistentAdi {
         }
         journal.ops_since_compaction = 0;
         journal.needs_rewrite = false;
+        // The rewrite defined exactly `dict`'s ids on disk, so appends
+        // can keep referencing them without re-defining.
+        journal.dict = dict;
         journal.metrics.compactions.inc();
         Ok(())
     }
@@ -544,7 +766,7 @@ impl PersistentAdi {
 
 impl RetainedAdi for PersistentAdi {
     fn add(&mut self, record: AdiRecord) {
-        self.journal(encode_add(&record));
+        self.journal.lock().push_add(&record);
         self.index.add(record);
         self.maybe_compact();
     }
@@ -665,6 +887,7 @@ impl RetainedAdi for PersistentAdi {
 mod tests {
     use super::*;
     use crate::vfs::{FaultPlan, FaultVfs};
+    use msod::MemoryAdi;
     use std::path::PathBuf;
 
     fn temp_path(tag: &str) -> PathBuf {
@@ -701,7 +924,10 @@ mod tests {
         let adi = PersistentAdi::open(&path).unwrap();
         assert_eq!(adi.len(), 2);
         assert!(adi.recovery().is_clean());
-        assert_eq!(adi.recovery().frames_replayed, 2);
+        // Symbol encoding: record 1 defines 9 strings (user, role type,
+        // role value, op, target, 2 context pairs) + its add frame;
+        // record 2 re-uses all but 3 (bob, Auditor, Leeds) + its add.
+        assert_eq!(adi.recovery().frames_replayed, 14);
         let b = bound("Branch=*, Period=!", "Branch=York, Period=2006");
         assert_eq!(adi.user_records("alice", &b).len(), 1);
         std::fs::remove_file(&path).unwrap();
@@ -824,8 +1050,10 @@ mod tests {
             for i in 0..5 {
                 adi.add(rec("a", "r", "P=1", i));
             }
-            // Below the batch threshold nothing has hit the log yet.
-            assert_eq!(adi.batched_ops(), 5);
+            // Below the batch threshold nothing has hit the log yet:
+            // 7 define frames (all five records share their strings)
+            // plus 5 add frames.
+            assert_eq!(adi.batched_ops(), 12);
             adi.sync().unwrap();
             assert_eq!(adi.batched_ops(), 0);
             adi.add(rec("a", "r", "P=1", 99));
@@ -845,8 +1073,10 @@ mod tests {
         for i in 0..(BATCH_FRAMES as u64 + 3) {
             adi.add(rec("a", "r", "P=1", i));
         }
-        // One full batch went to the log; the tail is still pending.
-        assert_eq!(adi.batched_ops(), 3);
+        // One full batch went to the log; the tail — 7 define frames
+        // plus BATCH_FRAMES + 3 adds, minus the flushed batch — is
+        // still pending.
+        assert_eq!(adi.batched_ops(), 10);
         adi.sync().unwrap();
         std::fs::remove_file(&path).unwrap();
     }
@@ -952,7 +1182,9 @@ mod tests {
         for i in 0..5 {
             adi.add(rec(&format!("u{i}"), "r", "P=1", i));
         }
-        assert_eq!(adi.batched_ops(), 5);
+        // 11 define frames (5 distinct users + 6 shared strings) plus
+        // 5 add frames.
+        assert_eq!(adi.batched_ops(), 16);
         // The compaction's first temp-file write fails transiently.
         vfs.arm(FaultPlan { fail_write_at: Some(0), ..Default::default() });
         adi.compact().expect_err("injected temp-write failure must surface");
@@ -966,6 +1198,104 @@ mod tests {
         let mut users: Vec<_> = reopened.snapshot().iter().map(|r| r.user.clone()).collect();
         users.sort();
         assert_eq!(users, ["late", "u0", "u1", "u2", "u3", "u4"]);
+    }
+
+    /// A string-era (v1) journal — written before the symbol plane
+    /// existed — opens transparently: its frames replay through the
+    /// decoder's v1 passthrough, new writes land symbol-encoded after
+    /// the v1 prefix, and the first compaction rewrites the whole file
+    /// in the symbol format.
+    #[test]
+    fn string_era_journal_migrates_on_open() {
+        let vfs = FaultVfs::default();
+        let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        let path = Path::new("/v1-era.log");
+
+        // Author the journal with the v1 encoder only, exactly as an
+        // old writer would have.
+        let old_ops = vec![
+            AdiOp::Add(rec("alice", "Teller", "Branch=York, Period=2006", 1)),
+            AdiOp::Add(rec("bob", "Auditor", "Branch=Leeds, Period=2006", 2)),
+            AdiOp::Add(rec("alice", "Clerk", "Branch=York, Period=2007", 3)),
+            AdiOp::Purge(bound("Branch=*, Period=!", "Branch=York, Period=2006")),
+            AdiOp::Add(rec("carol", "Teller", "Branch=Hull, Period=2007", 4)),
+        ];
+        {
+            let (mut log, _) = OpLog::open_with_vfs(Arc::clone(&arc), path, |_| true).unwrap();
+            for op in &old_ops {
+                log.append(&op.encode()).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let mut oracle = MemoryAdi::new();
+        for op in old_ops.clone() {
+            op.apply(&mut oracle);
+        }
+
+        let mut adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), path).unwrap();
+        assert!(adi.recovery().is_clean());
+        assert_eq!(adi.recovery().frames_replayed, old_ops.len() as u64);
+        assert_eq!(adi.snapshot(), oracle.snapshot());
+
+        // New writes append symbol-encoded frames after the v1 prefix;
+        // a reopen replays the mixed-generation journal.
+        let new_rec = rec("dave", "Teller", "Branch=York, Period=2008", 5);
+        oracle.add(new_rec.clone());
+        adi.add(new_rec);
+        adi.sync().unwrap();
+        drop(adi);
+        let adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), path).unwrap();
+        assert!(adi.recovery().is_clean());
+        assert_eq!(adi.snapshot(), oracle.snapshot());
+
+        // Compaction migrates the file: afterwards every frame carries
+        // a symbol-era tag — the v1 add tag is gone.
+        adi.compact().unwrap();
+        adi.sync().unwrap();
+        let data = vfs.read(path).unwrap();
+        let mut offset = 0usize;
+        let mut frames = 0usize;
+        while offset + 4 <= data.len() {
+            let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
+            let payload = &data[offset + 4..offset + 4 + len];
+            assert!(
+                payload[0] == OP_DEF || payload[0] == OP_ADD_V2,
+                "compacted journal still has a v1 frame (tag {})",
+                payload[0]
+            );
+            frames += 1;
+            offset += 4 + len + 4;
+        }
+        assert!(frames > 0);
+        drop(adi);
+        let adi = PersistentAdi::open_with_vfs(arc, path).unwrap();
+        assert_eq!(adi.snapshot(), oracle.snapshot());
+    }
+
+    /// After a reopen the writer's dictionary restarts at id 0, so its
+    /// define frames redefine ids already bound (to different strings)
+    /// by the previous epoch. Replay applies definitions in frame
+    /// order, so both epochs' records decode correctly.
+    #[test]
+    fn redefined_ids_across_writer_epochs_replay_correctly() {
+        let vfs = FaultVfs::default();
+        let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        let path = Path::new("/epochs.log");
+        {
+            let mut adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), path).unwrap();
+            adi.add(rec("alice", "Teller", "P=1", 1));
+            adi.sync().unwrap();
+        }
+        {
+            // Fresh epoch: "bob"/"Auditor"/"P=2" claim the same low ids
+            // "alice"'s strings held in epoch one.
+            let mut adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), path).unwrap();
+            adi.add(rec("bob", "Auditor", "P=2", 2));
+            adi.sync().unwrap();
+        }
+        let adi = PersistentAdi::open_with_vfs(arc, path).unwrap();
+        let users: Vec<_> = adi.snapshot().iter().map(|r| r.user.clone()).collect();
+        assert_eq!(users, ["alice", "bob"]);
     }
 
     /// A crash between a compaction's temp write and its rename leaves
@@ -986,7 +1316,8 @@ mod tests {
         let adi = PersistentAdi::open_with_vfs(Arc::new(vfs.clone()), path).unwrap();
         assert!(adi.recovery().stale_compaction_tmp);
         assert!(!adi.recovery().is_clean());
-        assert_eq!(adi.recovery().frames_replayed, 1);
+        // 7 define frames + 1 add frame.
+        assert_eq!(adi.recovery().frames_replayed, 8);
         assert!(!vfs.exists(&tmp), "stale temp must be removed");
     }
 }

@@ -48,7 +48,7 @@ pub mod log;
 pub mod recovery;
 pub mod vfs;
 
-pub use adi::{AdiOp, PersistentAdi};
+pub use adi::{encode_add_v2, AdiOp, PersistentAdi, ReplayDecoder, ReplayFrame, SymDict};
 pub use crc::crc32;
 pub use error::StorageError;
 pub use log::OpLog;

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use msod::RetainedAdi;
 
-use crate::adi::AdiOp;
+use crate::adi::{ReplayDecoder, ReplayFrame};
 use crate::crc::crc32;
 use crate::error::StorageError;
 use crate::vfs::{StdVfs, Vfs};
@@ -141,7 +141,8 @@ pub fn verify_journal_with_vfs(
 ) -> Result<JournalVerifyReport, StorageError> {
     let data = vfs.read(path)?;
     let mut report = JournalVerifyReport { total_bytes: data.len() as u64, ..Default::default() };
-    let mut index = msod::MemoryAdi::new();
+    let mut index = msod::IndexedAdi::new();
+    let mut decoder = ReplayDecoder::new();
     let mut intact = true;
     // Complete frames seen at or after the first CRC failure (the
     // failing frame included) — 1 means the bad frame is the final
@@ -152,11 +153,13 @@ pub fn verify_journal_with_vfs(
             frames_from_bad_crc += 1;
         }
         match outcome {
-            FrameOutcome::Intact(payload) => match AdiOp::decode(payload) {
-                Some(op) if intact => {
+            FrameOutcome::Intact(payload) => match decoder.decode(payload) {
+                Some(frame) if intact => {
                     report.frames_intact += 1;
                     report.frames_replayable += 1;
-                    op.apply(&mut index);
+                    if let ReplayFrame::Op(op) = frame {
+                        op.apply(&mut index);
+                    }
                 }
                 Some(_) => report.frames_intact += 1,
                 None => {
@@ -258,6 +261,7 @@ pub(crate) fn std_vfs() -> Arc<dyn Vfs> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adi::AdiOp;
     use crate::vfs::FaultVfs;
     use std::path::PathBuf;
 

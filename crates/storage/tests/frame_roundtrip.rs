@@ -9,7 +9,7 @@ use std::sync::Arc;
 use context::{BoundContext, Component, ContextInstance, ContextName, PatternValue};
 use msod::{AdiRecord, RoleRef};
 use proptest::prelude::*;
-use storage::{AdiOp, FaultVfs, OpLog, Vfs};
+use storage::{encode_add_v2, AdiOp, FaultVfs, OpLog, ReplayDecoder, ReplayFrame, SymDict, Vfs};
 
 /// Drop pairs with a repeated type (instances require unique types).
 fn dedup_types<V>(pairs: Vec<(String, V)>) -> Vec<(String, V)> {
@@ -95,6 +95,74 @@ proptest! {
     #[test]
     fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         let _ = AdiOp::decode(&bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The two add-frame generations replay identically: an arbitrary
+    /// record stream encoded symbol-side (define frames + v2 adds)
+    /// decodes to exactly the records the string-era (v1) frames
+    /// decode to — and both equal the source stream. This pins the
+    /// migration contract: replacing a v1 journal with its v2 rewrite
+    /// can never change the recovered index.
+    #[test]
+    fn symbol_frames_replay_identically_to_string_frames(
+        recs in proptest::collection::vec(arb_record(), 0..12),
+    ) {
+        let mut dict = SymDict::new();
+        let mut frames = Vec::new();
+        for r in &recs {
+            encode_add_v2(&mut dict, r, &mut frames);
+        }
+        let mut v2_decoder = ReplayDecoder::new();
+        let mut from_v2 = Vec::new();
+        for f in &frames {
+            match v2_decoder.decode(f) {
+                Some(ReplayFrame::Op(AdiOp::Add(rec))) => from_v2.push(rec),
+                Some(ReplayFrame::Def) => {}
+                other => prop_assert!(false, "writer frame must decode, got {other:?}"),
+            }
+        }
+        let mut v1_decoder = ReplayDecoder::new();
+        let mut from_v1 = Vec::new();
+        for r in &recs {
+            match v1_decoder.decode(&AdiOp::Add(r.clone()).encode()) {
+                Some(ReplayFrame::Op(AdiOp::Add(rec))) => from_v1.push(rec),
+                other => prop_assert!(false, "v1 frame must decode, got {other:?}"),
+            }
+        }
+        prop_assert_eq!(&from_v2, &recs);
+        prop_assert_eq!(&from_v1, &recs);
+    }
+
+    /// No strict prefix of a symbol-era frame decodes, mirroring the
+    /// v1 torn-frame guarantee.
+    #[test]
+    fn truncated_v2_payloads_never_decode(rec in arb_record(), cut_seed in any::<u64>()) {
+        let mut dict = SymDict::new();
+        let mut frames = Vec::new();
+        encode_add_v2(&mut dict, &rec, &mut frames);
+        // Feed every frame whole except the last, whose prefix is cut.
+        let mut decoder = ReplayDecoder::new();
+        let (last, defs) = frames.split_last().unwrap();
+        for f in defs {
+            prop_assert!(decoder.decode(f).is_some());
+        }
+        let cut = (cut_seed as usize) % last.len();
+        prop_assert!(decoder.decode(&last[..cut]).is_none());
+    }
+
+    /// Arbitrary garbage never panics the stateful decoder either.
+    #[test]
+    fn garbage_never_panics_replay_decoder(
+        frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..100), 0..8),
+    ) {
+        let mut decoder = ReplayDecoder::new();
+        for f in &frames {
+            let _ = decoder.decode(f);
+        }
     }
 }
 

@@ -172,7 +172,7 @@ fn concurrent_peps_share_history() {
     // the MSoD invariant must hold across gateways, because history
     // lives in the shared service.
     let service = Arc::new(DecisionService::from_xml(POLICY, b"k".to_vec()).unwrap());
-    let peps: Vec<permis::Pep<msod::MemoryAdi>> =
+    let peps: Vec<permis::Pep<msod::IndexedAdi>> =
         (0..4).map(|_| permis::Pep::new(Arc::clone(&service))).collect();
     for pep in &peps {
         pep.open_context("Proc=1".parse().unwrap());
