@@ -157,6 +157,29 @@ fn obs_overhead(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
+        // The symbolized plane is the production hot path, and it also
+        // carries the always-on provenance hooks (sampled flight
+        // entries, slowest-exemplar gate, latency-trigger check) — so
+        // the overhead budget is enforced here too.
+        group.bench_with_input(BenchmarkId::new("symbolized", threads), &threads, |b, _| {
+            b.iter_batched(
+                || DecisionService::new_symbolized(parsed.clone(), b"k".to_vec()),
+                |service| {
+                    let service_ref = &service;
+                    std::thread::scope(|s| {
+                        for reqs in &requests {
+                            s.spawn(move || {
+                                for req in reqs {
+                                    let _ = service_ref.decide(req);
+                                }
+                            });
+                        }
+                    });
+                    service
+                },
+                BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 }

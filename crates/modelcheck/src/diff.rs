@@ -91,7 +91,8 @@ pub struct Divergence {
     pub op_index: usize,
     /// Which variant disagreed.
     pub variant: &'static str,
-    /// What disagreed: `"verdict"`, `"purge-count"` or `"state"`.
+    /// What disagreed: `"verdict"`, `"purge-count"`, `"state"` or
+    /// `"explanation"`.
     pub check: &'static str,
     /// The oracle's answer.
     pub expected: String,
@@ -187,6 +188,28 @@ impl Variant {
             Variant::Persistent { svc, .. } => svc.decide(req),
             Variant::Crash { svc, .. } => svc.as_ref().expect("service is open").decide(req),
             Variant::Symbolized(svc) => svc.decide(req),
+        }
+    }
+
+    /// Decide with the derivation captured, where the variant supports
+    /// it: the string service (read-plane explanation under the epoch
+    /// lock) and the symbolized service (the `SymExplain` capture path)
+    /// — the two production explanation sources. Other variants decide
+    /// plainly and return no explanation.
+    fn decide_explained(
+        &mut self,
+        req: &DecisionRequest,
+    ) -> (DecisionOutcome, Option<msod::MsodExplanation>) {
+        match self {
+            Variant::Service(svc) => {
+                let (outcome, ex) = svc.decide_explained(req);
+                (outcome, ex.msod)
+            }
+            Variant::Symbolized(svc) => {
+                let (outcome, ex) = svc.decide_explained(req);
+                (outcome, ex.msod)
+            }
+            other => (other.decide(req), None),
         }
     }
 
@@ -353,16 +376,26 @@ pub fn run_workload_with(w: &Workload, mutation: Mutation) -> Option<Divergence>
             Verdict(Verdict),
             Purged(usize),
         }
+        let mut expected_explanation: Option<msod::MsodExplanation> = None;
         let expected = match op {
             Op::Decide { user, roles, operation, target, context, timestamp } => {
-                Expected::Verdict(oracle.decide(&OracleRequest {
+                let oreq = OracleRequest {
                     user: user.clone(),
                     roles: roles.clone(),
                     operation: operation.clone(),
                     target: target.clone(),
                     context: context.clone(),
                     timestamp: *timestamp,
-                }))
+                };
+                // Derive the expected explanation against pre-decision
+                // state (decide mutates the records). Faithful oracles
+                // only: a mutated oracle's verdicts are deliberately
+                // wrong, and the explanation check would just re-report
+                // the verdict divergence with more words.
+                if mutation == Mutation::None {
+                    expected_explanation = Some(oracle.explain(&oreq));
+                }
+                Expected::Verdict(oracle.decide(&oreq))
             }
             Op::PurgeContext(scope) => Expected::Purged(oracle.purge_scope(scope)),
             Op::PurgeOlderThan(cutoff) => Expected::Purged(oracle.purge_older_than(*cutoff)),
@@ -378,14 +411,15 @@ pub fn run_workload_with(w: &Workload, mutation: Mutation) -> Option<Divergence>
                     else {
                         unreachable!("Verdict expectation only arises from Decide ops")
                     };
-                    let outcome = v.decide(&DecisionRequest::with_roles(
-                        user.clone(),
-                        roles.clone(),
-                        operation.clone(),
-                        target.clone(),
-                        context.clone(),
-                        *timestamp,
-                    ));
+                    let (outcome, got_explanation) =
+                        v.decide_explained(&DecisionRequest::with_roles(
+                            user.clone(),
+                            roles.clone(),
+                            operation.clone(),
+                            target.clone(),
+                            context.clone(),
+                            *timestamp,
+                        ));
                     let got = project(&outcome);
                     if got != *want {
                         return Some(Divergence {
@@ -395,6 +429,22 @@ pub fn run_workload_with(w: &Workload, mutation: Mutation) -> Option<Divergence>
                             expected: format!("{want:?}"),
                             actual: format!("{got:?}"),
                         });
+                    }
+                    // Same verdict, same *reasons*: diff the full §4.2
+                    // derivation where the variant produced one (the
+                    // capture compiles out under obs-off, where
+                    // `got_explanation` is always `None`).
+                    if let (Some(want_ex), Some(got_ex)) = (&expected_explanation, &got_explanation)
+                    {
+                        if got_ex != want_ex {
+                            return Some(Divergence {
+                                op_index: i,
+                                variant: v.name(),
+                                check: "explanation",
+                                expected: format!("{want_ex:?}"),
+                                actual: format!("{got_ex:?}"),
+                            });
+                        }
                     }
                 }
                 Expected::Purged(want) => {

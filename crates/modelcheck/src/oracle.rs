@@ -11,7 +11,10 @@
 //! divergence — that is the whole point.
 
 use context::{ContextInstance, ContextName, PatternValue};
-use msod::{AdiRecord, MsodPolicy, MsodPolicySet, Privilege, RoleRef};
+use msod::{
+    AdiRecord, ConstraintKind, ConstraintTrace, EntryTrace, MsodExplanation, MsodPolicy,
+    MsodPolicySet, PolicyTrace, Privilege, RecordTrace, RoleRef,
+};
 
 /// A deliberately injected semantic bug, used to prove the harness can
 /// actually see divergences (and to exercise the shrinker).
@@ -244,6 +247,216 @@ impl Oracle {
         }
     }
 
+    /// Independently derive the canonical [`MsodExplanation`] of what
+    /// [`Oracle::decide`] would answer for `req` against the *current*
+    /// records, without mutating anything — call it immediately before
+    /// `decide` and the two see identical state. Everything is
+    /// re-derived here naively (including the canonical-form sorting),
+    /// sharing only the plain data types with the production engine, so
+    /// diffing this against an engine's explanation checks the *reasons*
+    /// behind a verdict, not just the verdict. Mutations are ignored:
+    /// the explanation is always the faithful derivation.
+    pub fn explain(&self, req: &OracleRequest) -> MsodExplanation {
+        let matched: Vec<usize> = (0..self.policies.len())
+            .filter(|&i| matches(&self.policies.policies()[i].business_context, &req.context))
+            .collect();
+        if matched.is_empty() {
+            return MsodExplanation::not_applicable();
+        }
+        let mut ex = MsodExplanation {
+            step: 8,
+            policies: Vec::new(),
+            constraints: Vec::new(),
+            records: Vec::new(),
+            deny: None,
+        };
+        let mut terminations = 0usize;
+        for &pi in &matched {
+            let policy = &self.policies.policies()[pi];
+            let bound = bind(&policy.business_context, &req.context);
+            let started = self.records.iter().any(|r| bound.covers(&r.context));
+            let starts_now = !started
+                && (policy.first_step.is_none()
+                    || policy.is_first_step(&req.operation, &req.target));
+            // Faithful §4.2: a starting request jumps straight to step
+            // 7, so constraints are only checked once the instance has
+            // started.
+            let checked = started;
+            let last_step = policy.is_last_step(&req.operation, &req.target);
+            if last_step {
+                terminations += 1;
+            }
+            let bindings = policy
+                .business_context
+                .components()
+                .iter()
+                .zip(req.context.pairs())
+                .filter(|(c, _)| c.value == PatternValue::PerInstance)
+                .map(|(c, (_, v))| (c.ctx_type.clone(), v.clone()))
+                .collect();
+            ex.policies.push(PolicyTrace {
+                policy_index: pi,
+                context: policy.business_context.to_string(),
+                bound: bound.display(),
+                bindings,
+                started,
+                starts_now,
+                checked,
+                wants_record: false,
+                last_step,
+            });
+            let denied = checked && self.explain_constraints(policy, pi, &bound, req, &mut ex);
+            let trace = ex.policies.last_mut().expect("just pushed");
+            trace.wants_record =
+                !denied && if started { self.touches_constraint(policy, req) } else { starts_now };
+            if denied {
+                ex.deny = Some(ex.constraints.len() - 1);
+                ex.step = match ex.constraints.last().expect("denying constraint was pushed").kind {
+                    ConstraintKind::Mmer => 5,
+                    ConstraintKind::Mmep => 6,
+                };
+                canonicalize_explanation(&mut ex);
+                return ex;
+            }
+        }
+        ex.step = if terminations > 0 { 7 } else { 8 };
+        canonicalize_explanation(&mut ex);
+        ex
+    }
+
+    /// Steps 5/6 for one policy with full capture, oracle-style: flat
+    /// history scan, per-distinct-entry tallies over the FULL constraint
+    /// multiset (`current = min(activated, listed)` for MMER, 1 on the
+    /// matching MMEP entry; `counted = min(listed - current, seen)`).
+    /// Returns whether a constraint denied (capture stops there).
+    fn explain_constraints(
+        &self,
+        policy: &MsodPolicy,
+        pi: usize,
+        bound: &Bound,
+        req: &OracleRequest,
+        ex: &mut MsodExplanation,
+    ) -> bool {
+        let history: Vec<&AdiRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.user == req.user && bound.covers(&r.context))
+            .collect();
+        for r in &history {
+            ex.records.push(RecordTrace {
+                timestamp: r.timestamp,
+                user: r.user.clone(),
+                roles: r.roles.iter().map(|x| x.to_string()).collect(),
+                operation: r.operation.clone(),
+                target: r.target.clone(),
+                context: r.context.to_string(),
+            });
+        }
+
+        fn dedup_listed<'a, T: Eq>(items: impl Iterator<Item = &'a T>) -> Vec<(&'a T, usize)> {
+            let mut out: Vec<(&'a T, usize)> = Vec::new();
+            for item in items {
+                match out.iter_mut().find(|(e, _)| *e == item) {
+                    Some((_, listed)) => *listed += 1,
+                    None => out.push((item, 1)),
+                }
+            }
+            out
+        }
+
+        for (ci, mmer) in policy.mmer().iter().enumerate() {
+            let entries: Vec<EntryTrace> = dedup_listed(mmer.roles().iter())
+                .into_iter()
+                .map(|(e, listed)| {
+                    let activated = req.roles.iter().filter(|r| *r == e).count();
+                    let current = activated.min(listed);
+                    let seen =
+                        history.iter().flat_map(|r| r.roles.iter()).filter(|r| *r == e).count();
+                    EntryTrace {
+                        label: e.to_string(),
+                        listed,
+                        current,
+                        seen,
+                        counted: (listed - current).min(seen),
+                    }
+                })
+                .collect();
+            let current: usize = entries.iter().map(|t| t.current).sum();
+            if current == 0 {
+                continue; // 5.i/5.ii: no activated role touches it.
+            }
+            let historic: usize = entries.iter().map(|t| t.counted).sum();
+            let m = mmer.forbidden_cardinality();
+            let denied = current + historic >= m;
+            ex.constraints.push(ConstraintTrace {
+                policy_index: pi,
+                kind: ConstraintKind::Mmer,
+                constraint_index: ci,
+                forbidden_cardinality: m,
+                current,
+                historic,
+                denied,
+                entries,
+                contributing: history
+                    .iter()
+                    .filter(|r| r.roles.iter().any(|role| mmer.roles().contains(role)))
+                    .map(|r| r.timestamp)
+                    .collect(),
+            });
+            if denied {
+                return true;
+            }
+        }
+        for (ci, mmep) in policy.mmep().iter().enumerate() {
+            let entries: Vec<EntryTrace> = dedup_listed(mmep.privileges().iter())
+                .into_iter()
+                .map(|(p, listed)| {
+                    // Entries are exact (operation, target) pairs, so
+                    // the request consumes exactly one occurrence of
+                    // the (at most one) matching distinct entry.
+                    let current = usize::from(p.matches(&req.operation, &req.target));
+                    let seen =
+                        history.iter().filter(|r| p.matches(&r.operation, &r.target)).count();
+                    EntryTrace {
+                        label: p.to_string(),
+                        listed,
+                        current,
+                        seen,
+                        counted: (listed - current).min(seen),
+                    }
+                })
+                .collect();
+            let current: usize = entries.iter().map(|t| t.current).sum();
+            if current == 0 {
+                continue; // 6.i/6.ii: the requested privilege is not listed.
+            }
+            let historic: usize = entries.iter().map(|t| t.counted).sum();
+            let m = mmep.forbidden_cardinality();
+            let denied = current + historic >= m;
+            ex.constraints.push(ConstraintTrace {
+                policy_index: pi,
+                kind: ConstraintKind::Mmep,
+                constraint_index: ci,
+                forbidden_cardinality: m,
+                current,
+                historic,
+                denied,
+                entries,
+                contributing: history
+                    .iter()
+                    .filter(|r| {
+                        mmep.privileges().iter().any(|p| p.matches(&r.operation, &r.target))
+                    })
+                    .map(|r| r.timestamp)
+                    .collect(),
+            });
+            if denied {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Steps 5 (every MMER, in order) then 6 (every MMEP): first
     /// violation denies.
     fn check_constraints(
@@ -460,6 +673,19 @@ impl Oracle {
     }
 }
 
+/// The canonical explanation form, re-stated independently of
+/// `msod::explain`'s own (crate-private) canonicalizer: entries sorted
+/// by label, contributing record ids ascending, consulted records
+/// sorted by (timestamp, user) and deduplicated.
+fn canonicalize_explanation(ex: &mut MsodExplanation) {
+    for c in &mut ex.constraints {
+        c.entries.sort_by(|a, b| a.label.cmp(&b.label));
+        c.contributing.sort_unstable();
+    }
+    ex.records.sort_by(|a, b| (a.timestamp, &a.user).cmp(&(b.timestamp, &b.user)));
+    ex.records.dedup();
+}
+
 /// The canonical snapshot order: (timestamp, user, context, operation,
 /// target, roles) — the same total order every backend sorts by.
 pub fn sort_snapshot(records: &mut [AdiRecord]) {
@@ -613,6 +839,61 @@ mod tests {
             o.decide(&req("u", &[rr("A")], "approve", "check", "Proc=1", 2)),
             Verdict::Grant { .. }
         ));
+    }
+
+    /// The oracle's naive explanation and the engine's derivation are
+    /// structurally identical (`==`) across the paper's bank
+    /// walkthrough — grant, cross-branch MMER deny, and last-step
+    /// termination alike.
+    #[test]
+    fn explanation_matches_engine_on_worked_example() {
+        use msod::{MemoryAdi, MsodEngine, MsodRequest};
+        let mut o = bank();
+        let engine = MsodEngine::new(o.policies.clone());
+        let mut adi = MemoryAdi::new();
+        let steps: [(&str, &str, &str, &str, &str, u64); 4] = [
+            ("alice", "Teller", "handleCash", "till", "Branch=York, Period=2006", 1),
+            ("alice", "Auditor", "audit", "books", "Branch=Leeds, Period=2006", 9),
+            ("bob", "Auditor", "audit", "books", "Branch=York, Period=2006", 10),
+            ("bob", "Auditor", "CommitAudit", "audit", "Branch=York, Period=2006", 11),
+        ];
+        let mut denies = 0;
+        for (user, role, op, target, ctx, ts) in steps {
+            let roles = [rr(role)];
+            let oreq = req(user, &roles, op, target, ctx, ts);
+            let want = o.explain(&oreq);
+            let instance: ContextInstance = ctx.parse().unwrap();
+            let got = engine.explain(
+                &adi,
+                &MsodRequest {
+                    user,
+                    roles: &roles,
+                    operation: op,
+                    target,
+                    context: &instance,
+                    timestamp: ts,
+                },
+            );
+            assert_eq!(got, want, "explanation at ts {ts}");
+            // Advance both to keep state aligned.
+            let verdict = o.decide(&oreq);
+            engine.enforce(
+                &mut adi,
+                &MsodRequest {
+                    user,
+                    roles: &roles,
+                    operation: op,
+                    target,
+                    context: &instance,
+                    timestamp: ts,
+                },
+            );
+            if matches!(verdict, Verdict::Deny { .. }) {
+                assert!(want.is_denied());
+                denies += 1;
+            }
+        }
+        assert_eq!(denies, 1, "the cross-branch MMER deny must occur");
     }
 
     #[test]

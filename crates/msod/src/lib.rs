@@ -62,6 +62,7 @@ pub mod adi;
 pub mod constraint;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod indexed;
 pub mod policy;
 pub mod privilege;
@@ -76,12 +77,16 @@ pub use engine::{
     ConstraintKind, DenyDetail, EngineOptions, GrantDetail, MsodDecision, MsodEngine, MsodRequest,
 };
 pub use error::MsodError;
+pub use explain::{
+    step_title, ConstraintTrace, EntryTrace, MsodExplanation, PolicyTrace, RecordTrace,
+};
 pub use indexed::IndexedAdi;
 pub use policy::{MsodPolicy, MsodPolicySet};
 pub use privilege::{Privilege, RoleRef};
-pub use sharded::{AdiMetrics, ShardMetrics, ShardedAdi, DEFAULT_SHARDS};
+pub use sharded::{AdiMetrics, ShardMetrics, ShardedAdi, DEFAULT_SHARDS, EPOCH_STALL_NS};
 pub use sym::{
-    intern_request, sharded_sym_adi, MatchedBuf, ReqBufs, SymAdi, SymEngine, SymOutcome, SymRequest,
+    intern_request, sharded_sym_adi, MatchedBuf, ReqBufs, SymAdi, SymEngine, SymExplain,
+    SymOutcome, SymPathStats, SymRequest,
 };
 
 #[cfg(test)]

@@ -98,7 +98,19 @@ pub struct AdiMetrics {
     /// Cross-shard "context already started?" probe sweeps (each sweep
     /// briefly locks shards in order through the raw, unmetered path).
     pub probe_sweeps: Counter,
+    /// Exclusive acquisitions that waited longer than
+    /// [`EPOCH_STALL_NS`] for the epoch write lock — a long stall means
+    /// the fast path pinned the epoch (or a shard) far beyond its
+    /// budget, which is anomaly-worthy.
+    pub epoch_stalls: Counter,
+    /// Total nanoseconds exclusive acquirers spent waiting for the
+    /// epoch write lock.
+    pub epoch_write_wait_ns: Counter,
 }
+
+/// Epoch write-lock waits above this many nanoseconds (10 ms) count as
+/// stalls in [`AdiMetrics::epoch_stalls`].
+pub const EPOCH_STALL_NS: u64 = 10_000_000;
 
 impl AdiMetrics {
     fn new(shard_count: usize) -> Self {
@@ -109,6 +121,8 @@ impl AdiMetrics {
             exclusive_ns: Histogram::new(),
             purged_records: Counter::new(),
             probe_sweeps: Counter::new(),
+            epoch_stalls: Counter::new(),
+            epoch_write_wait_ns: Counter::new(),
         }
     }
 
@@ -267,7 +281,21 @@ impl<A: RetainedAdi> ShardedAdi<A> {
     pub fn with_exclusive<R>(&self, f: impl FnOnce(&mut dyn RetainedAdi) -> R) -> R {
         self.metrics.epoch_writes.inc();
         let section = Stopwatch::start();
-        let _epoch = self.epoch.write();
+        // An uncontended try_write skips the wait clocking entirely;
+        // waits above EPOCH_STALL_NS additionally count as stalls.
+        let _epoch = match self.epoch.try_write() {
+            Some(guard) => guard,
+            None => {
+                let waited = Stopwatch::start();
+                let guard = self.epoch.write();
+                let wait = waited.elapsed_ns();
+                self.metrics.epoch_write_wait_ns.add(wait);
+                if wait >= EPOCH_STALL_NS {
+                    self.metrics.epoch_stalls.inc();
+                }
+                guard
+            }
+        };
         let guards: Vec<TimedShardGuard<'_, A>> =
             (0..self.shards.len()).map(|i| self.lock_shard(i)).collect();
         let mut view = ExclusiveView { guards, purged: &self.metrics.purged_records };
@@ -391,6 +419,18 @@ impl<A: RetainedAdi> ShardedAdi<A> {
             "Cross-shard context-active probe sweeps (unmetered locks).",
             &[],
             self.metrics.probe_sweeps.get(),
+        );
+        w.counter(
+            "msod_epoch_write_wait_ns_total",
+            "Nanoseconds exclusive acquirers waited for the epoch write lock.",
+            &[],
+            self.metrics.epoch_write_wait_ns.get(),
+        );
+        w.counter(
+            "msod_epoch_stalls_total",
+            "Epoch write-lock waits exceeding the 10ms stall threshold.",
+            &[],
+            self.metrics.epoch_stalls.get(),
         );
     }
 }

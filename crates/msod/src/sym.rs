@@ -39,6 +39,7 @@ use crate::adi::{sort_records, AdiRecord, RetainedAdi};
 use crate::engine::{
     ConstraintKind, DenyDetail, EngineOptions, GrantDetail, MsodDecision, MsodEngine, MsodRequest,
 };
+use crate::explain::MsodExplanation;
 use crate::policy::MsodPolicySet;
 use crate::sharded::ShardedAdi;
 
@@ -391,6 +392,21 @@ pub enum SymOutcome {
     Deny(SymDeny),
 }
 
+/// Whether (and why) one request left the symbolized fast path for the
+/// string engine. Filled by
+/// [`SymEngine::enforce_or_fallback_metered`] so the service layer can
+/// count fallbacks without re-deriving them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SymPathStats {
+    /// The string engine served this request (interning overflow, a
+    /// last-step operation, or a shape beyond the fixed buffers).
+    pub fell_back: bool,
+    /// The fallback was specifically an interning overflow: the
+    /// request carried more roles or context components than the fixed
+    /// [`ReqBufs`] hold.
+    pub overflow: bool,
+}
+
 /// Index-based deny detail, mirroring [`DenyDetail`] minus the bound
 /// context (which the caller re-binds from the string policy when it
 /// needs to report).
@@ -410,6 +426,196 @@ pub struct SymDeny {
     pub forbidden_cardinality: usize,
     /// Records visited up to and including the violated policy.
     pub records_consulted: usize,
+}
+
+/// Raw-symbol capture of one fast-path derivation: everything
+/// [`crate::explain::MsodExplanation`] holds, but as interner ids —
+/// capture costs integer copies, and strings materialise only in
+/// [`SymExplain::resolve`]. Reusable: [`SymExplain::clear`] keeps the
+/// allocations.
+#[derive(Debug, Default)]
+pub struct SymExplain {
+    policies: Vec<SymPolicyCap>,
+    constraints: Vec<SymConstraintCap>,
+    records: Vec<SymRecord>,
+}
+
+#[derive(Debug)]
+struct SymPolicyCap {
+    policy_index: usize,
+    /// Per component: its type symbol, the compiled pattern (for the
+    /// policy-context rendering and `!` detection) and the bound form.
+    components: Vec<(Sym, SymPattern, BoundComp)>,
+    started: bool,
+    starts_now: bool,
+    checked: bool,
+    wants_record: bool,
+}
+
+#[derive(Debug)]
+enum SymEntryCap {
+    Role { id: RoleId, listed: u32, current: u32, seen: u32 },
+    Priv { id: PrivId, listed: u32, current: u32, seen: u32 },
+}
+
+#[derive(Debug)]
+struct SymConstraintCap {
+    policy_index: usize,
+    kind: ConstraintKind,
+    constraint_index: usize,
+    m: usize,
+    current: usize,
+    historic: usize,
+    denied: bool,
+    entries: Vec<SymEntryCap>,
+    contributing: Vec<u64>,
+}
+
+impl SymExplain {
+    /// A fresh, empty capture buffer.
+    pub fn new() -> Self {
+        SymExplain::default()
+    }
+
+    /// Empty the buffer for reuse, keeping its allocations.
+    pub fn clear(&mut self) {
+        self.policies.clear();
+        self.constraints.clear();
+        self.records.clear();
+    }
+
+    /// Whether the captured derivation ended in a deny.
+    pub fn is_denied(&self) -> bool {
+        self.constraints.last().is_some_and(|c| c.denied)
+    }
+
+    /// Resolve every captured symbol through `table` into the
+    /// canonical string-form explanation — identical to what
+    /// [`MsodEngine::explain`] derives for the same request and state.
+    pub fn resolve(&self, table: &SymbolTable) -> crate::explain::MsodExplanation {
+        use crate::explain::{
+            ConstraintTrace, EntryTrace, MsodExplanation, PolicyTrace, RecordTrace,
+        };
+        let role_label = |id: RoleId| {
+            let (t, v) = table.resolve_role(id);
+            format!("{t}:{v}")
+        };
+        let mut ex = MsodExplanation {
+            step: 8,
+            policies: Vec::with_capacity(self.policies.len()),
+            constraints: Vec::with_capacity(self.constraints.len()),
+            records: Vec::with_capacity(self.records.len()),
+            deny: None,
+        };
+        for p in &self.policies {
+            let mut context = String::new();
+            let mut bound = String::new();
+            let mut bindings = Vec::new();
+            for (i, &(ty, pattern, bc)) in p.components.iter().enumerate() {
+                if i > 0 {
+                    context.push_str(", ");
+                    bound.push_str(", ");
+                }
+                let ty_s = table.resolve_str(ty);
+                match pattern {
+                    SymPattern::Any => context.push_str(&format!("{ty_s}=*")),
+                    SymPattern::PerInstance => context.push_str(&format!("{ty_s}=!")),
+                    SymPattern::Exact(id) => {
+                        let (t, v) = table.resolve_ctx_pair(id);
+                        context.push_str(&format!("{t}={v}"));
+                    }
+                }
+                match bc {
+                    BoundComp::Any(t2) => {
+                        bound.push_str(&format!("{}=*", table.resolve_str(t2)));
+                    }
+                    BoundComp::Exact(pair) => {
+                        let (t, v) = table.resolve_ctx_pair(pair.id);
+                        bound.push_str(&format!("{t}={v}"));
+                        if pattern == SymPattern::PerInstance {
+                            bindings.push((t.to_string(), v.to_string()));
+                        }
+                    }
+                }
+            }
+            ex.policies.push(PolicyTrace {
+                policy_index: p.policy_index,
+                context,
+                bound,
+                bindings,
+                started: p.started,
+                starts_now: p.starts_now,
+                checked: p.checked,
+                wants_record: p.wants_record,
+                // The fast path falls back whenever a matched policy's
+                // last step fires, so a captured derivation never
+                // terminates a context instance.
+                last_step: false,
+            });
+        }
+        for c in &self.constraints {
+            ex.constraints.push(ConstraintTrace {
+                policy_index: c.policy_index,
+                kind: c.kind,
+                constraint_index: c.constraint_index,
+                forbidden_cardinality: c.m,
+                current: c.current,
+                historic: c.historic,
+                denied: c.denied,
+                entries: c
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        let (label, listed, current, seen) = match *e {
+                            SymEntryCap::Role { id, listed, current, seen } => {
+                                (role_label(id), listed, current, seen)
+                            }
+                            SymEntryCap::Priv { id, listed, current, seen } => {
+                                let (op, tgt) = table.resolve_priv(id);
+                                (format!("{op} on {tgt}"), listed, current, seen)
+                            }
+                        };
+                        EntryTrace {
+                            label,
+                            listed: listed as usize,
+                            current: current as usize,
+                            seen: seen as usize,
+                            counted: (listed - current).min(seen) as usize,
+                        }
+                    })
+                    .collect(),
+                contributing: c.contributing.clone(),
+            });
+            if c.denied {
+                ex.deny = Some(ex.constraints.len() - 1);
+                ex.step = match c.kind {
+                    ConstraintKind::Mmer => 5,
+                    ConstraintKind::Mmep => 6,
+                };
+            }
+        }
+        for r in &self.records {
+            let (op, tgt) = table.resolve_priv(r.priv_id);
+            let mut context = String::new();
+            for (i, pair) in r.ctx.iter().enumerate() {
+                if i > 0 {
+                    context.push_str(", ");
+                }
+                let (t, v) = table.resolve_ctx_pair(pair.id);
+                context.push_str(&format!("{t}={v}"));
+            }
+            ex.records.push(RecordTrace {
+                timestamp: r.timestamp,
+                user: table.resolve_user(r.user).to_string(),
+                roles: r.roles.iter().map(|&id| role_label(id)).collect(),
+                operation: op.to_string(),
+                target: tgt.to_string(),
+                context,
+            });
+        }
+        ex.canonicalize();
+        ex
+    }
 }
 
 /// One retained decision with every field interned.
@@ -852,6 +1058,33 @@ impl SymEngine {
         req: &SymRequest<'_>,
         matched: &mut MatchedBuf,
     ) -> SymOutcome {
+        self.enforce_sharded_inner(adi, req, matched, None)
+    }
+
+    /// [`SymEngine::enforce_sharded`] with full provenance capture into
+    /// `explain` (cleared first): per-policy binding and step 3/4
+    /// outcomes, per-constraint multiset arithmetic with contributing
+    /// record timestamps, and every consulted record — all as raw
+    /// symbols ([`SymExplain::resolve`] renders them). Capture
+    /// allocates; keep it off the uninstrumented hot path.
+    pub fn enforce_sharded_explained(
+        &self,
+        adi: &ShardedAdi<SymAdi>,
+        req: &SymRequest<'_>,
+        matched: &mut MatchedBuf,
+        explain: &mut SymExplain,
+    ) -> SymOutcome {
+        explain.clear();
+        self.enforce_sharded_inner(adi, req, matched, Some(explain))
+    }
+
+    fn enforce_sharded_inner(
+        &self,
+        adi: &ShardedAdi<SymAdi>,
+        req: &SymRequest<'_>,
+        matched: &mut MatchedBuf,
+        mut explain: Option<&mut SymExplain>,
+    ) -> SymOutcome {
         matched.clear();
         for (pi, p) in self.policies.iter().enumerate() {
             if p.matches_instance(req.ctx) && !matched.push(pi) {
@@ -910,28 +1143,65 @@ impl SymEngine {
             // Re-check against the user's own shard under its lock, as
             // the string path does.
             let started = started_elsewhere[k] || shard.context_active_pattern(pattern);
+            let starts_now =
+                !started && (policy.first_step.is_none() || policy.first_step == Some(req.priv_id));
+            if let Some(ex) = explain.as_deref_mut() {
+                ex.policies.push(SymPolicyCap {
+                    policy_index: pi,
+                    components: policy
+                        .components
+                        .iter()
+                        .zip(pattern)
+                        .map(|(c, &b)| (c.ty, c.pattern, b))
+                        .collect(),
+                    started,
+                    starts_now,
+                    checked: started || (starts_now && self.strict_first_step),
+                    wants_record: false,
+                });
+            }
 
+            let mut policy_wants = false;
             if !started {
-                let starts_now =
-                    policy.first_step.is_none() || policy.first_step == Some(req.priv_id);
                 if starts_now {
                     if self.strict_first_step {
-                        match eval_constraints(policy, pi, req, &shard, pattern, &mut consulted) {
+                        match eval_constraints(
+                            policy,
+                            pi,
+                            req,
+                            &shard,
+                            pattern,
+                            &mut consulted,
+                            explain.as_deref_mut(),
+                        ) {
                             Eval::Deny(deny) => return SymOutcome::Deny(deny),
                             Eval::Pass { .. } => {}
                         }
                     }
                     want_record = true;
+                    policy_wants = true;
                 }
             } else {
-                match eval_constraints(policy, pi, req, &shard, pattern, &mut consulted) {
+                match eval_constraints(
+                    policy,
+                    pi,
+                    req,
+                    &shard,
+                    pattern,
+                    &mut consulted,
+                    explain.as_deref_mut(),
+                ) {
                     Eval::Deny(deny) => return SymOutcome::Deny(deny),
                     Eval::Pass { touched } => {
                         if touched {
                             want_record = true;
+                            policy_wants = true;
                         }
                     }
                 }
+            }
+            if let Some(ex) = explain.as_deref_mut() {
+                ex.policies.last_mut().expect("pushed above").wants_record = policy_wants;
             }
         }
 
@@ -963,10 +1233,41 @@ impl SymEngine {
         bufs: &mut ReqBufs,
         matched: &mut MatchedBuf,
     ) -> MsodDecision {
+        self.enforce_or_fallback_metered(
+            string_engine,
+            table,
+            adi,
+            req,
+            bufs,
+            matched,
+            &mut SymPathStats::default(),
+        )
+    }
+
+    /// As [`enforce_or_fallback`](Self::enforce_or_fallback), recording
+    /// into `stats` whether (and why) the request left the fast path,
+    /// so the service layer can meter fallbacks without a second pass.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enforce_or_fallback_metered(
+        &self,
+        string_engine: &MsodEngine,
+        table: &SymbolTable,
+        adi: &ShardedAdi<SymAdi>,
+        req: &MsodRequest<'_>,
+        bufs: &mut ReqBufs,
+        matched: &mut MatchedBuf,
+        stats: &mut SymPathStats,
+    ) -> MsodDecision {
         let outcome = match intern_request(table, req, bufs) {
             Some(sym_req) => self.enforce_sharded(adi, &sym_req, matched),
-            None => SymOutcome::Fallback,
+            None => {
+                stats.overflow = true;
+                SymOutcome::Fallback
+            }
         };
+        if matches!(outcome, SymOutcome::Fallback) {
+            stats.fell_back = true;
+        }
         match outcome {
             SymOutcome::NotApplicable => MsodDecision::NotApplicable,
             SymOutcome::Fallback => {
@@ -1004,6 +1305,79 @@ impl SymEngine {
             }
         }
     }
+
+    /// [`enforce_or_fallback`](Self::enforce_or_fallback) with
+    /// provenance capture: the symbolized path records its derivation
+    /// into `scratch` and resolves it against `table`; the fallback
+    /// path derives the explanation with [`MsodEngine::explain`] on
+    /// the same exclusive view the string enforce runs against, so
+    /// the explanation always describes the exact pre-decision state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enforce_or_fallback_explained(
+        &self,
+        string_engine: &MsodEngine,
+        table: &SymbolTable,
+        adi: &ShardedAdi<SymAdi>,
+        req: &MsodRequest<'_>,
+        bufs: &mut ReqBufs,
+        matched: &mut MatchedBuf,
+        scratch: &mut SymExplain,
+        stats: &mut SymPathStats,
+    ) -> (MsodDecision, MsodExplanation) {
+        scratch.clear();
+        let outcome = match intern_request(table, req, bufs) {
+            Some(sym_req) => self.enforce_sharded_explained(adi, &sym_req, matched, scratch),
+            None => {
+                stats.overflow = true;
+                SymOutcome::Fallback
+            }
+        };
+        if matches!(outcome, SymOutcome::Fallback) {
+            stats.fell_back = true;
+        }
+        match outcome {
+            SymOutcome::NotApplicable => {
+                (MsodDecision::NotApplicable, MsodExplanation::not_applicable())
+            }
+            SymOutcome::Fallback => adi.with_exclusive(|view| {
+                let ex = string_engine.explain(&*view, req);
+                (string_engine.enforce(view, req), ex)
+            }),
+            SymOutcome::Grant { records_added, records_consulted } => (
+                MsodDecision::Grant(GrantDetail {
+                    matched_policies: matched
+                        .as_slice()
+                        .iter()
+                        .map(|&pi| usize::from(pi))
+                        .collect(),
+                    records_added,
+                    terminated: Vec::new(),
+                    records_purged: 0,
+                    records_consulted,
+                }),
+                scratch.resolve(table),
+            ),
+            SymOutcome::Deny(d) => {
+                let bound = string_engine.policies().policies()[d.policy_index]
+                    .business_context
+                    .bind(req.context)
+                    .expect("matched instance must bind");
+                (
+                    MsodDecision::Deny(DenyDetail {
+                        policy_index: d.policy_index,
+                        bound,
+                        kind: d.kind,
+                        constraint_index: d.constraint_index,
+                        current_matches: d.current_matches,
+                        history_matches: d.history_matches,
+                        forbidden_cardinality: d.forbidden_cardinality,
+                        records_consulted: d.records_consulted,
+                    }),
+                    scratch.resolve(table),
+                )
+            }
+        }
+    }
 }
 
 enum Eval {
@@ -1011,10 +1385,20 @@ enum Eval {
     Pass { touched: bool },
 }
 
+/// Explain-mode scratch for one `eval_constraints` call: which records
+/// touched which constraint (indexed MMERs first, then MMEPs), plus
+/// the consulted records themselves. `None` on the uninstrumented
+/// path, so the hot loop allocates nothing.
+struct CapScratch {
+    contributing: Vec<Vec<u64>>,
+    records: Vec<SymRecord>,
+}
+
 /// Steps 5 and 6 for one policy, on symbols: one pass over the user's
 /// history in the bound pattern accumulates per-entry tallies into
 /// fixed scratch, then each constraint applies the multiset arithmetic
-/// `nr + Σ min(listed − consumed, seen) >= m`. Allocation-free.
+/// `nr + Σ min(listed − consumed, seen) >= m`. Allocation-free when
+/// `explain` is `None`.
 fn eval_constraints(
     policy: &SymPolicy,
     policy_index: usize,
@@ -1022,23 +1406,49 @@ fn eval_constraints(
     shard: &SymAdi,
     pattern: &[BoundComp],
     consulted: &mut usize,
+    mut explain: Option<&mut SymExplain>,
 ) -> Eval {
     let mut seen = [0u32; MAX_POLICY_TALLY];
+    let mut cap: Option<CapScratch> = explain.as_deref_mut().map(|_| CapScratch {
+        contributing: vec![Vec::new(); policy.mmer.len() + policy.mmep.len()],
+        records: Vec::new(),
+    });
     shard.visit_user_sym(req.user, pattern, |rec| {
         *consulted += 1;
-        for c in &policy.mmer {
+        for (ci, c) in policy.mmer.iter().enumerate() {
+            let mut matched_rec = false;
             for (j, &(role, _)) in c.entries.iter().enumerate() {
-                seen[c.offset + j] += rec.roles.iter().filter(|&&r| r == role).count() as u32;
+                let n = rec.roles.iter().filter(|&&r| r == role).count() as u32;
+                seen[c.offset + j] += n;
+                matched_rec |= n > 0;
             }
-        }
-        for c in &policy.mmep {
-            for (j, &(pr, _)) in c.entries.iter().enumerate() {
-                if rec.priv_id == pr {
-                    seen[c.offset + j] += 1;
+            if matched_rec {
+                if let Some(cap) = cap.as_mut() {
+                    cap.contributing[ci].push(rec.timestamp);
                 }
             }
         }
+        for (ci, c) in policy.mmep.iter().enumerate() {
+            let mut matched_rec = false;
+            for (j, &(pr, _)) in c.entries.iter().enumerate() {
+                if rec.priv_id == pr {
+                    seen[c.offset + j] += 1;
+                    matched_rec = true;
+                }
+            }
+            if matched_rec {
+                if let Some(cap) = cap.as_mut() {
+                    cap.contributing[policy.mmer.len() + ci].push(rec.timestamp);
+                }
+            }
+        }
+        if let Some(cap) = cap.as_mut() {
+            cap.records.push(rec.clone());
+        }
     });
+    if let (Some(ex), Some(cap)) = (explain.as_deref_mut(), cap.as_mut()) {
+        ex.records.append(&mut cap.records);
+    }
 
     let mut touched = false;
 
@@ -1057,7 +1467,35 @@ fn eval_constraints(
             continue;
         }
         touched = true;
-        if (count + nr) as usize >= c.m {
+        let denied = (count + nr) as usize >= c.m;
+        if let Some(ex) = explain.as_deref_mut() {
+            let cap = cap.as_mut().expect("capture scratch exists when explaining");
+            ex.constraints.push(SymConstraintCap {
+                policy_index,
+                kind: ConstraintKind::Mmer,
+                constraint_index: ci,
+                m: c.m,
+                current: nr as usize,
+                historic: count as usize,
+                denied,
+                entries: c
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &(role, listed))| {
+                        let activated = req.roles.iter().filter(|&&r| r == role).count() as u32;
+                        SymEntryCap::Role {
+                            id: role,
+                            listed,
+                            current: activated.min(listed),
+                            seen: seen[c.offset + j],
+                        }
+                    })
+                    .collect(),
+                contributing: std::mem::take(&mut cap.contributing[ci]),
+            });
+        }
+        if denied {
             return Eval::Deny(SymDeny {
                 policy_index,
                 kind: ConstraintKind::Mmer,
@@ -1082,7 +1520,32 @@ fn eval_constraints(
             let used = u32::from(j == hit);
             count += (listed - used).min(seen[c.offset + j]);
         }
-        if (count + 1) as usize >= c.m {
+        let denied = (count + 1) as usize >= c.m;
+        if let Some(ex) = explain.as_deref_mut() {
+            let cap = cap.as_mut().expect("capture scratch exists when explaining");
+            ex.constraints.push(SymConstraintCap {
+                policy_index,
+                kind: ConstraintKind::Mmep,
+                constraint_index: ci,
+                m: c.m,
+                current: 1,
+                historic: count as usize,
+                denied,
+                entries: c
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &(pr, listed))| SymEntryCap::Priv {
+                        id: pr,
+                        listed,
+                        current: u32::from(j == hit),
+                        seen: seen[c.offset + j],
+                    })
+                    .collect(),
+                contributing: std::mem::take(&mut cap.contributing[policy.mmer.len() + ci]),
+            });
+        }
+        if denied {
             return Eval::Deny(SymDeny {
                 policy_index,
                 kind: ConstraintKind::Mmep,
@@ -1319,6 +1782,76 @@ mod tests {
             (2, 1, 0, 2), // fresh again after reset
             (0, 0, 5, 0), // op outside every constraint
         ]);
+    }
+
+    /// Provenance parity: resolving the symbolized capture yields
+    /// exactly the explanation the string engine derives independently
+    /// on identical state — same steps, constraint arithmetic, entry
+    /// tallies, contributing records and consulted-record lists.
+    #[test]
+    fn explanations_match_string_engine() {
+        let set = mixed_set();
+        let string_engine = MsodEngine::new(set.clone());
+        let table = Arc::new(SymbolTable::new());
+        let sym = SymEngine::compile(&set, &EngineOptions::default(), &table).unwrap();
+        let sym_adi = sharded_sym_adi(&table, 4);
+        let str_adi: ShardedAdi<MemoryAdi> = ShardedAdi::new(4);
+        let mut bufs = ReqBufs::new();
+        let mut matched = MatchedBuf::new();
+        let mut scratch = SymExplain::new();
+
+        // Same stream as `differential_against_string_engine`: denies
+        // from both constraint kinds, duplicate entries, first-step
+        // gating and a last-step fallback.
+        let stream = [
+            (0, 0, 0, 0),
+            (0, 1, 1, 0),
+            (1, 2, 0, 1),
+            (1, 2, 2, 1),
+            (1, 3, 3, 1),
+            (2, 0, 0, 2),
+            (2, 0, 1, 2),
+            (2, 1, 9, 2),
+            (2, 1, 0, 2),
+            (0, 0, 5, 0),
+        ];
+        let mut denies = 0;
+        for (ts, &(u, r, op, c)) in stream.iter().enumerate() {
+            let user = format!("user{u}");
+            let roles = [rr(r)];
+            let operation = format!("op{op}");
+            let ctx: ContextInstance = format!("Proc={}, Step={}", c % 3, c % 2).parse().unwrap();
+            let req = MsodRequest {
+                user: &user,
+                roles: &roles,
+                operation: &operation,
+                target: "t",
+                context: &ctx,
+                timestamp: ts as u64,
+            };
+            let (got, got_ex) = sym.enforce_or_fallback_explained(
+                &string_engine,
+                &table,
+                &sym_adi,
+                &req,
+                &mut bufs,
+                &mut matched,
+                &mut scratch,
+                &mut SymPathStats::default(),
+            );
+            let (want, want_ex) = str_adi.with_exclusive(|view| {
+                let ex = string_engine.explain(&*view, &req);
+                (string_engine.enforce(view, &req), ex)
+            });
+            assert_eq!(got, want, "verdict divergence at ts={ts}");
+            assert_eq!(got_ex, want_ex, "explanation divergence at ts={ts}");
+            assert_eq!(got_ex.is_denied(), matches!(got, MsodDecision::Deny(_)));
+            if got_ex.is_denied() {
+                denies += 1;
+            }
+        }
+        assert!(denies >= 2, "stream should exercise denied explanations");
+        assert_eq!(sym_adi.snapshot(), str_adi.snapshot());
     }
 
     proptest! {

@@ -10,7 +10,7 @@
 //! path also fails here.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 use std::sync::Arc;
 
 use context::ContextInstance;
@@ -20,24 +20,40 @@ use msod::{
 };
 use symtab::SymbolTable;
 
-/// Wraps the system allocator, counting every allocation.
+/// Wraps the system allocator, counting every allocation made by the
+/// **current thread**. The count must be per-thread, not process-wide:
+/// the libtest harness's main thread blocks on an mpsc channel while
+/// the test body runs on its own thread, and std's channel lazily
+/// allocates its thread-local waiting context on the first blocking
+/// receive — which can land anywhere inside the measured window. A
+/// process-global counter intermittently charged that harness
+/// allocation to the decide loop.
 struct CountingAlloc;
 
-static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static THREAD_ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// `try_with` rather than `with`: allocations during thread teardown
+/// (after this thread's TLS is gone) are simply not counted instead of
+/// aborting the process from inside the allocator.
+fn count_one() {
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -50,9 +66,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations(f: impl FnOnce()) -> usize {
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = THREAD_ALLOCS.with(Cell::get);
     f();
-    ALLOCS.load(Ordering::Relaxed) - before
+    THREAD_ALLOCS.with(Cell::get) - before
 }
 
 #[test]

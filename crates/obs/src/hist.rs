@@ -150,6 +150,24 @@ impl HistogramSnapshot {
         self.count += other.count;
     }
 
+    /// The samples recorded between `earlier` and `self`: bucket-wise
+    /// saturating subtraction of two cumulative snapshots of the same
+    /// histogram, for windowed trend views (the metric-history ring).
+    /// Saturating, so a snapshot pair taken mid-update can never
+    /// underflow.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(earlier.sum),
+            count: self.count.saturating_sub(earlier.count),
+        }
+    }
+
     /// Mean of the recorded values, or 0 if empty.
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
@@ -229,6 +247,25 @@ mod tests {
         assert_eq!(s.count, 3);
         assert_eq!(s.sum, 106);
         assert_eq!(s.buckets[2], 2);
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn delta_windows_cumulative_snapshots() {
+        let h = Histogram::new();
+        h.record(3);
+        let earlier = h.snapshot();
+        h.record(3);
+        h.record(100);
+        let d = h.snapshot().delta(&earlier);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 103);
+        assert_eq!(d.buckets[2], 1);
+        // Reversed operands saturate to empty rather than underflow.
+        let rev = earlier.delta(&h.snapshot());
+        assert_eq!(rev.count, 0);
+        assert_eq!(rev.sum, 0);
+        assert!(rev.buckets.iter().all(|&n| n == 0));
     }
 
     #[test]

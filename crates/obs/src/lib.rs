@@ -15,6 +15,9 @@
 //! * [`TraceRing`] — a bounded lock-free ring buffer of recent
 //!   decision traces, so "why was this denied?" is answerable after
 //!   the fact.
+//! * [`FlightRecorder`] — a black-box ring with anomaly triggers that
+//!   auto-dumps a self-contained snapshot file the first time each
+//!   distinct trigger reason fires.
 //! * [`PromWriter`] — a Prometheus-text-format (version 0.0.4)
 //!   exporter for all of the above.
 //!
@@ -28,12 +31,14 @@
 //! `#[cfg]`.
 
 mod counter;
+mod flight;
 mod hist;
 mod prom;
 mod ring;
 mod span;
 
 pub use counter::{Counter, Gauge, Sampler};
+pub use flight::{FlightRecorder, DUMP_BUDGET};
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
 pub use prom::PromWriter;
 pub use ring::TraceRing;

@@ -17,7 +17,9 @@ use std::sync::Mutex;
 #[cfg(not(feature = "obs-off"))]
 #[derive(Debug)]
 struct Slot<T> {
-    /// Ticket + 1 of the entry currently in `data`; 0 = never written.
+    /// Ticket of the entry currently in `data`. Meaningful only once
+    /// `data` is `Some`; tickets wrap at `u64::MAX`, so readers must
+    /// compare them with wrapping distance from the head, never raw.
     seq: AtomicU64,
     data: Mutex<Option<T>>,
 }
@@ -30,6 +32,10 @@ pub struct TraceRing<T> {
     slots: Box<[Slot<T>]>,
     #[cfg(not(feature = "obs-off"))]
     head: AtomicU64,
+    /// Occupied-slot count, saturating at capacity; unlike `head` it
+    /// stays correct across ticket wraparound.
+    #[cfg(not(feature = "obs-off"))]
+    filled: AtomicU64,
     #[cfg(feature = "obs-off")]
     _marker: std::marker::PhantomData<T>,
 }
@@ -44,7 +50,7 @@ impl<T: Clone> TraceRing<T> {
                 .map(|_| Slot { seq: AtomicU64::new(0), data: Mutex::new(None) })
                 .collect::<Vec<_>>()
                 .into_boxed_slice();
-            TraceRing { slots, head: AtomicU64::new(0) }
+            TraceRing { slots, head: AtomicU64::new(0), filled: AtomicU64::new(0) }
         }
         #[cfg(feature = "obs-off")]
         {
@@ -57,6 +63,9 @@ impl<T: Clone> TraceRing<T> {
     pub fn push(&self, entry: T) {
         #[cfg(not(feature = "obs-off"))]
         {
+            // `fetch_add` wraps at `u64::MAX` by definition, so the
+            // ticket space is modular; every consumer below treats it
+            // that way.
             let ticket = self.head.fetch_add(1, Ordering::Relaxed);
             let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
             // Recover from a poisoned slot: the payload is replaced
@@ -65,8 +74,12 @@ impl<T: Clone> TraceRing<T> {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
             };
+            let first_write = guard.is_none();
             *guard = Some(entry);
-            slot.seq.store(ticket + 1, Ordering::Release);
+            slot.seq.store(ticket, Ordering::Release);
+            if first_write {
+                self.filled.fetch_add(1, Ordering::Relaxed);
+            }
         }
         #[cfg(feature = "obs-off")]
         let _ = entry;
@@ -85,20 +98,26 @@ impl<T: Clone> TraceRing<T> {
                     }
                 }
             }
-            entries.sort_by_key(|(seq, _)| *seq);
+            // Tickets wrap at u64::MAX, so a raw sort would split the
+            // ring at a rollover. Every retained ticket lies within
+            // `capacity` of the head, so its wrapping distance *back*
+            // from the head orders entries correctly across the seam:
+            // larger distance = older. The head is loaded after the
+            // scan so every observed ticket is behind it.
+            let head = self.head.load(Ordering::Relaxed);
+            entries.sort_by_key(|(seq, _)| std::cmp::Reverse(head.wrapping_sub(*seq)));
             entries.into_iter().map(|(_, v)| v).collect()
         }
         #[cfg(feature = "obs-off")]
         Vec::new()
     }
 
-    /// Entries currently retained (≤ capacity).
+    /// Entries currently retained (≤ capacity). Tracked by occupied
+    /// slots rather than the ticket counter, so it stays correct even
+    /// after the ticket space wraps.
     pub fn len(&self) -> usize {
         #[cfg(not(feature = "obs-off"))]
-        {
-            let pushed = self.head.load(Ordering::Relaxed);
-            pushed.min(self.slots.len() as u64) as usize
-        }
+        return self.filled.load(Ordering::Relaxed).min(self.slots.len() as u64) as usize;
         #[cfg(feature = "obs-off")]
         0
     }
@@ -116,7 +135,8 @@ impl<T: Clone> TraceRing<T> {
         0
     }
 
-    /// Total entries ever pushed (monotonic, may exceed capacity).
+    /// Total entries ever pushed (monotonic modulo `2^64`, may exceed
+    /// capacity).
     pub fn pushed(&self) -> u64 {
         #[cfg(not(feature = "obs-off"))]
         return self.head.load(Ordering::Relaxed);
@@ -178,6 +198,31 @@ mod tests {
             assert_eq!(per_thread, sorted);
             assert_eq!(per_thread.len(), 100);
         }
+    }
+
+    #[test]
+    #[cfg(not(feature = "obs-off"))]
+    fn ticket_wraparound_preserves_order() {
+        // Start the ticket counter just shy of u64::MAX so pushes
+        // straddle the rollover: tickets MAX-4, MAX-3, ..., MAX, 0, 1,
+        // ... A raw sort on the ticket would put the post-rollover
+        // entries first; wrapping-distance ordering must not.
+        let ring = TraceRing::new(4);
+        ring.head.store(u64::MAX - 4, Ordering::Relaxed);
+        for i in 0..10u32 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![6, 7, 8, 9]);
+        assert_eq!(ring.len(), 4, "occupancy survives the rollover");
+
+        // Exactly at the seam: the retained window spans MAX and 0.
+        let ring = TraceRing::new(4);
+        ring.head.store(u64::MAX - 1, Ordering::Relaxed);
+        for i in 0..4u32 {
+            ring.push(i); // tickets MAX-1, MAX, 0, 1
+        }
+        assert_eq!(ring.snapshot(), vec![0, 1, 2, 3]);
+        assert_eq!(ring.len(), 4);
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! assert!(out.is_granted());
 //! ```
 
+pub mod explain;
 pub mod metrics;
 pub mod mgmt;
 pub mod pdp;
@@ -50,7 +51,11 @@ pub mod recovery;
 pub mod request;
 pub mod service;
 
-pub use metrics::{DecideMetrics, DecisionTrace, TRACE_CAPACITY};
+pub use explain::Explanation;
+pub use metrics::{
+    export_symtab, DecideMetrics, DecisionTrace, FlightEntry, MetricFrame, EXPLAIN_CAPACITY,
+    FLIGHT_CAPACITY, HISTORY_CAPACITY, TRACE_CAPACITY,
+};
 pub use mgmt::{purge_scope, ManagementOp, MGMT_TARGET, RETAINED_ADI_CONTROLLER};
 pub use pdp::Pdp;
 pub use pep::{Pep, PepSession};

@@ -12,12 +12,25 @@
 //! strings. Everything here compiles to no-ops under the `obs-off`
 //! feature.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use obs::{Counter, Histogram, PromWriter, Sampler, TraceRing};
+use obs::{Counter, FlightRecorder, Histogram, HistogramSnapshot, PromWriter, Sampler, TraceRing};
+use parking_lot::Mutex;
+use symtab::SymbolTable;
+
+use crate::explain::Explanation;
 
 /// How many recent decisions the trace ring retains.
 pub const TRACE_CAPACITY: usize = 256;
+
+/// How many black-box entries the flight recorder retains.
+pub const FLIGHT_CAPACITY: usize = 128;
+
+/// How many windowed metric frames the history ring retains.
+pub const HISTORY_CAPACITY: usize = 64;
+
+/// How many captured explanations the opt-in ring retains.
+pub const EXPLAIN_CAPACITY: usize = 32;
 
 /// Latency checkpoints are taken on every `PHASE_SAMPLE`-th decision
 /// (plus the end-to-end checkpoint on any traced decision, so deny
@@ -57,6 +70,77 @@ pub struct DecisionTrace {
     pub elapsed_ns: u64,
 }
 
+/// One always-on black-box entry: a sampled (or anomalous) decision
+/// with its phase checkpoints, shard-lock telemetry and the request
+/// identity as cheap interned symbols where the service has a symbol
+/// table (resolved to strings only when a snapshot is rendered).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Request timestamp (the caller's clock, as audited).
+    pub timestamp: u64,
+    /// Interned user symbol on symbolized services; [`u32::MAX`]
+    /// elsewhere (then `user` carries the string).
+    pub user_sym: u32,
+    /// The requesting user, when no symbol table is available to defer
+    /// the clone to render time; empty otherwise.
+    pub user: String,
+    /// `true` for grants.
+    pub granted: bool,
+    /// Whether the symbolized fast path handed this request to the
+    /// string engine.
+    pub fell_back: bool,
+    /// End-to-end decide latency.
+    pub total_ns: u64,
+    /// Phase 1 (credential validation) checkpoint.
+    pub front_ns: u64,
+    /// Phase 2+3 (context match + MSoD) checkpoint.
+    pub msod_ns: u64,
+    /// Retained-ADI records visited by the MSoD stage.
+    pub records_consulted: usize,
+    /// Which ADI shard served the user.
+    pub shard: u32,
+    /// Cumulative nanoseconds waited on that shard's lock at capture
+    /// time (deltas between entries localize contention).
+    pub shard_wait_ns: u64,
+}
+
+/// One windowed metrics frame: cumulative verdict counters plus the
+/// decide-latency histogram *delta* since the previous frame, with an
+/// exemplar link from the window's slowest sampled decide to its
+/// flight-recorder ticket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricFrame {
+    /// Frame number (monotonic from service start).
+    pub seq: u64,
+    /// Cumulative decisions at capture.
+    pub decisions: u64,
+    /// Cumulative grants at capture.
+    pub grants: u64,
+    /// Cumulative denies at capture.
+    pub denies: u64,
+    /// Cumulative symbolized-path fallbacks at capture.
+    pub sym_fallbacks: u64,
+    /// Decide-latency histogram counts accumulated since the previous
+    /// frame (mergeable — summing consecutive frames widens the
+    /// window).
+    pub decide_delta: HistogramSnapshot,
+    /// Slowest sampled decide in the window, 0 if none was sampled.
+    pub slowest_ns: u64,
+    /// Flight-recorder ticket of that decide (exemplar link: the entry
+    /// with this ticket, if still retained, is the slow decision).
+    pub slowest_ticket: u64,
+    /// The slow decide's user.
+    pub slowest_user: String,
+}
+
+/// The window's slowest sampled decide, reset on each frame capture.
+#[derive(Debug, Default)]
+struct Slowest {
+    ns: u64,
+    ticket: u64,
+    user: String,
+}
+
 /// Decision-plane telemetry: verdict counters, end-to-end and
 /// per-phase latency histograms, and the decision-trace ring.
 #[derive(Debug)]
@@ -79,8 +163,29 @@ pub struct DecideMetrics {
     pub audit_append_ns: Histogram,
     /// Gates the phase histograms to 1-in-[`PHASE_SAMPLE`] decisions.
     pub phase_sampler: Sampler,
+    /// Requests the symbolized fast path handed to the string engine.
+    pub sym_fallbacks: Counter,
+    /// Fallbacks caused specifically by the request overflowing the
+    /// fixed interning buffers (roles or context depth).
+    pub reqbuf_overflows: Counter,
     traces: TraceRing<DecisionTrace>,
     trace_grants: AtomicBool,
+    flight: FlightRecorder<FlightEntry>,
+    history: TraceRing<MetricFrame>,
+    /// Frames captured so far (the next frame's `seq`).
+    frames: AtomicU64,
+    /// Cumulative decide histogram at the last frame capture, for
+    /// windowed deltas.
+    last_decide: Mutex<HistogramSnapshot>,
+    /// Fast gate for the slowest-decide exemplar: candidates at or
+    /// below this skip the mutex.
+    slowest_ns: AtomicU64,
+    slowest: Mutex<Slowest>,
+    explanations: TraceRing<Explanation>,
+    capture_explanations: AtomicBool,
+    /// Decides slower than this fire the `p999_latency` flight
+    /// trigger; `u64::MAX` disables it.
+    latency_trigger_ns: AtomicU64,
 }
 
 impl Default for DecideMetrics {
@@ -95,8 +200,19 @@ impl Default for DecideMetrics {
             msod_ns: Histogram::new(),
             audit_append_ns: Histogram::new(),
             phase_sampler: Sampler::new(),
+            sym_fallbacks: Counter::new(),
+            reqbuf_overflows: Counter::new(),
             traces: TraceRing::new(TRACE_CAPACITY),
             trace_grants: AtomicBool::new(false),
+            flight: FlightRecorder::new(FLIGHT_CAPACITY),
+            history: TraceRing::new(HISTORY_CAPACITY),
+            frames: AtomicU64::new(0),
+            last_decide: Mutex::new(HistogramSnapshot::empty()),
+            slowest_ns: AtomicU64::new(0),
+            slowest: Mutex::new(Slowest::default()),
+            explanations: TraceRing::new(EXPLAIN_CAPACITY),
+            capture_explanations: AtomicBool::new(false),
+            latency_trigger_ns: AtomicU64::new(u64::MAX),
         }
     }
 }
@@ -124,6 +240,103 @@ impl DecideMetrics {
     /// The retained decision traces, oldest first.
     pub fn recent_traces(&self) -> Vec<DecisionTrace> {
         self.traces.snapshot()
+    }
+
+    /// The anomaly flight recorder (black-box ring + trigger latch).
+    pub fn flight(&self) -> &FlightRecorder<FlightEntry> {
+        &self.flight
+    }
+
+    /// Retain one black-box entry in the flight recorder.
+    pub fn record_flight(&self, entry: FlightEntry) {
+        self.flight.record(entry);
+    }
+
+    /// Also capture a full [`Explanation`] for every decision into the
+    /// recent-explanations ring. Off by default — capture walks the
+    /// retained history a second time; the verdict path is unchanged.
+    pub fn set_capture_explanations(&self, on: bool) {
+        self.capture_explanations.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the opt-in explanation capture is on (always `false`
+    /// under `obs-off`).
+    pub fn capture_explanations(&self) -> bool {
+        obs::enabled() && self.capture_explanations.load(Ordering::Relaxed)
+    }
+
+    /// Retain one captured explanation.
+    pub fn record_explanation(&self, explanation: Explanation) {
+        self.explanations.push(explanation);
+    }
+
+    /// The retained explanations, oldest first.
+    pub fn recent_explanations(&self) -> Vec<Explanation> {
+        self.explanations.snapshot()
+    }
+
+    /// Decides slower than `ns` fire the `p999_latency` flight
+    /// trigger. `u64::MAX` (the default) disables the trigger.
+    pub fn set_latency_trigger_ns(&self, ns: u64) {
+        self.latency_trigger_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The current latency-trigger threshold.
+    pub fn latency_trigger_ns(&self) -> u64 {
+        self.latency_trigger_ns.load(Ordering::Relaxed)
+    }
+
+    /// Note one sampled decide's latency as an exemplar candidate for
+    /// the current history window. `ticket` is the flight-recorder
+    /// ticket of the entry recorded for this decide.
+    pub fn note_slowest(&self, ns: u64, ticket: u64, user: &str) {
+        if ns <= self.slowest_ns.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut slow = self.slowest.lock();
+        if ns > slow.ns {
+            self.slowest_ns.store(ns, Ordering::Relaxed);
+            slow.ns = ns;
+            slow.ticket = ticket;
+            slow.user = user.to_owned();
+        }
+    }
+
+    /// Capture one windowed metric frame into the history ring and
+    /// return it: cumulative counters, the decide-histogram delta
+    /// since the previous frame, and the window's slowest-decide
+    /// exemplar (which is then reset for the next window).
+    pub fn capture_frame(&self) -> MetricFrame {
+        let decide = self.decide_ns.snapshot();
+        let delta = {
+            let mut last = self.last_decide.lock();
+            let d = decide.delta(&last);
+            *last = decide;
+            d
+        };
+        let slowest = {
+            let mut slow = self.slowest.lock();
+            self.slowest_ns.store(0, Ordering::Relaxed);
+            std::mem::take(&mut *slow)
+        };
+        let frame = MetricFrame {
+            seq: self.frames.fetch_add(1, Ordering::Relaxed),
+            decisions: self.decisions.get(),
+            grants: self.grants.get(),
+            denies: self.denies.get(),
+            sym_fallbacks: self.sym_fallbacks.get(),
+            decide_delta: delta,
+            slowest_ns: slowest.ns,
+            slowest_ticket: slowest.ticket,
+            slowest_user: slowest.user,
+        };
+        self.history.push(frame.clone());
+        frame
+    }
+
+    /// The retained metric frames, oldest first.
+    pub fn history(&self) -> Vec<MetricFrame> {
+        self.history.snapshot()
     }
 
     /// Render the decision-plane metrics as Prometheus text. Phase
@@ -180,6 +393,102 @@ impl DecideMetrics {
             &[],
             self.traces.len() as u64,
         );
+        w.counter(
+            "permis_sym_fallback_total",
+            "Decides the symbolized engine handed back to the string engine.",
+            &[],
+            self.sym_fallbacks.get(),
+        );
+        w.counter(
+            "permis_reqbuf_overflow_total",
+            "Sym fallbacks caused by request-buffer overflow during interning.",
+            &[],
+            self.reqbuf_overflows.get(),
+        );
+        w.counter(
+            "permis_flight_triggers_total",
+            "Anomaly triggers observed by the flight recorder.",
+            &[],
+            self.flight.triggers_total(),
+        );
+        w.counter(
+            "permis_flight_dumps_total",
+            "Flight-recorder snapshots written to disk.",
+            &[],
+            self.flight.dumps_total(),
+        );
+        w.gauge(
+            "permis_history_frames",
+            "Windowed metric frames captured so far.",
+            &[],
+            self.frames.load(Ordering::Relaxed),
+        );
+    }
+}
+
+/// Render a flight-recorder snapshot as a self-contained JSON
+/// document: the trigger reason plus every retained black-box entry,
+/// oldest first, with interned user symbols resolved through `table`
+/// where one is available.
+pub fn render_flight_snapshot(
+    reason: &str,
+    entries: &[FlightEntry],
+    table: Option<&SymbolTable>,
+) -> String {
+    use crate::explain::json_string;
+    let mut out = String::with_capacity(256 + entries.len() * 160);
+    out.push_str("{\"reason\":");
+    out.push_str(&json_string(reason));
+    out.push_str(",\"entries\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let user = match table {
+            Some(t) if e.user_sym != u32::MAX => {
+                t.resolve_user(symtab::UserId::from_u32(e.user_sym)).to_string()
+            }
+            _ => e.user.clone(),
+        };
+        out.push_str(&format!(
+            "{{\"timestamp\":{},\"user\":{},\"granted\":{},\"fell_back\":{},\
+             \"total_ns\":{},\"front_ns\":{},\"msod_ns\":{},\"records_consulted\":{},\
+             \"shard\":{},\"shard_wait_ns\":{}}}",
+            e.timestamp,
+            json_string(&user),
+            e.granted,
+            e.fell_back,
+            e.total_ns,
+            e.front_ns,
+            e.msod_ns,
+            e.records_consulted,
+            e.shard,
+            e.shard_wait_ns,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Export symbol-plane gauges for one [`SymbolTable`]: interned-entry
+/// counts and arena capacities per kind. Capacity equal to count means
+/// the next intern of that kind reallocates (or, for request buffers,
+/// falls back to the string engine).
+pub fn export_symtab(w: &mut PromWriter, table: &SymbolTable) {
+    let counts = table.counts();
+    let caps = table.capacities();
+    const COUNT_HELP: &str = "Entries interned in the shared symbol table, by kind.";
+    const CAP_HELP: &str = "Allocated arena capacity of the shared symbol table, by kind.";
+    let kinds = [
+        ("strings", counts.strings, caps.strings),
+        ("users", counts.users, caps.users),
+        ("roles", counts.roles, caps.roles),
+        ("privs", counts.privs, caps.privs),
+        ("ctx_pairs", counts.ctx_pairs, caps.ctx_pairs),
+    ];
+    for (kind, count, cap) in kinds {
+        w.gauge("symtab_interned", COUNT_HELP, &[("kind", kind)], count as u64);
+        w.gauge("symtab_arena_capacity", CAP_HELP, &[("kind", kind)], cap as u64);
     }
 }
 

@@ -27,15 +27,16 @@ use audit::{AuditError, AuditEvent, AuditTrail, TrailStore};
 use credential::{AttributeCredential, CredentialValidationService, Directory};
 use msod::{
     sharded_sym_adi, AdiRecord, ConstraintKind, EngineOptions, IndexedAdi, MatchedBuf,
-    MsodDecision, MsodEngine, MsodRequest, ReqBufs, RetainedAdi, RoleRef, ShardedAdi, SymAdi,
-    SymEngine,
+    MsodDecision, MsodEngine, MsodExplanation, MsodRequest, ReqBufs, RetainedAdi, RoleRef,
+    ShardedAdi, SymAdi, SymEngine, SymExplain, SymPathStats,
 };
 use obs::{PromWriter, Stopwatch};
 use parking_lot::{Mutex, RwLock};
 use policy::{parse_rbac_policy, PdpPolicy, PolicyError};
 use symtab::SymbolTable;
 
-use crate::metrics::{DecideMetrics, DecisionTrace};
+use crate::explain::Explanation;
+use crate::metrics::{DecideMetrics, DecisionTrace, FlightEntry, MetricFrame};
 use crate::mgmt::{ManagementOp, MGMT_TARGET};
 use crate::pdp::{encode_role, validate_front_end};
 use crate::recovery::{apply_recovered_record, RecoveryReport};
@@ -91,6 +92,15 @@ impl DecisionCore {
 struct AuditPlane {
     trail: AuditTrail,
     store: Option<TrailStore>,
+}
+
+/// Capture slot `decide_impl` fills when the caller wants the verdict
+/// explained: the MSoD derivation (when the request reached the MSoD
+/// stage) and which engine produced it.
+#[derive(Default)]
+struct ExplainSlot {
+    msod: Option<MsodExplanation>,
+    engine: &'static str,
 }
 
 /// The two-plane PDP. All methods take `&self`; share it between
@@ -205,6 +215,7 @@ impl DecisionService<storage::PersistentAdi> {
         }
         let service =
             DecisionService::from_shards(policy, trail_key, ShardedAdi::from_shards(stores));
+        service.set_flight_dir(Some(dir.join("flightrec")));
         {
             let mut audit = service.audit.lock();
             for (i, report) in reports.iter().enumerate() {
@@ -215,6 +226,11 @@ impl DecisionService<storage::PersistentAdi> {
                 }
             }
         }
+        // A non-clean journal recovery is exactly the moment the black
+        // box exists for: snapshot it before new traffic dilutes it.
+        if reports.iter().any(|r| !r.is_clean()) {
+            service.fire_flight("recovery_nonclean");
+        }
         Ok((service, reports))
     }
 
@@ -223,8 +239,15 @@ impl DecisionService<storage::PersistentAdi> {
     /// survive a crash (the decision path itself journals every grant
     /// but leaves fsync policy to the embedder).
     pub fn sync_adi(&self) -> Result<(), storage::StorageError> {
+        let mut needs_rewrite = false;
         for i in 0..self.adi.shard_count() {
-            self.adi.with_shard(i, |shard| shard.sync())?;
+            self.adi.with_shard(i, |shard| {
+                needs_rewrite |= shard.journal_needs_rewrite();
+                shard.sync()
+            })?;
+        }
+        if needs_rewrite {
+            self.fire_flight("journal_needs_rewrite");
         }
         Ok(())
     }
@@ -339,6 +362,9 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
         self.metrics.export(&mut w);
         self.adi.export_metrics(&mut w);
         self.audit.lock().trail.export_metrics(&mut w);
+        if let Some(table) = self.sym_table.as_deref() {
+            crate::metrics::export_symtab(&mut w, table);
+        }
         w.finish()
     }
 
@@ -374,6 +400,42 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
     /// decision lands in the trace ring (denies always; grants after
     /// [`DecideMetrics::set_trace_grants`]).
     pub fn decide(&self, req: &DecisionRequest) -> DecisionOutcome {
+        if self.metrics.capture_explanations() {
+            let (outcome, explanation) = self.decide_explained(req);
+            self.metrics.record_explanation(explanation);
+            return outcome;
+        }
+        self.decide_impl(req, None)
+    }
+
+    /// [`DecisionService::decide`], but also return the full §4.2
+    /// derivation as a typed [`Explanation`]: matched scopes, `!`
+    /// bindings, per-constraint multiset arithmetic with the retained
+    /// records that carried it. The explanation is derived against
+    /// exactly the pre-decision state the verdict itself saw (on the
+    /// string path both run under the exclusive epoch lock; on the
+    /// symbol plane the capture rides the enforcement pass).
+    ///
+    /// Under `obs-off` the verdict is unchanged and `msod` is `None` —
+    /// explanation capture compiles out with the rest of the
+    /// observability plane.
+    pub fn decide_explained(&self, req: &DecisionRequest) -> (DecisionOutcome, Explanation) {
+        let mut slot = ExplainSlot::default();
+        let outcome = if obs::enabled() {
+            self.decide_impl(req, Some(&mut slot))
+        } else {
+            self.decide_impl(req, None)
+        };
+        let engine = if slot.engine.is_empty() { "front_end" } else { slot.engine };
+        let explanation = Explanation::from_outcome(req, &outcome, slot.msod, engine);
+        (outcome, explanation)
+    }
+
+    fn decide_impl(
+        &self,
+        req: &DecisionRequest,
+        mut explain: Option<&mut ExplainSlot>,
+    ) -> DecisionOutcome {
         // One stopwatch, checkpoint deltas between phases — taken only
         // on sampled decisions. At microsecond decide latency the
         // ~35 ns clock reads are themselves a measurable cost, so the
@@ -396,6 +458,9 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
             0
         };
 
+        // Black-box facts gathered along the way for the sampled
+        // flight-recorder entry.
+        let mut fell_back = false;
         let (outcome, t_pre_audit) = match front {
             Err((roles, reason)) => (self.deny(req, roles, reason), t_front),
             Ok(roles) => {
@@ -424,14 +489,44 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
                             t_match = t_front;
                             let mut bufs = ReqBufs::new();
                             let mut matched = MatchedBuf::new();
-                            break 'msod sym.enforce_or_fallback(
-                                &core.engine,
-                                table,
-                                sym_adi,
-                                &msod_req,
-                                &mut bufs,
-                                &mut matched,
-                            );
+                            let mut stats = SymPathStats::default();
+                            let decision = if let Some(slot) = explain.as_deref_mut() {
+                                let mut scratch = SymExplain::new();
+                                let (decision, ex) = sym.enforce_or_fallback_explained(
+                                    &core.engine,
+                                    table,
+                                    sym_adi,
+                                    &msod_req,
+                                    &mut bufs,
+                                    &mut matched,
+                                    &mut scratch,
+                                    &mut stats,
+                                );
+                                slot.msod = Some(ex);
+                                decision
+                            } else {
+                                sym.enforce_or_fallback_metered(
+                                    &core.engine,
+                                    table,
+                                    sym_adi,
+                                    &msod_req,
+                                    &mut bufs,
+                                    &mut matched,
+                                    &mut stats,
+                                )
+                            };
+                            fell_back = stats.fell_back;
+                            if stats.fell_back {
+                                self.metrics.sym_fallbacks.inc();
+                            }
+                            if stats.overflow {
+                                self.metrics.reqbuf_overflows.inc();
+                                self.fire_flight("sym_fallback_overflow");
+                            }
+                            if let Some(slot) = explain.as_deref_mut() {
+                                slot.engine = if stats.fell_back { "string" } else { "sym" };
+                            }
+                            break 'msod decision;
                         }
                     }
                     let matched = core.engine.policies().matching(&req.context);
@@ -442,6 +537,20 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
                     } else {
                         0
                     };
+                    if let Some(slot) = explain {
+                        // Explained string-path decides derive the
+                        // explanation against the exact pre-decision
+                        // state, so both run under the exclusive epoch
+                        // lock (diagnostics pay for atomicity; the
+                        // unexplained path below stays shard-parallel).
+                        slot.engine = "string";
+                        let (decision, ex) = self.adi.with_exclusive(|view| {
+                            let ex = core.engine.explain(&*view, &msod_req);
+                            (core.engine.enforce(view, &msod_req), ex)
+                        });
+                        slot.msod = Some(ex);
+                        break 'msod decision;
+                    }
                     core.engine.enforce_sharded_matched(&self.adi, &msod_req, matched)
                 };
                 let t_msod = if sample {
@@ -466,9 +575,86 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
         if sample {
             self.metrics.decide_ns.record(t_total);
             self.metrics.audit_append_ns.record(t_total - t_pre_audit);
+            self.record_flight_entry(req, &outcome, fell_back, t_total, t_front, t_pre_audit);
+            if t_total > self.metrics.latency_trigger_ns() {
+                self.fire_flight("p999_latency");
+            }
         }
         self.finish_decision(req, &outcome, t_total);
         outcome
+    }
+
+    /// Record one black-box entry for a sampled decide and refresh the
+    /// history window's slowest-decide exemplar.
+    fn record_flight_entry(
+        &self,
+        req: &DecisionRequest,
+        outcome: &DecisionOutcome,
+        fell_back: bool,
+        t_total: u64,
+        t_front: u64,
+        t_pre_audit: u64,
+    ) {
+        let records_consulted = match outcome {
+            DecisionOutcome::Grant { msod, .. } => msod.as_ref().map_or(0, |d| d.records_consulted),
+            DecisionOutcome::Deny { reason: DenyReason::Msod(d), .. } => d.records_consulted,
+            DecisionOutcome::Deny { .. } => 0,
+        };
+        // Identity as a cheap interned symbol where a table exists; the
+        // string clone happens only on unsymbolized services, and only
+        // 1-in-PHASE_SAMPLE decides at that.
+        let (user_sym, user) = match self.sym_table.as_deref() {
+            Some(table) => (table.intern_user(&req.subject).as_u32(), String::new()),
+            None => (u32::MAX, req.subject.clone()),
+        };
+        let shard = self.adi.shard_index(&req.subject);
+        let entry = FlightEntry {
+            timestamp: req.timestamp,
+            user_sym,
+            user,
+            granted: outcome.is_granted(),
+            fell_back,
+            total_ns: t_total,
+            front_ns: t_front,
+            msod_ns: t_pre_audit.saturating_sub(t_front),
+            records_consulted,
+            shard: shard as u32,
+            shard_wait_ns: self.adi.metrics().shard(shard).wait_ns.get(),
+        };
+        let ticket = self.metrics.flight().next_ticket();
+        self.metrics.record_flight(entry);
+        self.metrics.note_slowest(t_total, ticket, &req.subject);
+    }
+
+    /// Fire one flight-recorder trigger: count it always, and (first
+    /// time per reason, budget and dump-dir permitting) dump the black
+    /// box as a self-contained JSON snapshot with interned user symbols
+    /// resolved through the service's symbol table.
+    fn fire_flight(&self, reason: &str) {
+        let table = self.sym_table.as_deref();
+        self.metrics.flight().trigger(reason, |r, entries| {
+            crate::metrics::render_flight_snapshot(r, entries, table)
+        });
+    }
+
+    /// Where flight-recorder snapshots land; `None` (the default on
+    /// non-persistent services) disables dumping while triggers still
+    /// count and latch. [`DecisionService::open_persistent`] points
+    /// this at `<data-dir>/flightrec` automatically.
+    pub fn set_flight_dir(&self, dir: Option<std::path::PathBuf>) {
+        self.metrics.flight().set_dump_dir(dir);
+    }
+
+    /// Capture one windowed metric frame into the history ring (see
+    /// [`DecideMetrics::capture_frame`]). Frame capture is also where
+    /// epoch-lock stalls are checked: any stall observed since start
+    /// fires the `epoch_stall` flight trigger (latched, so the black
+    /// box dumps on the first stall only).
+    pub fn capture_metric_frame(&self) -> MetricFrame {
+        if self.adi.metrics().epoch_stalls.get() > 0 {
+            self.fire_flight("epoch_stall");
+        }
+        self.metrics.capture_frame()
     }
 
     /// Count the verdict and retain a [`DecisionTrace`] when this
@@ -684,6 +870,42 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
             .trail
             .append(AuditEvent::note(format!("metrics exported by {subject}")), timestamp);
         Ok(text)
+    }
+
+    /// Read-only management: the recently captured [`Explanation`]s
+    /// (oldest first), authorized under the `explain` operation on the
+    /// management target and audited as a note. Empty unless capture is
+    /// on ([`DecideMetrics::set_capture_explanations`]) — and always
+    /// empty under `obs-off`, where the ring compiles away.
+    pub fn inspect_explanations(
+        &self,
+        subject: impl Into<String>,
+        credentials: Credentials,
+        timestamp: u64,
+    ) -> Result<Vec<Explanation>, DenyReason> {
+        let subject = subject.into();
+        let req = DecisionRequest {
+            subject: subject.clone(),
+            credentials,
+            operation: "explain".to_owned(),
+            target: MGMT_TARGET.to_owned(),
+            context: context::ContextInstance::root(),
+            environment: Vec::new(),
+            timestamp,
+        };
+        let outcome = self.decide(&req);
+        if let Some(reason) = outcome.deny_reason() {
+            return Err(reason.clone());
+        }
+        let explanations = self.metrics.recent_explanations();
+        self.audit.lock().trail.append(
+            AuditEvent::note(format!(
+                "decision explanations inspected by {subject} ({} retained)",
+                explanations.len()
+            )),
+            timestamp,
+        );
+        Ok(explanations)
     }
 
     /// §5.2 start-up recovery: rebuild the retained ADI from the

@@ -737,6 +737,15 @@ impl PersistentAdi {
         self.journal.lock().batch.len()
     }
 
+    /// Whether the on-disk journal is currently *behind* the in-memory
+    /// index: an append (or a compaction rewrite) failed, so further
+    /// frames are withheld until a catch-up rewrite succeeds. Durable
+    /// history is incomplete while this holds — surface it as an
+    /// anomaly, don't poll it silently.
+    pub fn journal_needs_rewrite(&self) -> bool {
+        self.journal.lock().needs_rewrite
+    }
+
     fn maybe_compact(&self) {
         // Compact when the journal is more than double the live set
         // (plus slack so small stores never compact), or when a failed

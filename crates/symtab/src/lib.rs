@@ -120,6 +120,10 @@ impl StrPool {
     fn len(&self) -> usize {
         self.inner.read().items.len()
     }
+
+    fn capacity(&self) -> usize {
+        self.inner.read().items.capacity()
+    }
 }
 
 /// Append-only arena of `(u32, u32)` pairs over some other pool's ids.
@@ -160,6 +164,10 @@ impl PairPool {
 
     fn len(&self) -> usize {
         self.inner.read().items.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.read().items.capacity()
     }
 }
 
@@ -307,6 +315,22 @@ impl SymbolTable {
             ctx_pairs: self.ctx_pairs.len(),
         }
     }
+
+    /// Allocated arena slots per pool (same shape as [`counts`], but
+    /// each field is the pool's current capacity). Together with the
+    /// counts this gives size/capacity gauges for capacity planning:
+    /// a pool approaching its capacity is about to reallocate.
+    ///
+    /// [`counts`]: SymbolTable::counts
+    pub fn capacities(&self) -> TableCounts {
+        TableCounts {
+            strings: self.strings.capacity(),
+            users: self.users.capacity(),
+            roles: self.roles.capacity(),
+            privs: self.privs.capacity(),
+            ctx_pairs: self.ctx_pairs.capacity(),
+        }
+    }
 }
 
 /// Arena sizes, for diagnostics and capacity planning.
@@ -388,6 +412,23 @@ mod tests {
         // Strings known but the pair not yet interned.
         assert!(t.lookup_role("a", "b").is_none());
         assert_eq!(t.counts().roles, 0);
+    }
+
+    #[test]
+    fn capacities_bound_counts() {
+        let t = SymbolTable::new();
+        t.intern_role("employee", "Teller");
+        t.intern_user("alice");
+        t.intern_priv("audit", "books");
+        t.intern_ctx_pair("Branch", "York");
+        let counts = t.counts();
+        let caps = t.capacities();
+        assert!(caps.strings >= counts.strings);
+        assert!(caps.users >= counts.users);
+        assert!(caps.roles >= counts.roles);
+        assert!(caps.privs >= counts.privs);
+        assert!(caps.ctx_pairs >= counts.ctx_pairs);
+        assert!(caps.roles > 0);
     }
 
     #[test]

@@ -3,8 +3,18 @@
 //! ```text
 //! msod-cli validate <policy.xml>            parse + schema-validate a policy
 //! msod-cli decide   <policy.xml> <script>   run a decision script, print the trace
+//! msod-cli explain  <policy.xml> <script>   run a script, print each verdict's full
+//!           [--json]                        §4.2 derivation (text or JSON lines)
 //! msod-cli metrics  <policy.xml> <script>   run a script, print Prometheus metrics
-//!                                           and the decision-trace ring
+//!           [--watch <secs> [<n>]]          and the decision-trace ring; --watch
+//!                                           re-runs the script and re-renders the
+//!                                           metric-history ring every <secs> seconds
+//! msod-cli top      <policy.xml> <script>   run a script, print the windowed
+//!           [--every <ops>]                 metric-history ring as a table
+//! msod-cli flightrec dump <policy.xml> <script> <dir>
+//!                                           run a script with the flight recorder
+//!                                           dumping into <dir>, force a snapshot
+//! msod-cli flightrec show <snapshot.json>   summarize a dumped flight snapshot
 //! msod-cli schema   [msod|rbac]             print a bundled XSD
 //! msod-cli example                          print the built-in bank-audit trace
 //! msod-cli verify-journal <journal.log>     offline-scan a retained-ADI journal
@@ -30,13 +40,41 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("validate") if args.len() == 2 => cmd_validate(&args[1]),
         Some("decide") if args.len() == 3 => cmd_decide(&args[1], &args[2]),
+        Some("explain") if args.len() == 3 || args.len() == 4 => {
+            let json = args.get(3).map(String::as_str) == Some("--json");
+            if args.len() == 4 && !json {
+                Err(format!("unknown explain flag {:?} (expected --json)", args[3]))
+            } else {
+                cmd_explain(&args[1], &args[2], json)
+            }
+        }
         Some("metrics") if args.len() == 3 => cmd_metrics(&args[1], &args[2]),
+        Some("metrics") if args.len() >= 5 && args.len() <= 6 && args[3].as_str() == "--watch" => {
+            match (args[4].parse::<u64>(), args.get(5).map(|n| n.parse::<u64>())) {
+                (Ok(secs), None) => cmd_metrics_watch(&args[1], &args[2], secs, None),
+                (Ok(secs), Some(Ok(n))) => cmd_metrics_watch(&args[1], &args[2], secs, Some(n)),
+                _ => Err(format!("bad --watch arguments: {:?}", &args[4..])),
+            }
+        }
+        Some("top") if args.len() == 3 => cmd_top(&args[1], &args[2], 8),
+        Some("top") if args.len() == 5 && args[3].as_str() == "--every" => {
+            match args[4].parse::<usize>() {
+                Ok(every) => cmd_top(&args[1], &args[2], every.max(1)),
+                Err(_) => Err(format!("bad --every argument {:?}", args[4])),
+            }
+        }
+        Some("flightrec") if args.len() == 5 && args[1].as_str() == "dump" => {
+            cmd_flightrec_dump(&args[2], &args[3], &args[4])
+        }
+        Some("flightrec") if args.len() == 3 && args[1].as_str() == "show" => {
+            cmd_flightrec_show(&args[2])
+        }
         Some("schema") => cmd_schema(args.get(1).map(String::as_str).unwrap_or("msod")),
         Some("example") => cmd_example(),
         Some("verify-journal") if args.len() == 2 => cmd_verify_journal(&args[1]),
         _ => {
             eprintln!(
-                "usage:\n  msod-cli validate <policy.xml>\n  msod-cli decide <policy.xml> <script>\n  msod-cli metrics <policy.xml> <script>\n  msod-cli schema [msod|rbac]\n  msod-cli example\n  msod-cli verify-journal <journal.log>"
+                "usage:\n  msod-cli validate <policy.xml>\n  msod-cli decide <policy.xml> <script>\n  msod-cli explain <policy.xml> <script> [--json]\n  msod-cli metrics <policy.xml> <script> [--watch <secs> [<iterations>]]\n  msod-cli top <policy.xml> <script> [--every <ops>]\n  msod-cli flightrec dump <policy.xml> <script> <dir>\n  msod-cli flightrec show <snapshot.json>\n  msod-cli schema [msod|rbac]\n  msod-cli example\n  msod-cli verify-journal <journal.log>"
             );
             return ExitCode::from(2);
         }
@@ -181,6 +219,233 @@ fn cmd_decide(policy_path: &str, script_path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The symbolized service the provenance commands run against.
+type SymService = DecisionService<msod_rbac::msod::SymAdi>;
+
+/// Build the symbolized two-plane service from a policy file.
+fn load_symbolized(policy_path: &str) -> Result<SymService, String> {
+    let xml =
+        std::fs::read_to_string(policy_path).map_err(|e| format!("reading {policy_path}: {e}"))?;
+    DecisionService::from_xml_symbolized(&xml, b"msod-cli-trail-key".to_vec())
+        .map_err(|e| e.to_string())
+}
+
+/// Replay a script through `svc`, calling `visit` with the live
+/// service, each parsed line, and its explained outcome.
+fn run_script(
+    svc: &SymService,
+    script: &str,
+    mut visit: impl FnMut(&SymService, &ScriptLine, &msod_rbac::permis::Explanation),
+) -> Result<(), String> {
+    let role_type = svc.core().policy().role_type.clone();
+    for (no, raw) in script.lines().enumerate() {
+        let Some(line) = parse_script_line(raw).map_err(|e| format!("line {}: {e}", no + 1))?
+        else {
+            continue;
+        };
+        let (_, explanation) = svc.decide_explained(&build_request(&line, &role_type, no + 1)?);
+        visit(svc, &line, &explanation);
+    }
+    Ok(())
+}
+
+/// Build the symbolized service and replay a script file through it.
+fn replay_explained(
+    policy_path: &str,
+    script_path: &str,
+    visit: impl FnMut(&SymService, &ScriptLine, &msod_rbac::permis::Explanation),
+) -> Result<SymService, String> {
+    let script =
+        std::fs::read_to_string(script_path).map_err(|e| format!("reading {script_path}: {e}"))?;
+    let svc = load_symbolized(policy_path)?;
+    run_script(&svc, &script, visit)?;
+    Ok(svc)
+}
+
+/// Replay a script and print every verdict's full §4.2 derivation:
+/// which policies matched and how their `!` components bound, the
+/// per-constraint multiset arithmetic, and the retained-ADI record ids
+/// behind each deny. `--json` prints one JSON document per line
+/// instead.
+fn cmd_explain(policy_path: &str, script_path: &str, json: bool) -> Result<(), String> {
+    replay_explained(policy_path, script_path, |_, _, explanation| {
+        if json {
+            println!("{}", explanation.render_json());
+        } else {
+            println!("{}", explanation.render_text());
+        }
+    })?;
+    Ok(())
+}
+
+/// Replay a script, capturing a windowed metric frame every `every`
+/// decisions (plus a final partial window), then print the history
+/// ring as a table with the slowest-decide exemplar per window.
+fn cmd_top(policy_path: &str, script_path: &str, every: usize) -> Result<(), String> {
+    let mut since_frame = 0usize;
+    let svc = replay_explained(policy_path, script_path, |svc, _, _| {
+        since_frame += 1;
+        if since_frame == every {
+            since_frame = 0;
+            svc.capture_metric_frame();
+        }
+    })?;
+    if since_frame > 0 {
+        svc.capture_metric_frame();
+    }
+    print_history(&svc);
+    Ok(())
+}
+
+/// Render the metric-history ring as a table, oldest frame first.
+fn print_history<A: msod_rbac::msod::RetainedAdi + 'static>(svc: &DecisionService<A>) {
+    if !msod_rbac::obs::enabled() {
+        println!("# instrumentation compiled out (obs-off): no metric history retained");
+        return;
+    }
+    println!(
+        "| {:>5} | {:>9} | {:>6} | {:>6} | {:>9} | {:>8} | {:>10} | {:>10} | {:>12} | slowest",
+        "frame",
+        "decisions",
+        "grants",
+        "denies",
+        "fallbacks",
+        "window n",
+        "p50 ns",
+        "p99 ns",
+        "slowest ns"
+    );
+    for f in svc.metrics().history() {
+        println!(
+            "| {:>5} | {:>9} | {:>6} | {:>6} | {:>9} | {:>8} | {:>10} | {:>10} | {:>12} | #{} {}",
+            f.seq,
+            f.decisions,
+            f.grants,
+            f.denies,
+            f.sym_fallbacks,
+            f.decide_delta.count,
+            f.decide_delta.quantile(0.5),
+            f.decide_delta.quantile(0.99),
+            f.slowest_ns,
+            f.slowest_ticket,
+            f.slowest_user,
+        );
+    }
+}
+
+/// Replay a script with the flight recorder dumping into `dir`, then
+/// force a snapshot (reason `cli_dump`) and print its path — the
+/// offline way to exercise the same black box the anomaly triggers
+/// dump automatically.
+fn cmd_flightrec_dump(policy_path: &str, script_path: &str, dir: &str) -> Result<(), String> {
+    if !msod_rbac::obs::enabled() {
+        return Err("flight recorder compiled out (obs-off build)".into());
+    }
+    let script =
+        std::fs::read_to_string(script_path).map_err(|e| format!("reading {script_path}: {e}"))?;
+    let svc = load_symbolized(policy_path)?;
+    svc.set_flight_dir(Some(std::path::PathBuf::from(dir)));
+    run_script(&svc, &script, |_, _, _| {})?;
+    let table = svc.symbol_table().clone();
+    let path = svc
+        .metrics()
+        .flight()
+        .trigger("cli_dump", |reason, entries| {
+            msod_rbac::permis::metrics::render_flight_snapshot(reason, entries, Some(&*table))
+        })
+        .ok_or("flight recorder produced no dump (empty budget or no dump dir)")?;
+    println!("flight snapshot written: {}", path.display());
+    println!(
+        "{} entr(y/ies) retained; triggers={} dumps={}",
+        svc.metrics().flight().entries().len(),
+        svc.metrics().flight().triggers_total(),
+        svc.metrics().flight().dumps_total(),
+    );
+    Ok(())
+}
+
+/// Summarize a dumped flight snapshot: the trigger reason and one line
+/// per black-box entry.
+fn cmd_flightrec_show(path: &str) -> Result<(), String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let reason = doc
+        .split("\"reason\":")
+        .nth(1)
+        .and_then(|rest| rest.split('"').nth(1))
+        .ok_or("not a flight snapshot: missing \"reason\"")?;
+    let entries = doc.matches("\"timestamp\":").count();
+    println!("flight snapshot {path}: reason={reason:?}, {entries} entr(y/ies)");
+    println!("{doc}");
+    Ok(())
+}
+
+/// One structural pass over a Prometheus text document: every sample
+/// line must end in a parseable number and every family must declare
+/// `# TYPE` exactly once. Returns the first violation.
+fn validate_metrics_text(text: &str) -> Result<(), String> {
+    let mut types_seen: Vec<String> = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split_whitespace().next().unwrap_or_default().to_owned();
+            if types_seen.contains(&family) {
+                return Err(format!("line {}: duplicate # TYPE for {family}", no + 1));
+            }
+            types_seen.push(family);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and trace comments
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {}: malformed sample {line:?}", no + 1));
+        };
+        if name.is_empty() || value.parse::<f64>().map(f64::is_nan).unwrap_or(true) {
+            return Err(format!("line {}: malformed sample value {line:?}", no + 1));
+        }
+    }
+    Ok(())
+}
+
+/// Watch mode: re-run the script every `secs` seconds against one
+/// long-lived service, capture a metric frame per pass, and re-render
+/// the history ring. Each pass structurally validates the full
+/// Prometheus document and exits non-zero on the first malformed
+/// gauge. `iterations` bounds the loop (`None` = run until killed).
+fn cmd_metrics_watch(
+    policy_path: &str,
+    script_path: &str,
+    secs: u64,
+    iterations: Option<u64>,
+) -> Result<(), String> {
+    let script =
+        std::fs::read_to_string(script_path).map_err(|e| format!("reading {script_path}: {e}"))?;
+    let svc = load_symbolized(policy_path)?;
+    let mut pass = 0u64;
+    loop {
+        run_script(&svc, &script, |_, _, _| {})?;
+        let frame = svc.capture_metric_frame();
+        validate_metrics_text(&svc.metrics_text())
+            .map_err(|e| format!("malformed metrics document: {e}"))?;
+        pass += 1;
+        println!(
+            "# pass {pass}: frame {} — {} decisions total, window n={} p99={}ns",
+            frame.seq,
+            frame.decisions,
+            frame.decide_delta.count,
+            frame.decide_delta.quantile(0.99),
+        );
+        print_history(&svc);
+        if iterations.is_some_and(|n| pass >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
+}
+
 /// Run a decision script through the two-plane [`DecisionService`]
 /// with grant tracing enabled, then print the Prometheus metrics
 /// document followed by the decision-trace ring — including the
@@ -203,7 +468,9 @@ fn cmd_metrics(policy_path: &str, script_path: &str) -> Result<(), String> {
         svc.decide(&build_request(&line, &role_type, no + 1)?);
     }
 
-    println!("{}", svc.metrics_text());
+    let text = svc.metrics_text();
+    println!("{text}");
+    validate_metrics_text(&text).map_err(|e| format!("malformed metrics document: {e}"))?;
     let traces = svc.recent_traces();
     if msod_rbac::obs::enabled() {
         println!("# decision traces (oldest first, ring capacity {}):", {
@@ -355,6 +622,121 @@ mod tests {
     #[test]
     fn example_runs() {
         cmd_example().unwrap();
+    }
+
+    #[test]
+    fn metrics_validator_accepts_real_document_and_rejects_malformed() {
+        validate_metrics_text("# HELP a b\n# TYPE a counter\na 1\na_x{l=\"v\"} 2.5\n").unwrap();
+        // Trailing garbage instead of a number.
+        assert!(validate_metrics_text("a one\n").is_err());
+        // NaN is not a renderable gauge.
+        assert!(validate_metrics_text("a NaN\n").is_err());
+        // Duplicate TYPE for one family.
+        assert!(validate_metrics_text("# TYPE a counter\n# TYPE a gauge\n").is_err());
+        // Empty metric name.
+        assert!(validate_metrics_text(" 7\n").is_err());
+    }
+
+    /// Write the bank worked example to a temp dir and return
+    /// (policy path, script path, dir) for provenance-command tests.
+    fn worked_example(tag: &str) -> (String, String, std::path::PathBuf) {
+        let policy = r#"<RBACPolicy id="bank" roleType="employee">
+  <SOAPolicy><SOA dn="cn=HR"/></SOAPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="handleCash" targetURI="till"><AllowedRole value="Teller"/></TargetAccess>
+    <TargetAccess operation="audit" targetURI="books"><AllowedRole value="Auditor"/></TargetAccess>
+    <TargetAccess operation="CommitAudit" targetURI="audit"><AllowedRole value="Auditor"/></TargetAccess>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Branch=*, Period=!">
+      <LastStep operation="CommitAudit" targetURI="audit"/>
+      <MMER ForbiddenCardinality="2">
+        <Role type="employee" value="Teller"/>
+        <Role type="employee" value="Auditor"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>"#;
+        let script = "\
+alice | Teller  | handleCash  | till  | Branch=York, Period=2006  | 1
+alice | Auditor | audit       | books | Branch=Leeds, Period=2006 | 180
+bob   | Auditor | audit       | books | Branch=York, Period=2006  | 300
+bob   | Auditor | CommitAudit | audit | Branch=York, Period=2006  | 364
+alice | Auditor | audit       | books | Branch=York, Period=2006  | 370
+";
+        let dir = std::env::temp_dir().join(format!("msod-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ppath = dir.join("policy.xml");
+        let spath = dir.join("script.txt");
+        std::fs::write(&ppath, policy).unwrap();
+        std::fs::write(&spath, script).unwrap();
+        (ppath.to_str().unwrap().into(), spath.to_str().unwrap().into(), dir)
+    }
+
+    #[test]
+    fn explain_command_names_deny_cause() {
+        let (ppath, spath, dir) = worked_example("explain");
+        let mut denied = Vec::new();
+        let svc = replay_explained(&ppath, &spath, |_, line, ex| {
+            assert_eq!(ex.user, line.subject);
+            if !ex.granted {
+                denied.push(ex.clone());
+            }
+        })
+        .unwrap();
+        // The worked example denies exactly once: alice's t=180 audit.
+        // `Branch=*` folds every branch into one Period-keyed instance,
+        // so her Teller action at t=1 already binds her against the
+        // MMER's second role anywhere in Period=2006.
+        assert_eq!(denied.len(), 1);
+        let ex = &denied[0];
+        assert_eq!((ex.timestamp, ex.user.as_str()), (180, "alice"));
+        if msod_rbac::obs::enabled() {
+            let msod = ex.msod.as_ref().expect("msod derivation captured");
+            let text = ex.render_text();
+            // The rendering must name the violated MMER and the retained
+            // record that contributes to it.
+            assert!(text.contains("MMER"), "{text}");
+            assert!(text.contains("Teller"), "{text}");
+            assert!(msod.is_denied(), "derivation agrees with the verdict");
+            cmd_explain(&ppath, &spath, false).unwrap();
+            cmd_explain(&ppath, &spath, true).unwrap();
+        } else {
+            assert!(ex.msod.is_none(), "no derivation captured under obs-off");
+        }
+        drop(svc);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn top_and_watch_commands_run() {
+        let (ppath, spath, dir) = worked_example("top");
+        cmd_top(&ppath, &spath, 2).unwrap();
+        cmd_metrics_watch(&ppath, &spath, 0, Some(2)).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flightrec_dump_and_show_round_trip() {
+        let (ppath, spath, dir) = worked_example("flightrec");
+        let dump_dir = dir.join("flightrec");
+        let r = cmd_flightrec_dump(&ppath, &spath, dump_dir.to_str().unwrap());
+        if msod_rbac::obs::enabled() {
+            r.unwrap();
+            let snapshot = std::fs::read_dir(&dump_dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .find(|p| p.file_name().unwrap().to_str().unwrap().contains("cli_dump"))
+                .expect("snapshot file written");
+            cmd_flightrec_show(snapshot.to_str().unwrap()).unwrap();
+            let doc = std::fs::read_to_string(&snapshot).unwrap();
+            assert!(
+                doc.contains("\"reason\": \"cli_dump\"") || doc.contains("\"reason\":\"cli_dump\"")
+            );
+        } else {
+            assert!(r.is_err(), "dump must refuse under obs-off");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

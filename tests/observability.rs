@@ -62,7 +62,9 @@ fn deny_reason(outcome: &DecisionOutcome) -> String {
 
 /// Drive one MMER deny and two distinct MMEP denies; returns the three
 /// reason strings in that order.
-fn provoke_all_violations(svc: &DecisionService) -> Vec<String> {
+fn provoke_all_violations<A: msod_rbac::msod::RetainedAdi + 'static>(
+    svc: &DecisionService<A>,
+) -> Vec<String> {
     // MMER: alice tells, then tries to audit the same branch.
     assert!(svc
         .decide(&request("alice", "Teller", "handleCash", "till", "Branch=York", 1))
@@ -169,6 +171,15 @@ fn metrics_text_covers_every_layer() {
         "msod_shard_lock_acquisitions_total",
         "msod_shard_lock_hold_ns_total",
         "msod_epoch_read_acquisitions_total",
+        "msod_epoch_stalls_total",
+        "msod_epoch_write_wait_ns_total",
+        // Provenance plane: symbol-path health, flight recorder,
+        // windowed history.
+        "permis_sym_fallback_total",
+        "permis_reqbuf_overflow_total",
+        "permis_flight_triggers_total",
+        "permis_flight_dumps_total",
+        "permis_history_frames",
         // Audit plane: appends, rotations, chain length.
         "audit_appends_total",
         "audit_rotations_total",
@@ -238,7 +249,169 @@ fn persistent_backend_pins_recovery_metrics() {
             gauge_sum(&text, "storage_recovery_frames_replayed"),
             reports.iter().map(|r| r.frames_replayed).sum::<u64>()
         );
+        // The non-clean recovery is an anomaly trigger: the service's
+        // black box auto-dumps a self-contained snapshot into the data
+        // directory without any operator action.
+        let snapshot = std::fs::read_dir(dir.join("flightrec"))
+            .expect("flight dump dir created")
+            .map(|e| e.unwrap().path())
+            .find(|p| p.file_name().unwrap().to_str().unwrap().contains("recovery_nonclean"))
+            .expect("recovery snapshot auto-written");
+        let doc = std::fs::read_to_string(&snapshot).unwrap();
+        assert!(doc.contains("recovery_nonclean"), "{doc}");
+        assert!(gauge_sum(&text, "permis_flight_triggers_total") >= 1);
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The symbolized plane meters its interner: per-kind size and arena
+/// capacity gauges are pinned metric names, and their values reflect
+/// the symbols the workload actually interned.
+#[test]
+fn symbolized_service_exports_interner_gauges() {
+    let policy = msod_rbac::policy::parse_rbac_policy(POLICY).unwrap();
+    let svc = DecisionService::new_symbolized(policy, b"obs-test-key".to_vec());
+    provoke_all_violations(&svc);
+    let text = svc.metrics_text();
+    for kind in ["strings", "users", "roles", "privs", "ctx_pairs"] {
+        for family in ["symtab_interned", "symtab_arena_capacity"] {
+            let needle = format!("{family}{{kind=\"{kind}\"}}");
+            assert!(text.contains(&needle), "{needle} missing from:\n{text}");
+        }
+    }
+    // The workload interned alice/bob/carol (plus policy symbols), so
+    // the user gauge is nonzero and bounded by its arena.
+    assert!(gauge_sum(&text, "symtab_interned{kind=\"users\"}") >= 3);
+    assert!(
+        gauge_sum(&text, "symtab_interned{kind=\"users\"}")
+            <= gauge_sum(&text, "symtab_arena_capacity{kind=\"users\"}")
+    );
+}
+
+/// Explanation capture: `decide_explained` always explains, the opt-in
+/// flag routes normal `decide` calls into the retained ring, and the
+/// `inspect` management port is authorized like the other ports.
+#[test]
+fn explanations_capture_and_inspect_port() {
+    let svc = service();
+    svc.metrics().set_capture_explanations(true);
+    provoke_all_violations(&svc);
+
+    let (outcome, ex) =
+        svc.decide_explained(&request("erin", "Teller", "handleCash", "till", "Branch=Hull", 7));
+    assert!(outcome.is_granted());
+    assert!(ex.granted);
+    assert_eq!(ex.user, "erin");
+    if !msod_rbac::obs::enabled() {
+        // obs-off: no derivation is captured and the ring stays empty —
+        // the API shape survives, the cost does not.
+        assert!(ex.msod.is_none());
+        assert!(!svc.metrics().capture_explanations());
+        assert!(svc.metrics().recent_explanations().is_empty());
+        return;
+    }
+    assert!(ex.msod.is_some());
+    assert_eq!(ex.engine, "string");
+
+    let controller =
+        Credentials::Validated(vec![RoleRef::new("employee", "RetainedADIController")]);
+    let explanations = svc.inspect_explanations("cn=admin", controller, 8).unwrap();
+    // All six scripted decisions were captured via the opt-in flag —
+    // plus the inspect call's own management decision, which goes
+    // through the same `decide` path and is captured like any other.
+    assert_eq!(explanations.len(), 7);
+    let last = explanations.last().unwrap();
+    assert_eq!((last.user.as_str(), last.operation.as_str()), ("cn=admin", "explain"));
+    let denied: Vec<_> = explanations.iter().filter(|e| !e.granted).collect();
+    assert_eq!(denied.len(), 3);
+    // The first deny names the exact violated MMER entry and the
+    // retained record behind it, straight from the §4.2 derivation.
+    let msod = denied[0].msod.as_ref().unwrap();
+    assert!(msod.is_denied());
+    let text = denied[0].render_text();
+    assert!(text.contains("MMER"), "{text}");
+    assert!(text.contains("Teller"), "{text}");
+    // A non-controller is bounced before reading anything.
+    let err = svc
+        .inspect_explanations(
+            "cn=mallory",
+            Credentials::Validated(vec![RoleRef::new("employee", "Teller")]),
+            9,
+        )
+        .unwrap_err();
+    assert_eq!(err, DenyReason::RbacDenied);
+}
+
+/// Windowed metric history: frames are cumulative snapshots with
+/// per-window histogram deltas and a slowest-decide exemplar that
+/// links back to a flight-recorder ticket.
+#[test]
+fn metric_history_windows_and_exemplars() {
+    let svc = service();
+    provoke_all_violations(&svc);
+    let f1 = svc.capture_metric_frame();
+    assert!(svc
+        .decide(&request("dave", "Teller", "handleCash", "till", "Branch=Leeds", 9))
+        .is_granted());
+    let f2 = svc.capture_metric_frame();
+    if !msod_rbac::obs::enabled() {
+        assert!(svc.metrics().history().is_empty());
+        return;
+    }
+    assert_eq!((f1.seq, f2.seq), (0, 1));
+    assert_eq!(f1.decisions, 6);
+    assert_eq!((f1.grants, f1.denies), (3, 3));
+    // The second window only saw dave's grant; the cumulative counters
+    // move while the windowed delta stays small.
+    assert_eq!(f2.decisions, 7);
+    assert!(f2.decide_delta.count <= f1.decide_delta.count + 1);
+    let history = svc.metrics().history();
+    assert_eq!(history.len(), 2);
+    assert_eq!(history[0], f1);
+    assert_eq!(history[1], f2);
+    // The busy window sampled at least one decide, and its exemplar
+    // names the user whose decide was slowest.
+    assert!(f1.decide_delta.count >= 1);
+    assert!(f1.slowest_ns > 0);
+    assert!(!f1.slowest_user.is_empty());
+}
+
+/// The latency trigger turns a slow sampled decide into a flight dump:
+/// with the threshold at zero every sampled decide is an anomaly, so
+/// the recorder latches `p999_latency` and writes one snapshot.
+#[test]
+fn latency_trigger_dumps_flight_snapshot() {
+    let dir = std::env::temp_dir().join(format!("obs-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let svc = service();
+    svc.set_flight_dir(Some(dir.clone()));
+    svc.metrics().set_latency_trigger_ns(0);
+    // Enough grants that the phase sampler takes at least one of them.
+    for i in 0..32u64 {
+        let user = format!("user{i}");
+        assert!(svc
+            .decide(&request(&user, "Teller", "handleCash", "till", "Branch=York", 10 + i))
+            .is_granted());
+    }
+    if !msod_rbac::obs::enabled() {
+        assert_eq!(svc.metrics().flight().triggers_total(), 0);
+        assert!(!dir.exists());
+        return;
+    }
+    assert!(svc.metrics().flight().triggers_total() >= 1);
+    assert_eq!(svc.metrics().flight().dumps_total(), 1, "latch: one dump per reason");
+    let snapshot = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.file_name().unwrap().to_str().unwrap().contains("p999_latency"))
+        .expect("latency snapshot written");
+    let doc = std::fs::read_to_string(&snapshot).unwrap();
+    assert!(doc.contains("\"reason\""), "{doc}");
+    assert!(doc.contains("p999_latency"), "{doc}");
+    assert!(doc.contains("\"total_ns\""), "{doc}");
+    // The export carries the trigger and dump counters.
+    let text = svc.metrics_text();
+    assert!(gauge_sum(&text, "permis_flight_dumps_total") == 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
