@@ -17,12 +17,22 @@
 //!    frames, so every sweep also covers crash-reopen of a journal
 //!    written before the symbol-frame format existed;
 //! 6. `symbolized` — [`DecisionService`] over sharded [`SymAdi`],
-//!    the interned fast path ([`permis::DecisionService::new_symbolized`]).
+//!    the interned fast path ([`permis::DecisionService::new_symbolized`]);
+//! 7. `wire` — a symbolized service behind a real loopback
+//!    [`net::NetServer`], driven through [`net::NetClient`]: every
+//!    decide crosses the binary wire protocol, purges go through the
+//!    §4.3 management port as authorized wire requests, and snapshots
+//!    are read back through wire inspect — so the codec, the
+//!    per-connection dictionary and the server's admission path are
+//!    all inside the differential boundary.
 //!
 //! All requests carry pre-validated roles and an all-permitting RBAC
 //! target rule, so every decision reaches the MSoD stage and every
 //! deny is an MSoD deny; management purges act on the ADI stores
-//! directly (the policy-authorized management port has its own tests).
+//! directly (the policy-authorized management port has its own tests),
+//! except in the `wire` variant, where they flow through that port —
+//! its management decisions run at the context root, which no
+//! generated MSoD policy matches, so they never perturb the ADI.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -30,6 +40,7 @@ use std::sync::Arc;
 
 use context::ContextName;
 use msod::{AdiRecord, IndexedAdi, MemoryAdi, RetainedAdi, SymAdi};
+use net::{NetClient, NetConfig, NetServer, WireVerdict};
 use permis::{DecisionOutcome, DecisionRequest, DecisionService, DenyReason, Pdp};
 use policy::{PdpPolicy, TargetRule};
 use storage::{AdiOp, FaultVfs, OpLog, PersistentAdi, Vfs};
@@ -83,6 +94,44 @@ pub fn project(outcome: &DecisionOutcome) -> Verdict {
         DecisionOutcome::Deny { reason, .. } => Verdict::FrontEnd(reason.to_string()),
     }
 }
+
+/// Project a wire verdict onto the same semantic core. [`net`]'s
+/// `verdict_of` narrows the in-process fields to `u32`/`u64`; widening
+/// them back is lossless for anything a generated workload can reach.
+fn project_wire(v: WireVerdict) -> Verdict {
+    match v {
+        WireVerdict::NotApplicable => Verdict::NotApplicable,
+        WireVerdict::Grant { matched, added, terminated, purged } => Verdict::Grant {
+            matched: matched.into_iter().map(|m| m as usize).collect(),
+            added: added as usize,
+            terminated,
+            purged: purged as usize,
+        },
+        WireVerdict::MsodDeny {
+            policy,
+            bound,
+            mmer,
+            constraint,
+            current,
+            historic,
+            cardinality,
+        } => Verdict::Deny {
+            policy: policy as usize,
+            bound,
+            kind: if mmer { "MMER" } else { "MMEP" },
+            constraint: constraint as usize,
+            current: current as usize,
+            historic: historic as usize,
+            cardinality: cardinality as usize,
+        },
+        WireVerdict::FrontEnd(reason) => Verdict::FrontEnd(reason),
+    }
+}
+
+/// The administrator identity the wire variant's management traffic
+/// authenticates as; `wrap_policy`'s wildcard target rule authorizes
+/// the whole role pool for every target, the management one included.
+const WIRE_ADMIN: &str = "wire-admin";
 
 /// One disagreement between a variant and the oracle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,6 +215,10 @@ enum Variant {
     Persistent { svc: DecisionService<PersistentAdi>, _vfs: FaultVfs },
     Crash { svc: Option<DecisionService<PersistentAdi>>, vfs: FaultVfs, shards: usize },
     Symbolized(DecisionService<SymAdi>),
+    // Field order carries the teardown protocol: the client drops
+    // first, closing its connection, so the server's Drop joins its
+    // workers without waiting out a read timeout.
+    Wire { client: NetClient, _server: NetServer },
 }
 
 impl Variant {
@@ -177,6 +230,7 @@ impl Variant {
             Variant::Persistent { .. } => "persistent",
             Variant::Crash { .. } => "crash",
             Variant::Symbolized(_) => "symbolized",
+            Variant::Wire { .. } => "wire",
         }
     }
 
@@ -188,28 +242,39 @@ impl Variant {
             Variant::Persistent { svc, .. } => svc.decide(req),
             Variant::Crash { svc, .. } => svc.as_ref().expect("service is open").decide(req),
             Variant::Symbolized(svc) => svc.decide(req),
+            Variant::Wire { .. } => {
+                unreachable!("the wire variant decides in its projected form only")
+            }
         }
     }
 
-    /// Decide with the derivation captured, where the variant supports
-    /// it: the string service (read-plane explanation under the epoch
-    /// lock) and the symbolized service (the `SymExplain` capture path)
-    /// — the two production explanation sources. Other variants decide
+    /// Decide, projected onto the comparable [`Verdict`], with the
+    /// derivation captured where the variant supports it: the string
+    /// service (read-plane explanation under the epoch lock) and the
+    /// symbolized service (the `SymExplain` capture path) — the two
+    /// production explanation sources. The wire variant's verdict
+    /// arrives already projected (responses carry the semantic core,
+    /// not the full outcome); it returns no explanation, so only the
+    /// verdict and state checks apply to it. Other variants decide
     /// plainly and return no explanation.
-    fn decide_explained(
+    fn decide_verdict(
         &mut self,
         req: &DecisionRequest,
-    ) -> (DecisionOutcome, Option<msod::MsodExplanation>) {
+    ) -> (Verdict, Option<msod::MsodExplanation>) {
         match self {
             Variant::Service(svc) => {
                 let (outcome, ex) = svc.decide_explained(req);
-                (outcome, ex.msod)
+                (project(&outcome), ex.msod)
             }
             Variant::Symbolized(svc) => {
                 let (outcome, ex) = svc.decide_explained(req);
-                (outcome, ex.msod)
+                (project(&outcome), ex.msod)
             }
-            other => (other.decide(req), None),
+            Variant::Wire { client, .. } => {
+                let verdict = client.decide(req).expect("loopback wire decide must answer");
+                (project_wire(verdict), None)
+            }
+            other => (project(&other.decide(req)), None),
         }
     }
 
@@ -223,6 +288,10 @@ impl Variant {
             Variant::Persistent { svc, .. } => svc.adi().purge(&bound),
             Variant::Crash { svc, .. } => svc.as_ref().expect("open").adi().purge(&bound),
             Variant::Symbolized(svc) => svc.adi().purge(&bound),
+            Variant::Wire { client, .. } => client
+                .purge_context(WIRE_ADMIN, &role_pool(), &scope.to_string(), 0)
+                .expect("authorized wire purge must succeed")
+                as usize,
         }
     }
 
@@ -236,6 +305,10 @@ impl Variant {
                 svc.as_ref().expect("open").adi().purge_older_than(cutoff)
             }
             Variant::Symbolized(svc) => svc.adi().purge_older_than(cutoff),
+            Variant::Wire { client, .. } => client
+                .purge_older_than(WIRE_ADMIN, &role_pool(), cutoff, 0)
+                .expect("authorized wire purge must succeed")
+                as usize,
         }
     }
 
@@ -259,10 +332,14 @@ impl Variant {
             Variant::Persistent { svc, .. } => clear_sharded(svc),
             Variant::Crash { svc, .. } => clear_sharded(svc.as_ref().expect("open")),
             Variant::Symbolized(svc) => clear_sharded(svc),
+            Variant::Wire { client, .. } => client
+                .purge_all(WIRE_ADMIN, &role_pool(), 0)
+                .expect("authorized wire purge must succeed")
+                as usize,
         }
     }
 
-    fn snapshot(&self) -> Vec<AdiRecord> {
+    fn snapshot(&mut self) -> Vec<AdiRecord> {
         let mut snap = match self {
             Variant::Monolith(pdp) => pdp.adi().snapshot(),
             Variant::Service(svc) => svc.adi().snapshot(),
@@ -270,6 +347,9 @@ impl Variant {
             Variant::Persistent { svc, .. } => svc.adi().snapshot(),
             Variant::Crash { svc, .. } => svc.as_ref().expect("open").adi().snapshot(),
             Variant::Symbolized(svc) => svc.adi().snapshot(),
+            Variant::Wire { client, .. } => client
+                .inspect(WIRE_ADMIN, &role_pool(), None, 0)
+                .expect("authorized wire inspect must succeed"),
         };
         sort_snapshot(&mut snap);
         snap
@@ -361,6 +441,26 @@ pub fn run_workload_with(w: &Workload, mutation: Mutation) -> Option<Divergence>
             w.shards,
         )),
     ];
+    {
+        // The wire variant: a second symbolized service behind a real
+        // loopback server, every operation crossing the binary
+        // protocol. One worker thread keeps per-workload thread churn
+        // minimal across large sweeps.
+        let wire_svc = Arc::new(DecisionService::symbolized_with_shard_count(
+            policy.clone(),
+            TRAIL_KEY.to_vec(),
+            w.shards,
+        ));
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            wire_svc,
+            NetConfig { workers: 1, ..NetConfig::default() },
+        )
+        .expect("loopback server must bind");
+        let client = NetClient::connect(&server.local_addr().to_string())
+            .expect("loopback client must connect");
+        variants.push(Variant::Wire { client, _server: server });
+    }
 
     for (i, op) in w.ops.iter().enumerate() {
         if w.crash_at == Some(i) {
@@ -411,16 +511,14 @@ pub fn run_workload_with(w: &Workload, mutation: Mutation) -> Option<Divergence>
                     else {
                         unreachable!("Verdict expectation only arises from Decide ops")
                     };
-                    let (outcome, got_explanation) =
-                        v.decide_explained(&DecisionRequest::with_roles(
-                            user.clone(),
-                            roles.clone(),
-                            operation.clone(),
-                            target.clone(),
-                            context.clone(),
-                            *timestamp,
-                        ));
-                    let got = project(&outcome);
+                    let (got, got_explanation) = v.decide_verdict(&DecisionRequest::with_roles(
+                        user.clone(),
+                        roles.clone(),
+                        operation.clone(),
+                        target.clone(),
+                        context.clone(),
+                        *timestamp,
+                    ));
                     if got != *want {
                         return Some(Divergence {
                             op_index: i,

@@ -1,0 +1,298 @@
+//! The loopback client: a blocking connection that mirrors the
+//! server's per-connection dictionary.
+//!
+//! The client interns every string it sends: first use assigns the
+//! next dense id and stages a definition; the staged
+//! [`Request::DefStrs`] frame is flushed **in the same `write` as the
+//! request that needs it**, so a request never costs an extra round
+//! trip and a repeated string never crosses the wire twice — the wire
+//! face of the service's "symbolized once at admission" discipline.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use msod::{AdiRecord, RoleRef};
+use permis::{Credentials, DecisionRequest};
+
+use crate::proto::{
+    record_from_wire, scan_frame, FrameScan, Request, Response, WireAuth, WireDecide, WireManageOp,
+    WireVerdict,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum NetError {
+    /// The connection failed.
+    Io(std::io::Error),
+    /// The peer (or this client's input) violated the protocol.
+    Protocol(String),
+    /// The server answered with an error frame (denial or rejection).
+    Remote(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol: {m}"),
+            NetError::Remote(m) => write!(f, "remote: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// A blocking wire-protocol client over one TCP connection.
+pub struct NetClient {
+    stream: TcpStream,
+    dict: HashMap<String, u32>,
+    pending: Vec<(u32, String)>,
+    buf: Vec<u8>,
+}
+
+impl NetClient {
+    /// Connect to a decision server.
+    pub fn connect(addr: &str) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(NetClient { stream, dict: HashMap::new(), pending: Vec::new(), buf: Vec::new() })
+    }
+
+    /// The dictionary id for `s`, interning (and staging a definition
+    /// frame for) first-seen strings.
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.dict.get(s) {
+            return id;
+        }
+        let id = self.dict.len() as u32;
+        self.dict.insert(s.to_owned(), id);
+        self.pending.push((id, s.to_owned()));
+        id
+    }
+
+    fn intern_pairs(&mut self, pairs: &[(String, String)]) -> Vec<(u32, u32)> {
+        pairs.iter().map(|(a, b)| (self.intern(a), self.intern(b))).collect()
+    }
+
+    fn intern_roles(&mut self, roles: &[RoleRef]) -> Vec<(u32, u32)> {
+        roles.iter().map(|r| (self.intern(&r.role_type), self.intern(&r.value))).collect()
+    }
+
+    /// Lower an in-process request to its wire form. Errors when the
+    /// credentials are not [`Credentials::Validated`] — the wire
+    /// protocol carries pre-validated roles only (validation happens
+    /// where the credentials live, not across the network).
+    fn lower(&mut self, req: &DecisionRequest) -> Result<WireDecide, NetError> {
+        let Credentials::Validated(roles) = &req.credentials else {
+            return Err(NetError::Protocol(
+                "wire decide requires Credentials::Validated".to_owned(),
+            ));
+        };
+        Ok(WireDecide {
+            user: self.intern(&req.subject),
+            roles: self.intern_roles(roles),
+            operation: self.intern(&req.operation),
+            target: self.intern(&req.target),
+            context: self.intern_pairs(req.context.pairs()),
+            environment: self.intern_pairs(&req.environment),
+            timestamp: req.timestamp,
+        })
+    }
+
+    fn auth(&mut self, subject: &str, roles: &[RoleRef], timestamp: u64) -> WireAuth {
+        WireAuth { subject: self.intern(subject), roles: self.intern_roles(roles), timestamp }
+    }
+
+    /// Send `req`, flushing staged definitions in the same write, and
+    /// return its response (the definitions' ack is consumed here).
+    fn call(&mut self, req: &Request) -> Result<Response, NetError> {
+        let mut out = Vec::new();
+        let defs_sent = if self.pending.is_empty() {
+            false
+        } else {
+            Request::DefStrs(std::mem::take(&mut self.pending)).encode_frame(&mut out);
+            true
+        };
+        req.encode_frame(&mut out);
+        self.stream.write_all(&out)?;
+        if defs_sent {
+            match self.read_response()? {
+                Response::Pong => {}
+                Response::Error(e) => return Err(NetError::Remote(e)),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected Pong for definitions, got {other:?}"
+                    )))
+                }
+            }
+        }
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, NetError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match scan_frame(&self.buf) {
+                FrameScan::Frame(ty, payload, consumed) => {
+                    let resp = Response::decode(ty, payload).ok_or_else(|| {
+                        NetError::Protocol(format!("undecodable response frame type {ty:#04x}"))
+                    })?;
+                    self.buf.drain(..consumed);
+                    return Ok(resp);
+                }
+                FrameScan::Malformed(why) => {
+                    return Err(NetError::Protocol(format!("malformed response: {why}")))
+                }
+                FrameScan::Incomplete => {
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(NetError::Protocol("connection closed mid-response".into()));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(NetError::Remote(e)),
+            other => Err(NetError::Protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// One decision over the wire.
+    pub fn decide(&mut self, req: &DecisionRequest) -> Result<WireVerdict, NetError> {
+        let wire = self.lower(req)?;
+        match self.call(&Request::Decide(wire))? {
+            Response::Verdict(v) => Ok(v),
+            Response::Error(e) => Err(NetError::Remote(e)),
+            other => Err(NetError::Protocol(format!("expected Verdict, got {other:?}"))),
+        }
+    }
+
+    /// An ordered batch, answered by the server's `decide_many`.
+    pub fn decide_batch(&mut self, reqs: &[DecisionRequest]) -> Result<Vec<WireVerdict>, NetError> {
+        let wire: Result<Vec<WireDecide>, NetError> = reqs.iter().map(|r| self.lower(r)).collect();
+        match self.call(&Request::DecideBatch(wire?))? {
+            Response::VerdictBatch(vs) => {
+                if vs.len() != reqs.len() {
+                    return Err(NetError::Protocol(format!(
+                        "batch answered {} verdicts for {} requests",
+                        vs.len(),
+                        reqs.len()
+                    )));
+                }
+                Ok(vs)
+            }
+            Response::Error(e) => Err(NetError::Remote(e)),
+            other => Err(NetError::Protocol(format!("expected VerdictBatch, got {other:?}"))),
+        }
+    }
+
+    /// Purge one bound scope (e.g. `"Project=p1"`) as `subject` with
+    /// pre-validated `roles`; returns records purged.
+    pub fn purge_context(
+        &mut self,
+        subject: &str,
+        roles: &[RoleRef],
+        scope: &str,
+        timestamp: u64,
+    ) -> Result<u64, NetError> {
+        let scope_ref = self.intern(scope);
+        let auth = self.auth(subject, roles, timestamp);
+        self.manage(auth, WireManageOp::PurgeContext(scope_ref))
+    }
+
+    /// Purge records strictly older than `cutoff`.
+    pub fn purge_older_than(
+        &mut self,
+        subject: &str,
+        roles: &[RoleRef],
+        cutoff: u64,
+        timestamp: u64,
+    ) -> Result<u64, NetError> {
+        let auth = self.auth(subject, roles, timestamp);
+        self.manage(auth, WireManageOp::PurgeOlderThan(cutoff))
+    }
+
+    /// Purge the whole retained ADI.
+    pub fn purge_all(
+        &mut self,
+        subject: &str,
+        roles: &[RoleRef],
+        timestamp: u64,
+    ) -> Result<u64, NetError> {
+        let auth = self.auth(subject, roles, timestamp);
+        self.manage(auth, WireManageOp::PurgeAll)
+    }
+
+    fn manage(&mut self, auth: WireAuth, op: WireManageOp) -> Result<u64, NetError> {
+        match self.call(&Request::Manage { auth, op })? {
+            Response::Managed(n) => Ok(n),
+            Response::Error(e) => Err(NetError::Remote(e)),
+            other => Err(NetError::Protocol(format!("expected Managed, got {other:?}"))),
+        }
+    }
+
+    /// Read the retained ADI (optionally one user's slice) through the
+    /// authorized management port, rebuilt as in-process records.
+    pub fn inspect(
+        &mut self,
+        subject: &str,
+        roles: &[RoleRef],
+        user_filter: Option<&str>,
+        timestamp: u64,
+    ) -> Result<Vec<AdiRecord>, NetError> {
+        let user_filter = user_filter.map(|u| self.intern(u));
+        let auth = self.auth(subject, roles, timestamp);
+        match self.call(&Request::Inspect { auth, user_filter })? {
+            Response::Records(rs) => {
+                rs.iter().map(|r| record_from_wire(r).map_err(NetError::Protocol)).collect()
+            }
+            Response::Error(e) => Err(NetError::Remote(e)),
+            other => Err(NetError::Protocol(format!("expected Records, got {other:?}"))),
+        }
+    }
+
+    /// The authorized metrics export (binary path; the HTTP `/metrics`
+    /// endpoint is the unauthenticated one).
+    pub fn metrics(
+        &mut self,
+        subject: &str,
+        roles: &[RoleRef],
+        timestamp: u64,
+    ) -> Result<String, NetError> {
+        let auth = self.auth(subject, roles, timestamp);
+        match self.call(&Request::Metrics { auth })? {
+            Response::Text(t) => Ok(t),
+            Response::Error(e) => Err(NetError::Remote(e)),
+            other => Err(NetError::Protocol(format!("expected Text, got {other:?}"))),
+        }
+    }
+}
+
+/// One plain-text HTTP GET against a decision server (for `/metrics`
+/// and `/healthz`). Returns `(status_line, body)`.
+pub fn http_get(addr: &str, path: &str) -> Result<(String, String), NetError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: msod\r\nConnection: close\r\n\r\n")?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text =
+        String::from_utf8(raw).map_err(|_| NetError::Protocol("non-UTF-8 HTTP response".into()))?;
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err(NetError::Protocol("HTTP response missing header terminator".into()));
+    };
+    let status = head.lines().next().unwrap_or_default().to_owned();
+    Ok((status, body.to_owned()))
+}

@@ -1,0 +1,254 @@
+//! Property tests for the wire protocol, mirroring the journal's
+//! `frame_roundtrip.rs` discipline: every request and response variant
+//! survives encode → decode bit-exactly, no strict prefix of a frame
+//! ever decodes, and hostile length prefixes or arbitrary garbage
+//! never panic the codec.
+
+use net::proto::{
+    scan_frame, FrameScan, Request, Response, WireAuth, WireDecide, WireManageOp, WireRecord,
+    WireVerdict, HEADER_LEN, MAGIC, MAX_FRAME, VERSION,
+};
+use proptest::prelude::*;
+
+fn arb_ref_pairs() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((any::<u32>(), any::<u32>()), 0..5)
+}
+
+fn arb_str() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 ,=:|._-]{0,16}"
+}
+
+fn arb_str_pairs() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec((arb_str(), arb_str()), 0..4)
+}
+
+fn arb_decide() -> impl Strategy<Value = WireDecide> {
+    (
+        any::<u32>(),
+        arb_ref_pairs(),
+        any::<u32>(),
+        any::<u32>(),
+        arb_ref_pairs(),
+        arb_ref_pairs(),
+        any::<u64>(),
+    )
+        .prop_map(|(user, roles, operation, target, context, environment, timestamp)| {
+            WireDecide { user, roles, operation, target, context, environment, timestamp }
+        })
+}
+
+fn arb_auth() -> impl Strategy<Value = WireAuth> {
+    (any::<u32>(), arb_ref_pairs(), any::<u64>()).prop_map(|(subject, roles, timestamp)| WireAuth {
+        subject,
+        roles,
+        timestamp,
+    })
+}
+
+fn arb_manage_op() -> impl Strategy<Value = WireManageOp> {
+    prop_oneof![
+        any::<u32>().prop_map(WireManageOp::PurgeContext),
+        any::<u64>().prop_map(WireManageOp::PurgeOlderThan),
+        Just(WireManageOp::PurgeAll),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        1 => Just(Request::Ping),
+        2 => proptest::collection::vec((any::<u32>(), arb_str()), 0..6)
+            .prop_map(Request::DefStrs),
+        4 => arb_decide().prop_map(Request::Decide),
+        3 => proptest::collection::vec(arb_decide(), 0..5).prop_map(Request::DecideBatch),
+        2 => (arb_auth(), arb_manage_op()).prop_map(|(auth, op)| Request::Manage { auth, op }),
+        2 => (arb_auth(), proptest::option::of(any::<u32>()))
+            .prop_map(|(auth, user_filter)| Request::Inspect { auth, user_filter }),
+        1 => arb_auth().prop_map(|auth| Request::Metrics { auth }),
+    ]
+}
+
+fn arb_verdict() -> impl Strategy<Value = WireVerdict> {
+    prop_oneof![
+        1 => Just(WireVerdict::NotApplicable),
+        3 => (
+            proptest::collection::vec(any::<u32>(), 0..4),
+            any::<u32>(),
+            proptest::collection::vec(arb_str(), 0..3),
+            any::<u64>(),
+        )
+            .prop_map(|(matched, added, terminated, purged)| WireVerdict::Grant {
+                matched,
+                added,
+                terminated,
+                purged,
+            }),
+        3 => (
+            any::<u32>(),
+            arb_str(),
+            any::<bool>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+        )
+            .prop_map(|(policy, bound, mmer, constraint, current, historic, cardinality)| {
+                WireVerdict::MsodDeny {
+                    policy,
+                    bound,
+                    mmer,
+                    constraint,
+                    current,
+                    historic,
+                    cardinality,
+                }
+            }),
+        1 => arb_str().prop_map(WireVerdict::FrontEnd),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = WireRecord> {
+    (arb_str(), arb_str_pairs(), arb_str(), arb_str(), arb_str_pairs(), any::<u64>()).prop_map(
+        |(user, roles, operation, target, context, timestamp)| WireRecord {
+            user,
+            roles,
+            operation,
+            target,
+            context,
+            timestamp,
+        },
+    )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        1 => Just(Response::Pong),
+        3 => arb_verdict().prop_map(Response::Verdict),
+        3 => proptest::collection::vec(arb_verdict(), 0..5).prop_map(Response::VerdictBatch),
+        1 => any::<u64>().prop_map(Response::Managed),
+        2 => proptest::collection::vec(arb_record(), 0..4).prop_map(Response::Records),
+        1 => arb_str().prop_map(Response::Text),
+        1 => arb_str().prop_map(Response::Error),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every request variant survives frame encode → scan → decode.
+    #[test]
+    fn request_round_trips(req in arb_request()) {
+        let mut bytes = Vec::new();
+        req.encode_frame(&mut bytes);
+        match scan_frame(&bytes) {
+            FrameScan::Frame(ty, payload, consumed) => {
+                prop_assert_eq!(consumed, bytes.len());
+                prop_assert_eq!(Request::decode(ty, payload), Some(req));
+            }
+            other => prop_assert!(false, "expected a complete frame, got {other:?}"),
+        }
+    }
+
+    /// Every response variant survives frame encode → scan → decode.
+    #[test]
+    fn response_round_trips(resp in arb_response()) {
+        let mut bytes = Vec::new();
+        resp.encode_frame(&mut bytes);
+        match scan_frame(&bytes) {
+            FrameScan::Frame(ty, payload, consumed) => {
+                prop_assert_eq!(consumed, bytes.len());
+                prop_assert_eq!(Response::decode(ty, payload), Some(resp));
+            }
+            other => prop_assert!(false, "expected a complete frame, got {other:?}"),
+        }
+    }
+
+    /// A strict prefix of a framed request never yields a frame: the
+    /// scanner reports Incomplete (never a shorter, misread frame) and
+    /// a strict prefix of the *payload* never decodes either.
+    #[test]
+    fn strict_prefix_never_decodes(req in arb_request(), cut_seed in any::<u64>()) {
+        let mut bytes = Vec::new();
+        req.encode_frame(&mut bytes);
+        let cut = (cut_seed as usize) % bytes.len();
+        match scan_frame(&bytes[..cut]) {
+            FrameScan::Incomplete => {}
+            other => prop_assert!(false, "prefix must be Incomplete, got {other:?}"),
+        }
+        let payload = req.encode_payload();
+        if !payload.is_empty() {
+            let pcut = (cut_seed as usize) % payload.len();
+            prop_assert_eq!(Request::decode(req.frame_type(), &payload[..pcut]), None);
+        }
+    }
+
+    /// Responses uphold the same torn-frame guarantee.
+    #[test]
+    fn strict_response_prefix_never_decodes(resp in arb_response(), cut_seed in any::<u64>()) {
+        let mut bytes = Vec::new();
+        resp.encode_frame(&mut bytes);
+        let cut = (cut_seed as usize) % bytes.len();
+        match scan_frame(&bytes[..cut]) {
+            FrameScan::Incomplete => {}
+            other => prop_assert!(false, "prefix must be Incomplete, got {other:?}"),
+        }
+        let payload = resp.encode_payload();
+        if !payload.is_empty() {
+            let pcut = (cut_seed as usize) % payload.len();
+            prop_assert_eq!(Response::decode(resp.frame_type(), &payload[..pcut]), None);
+        }
+    }
+
+    /// Trailing bytes after a valid payload never decode — decoders
+    /// must consume the payload exactly.
+    #[test]
+    fn trailing_bytes_never_decode(req in arb_request(), junk in 1u8..=255) {
+        let mut payload = req.encode_payload();
+        payload.push(junk);
+        prop_assert_eq!(Request::decode(req.frame_type(), &payload), None);
+    }
+
+    /// Hostile length prefixes: any claimed payload length beyond
+    /// MAX_FRAME is rejected at the header, before any allocation.
+    #[test]
+    fn hostile_length_prefixes_rejected(ty in any::<u8>(), len in (MAX_FRAME as u32 + 1)..=u32::MAX) {
+        let mut bytes = vec![MAGIC, VERSION, ty];
+        bytes.extend_from_slice(&len.to_le_bytes());
+        match scan_frame(&bytes) {
+            FrameScan::Malformed(_) => {}
+            other => prop_assert!(false, "hostile length must be Malformed, got {other:?}"),
+        }
+    }
+
+    /// Arbitrary garbage never panics the scanner or either decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = scan_frame(&bytes);
+        if bytes.len() >= 2 {
+            let _ = Request::decode(bytes[0], &bytes[1..]);
+            let _ = Response::decode(bytes[0], &bytes[1..]);
+        }
+    }
+
+    /// Garbage that happens to start with a valid header is confined
+    /// to its declared frame: the scanner hands the decoder exactly
+    /// the declared payload, and decoding it never panics.
+    #[test]
+    fn garbage_payload_behind_valid_header_never_panics(
+        ty in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut bytes = vec![MAGIC, VERSION, ty];
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        match scan_frame(&bytes) {
+            FrameScan::Frame(t, p, consumed) => {
+                prop_assert_eq!(t, ty);
+                prop_assert_eq!(p, &payload[..]);
+                prop_assert_eq!(consumed, HEADER_LEN + payload.len());
+                let _ = Request::decode(t, p);
+                let _ = Response::decode(t, p);
+            }
+            other => prop_assert!(false, "well-headed frame must scan, got {other:?}"),
+        }
+    }
+}

@@ -40,7 +40,7 @@ mod span;
 pub use counter::{Counter, Gauge, Sampler};
 pub use flight::{FlightRecorder, DUMP_BUDGET};
 pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
-pub use prom::PromWriter;
+pub use prom::{validate_metrics_text, PromWriter};
 pub use ring::TraceRing;
 pub use span::{active_spans, Span, Stopwatch};
 

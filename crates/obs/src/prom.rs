@@ -98,6 +98,43 @@ impl PromWriter {
     }
 }
 
+/// One structural pass over a Prometheus text document: every sample
+/// line must end in a parseable non-NaN number and every family must
+/// declare `# TYPE` exactly once. Returns the first violation.
+///
+/// Shared by every consumer of [`PromWriter`] output — `msod-cli
+/// metrics --watch` validates each pass with it, and the network
+/// plane's `/metrics` endpoint tests validate the served document with
+/// the same function, so the two can never drift apart. Pure text; not
+/// gated by `obs-off`.
+pub fn validate_metrics_text(text: &str) -> Result<(), String> {
+    let mut types_seen: Vec<String> = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split_whitespace().next().unwrap_or_default().to_owned();
+            if types_seen.contains(&family) {
+                return Err(format!("line {}: duplicate # TYPE for {family}", no + 1));
+            }
+            types_seen.push(family);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and trace comments
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {}: malformed sample {line:?}", no + 1));
+        };
+        if name.is_empty() || value.parse::<f64>().map(f64::is_nan).unwrap_or(true) {
+            return Err(format!("line {}: malformed sample value {line:?}", no + 1));
+        }
+    }
+    Ok(())
+}
+
 fn escape_help(s: &str) -> String {
     s.replace('\\', "\\\\").replace('\n', "\\n")
 }

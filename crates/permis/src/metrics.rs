@@ -168,6 +168,10 @@ pub struct DecideMetrics {
     /// Fallbacks caused specifically by the request overflowing the
     /// fixed interning buffers (roles or context depth).
     pub reqbuf_overflows: Counter,
+    /// `decide_many` batches evaluated.
+    pub batches: Counter,
+    /// Requests per `decide_many` batch.
+    pub batch_size: Histogram,
     traces: TraceRing<DecisionTrace>,
     trace_grants: AtomicBool,
     flight: FlightRecorder<FlightEntry>,
@@ -202,6 +206,8 @@ impl Default for DecideMetrics {
             phase_sampler: Sampler::new(),
             sym_fallbacks: Counter::new(),
             reqbuf_overflows: Counter::new(),
+            batches: Counter::new(),
+            batch_size: Histogram::new(),
             traces: TraceRing::new(TRACE_CAPACITY),
             trace_grants: AtomicBool::new(false),
             flight: FlightRecorder::new(FLIGHT_CAPACITY),
@@ -235,6 +241,12 @@ impl DecideMetrics {
     /// Record a finished decision's trace.
     pub fn record_trace(&self, trace: DecisionTrace) {
         self.traces.push(trace);
+    }
+
+    /// Count one `decide_many` batch of `n` requests.
+    pub fn record_batch(&self, n: u64) {
+        self.batches.inc();
+        self.batch_size.record(n);
     }
 
     /// The retained decision traces, oldest first.
@@ -404,6 +416,18 @@ impl DecideMetrics {
             "Sym fallbacks caused by request-buffer overflow during interning.",
             &[],
             self.reqbuf_overflows.get(),
+        );
+        w.counter(
+            "permis_decide_batches_total",
+            "decide_many batches evaluated.",
+            &[],
+            self.batches.get(),
+        );
+        w.histogram(
+            "permis_decide_batch_size",
+            "Requests per decide_many batch.",
+            &[],
+            &self.batch_size.snapshot(),
         );
         w.counter(
             "permis_flight_triggers_total",

@@ -103,6 +103,17 @@ struct ExplainSlot {
     engine: &'static str,
 }
 
+/// Reusable admission scratch: the fixed-capacity interning buffers
+/// every request is admitted into on the symbol plane. `decide` builds
+/// one per call (they are plain stack arrays); `decide_many` builds
+/// one per *batch*, so the whole batch is admitted through the same
+/// buffers without re-zeroing them between requests.
+#[derive(Default)]
+struct DecideScratch {
+    bufs: ReqBufs,
+    matched: MatchedBuf,
+}
+
 /// The two-plane PDP. All methods take `&self`; share it between
 /// threads with a plain [`Arc`].
 pub struct DecisionService<A: RetainedAdi = IndexedAdi> {
@@ -405,7 +416,31 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
             self.metrics.record_explanation(explanation);
             return outcome;
         }
-        self.decide_impl(req, None)
+        let core = self.core();
+        self.decide_impl(&core, req, None, &mut DecideScratch::default())
+    }
+
+    /// Decide a batch of requests in order, returning one outcome per
+    /// request. Semantically identical to calling
+    /// [`DecisionService::decide`] sequentially — including the case
+    /// where an earlier grant in the batch changes a later same-user
+    /// MMER/MMEP verdict — but the core snapshot is taken once for the
+    /// whole batch and the symbol plane's admission buffers are reused
+    /// across it, so policy swaps mid-batch are not observed and the
+    /// per-request setup cost is amortised. (A concurrent `set_policy`
+    /// lands between batches, exactly as it lands between sequential
+    /// decides that already hold their core `Arc`.)
+    pub fn decide_many(&self, reqs: &[DecisionRequest]) -> Vec<DecisionOutcome> {
+        self.metrics.record_batch(reqs.len() as u64);
+        if self.metrics.capture_explanations() {
+            // The capture path builds per-request explanations; batch
+            // amortisation would complicate it for no throughput win
+            // (capture is a diagnostic mode).
+            return reqs.iter().map(|r| self.decide(r)).collect();
+        }
+        let core = self.core();
+        let mut scratch = DecideScratch::default();
+        reqs.iter().map(|req| self.decide_impl(&core, req, None, &mut scratch)).collect()
     }
 
     /// [`DecisionService::decide`], but also return the full §4.2
@@ -421,10 +456,12 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
     /// observability plane.
     pub fn decide_explained(&self, req: &DecisionRequest) -> (DecisionOutcome, Explanation) {
         let mut slot = ExplainSlot::default();
+        let core = self.core();
+        let mut scratch = DecideScratch::default();
         let outcome = if obs::enabled() {
-            self.decide_impl(req, Some(&mut slot))
+            self.decide_impl(&core, req, Some(&mut slot), &mut scratch)
         } else {
-            self.decide_impl(req, None)
+            self.decide_impl(&core, req, None, &mut scratch)
         };
         let engine = if slot.engine.is_empty() { "front_end" } else { slot.engine };
         let explanation = Explanation::from_outcome(req, &outcome, slot.msod, engine);
@@ -433,8 +470,10 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
 
     fn decide_impl(
         &self,
+        core: &DecisionCore,
         req: &DecisionRequest,
         mut explain: Option<&mut ExplainSlot>,
+        scratch: &mut DecideScratch,
     ) -> DecisionOutcome {
         // One stopwatch, checkpoint deltas between phases — taken only
         // on sampled decisions. At microsecond decide latency the
@@ -446,7 +485,6 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
         // [`PHASE_SAMPLE`](crate::metrics::PHASE_SAMPLE)-th decision.
         let sample = self.metrics.phase_sampler.tick(crate::metrics::PHASE_SAMPLE);
         let clock = Stopwatch::start();
-        let core = self.core();
 
         // Phase 1: credential validation (subject domain, CVS, RBAC).
         let front = validate_front_end(&core.policy, &core.cvs, &core.directory, req);
@@ -487,19 +525,17 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
                             (&self.adi as &dyn std::any::Any).downcast_ref::<ShardedAdi<SymAdi>>()
                         {
                             t_match = t_front;
-                            let mut bufs = ReqBufs::new();
-                            let mut matched = MatchedBuf::new();
                             let mut stats = SymPathStats::default();
                             let decision = if let Some(slot) = explain.as_deref_mut() {
-                                let mut scratch = SymExplain::new();
+                                let mut ex_scratch = SymExplain::new();
                                 let (decision, ex) = sym.enforce_or_fallback_explained(
                                     &core.engine,
                                     table,
                                     sym_adi,
                                     &msod_req,
-                                    &mut bufs,
-                                    &mut matched,
-                                    &mut scratch,
+                                    &mut scratch.bufs,
+                                    &mut scratch.matched,
+                                    &mut ex_scratch,
                                     &mut stats,
                                 );
                                 slot.msod = Some(ex);
@@ -510,8 +546,8 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
                                     table,
                                     sym_adi,
                                     &msod_req,
-                                    &mut bufs,
-                                    &mut matched,
+                                    &mut scratch.bufs,
+                                    &mut scratch.matched,
                                     &mut stats,
                                 )
                             };
@@ -635,6 +671,14 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
         self.metrics.flight().trigger(reason, |r, entries| {
             crate::metrics::render_flight_snapshot(r, entries, table)
         });
+    }
+
+    /// Fire a flight-recorder trigger on behalf of an embedding layer
+    /// (e.g. the network plane's accept-queue-stall detector). Latched
+    /// and budgeted exactly like the service's own triggers; a no-op
+    /// under `obs-off`.
+    pub fn trigger_flight(&self, reason: &str) {
+        self.fire_flight(reason);
     }
 
     /// Where flight-recorder snapshots land; `None` (the default on

@@ -18,6 +18,13 @@
 //! msod-cli schema   [msod|rbac]             print a bundled XSD
 //! msod-cli example                          print the built-in bank-audit trace
 //! msod-cli verify-journal <journal.log>     offline-scan a retained-ADI journal
+//! msod-cli serve <policy.xml|--builtin>     run the networked decision plane:
+//!           [--addr <host:port>]            binary decision frames plus HTTP
+//!           [--workers <n>]                 GET /metrics and GET /healthz
+//! msod-cli loadgen [--addr <host:port>]     seeded Zipf traffic against a live
+//!           [--seed <n>] [--requests <n>]   server (or an ephemeral local one),
+//!           [--threads <n>] [--batch <n>]   closed + open loop, JSON report;
+//!           [--open-rate <rps>]             MSOD_LOADGEN_SCALE scales requests
 //! ```
 //!
 //! Decision scripts are line-oriented; fields are `|`-separated because
@@ -32,6 +39,8 @@
 use std::process::ExitCode;
 
 use msod_rbac::msod::RoleRef;
+use msod_rbac::net;
+use msod_rbac::obs::validate_metrics_text;
 use msod_rbac::permis::{DecisionRequest, DecisionService, Pdp};
 use msod_rbac::policy;
 
@@ -72,9 +81,11 @@ fn main() -> ExitCode {
         Some("schema") => cmd_schema(args.get(1).map(String::as_str).unwrap_or("msod")),
         Some("example") => cmd_example(),
         Some("verify-journal") if args.len() == 2 => cmd_verify_journal(&args[1]),
+        Some("serve") if args.len() >= 2 => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  msod-cli validate <policy.xml>\n  msod-cli decide <policy.xml> <script>\n  msod-cli explain <policy.xml> <script> [--json]\n  msod-cli metrics <policy.xml> <script> [--watch <secs> [<iterations>]]\n  msod-cli top <policy.xml> <script> [--every <ops>]\n  msod-cli flightrec dump <policy.xml> <script> <dir>\n  msod-cli flightrec show <snapshot.json>\n  msod-cli schema [msod|rbac]\n  msod-cli example\n  msod-cli verify-journal <journal.log>"
+                "usage:\n  msod-cli validate <policy.xml>\n  msod-cli decide <policy.xml> <script>\n  msod-cli explain <policy.xml> <script> [--json]\n  msod-cli metrics <policy.xml> <script> [--watch <secs> [<iterations>]]\n  msod-cli top <policy.xml> <script> [--every <ops>]\n  msod-cli flightrec dump <policy.xml> <script> <dir>\n  msod-cli flightrec show <snapshot.json>\n  msod-cli schema [msod|rbac]\n  msod-cli example\n  msod-cli verify-journal <journal.log>\n  msod-cli serve <policy.xml|--builtin> [--addr <host:port>] [--workers <n>]\n  msod-cli loadgen [--addr <host:port>] [--seed <n>] [--requests <n>] [--threads <n>] [--batch <n>] [--open-rate <rps>]"
             );
             return ExitCode::from(2);
         }
@@ -379,37 +390,6 @@ fn cmd_flightrec_show(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// One structural pass over a Prometheus text document: every sample
-/// line must end in a parseable number and every family must declare
-/// `# TYPE` exactly once. Returns the first violation.
-fn validate_metrics_text(text: &str) -> Result<(), String> {
-    let mut types_seen: Vec<String> = Vec::new();
-    for (no, line) in text.lines().enumerate() {
-        let line = line.trim_end();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("# TYPE ") {
-            let family = rest.split_whitespace().next().unwrap_or_default().to_owned();
-            if types_seen.contains(&family) {
-                return Err(format!("line {}: duplicate # TYPE for {family}", no + 1));
-            }
-            types_seen.push(family);
-            continue;
-        }
-        if line.starts_with('#') {
-            continue; // HELP and trace comments
-        }
-        let Some((name, value)) = line.rsplit_once(' ') else {
-            return Err(format!("line {}: malformed sample {line:?}", no + 1));
-        };
-        if name.is_empty() || value.parse::<f64>().map(f64::is_nan).unwrap_or(true) {
-            return Err(format!("line {}: malformed sample value {line:?}", no + 1));
-        }
-    }
-    Ok(())
-}
-
 /// Watch mode: re-run the script every `secs` seconds against one
 /// long-lived service, capture a metric frame per pass, and re-render
 /// the history ring. Each pass structurally validates the full
@@ -532,6 +512,126 @@ fn cmd_verify_journal(path: &str) -> Result<(), String> {
             report.frames_replayable,
         ))
     }
+}
+
+/// Build the symbolized service from `source` (a policy path, or
+/// `--builtin` for the load generator's canonical two-role MMER
+/// policy) and bind the decision server on `addr`. Split from
+/// [`cmd_serve`] so tests can bind an ephemeral port and drop it.
+fn bind_server(source: &str, addr: &str, workers: usize) -> Result<net::NetServer, String> {
+    let xml = if source == "--builtin" {
+        net::BUILTIN_POLICY.to_owned()
+    } else {
+        std::fs::read_to_string(source).map_err(|e| format!("reading {source}: {e}"))?
+    };
+    let svc = std::sync::Arc::new(
+        DecisionService::from_xml_symbolized(&xml, b"msod-cli-trail-key".to_vec())
+            .map_err(|e| e.to_string())?,
+    );
+    net::NetServer::bind(addr, svc, net::NetConfig { workers, ..net::NetConfig::default() })
+        .map_err(|e| format!("binding {addr}: {e}"))
+}
+
+/// `serve` — run the networked decision plane until killed: the binary
+/// decision protocol and the HTTP `GET /metrics` / `GET /healthz`
+/// endpoints share one port, sniffed per connection.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let source = &args[0];
+    let mut addr = "127.0.0.1:7057".to_owned();
+    let mut workers = 4usize;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            "--workers" => {
+                workers = value.parse().map_err(|_| format!("bad --workers {value:?}"))?
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    let server = bind_server(source, &addr, workers.max(1))?;
+    println!(
+        "listening on {} ({} worker(s)); binary decision frames + GET /metrics, GET /healthz",
+        server.local_addr(),
+        workers.max(1),
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Parse a loadgen numeric flag, accepting `0x`-prefixed hex for seeds.
+fn parse_u64_flag(flag: &str, value: &str) -> Result<u64, String> {
+    let parsed = match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => value.parse(),
+    };
+    parsed.map_err(|_| format!("bad {flag} argument {value:?}"))
+}
+
+/// `loadgen` — drive the wire protocol with seeded Zipf traffic and
+/// print one JSON report (closed loop, plus an open paced loop unless
+/// `--open-rate 0`). Without `--addr` an ephemeral in-process server
+/// on the builtin policy is used, so the command is self-contained.
+/// `MSOD_LOADGEN_SCALE` multiplies the request count — the CI knob
+/// separating a quick smoke from a real measurement. The effective
+/// seed is always echoed so any run can be reproduced exactly.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let mut cfg = net::LoadgenConfig::default();
+    let mut addr: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--addr" => addr = Some(value.clone()),
+            "--seed" => cfg.seed = parse_u64_flag(flag, value)?,
+            "--requests" => cfg.requests = parse_u64_flag(flag, value)? as usize,
+            "--threads" => cfg.threads = (parse_u64_flag(flag, value)? as usize).max(1),
+            "--batch" => cfg.batch = (parse_u64_flag(flag, value)? as usize).max(1),
+            "--users" => cfg.users = (parse_u64_flag(flag, value)? as usize).max(1),
+            "--projects" => cfg.projects = (parse_u64_flag(flag, value)? as usize).max(1),
+            "--open-rate" => cfg.open_rate = parse_u64_flag(flag, value)?,
+            other => return Err(format!("unknown loadgen flag {other:?}")),
+        }
+    }
+    if let Ok(scale) = std::env::var("MSOD_LOADGEN_SCALE") {
+        let s: f64 = scale.parse().map_err(|_| format!("bad MSOD_LOADGEN_SCALE {scale:?}"))?;
+        if !s.is_finite() || s <= 0.0 {
+            return Err(format!("bad MSOD_LOADGEN_SCALE {scale:?} (must be > 0)"));
+        }
+        cfg.requests = ((cfg.requests as f64 * s) as usize).max(1);
+    }
+    eprintln!(
+        "# loadgen seed={:#x} requests/thread={} threads={} batch={} target={}",
+        cfg.seed,
+        cfg.requests,
+        cfg.threads,
+        cfg.batch,
+        addr.as_deref().unwrap_or("(ephemeral local server)"),
+    );
+    let (closed, open) = match &addr {
+        Some(a) => {
+            let closed = net::run_closed(a, &cfg).map_err(|e| e.to_string())?;
+            let open = if cfg.open_rate > 0 {
+                Some(net::run_open(a, &cfg).map_err(|e| e.to_string())?)
+            } else {
+                None
+            };
+            (closed, open)
+        }
+        None => net::run_local(&cfg).map_err(|e| e.to_string())?,
+    };
+    println!(
+        "{{\"seed\":{},\"requests_per_thread\":{},\"threads\":{},\"batch\":{},\"closed\":{},\"open\":{}}}",
+        cfg.seed,
+        cfg.requests,
+        cfg.threads,
+        cfg.batch,
+        net::loop_json(&closed),
+        open.as_ref().map(net::loop_json).unwrap_or_else(|| "null".to_owned()),
+    );
+    Ok(())
 }
 
 fn cmd_schema(which: &str) -> Result<(), String> {
@@ -737,6 +837,34 @@ alice | Auditor | audit       | books | Branch=York, Period=2006  | 370
             assert!(r.is_err(), "dump must refuse under obs-off");
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_binds_and_answers_healthz() {
+        let server = bind_server("--builtin", "127.0.0.1:0", 1).unwrap();
+        let addr = server.local_addr().to_string();
+        let (status, body) = net::http_get(&addr, "/healthz").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+        // A missing policy file is a typed error, not a panic.
+        assert!(bind_server("/no/such/policy.xml", "127.0.0.1:0", 1).is_err());
+    }
+
+    #[test]
+    fn loadgen_runs_a_small_local_smoke() {
+        let args: Vec<String> =
+            ["--requests", "64", "--threads", "2", "--batch", "8", "--open-rate", "0"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        cmd_loadgen(&args).unwrap();
+        // Flags must come in pairs and be known.
+        assert!(cmd_loadgen(&["--seed".into()]).is_err());
+        assert!(cmd_loadgen(&["--bogus".into(), "1".into()]).is_err());
+        // Seeds parse in hex and decimal.
+        assert_eq!(parse_u64_flag("--seed", "0xB7").unwrap(), 0xB7);
+        assert_eq!(parse_u64_flag("--seed", "183").unwrap(), 183);
+        assert!(parse_u64_flag("--seed", "nope").is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub use audit;
 pub use context;
 pub use credential;
 pub use msod;
+pub use net;
 pub use obs;
 pub use permis;
 pub use policy;

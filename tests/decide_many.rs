@@ -1,0 +1,160 @@
+//! Pins `DecisionService::decide_many`'s contract: a batch is
+//! **semantically identical** to issuing the same requests one at a
+//! time, in order — including earlier records in a batch changing the
+//! MMER/MMEP outcome of later same-user requests — across the indexed,
+//! symbolized and persistent service flavors. The batch only amortises
+//! mechanics (core snapshot, admission scratch); it must never change
+//! a verdict or the retained ADI.
+
+use msod_rbac::msod::{AdiRecord, RetainedAdi, RoleRef};
+use msod_rbac::permis::{DecisionOutcome, DecisionRequest, DecisionService};
+use msod_rbac::policy::parse_rbac_policy;
+
+const POLICY: &str = r#"<RBACPolicy id="batch" roleType="permisRole">
+  <SOAPolicy><SOA dn="cn=SOA"/></SOAPolicy>
+  <TargetAccessPolicy>
+    <TargetAccess operation="work" targetURI="http://vo/resource">
+      <AllowedRole value="Member"/>
+      <AllowedRole value="Reviewer"/>
+    </TargetAccess>
+    <TargetAccess operation="*" targetURI="pdp:retainedADI">
+      <AllowedRole value="RetainedADIController"/>
+    </TargetAccess>
+  </TargetAccessPolicy>
+  <MSoDPolicySet>
+    <MSoDPolicy BusinessContext="Project=!">
+      <MMER ForbiddenCardinality="2">
+        <Role type="permisRole" value="Member"/>
+        <Role type="permisRole" value="Reviewer"/>
+      </MMER>
+    </MSoDPolicy>
+  </MSoDPolicySet>
+</RBACPolicy>"#;
+
+fn work(user: &str, role: &str, project: &str, ts: u64) -> DecisionRequest {
+    DecisionRequest::with_roles(
+        user,
+        vec![RoleRef::permis(role)],
+        "work",
+        "http://vo/resource",
+        msod_rbac::context::ContextInstance::from_pairs(vec![(
+            "Project".to_owned(),
+            format!("p{project}"),
+        )])
+        .unwrap(),
+        ts,
+    )
+}
+
+/// Traffic where later verdicts hinge on earlier requests in the SAME
+/// batch: u1's Reviewer ask at [1] is denied only because of the
+/// Member grant at [0]; u2 mirrors it; p2 stays independent.
+fn entangled_traffic() -> Vec<DecisionRequest> {
+    vec![
+        work("u1", "Member", "1", 1),
+        work("u1", "Reviewer", "1", 2),
+        work("u2", "Reviewer", "1", 3),
+        work("u2", "Member", "1", 4),
+        work("u1", "Member", "2", 5),
+        work("u1", "Reviewer", "3", 6),
+        work("u3", "Member", "1", 7),
+        work("u3", "Member", "1", 8),
+    ]
+}
+
+fn sorted_snapshot<A: RetainedAdi + 'static>(svc: &DecisionService<A>) -> Vec<AdiRecord> {
+    let mut snap = svc.adi().snapshot();
+    snap.sort_by(|a, b| (a.timestamp, &a.user).cmp(&(b.timestamp, &b.user)));
+    snap
+}
+
+fn assert_batch_equals_sequential<A, B>(
+    batch_svc: &DecisionService<A>,
+    seq_svc: &DecisionService<B>,
+) where
+    A: RetainedAdi + 'static,
+    B: RetainedAdi + 'static,
+{
+    let traffic = entangled_traffic();
+    let batched = batch_svc.decide_many(&traffic);
+    let sequential: Vec<DecisionOutcome> = traffic.iter().map(|r| seq_svc.decide(r)).collect();
+    assert_eq!(batched, sequential, "batch and sequential verdicts diverged");
+
+    // The entanglement actually bit: [1] and [3] deny only because of
+    // records created earlier in the same batch.
+    assert!(!batched[1].is_granted(), "u1 Reviewer after Member must deny");
+    assert!(!batched[3].is_granted(), "u2 Member after Reviewer must deny");
+    assert!(batched[4].is_granted(), "other project is unaffected");
+    assert!(batched[7].is_granted(), "same-role repeat is not a violation");
+
+    // And the retained state is identical.
+    assert_eq!(sorted_snapshot(batch_svc), sorted_snapshot(seq_svc));
+}
+
+#[test]
+fn batch_equals_sequential_indexed() {
+    let policy = parse_rbac_policy(POLICY).unwrap();
+    let batch_svc = DecisionService::new(policy.clone(), b"batch".to_vec());
+    let seq_svc = DecisionService::new(policy, b"seq".to_vec());
+    assert_batch_equals_sequential(&batch_svc, &seq_svc);
+}
+
+#[test]
+fn batch_equals_sequential_symbolized() {
+    let policy = parse_rbac_policy(POLICY).unwrap();
+    let batch_svc = DecisionService::new_symbolized(policy.clone(), b"batch".to_vec());
+    let seq_svc = DecisionService::new_symbolized(policy, b"seq".to_vec());
+    assert_batch_equals_sequential(&batch_svc, &seq_svc);
+}
+
+#[test]
+fn batch_on_symbolized_equals_sequential_on_indexed() {
+    // Cross-flavor: the symbolized batch path (shared ReqBufs /
+    // MatchedBuf scratch across the batch) must agree with the plain
+    // indexed string engine run one request at a time.
+    let policy = parse_rbac_policy(POLICY).unwrap();
+    let batch_svc = DecisionService::new_symbolized(policy.clone(), b"batch".to_vec());
+    let seq_svc = DecisionService::new(policy, b"seq".to_vec());
+    assert_batch_equals_sequential(&batch_svc, &seq_svc);
+}
+
+#[test]
+fn batch_equals_sequential_persistent() {
+    let dir = std::env::temp_dir().join(format!("msod-batch-{}", std::process::id()));
+    let batch_dir = dir.join("batch");
+    let seq_dir = dir.join("seq");
+    std::fs::create_dir_all(&batch_dir).unwrap();
+    std::fs::create_dir_all(&seq_dir).unwrap();
+    let policy = parse_rbac_policy(POLICY).unwrap();
+    let (batch_svc, _) =
+        DecisionService::open_persistent(policy.clone(), b"batch".to_vec(), &batch_dir, 2).unwrap();
+    let (seq_svc, _) =
+        DecisionService::open_persistent(policy, b"seq".to_vec(), &seq_dir, 2).unwrap();
+    assert_batch_equals_sequential(&batch_svc, &seq_svc);
+    drop(batch_svc);
+    drop(seq_svc);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_and_singleton_batches() {
+    let svc = DecisionService::from_xml(POLICY, b"edge".to_vec()).unwrap();
+    assert!(svc.decide_many(&[]).is_empty());
+    let one = svc.decide_many(&[work("u1", "Member", "1", 1)]);
+    assert_eq!(one.len(), 1);
+    assert!(one[0].is_granted());
+    // The singleton batch retained its record like a plain decide.
+    assert_eq!(svc.adi().len(), 1);
+}
+
+#[test]
+fn batch_metrics_are_recorded() {
+    let svc = DecisionService::from_xml(POLICY, b"metrics".to_vec()).unwrap();
+    svc.decide_many(&entangled_traffic());
+    svc.decide_many(&[work("u9", "Member", "9", 100)]);
+    let text = svc.metrics_text();
+    if msod_rbac::obs::enabled() {
+        assert!(text.contains("permis_decide_batches_total 2"), "batch counter missing:\n{text}");
+        assert!(text.contains("permis_decide_batch_size"), "batch histogram missing");
+    }
+}
