@@ -383,6 +383,55 @@ impl Variant {
     }
 }
 
+/// The oracle's complete replay of one workload, op by op: a rendered
+/// verdict line per operation plus the canonical (sorted) retained-ADI
+/// snapshot *after* that operation committed.
+///
+/// This is the reference stream a replicated deployment must converge
+/// to: a replication simulator can hand the same workload to N
+/// replicas under arbitrary fault schedules and then compare each
+/// replica's verdict history and final state against this trace —
+/// `verdicts[i]`/`snapshots[i]` is the ground truth after command `i`,
+/// so prefixes (a replica recovered mid-log) are checkable too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleTrace {
+    /// One rendered verdict per op: the `Debug` form of the projected
+    /// [`Verdict`] for decides, `"purged N"` for management purges.
+    pub verdicts: Vec<String>,
+    /// The sorted retained-ADI snapshot after each op.
+    pub snapshots: Vec<Vec<AdiRecord>>,
+}
+
+/// Replay `w` through a faithful [`Oracle`] alone (no engine variants)
+/// and record the [`OracleTrace`]: the expected verdict line and
+/// post-op snapshot at every step.
+pub fn oracle_trace(w: &Workload) -> OracleTrace {
+    let mut oracle = Oracle::new(w.policies.clone());
+    let mut verdicts = Vec::with_capacity(w.ops.len());
+    let mut snapshots = Vec::with_capacity(w.ops.len());
+    for op in &w.ops {
+        let line = match op {
+            Op::Decide { user, roles, operation, target, context, timestamp } => {
+                let v = oracle.decide(&OracleRequest {
+                    user: user.clone(),
+                    roles: roles.clone(),
+                    operation: operation.clone(),
+                    target: target.clone(),
+                    context: context.clone(),
+                    timestamp: *timestamp,
+                });
+                format!("{v:?}")
+            }
+            Op::PurgeContext(scope) => format!("purged {}", oracle.purge_scope(scope)),
+            Op::PurgeOlderThan(cutoff) => format!("purged {}", oracle.purge_older_than(*cutoff)),
+            Op::PurgeAll => format!("purged {}", oracle.purge_all()),
+        };
+        verdicts.push(line);
+        snapshots.push(oracle.snapshot());
+    }
+    OracleTrace { verdicts, snapshots }
+}
+
 fn render_snapshot(records: &[AdiRecord]) -> String {
     let lines: Vec<String> = records
         .iter()
@@ -592,6 +641,23 @@ mod tests {
             let w = generate(seed);
             if let Some(d) = run_workload(&w) {
                 panic!("seed {seed} diverged:\n{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_trace_is_deterministic_and_op_aligned() {
+        let w = generate(7);
+        let a = oracle_trace(&w);
+        let b = oracle_trace(&w);
+        assert_eq!(a, b, "same workload must yield byte-identical traces");
+        assert_eq!(a.verdicts.len(), w.ops.len());
+        assert_eq!(a.snapshots.len(), w.ops.len());
+        // Purge lines render as counts; decide lines as Verdict debug.
+        for (op, line) in w.ops.iter().zip(&a.verdicts) {
+            match op {
+                Op::Decide { .. } => assert!(!line.starts_with("purged ")),
+                _ => assert!(line.starts_with("purged ")),
             }
         }
     }

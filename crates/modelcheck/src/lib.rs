@@ -28,11 +28,13 @@ pub mod oracle;
 pub mod script;
 pub mod shrink;
 
-pub use diff::{project, run_workload, run_workload_with, wrap_policy, Divergence};
+pub use diff::{
+    oracle_trace, project, run_workload, run_workload_with, wrap_policy, Divergence, OracleTrace,
+};
 pub use gen::{generate, role_pool, Op, Workload, ROLE_TYPE};
 pub use oracle::{sort_snapshot, Mutation, Oracle, OracleRequest, Verdict};
 pub use script::regression_test;
-pub use shrink::{shrink, shrink_with_budget, DEFAULT_BUDGET};
+pub use shrink::{ddmin_list, shrink, shrink_with_budget, DEFAULT_BUDGET};
 
 /// Shrink a diverging workload (under `mutation`) and render a full
 /// report: the divergence, the minimized script, and a ready-to-paste

@@ -212,6 +212,55 @@ pub fn shrink<F: Fn(&Workload) -> bool>(w: &Workload, diverges: &F) -> Workload 
     shrink_with_budget(w, diverges, DEFAULT_BUDGET)
 }
 
+/// Generic ddmin over an arbitrary event list: greedily remove chunks
+/// (halving down to single elements) while `fails` keeps holding,
+/// spending at most `budget` predicate evaluations. The workload
+/// shrinker above is specialised to [`Workload`] structure; this is
+/// the list-shaped counterpart for everything else — fault-schedule
+/// events, message traces — so a divergent (workload, schedule) pair
+/// can be minimised on both axes with the same machinery.
+///
+/// The caller must ensure `fails(items)` holds on entry; the result
+/// (a subsequence of `items`) then satisfies it too. Out of budget
+/// simply stops improving, exactly like [`shrink_with_budget`].
+pub fn ddmin_list<T: Clone, F: Fn(&[T]) -> bool>(items: &[T], fails: &F, budget: usize) -> Vec<T> {
+    let budget = std::cell::Cell::new(budget);
+    let check = |cand: &[T]| -> bool {
+        if budget.get() == 0 {
+            return false;
+        }
+        budget.set(budget.get() - 1);
+        fails(cand)
+    };
+    let mut cur: Vec<T> = items.to_vec();
+    loop {
+        let mut changed = false;
+        let mut chunk = (cur.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < cur.len() {
+                let len = chunk.min(cur.len() - start);
+                let mut cand = cur.clone();
+                cand.drain(start..start + len);
+                if check(&cand) {
+                    cur = cand;
+                    changed = true;
+                    // Same start now holds the next elements.
+                } else {
+                    start += 1;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if !changed || budget.get() == 0 {
+            return cur;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +292,18 @@ mod tests {
             return; // One qualifying seed is enough.
         }
         panic!("no seed satisfied the toy predicate");
+    }
+
+    #[test]
+    fn ddmin_list_strips_to_the_failing_core() {
+        // "Fails" iff the list still holds both a 7 and a 42.
+        let fails = |xs: &[u32]| xs.contains(&7) && xs.contains(&42);
+        let noisy: Vec<u32> = (0..50).chain([7, 99, 42, 3]).collect();
+        let mut core = ddmin_list(&noisy, &fails, 10_000);
+        core.sort_unstable();
+        assert_eq!(core, vec![7, 42]);
+        // Out of budget: no candidate passes, input comes back intact.
+        assert_eq!(ddmin_list(&noisy, &fails, 0), noisy);
     }
 
     #[test]

@@ -61,4 +61,4 @@ pub use pdp::Pdp;
 pub use pep::{Pep, PepSession};
 pub use recovery::RecoveryReport;
 pub use request::{Credentials, DecisionOutcome, DecisionRequest, DenyReason};
-pub use service::{DecisionCore, DecisionService};
+pub use service::{DecisionCore, DecisionService, ReplicaRole};

@@ -14,7 +14,9 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use obs::{Counter, FlightRecorder, Histogram, HistogramSnapshot, PromWriter, Sampler, TraceRing};
+use obs::{
+    Counter, FlightRecorder, Gauge, Histogram, HistogramSnapshot, PromWriter, Sampler, TraceRing,
+};
 use parking_lot::Mutex;
 use symtab::SymbolTable;
 
@@ -172,6 +174,14 @@ pub struct DecideMetrics {
     pub batches: Counter,
     /// Requests per `decide_many` batch.
     pub batch_size: Histogram,
+    /// Replicated commands applied through the ungated apply path.
+    pub applies: Counter,
+    /// The apply epoch last published via
+    /// [`crate::DecisionService::set_apply_epoch`] (telemetry mirror of
+    /// the functional atomic, which works under `obs-off` too).
+    pub apply_epoch: Gauge,
+    /// Requests denied because this service is a non-primary replica.
+    pub not_primary_denies: Counter,
     traces: TraceRing<DecisionTrace>,
     trace_grants: AtomicBool,
     flight: FlightRecorder<FlightEntry>,
@@ -208,6 +218,9 @@ impl Default for DecideMetrics {
             reqbuf_overflows: Counter::new(),
             batches: Counter::new(),
             batch_size: Histogram::new(),
+            applies: Counter::new(),
+            apply_epoch: Gauge::new(),
+            not_primary_denies: Counter::new(),
             traces: TraceRing::new(TRACE_CAPACITY),
             trace_grants: AtomicBool::new(false),
             flight: FlightRecorder::new(FLIGHT_CAPACITY),
@@ -428,6 +441,24 @@ impl DecideMetrics {
             "Requests per decide_many batch.",
             &[],
             &self.batch_size.snapshot(),
+        );
+        w.counter(
+            "permis_apply_total",
+            "Replicated commands applied through the ungated apply path.",
+            &[],
+            self.applies.get(),
+        );
+        w.gauge(
+            "permis_apply_epoch",
+            "Apply epoch last published by the replication layer.",
+            &[],
+            self.apply_epoch.get(),
+        );
+        w.counter(
+            "permis_not_primary_denies_total",
+            "Requests denied because this service is a non-primary replica.",
+            &[],
+            self.not_primary_denies.get(),
         );
         w.counter(
             "permis_flight_triggers_total",

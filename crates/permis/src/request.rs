@@ -80,6 +80,11 @@ pub enum DenyReason {
     /// The request was malformed (e.g. a context value containing `,`,
     /// which the audit encoding cannot round-trip).
     InvalidRequest(String),
+    /// The request reached a replica that is not the serving primary.
+    /// Decisions mutate the retained ADI, so only the lease-holding
+    /// primary may take them; the caller should re-resolve the primary
+    /// and retry there. Nothing was evaluated or retained.
+    NotPrimary,
 }
 
 impl std::fmt::Display for DenyReason {
@@ -92,6 +97,9 @@ impl std::fmt::Display for DenyReason {
             DenyReason::RbacDenied => write!(f, "RBAC target access policy denies"),
             DenyReason::Msod(d) => write!(f, "MSoD violation: {d}"),
             DenyReason::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            DenyReason::NotPrimary => {
+                write!(f, "not the primary replica: decisions must go to the lease holder")
+            }
         }
     }
 }

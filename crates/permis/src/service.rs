@@ -114,6 +114,25 @@ struct DecideScratch {
     matched: MatchedBuf,
 }
 
+/// Which replication role a [`DecisionService`] is currently playing.
+///
+/// Decisions and management operations mutate the retained ADI, so in
+/// a replicated deployment only the lease-holding primary may take
+/// them first-hand; replicas apply the primary's command log through
+/// [`DecisionService::apply_decide`] (and the direct
+/// [`DecisionService::adi`] plane) and serve reads tagged with their
+/// apply epoch. A standalone service is simply a permanent
+/// [`ReplicaRole::Primary`] — the default, so nothing changes for
+/// non-replicated embedders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Serves decides and management mutations.
+    Primary,
+    /// Rejects first-hand mutation with [`DenyReason::NotPrimary`];
+    /// state advances only by applying the replicated command log.
+    Replica,
+}
+
 /// The two-plane PDP. All methods take `&self`; share it between
 /// threads with a plain [`Arc`].
 pub struct DecisionService<A: RetainedAdi = IndexedAdi> {
@@ -126,6 +145,14 @@ pub struct DecisionService<A: RetainedAdi = IndexedAdi> {
     /// recompile against the same table, so symbols stay stable for
     /// the life of the service.
     sym_table: Option<Arc<SymbolTable>>,
+    /// `false` = primary (the default), `true` = replica. An atomic,
+    /// not a lock: role flips (lease grant/expiry) race benignly with
+    /// in-flight decides exactly as they would across the network.
+    is_replica: std::sync::atomic::AtomicBool,
+    /// How many replicated commands this service has fully applied —
+    /// functional state (stale-read tagging), not telemetry, so it
+    /// must survive `obs-off`.
+    apply_epoch: std::sync::atomic::AtomicU64,
     metrics: DecideMetrics,
 }
 
@@ -290,6 +317,8 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
             }),
             trail_key,
             sym_table,
+            is_replica: std::sync::atomic::AtomicBool::new(false),
+            apply_epoch: std::sync::atomic::AtomicU64::new(0),
             metrics: DecideMetrics::default(),
         }
     }
@@ -411,13 +440,66 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
     /// decision lands in the trace ring (denies always; grants after
     /// [`DecideMetrics::set_trace_grants`]).
     pub fn decide(&self, req: &DecisionRequest) -> DecisionOutcome {
+        if self.replica_role() == ReplicaRole::Replica {
+            return self.not_primary_deny();
+        }
+        self.apply_decide(req)
+    }
+
+    /// [`DecisionService::decide`] without the primary-only gate: the
+    /// replication apply path. A replica applying the shared command
+    /// log runs each replicated decision through this — the full §4/§5
+    /// pipeline, retained-ADI mutation and audit append included — so
+    /// its state tracks the primary's byte for byte. Never expose this
+    /// to clients: it is for log application, where the command was
+    /// already admitted by the primary that logged it.
+    pub fn apply_decide(&self, req: &DecisionRequest) -> DecisionOutcome {
         if self.metrics.capture_explanations() {
-            let (outcome, explanation) = self.decide_explained(req);
+            let (outcome, explanation) = self.decide_explained_impl(req);
             self.metrics.record_explanation(explanation);
             return outcome;
         }
         let core = self.core();
         self.decide_impl(&core, req, None, &mut DecideScratch::default())
+    }
+
+    /// This service's replication role. [`ReplicaRole::Primary`]
+    /// unless [`DecisionService::set_replica_role`] demoted it.
+    pub fn replica_role(&self) -> ReplicaRole {
+        if self.is_replica.load(std::sync::atomic::Ordering::Acquire) {
+            ReplicaRole::Replica
+        } else {
+            ReplicaRole::Primary
+        }
+    }
+
+    /// Flip the replication role (lease granted: promote; lease
+    /// expired or lost: demote). In-flight decides that already passed
+    /// the gate complete under the old role — the same window a
+    /// network deployment has between losing a lease and the last
+    /// in-flight request draining.
+    pub fn set_replica_role(&self, role: ReplicaRole) {
+        self.is_replica.store(role == ReplicaRole::Replica, std::sync::atomic::Ordering::Release);
+    }
+
+    /// How many replicated commands this service has fully applied.
+    /// Read replicas tag review/metrics responses with this so callers
+    /// can tell fresh from stale.
+    pub fn apply_epoch(&self) -> u64 {
+        self.apply_epoch.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Publish the apply epoch after applying a replicated command
+    /// (also counts the apply and mirrors the epoch into the metrics).
+    pub fn set_apply_epoch(&self, epoch: u64) {
+        self.apply_epoch.store(epoch, std::sync::atomic::Ordering::Release);
+        self.metrics.applies.inc();
+        self.metrics.apply_epoch.set(epoch);
+    }
+
+    fn not_primary_deny(&self) -> DecisionOutcome {
+        self.metrics.not_primary_denies.inc();
+        DecisionOutcome::Deny { roles: Vec::new(), reason: DenyReason::NotPrimary }
     }
 
     /// Decide a batch of requests in order, returning one outcome per
@@ -432,6 +514,11 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
     /// decides that already hold their core `Arc`.)
     pub fn decide_many(&self, reqs: &[DecisionRequest]) -> Vec<DecisionOutcome> {
         self.metrics.record_batch(reqs.len() as u64);
+        if self.replica_role() == ReplicaRole::Replica {
+            // One role check gates the whole batch: a batch is one
+            // routed message, so it denies as one.
+            return reqs.iter().map(|_| self.not_primary_deny()).collect();
+        }
         if self.metrics.capture_explanations() {
             // The capture path builds per-request explanations; batch
             // amortisation would complicate it for no throughput win
@@ -455,6 +542,15 @@ impl<A: RetainedAdi + 'static> DecisionService<A> {
     /// explanation capture compiles out with the rest of the
     /// observability plane.
     pub fn decide_explained(&self, req: &DecisionRequest) -> (DecisionOutcome, Explanation) {
+        if self.replica_role() == ReplicaRole::Replica {
+            let outcome = self.not_primary_deny();
+            let explanation = Explanation::from_outcome(req, &outcome, None, "replica_gate");
+            return (outcome, explanation);
+        }
+        self.decide_explained_impl(req)
+    }
+
+    fn decide_explained_impl(&self, req: &DecisionRequest) -> (DecisionOutcome, Explanation) {
         let mut slot = ExplainSlot::default();
         let core = self.core();
         let mut scratch = DecideScratch::default();

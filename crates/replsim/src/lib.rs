@@ -1,0 +1,247 @@
+//! Deterministic multi-node replication simulator for the MSoD
+//! decision plane.
+//!
+//! Everything in this crate is seeded and virtual: no wall clock, no
+//! threads, no hash-map iteration. A `(workload seed, schedule seed)`
+//! pair fixes the whole run — the generated MSoD workload, the
+//! scripted fault schedule ([`FaultSchedule`]), every message latency,
+//! every crash and recovery — so the same pair always produces a
+//! byte-identical event trace ([`RunReport::trace_hash`]).
+//!
+//! The cluster under test ([`run_sim`]) replicates the PDP by command
+//! log: a lease coordinator elects one primary, the primary executes
+//! decisions through the gated [`permis::DecisionService`] path and
+//! commits `(seq, verdict)` entries to a log service, and replicas
+//! tail the log and re-execute every command through the ungated
+//! apply path onto their own journaled [`storage::PersistentAdi`]
+//! stores. Fault schedules partition nodes, delay/duplicate/reorder
+//! messages, and power-cut replicas mid-apply; after every run the
+//! simulator force-converges the cluster and checks verdict streams,
+//! retained-ADI snapshots, crash-recovery prefixes, review-read
+//! freshness and lease exclusivity against the [`modelcheck`] oracle.
+//!
+//! When a pair diverges, [`shrink_pair`] delta-debugs both dimensions
+//! at once — fault events via [`modelcheck::ddmin_list`], workload
+//! operations via [`modelcheck::shrink_with_budget`] — and
+//! [`regression_pair`] renders the minimised pair as a paste-ready
+//! regression test.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod schedule;
+pub mod sim;
+
+pub use cluster::{
+    run_pair, run_sim, ReplBug, RunReport, SimConfig, SimDivergence, SimStats, HORIZON,
+};
+pub use schedule::{gen_schedule, FaultEvent, FaultSchedule, FAULT_WINDOW};
+pub use sim::{splitmix64, SimRng, Trace};
+
+use modelcheck::Workload;
+
+/// Shrink budget (candidate evaluations) per shrinking dimension per
+/// round.
+pub const PAIR_BUDGET: usize = 200;
+
+/// Network-seed salts probed per candidate edit while shrinking. A
+/// timing-dependent divergence often hides at one salt and shows at
+/// another, so a single-salt predicate strands the shrinker in large
+/// local minima.
+pub const SALT_TRIES: u64 = 6;
+
+/// The first salt (starting from `cfg.salt`) at which the pair
+/// diverges, if any within [`SALT_TRIES`].
+fn diverging_salt(w: &Workload, s: &FaultSchedule, cfg: &SimConfig) -> Option<u64> {
+    (0..SALT_TRIES).map(|k| cfg.salt.wrapping_add(k)).find(|&salt| {
+        let cand = SimConfig { salt, ..cfg.clone() };
+        run_sim(w, s, &cand).divergence.is_some()
+    })
+}
+
+/// Progressively simpler variants of one fault event, best first:
+/// halve the start time toward zero and tighten the window. Fault
+/// times double as the run's clock — a fault at t=900 forces the
+/// workload to stay ~900 ms long, so pulling `at` toward zero is what
+/// lets the op list shrink afterwards.
+fn simpler_events(e: &FaultEvent) -> Vec<FaultEvent> {
+    let mut out = Vec::new();
+    let halves = |x: u64, floor: u64| {
+        let mut v = Vec::new();
+        let mut cur = x;
+        while cur / 2 >= floor && cur > floor {
+            cur /= 2;
+            v.push(cur);
+        }
+        v
+    };
+    match *e {
+        FaultEvent::Partition { node, at, dur } => {
+            for a in halves(at, 0) {
+                out.push(FaultEvent::Partition { node, at: a, dur });
+            }
+            for d in halves(dur, 20) {
+                out.push(FaultEvent::Partition { node, at, dur: d });
+            }
+        }
+        FaultEvent::Delay { at, dur, max_extra } => {
+            for a in halves(at, 0) {
+                out.push(FaultEvent::Delay { at: a, dur, max_extra });
+            }
+            for d in halves(dur, 20) {
+                out.push(FaultEvent::Delay { at, dur: d, max_extra });
+            }
+            for m in halves(max_extra, 5) {
+                out.push(FaultEvent::Delay { at, dur, max_extra: m });
+            }
+        }
+        FaultEvent::Duplicate { at, dur } => {
+            for a in halves(at, 0) {
+                out.push(FaultEvent::Duplicate { at: a, dur });
+            }
+            for d in halves(dur, 20) {
+                out.push(FaultEvent::Duplicate { at, dur: d });
+            }
+        }
+        FaultEvent::Reorder { at, dur } => {
+            for a in halves(at, 0) {
+                out.push(FaultEvent::Reorder { at: a, dur });
+            }
+            for d in halves(dur, 20) {
+                out.push(FaultEvent::Reorder { at, dur: d });
+            }
+        }
+        FaultEvent::CrashRestart { node, at, down } => {
+            for a in halves(at, 0) {
+                out.push(FaultEvent::CrashRestart { node, at: a, down });
+            }
+            for d in halves(down, 50) {
+                out.push(FaultEvent::CrashRestart { node, at, down: d });
+            }
+        }
+    }
+    out
+}
+
+/// Greedily rewrite event times toward zero while the pair keeps
+/// diverging. Monotone (fields only ever halve), so it terminates
+/// without a budget of its own; `checks` bounds total evaluations.
+fn simplify_times(
+    w: &Workload,
+    s: &FaultSchedule,
+    cfg: &SimConfig,
+    checks: &mut usize,
+) -> FaultSchedule {
+    let mut s = s.clone();
+    let mut progress = true;
+    while progress && *checks > 0 {
+        progress = false;
+        for i in 0..s.events.len() {
+            for cand_e in simpler_events(&s.events[i]) {
+                if *checks == 0 {
+                    return s;
+                }
+                *checks -= 1;
+                let mut cand = s.clone();
+                cand.events[i] = cand_e;
+                if diverging_salt(w, &cand, cfg).is_some() {
+                    s = cand;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Minimise a divergent (workload, fault-schedule) pair: alternate
+/// delta-debugging the schedule's event list, simplifying the
+/// surviving events' times, and delta-debugging the workload's
+/// operation list until nothing shrinks further, probing several
+/// network salts per candidate. The input pair must diverge under
+/// `cfg` (any probed salt); returns the minimised pair plus the
+/// config — salt pinned — under which it still diverges.
+pub fn shrink_pair(
+    w: &Workload,
+    schedule: &FaultSchedule,
+    cfg: &SimConfig,
+) -> (Workload, FaultSchedule, SimConfig) {
+    assert!(
+        diverging_salt(w, schedule, cfg).is_some(),
+        "shrink_pair needs a diverging pair to start from"
+    );
+    let mut w = w.clone();
+    let mut s = schedule.clone();
+    loop {
+        let before = (w.ops.len(), s.events.len(), s.events.clone());
+        // Schedule dimension: drop fault events while the pair still
+        // diverges against the (current) workload.
+        let fails = |events: &[FaultEvent]| {
+            let cand = FaultSchedule { events: events.to_vec() };
+            diverging_salt(&w, &cand, cfg).is_some()
+        };
+        s = FaultSchedule { events: modelcheck::ddmin_list(&s.events, &fails, PAIR_BUDGET) };
+        // Time dimension: pull the surviving faults toward t=0 so the
+        // workload no longer needs to pad the clock out to them.
+        let mut checks = PAIR_BUDGET;
+        s = simplify_times(&w, &s, cfg, &mut checks);
+        // Workload dimension: shrink ops/policies while the pair still
+        // diverges against the (now smaller, earlier) schedule.
+        let wfails = |cand: &Workload| diverging_salt(cand, &s, cfg).is_some();
+        w = modelcheck::shrink_with_budget(&w, &wfails, PAIR_BUDGET);
+        if (w.ops.len(), s.events.len(), s.events.clone()) == before {
+            let salt = diverging_salt(&w, &s, cfg).expect("every kept edit re-checked divergence");
+            return (w, s, SimConfig { salt, ..cfg.clone() });
+        }
+    }
+}
+
+/// Render a config as a constructor expression for regression output.
+fn cfg_expr(cfg: &SimConfig) -> String {
+    format!(
+        "replsim::SimConfig {{ nodes: {}, bug: replsim::ReplBug::{:?}, salt: {}, \
+         record_trace: false }}",
+        cfg.nodes, cfg.bug, cfg.salt
+    )
+}
+
+/// Render a minimised divergent pair as a ready-to-paste regression
+/// test: rebuild the workload from its script, the schedule from its
+/// event literal, and assert the run converges under the exact config
+/// (salt included) that exposed the divergence.
+pub fn regression_pair(
+    name: &str,
+    w: &Workload,
+    s: &FaultSchedule,
+    cfg: &SimConfig,
+    report: &RunReport,
+) -> String {
+    let divergence = report
+        .divergence
+        .as_ref()
+        .map(|d| d.to_string())
+        .unwrap_or_else(|| "(no divergence recorded)".to_string());
+    let script = w.to_script();
+    let schedule_code = indent(&s.to_code(), "    ");
+    [
+        format!("// Divergence this pair exposed:\n//   {}", divergence.replace('\n', "\n//   ")),
+        "#[test]".to_string(),
+        format!("fn {name}() {{"),
+        format!("    let w = modelcheck::Workload::from_script(r#\"{script}\"#).unwrap();"),
+        format!("    let schedule = {schedule_code};"),
+        format!("    let report = replsim::run_sim(&w, &schedule, &{});", cfg_expr(cfg)),
+        "    assert!(report.divergence.is_none(), \"{}\", report.divergence.unwrap());".to_string(),
+        "}\n".to_string(),
+    ]
+    .join("\n")
+}
+
+fn indent(block: &str, pad: &str) -> String {
+    block
+        .lines()
+        .enumerate()
+        .map(|(i, l)| if i == 0 { l.to_string() } else { format!("{pad}{l}") })
+        .collect::<Vec<_>>()
+        .join("\n")
+}

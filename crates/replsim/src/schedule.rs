@@ -1,0 +1,151 @@
+//! Scripted fault schedules: the adversary side of a simulation run.
+//!
+//! A schedule is a flat list of [`FaultEvent`]s — flat on purpose, so
+//! a divergent schedule can be minimised with the generic
+//! [`modelcheck::ddmin_list`] delta-debugger: remove events, re-run,
+//! keep whatever still diverges.
+
+use crate::sim::SimRng;
+
+/// Virtual-time horizon within which generated fault windows start.
+pub const FAULT_WINDOW: u64 = 3_000;
+
+/// One scripted fault. All times are virtual milliseconds; every
+/// window is `[at, at + dur)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Cut node `node` off from every other endpoint (coordinator,
+    /// log service, client and peers) for the window. Messages are
+    /// dropped at send time.
+    Partition {
+        /// The isolated replica.
+        node: usize,
+        /// Window start.
+        at: u64,
+        /// Window length.
+        dur: u64,
+    },
+    /// Add up to `max_extra` ms of seeded latency to every message
+    /// sent during the window.
+    Delay {
+        /// Window start.
+        at: u64,
+        /// Window length.
+        dur: u64,
+        /// Upper bound on the extra per-message latency.
+        max_extra: u64,
+    },
+    /// Deliver every message sent during the window twice (the copy
+    /// trails by a seeded jitter).
+    Duplicate {
+        /// Window start.
+        at: u64,
+        /// Window length.
+        dur: u64,
+    },
+    /// Suspend the per-link FIFO clamp for messages sent during the
+    /// window, allowing reordering.
+    Reorder {
+        /// Window start.
+        at: u64,
+        /// Window length.
+        dur: u64,
+    },
+    /// Kill node `node` at `at` (its process memory vanishes; its
+    /// journal suffers a power cut) and restart it at `at + down`
+    /// through the truncate-to-marker recovery path.
+    CrashRestart {
+        /// The victim replica.
+        node: usize,
+        /// Kill time.
+        at: u64,
+        /// Downtime before the restart.
+        down: u64,
+    },
+}
+
+/// A whole scripted schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    /// The scripted faults, in no particular order (each carries its
+    /// own absolute times).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// A fault-free schedule.
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Render the schedule as a paste-ready Rust expression, for
+    /// regression-test output.
+    pub fn to_code(&self) -> String {
+        if self.events.is_empty() {
+            return "FaultSchedule::none()".to_string();
+        }
+        let items: Vec<String> =
+            self.events.iter().map(|e| format!("    FaultEvent::{e:?},")).collect();
+        format!("FaultSchedule {{ events: vec![\n{}\n] }}", items.join("\n"))
+    }
+}
+
+/// Generate a seeded fault schedule for an `nodes`-replica cluster:
+/// one to four events drawn from the full fault vocabulary, windows
+/// starting inside [`FAULT_WINDOW`].
+pub fn gen_schedule(seed: u64, nodes: usize) -> FaultSchedule {
+    let mut rng = SimRng::new(seed ^ 0xD1B5_4A32_D192_ED03);
+    let count = 1 + rng.gen_range(4);
+    let mut events = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let at = rng.gen_range(FAULT_WINDOW);
+        let dur = 50 + rng.gen_range(350);
+        let node = rng.gen_range(nodes as u64) as usize;
+        events.push(match rng.gen_range(5) {
+            0 => FaultEvent::Partition { node, at, dur },
+            1 => FaultEvent::Delay { at, dur, max_extra: 20 + rng.gen_range(80) },
+            2 => FaultEvent::Duplicate { at, dur },
+            3 => FaultEvent::Reorder { at, dur },
+            _ => FaultEvent::CrashRestart { node, at, down: 100 + rng.gen_range(500) },
+        });
+    }
+    FaultSchedule { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..50 {
+            assert_eq!(gen_schedule(seed, 3), gen_schedule(seed, 3));
+        }
+    }
+
+    #[test]
+    fn generation_covers_every_fault_kind() {
+        let mut kinds = [false; 5];
+        for seed in 0..200 {
+            for e in gen_schedule(seed, 3).events {
+                kinds[match e {
+                    FaultEvent::Partition { .. } => 0,
+                    FaultEvent::Delay { .. } => 1,
+                    FaultEvent::Duplicate { .. } => 2,
+                    FaultEvent::Reorder { .. } => 3,
+                    FaultEvent::CrashRestart { .. } => 4,
+                }] = true;
+            }
+        }
+        assert!(kinds.iter().all(|&k| k), "kinds seen: {kinds:?}");
+    }
+
+    #[test]
+    fn to_code_is_paste_ready() {
+        let s =
+            FaultSchedule { events: vec![FaultEvent::Partition { node: 1, at: 200, dur: 300 }] };
+        let code = s.to_code();
+        assert!(code.contains("FaultEvent::Partition { node: 1, at: 200, dur: 300 }"), "{code}");
+        assert_eq!(FaultSchedule::none().to_code(), "FaultSchedule::none()");
+    }
+}

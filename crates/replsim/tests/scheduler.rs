@@ -1,0 +1,216 @@
+//! Property tests for the virtual-time network scheduler, phrased
+//! over the machine-parseable event trace: same seed ⇒ identical
+//! delivery trace; per-link FIFO whenever reordering is not scripted;
+//! no loss and no duplication unless the schedule says so.
+
+use proptest::prelude::*;
+use replsim::{gen_schedule, run_pair, run_sim, FaultEvent, FaultSchedule, SimConfig};
+use std::collections::BTreeMap;
+
+/// One parsed network event from the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Net {
+    Send { t: u64, id: u64, link: (String, String) },
+    Deliver { t: u64, id: u64 },
+    Drop { id: u64, reason: String },
+    Dup { id: u64, of: u64 },
+}
+
+fn parse(trace: &[String]) -> Vec<Net> {
+    let mut out = Vec::new();
+    for line in trace {
+        let mut parts = line.split_whitespace();
+        let t: u64 = parts
+            .next()
+            .and_then(|p| p.strip_prefix("t="))
+            .expect("trace line starts with t=")
+            .parse()
+            .expect("virtual time");
+        let Some(word) = parts.next() else { continue };
+        if let Some(id) = word.strip_prefix("send#") {
+            let link = parts.next().expect("send has a link");
+            let (from, to) = link.split_once('>').expect("link is from>to");
+            out.push(Net::Send {
+                t,
+                id: id.parse().unwrap(),
+                link: (from.to_string(), to.to_string()),
+            });
+        } else if let Some(id) = word.strip_prefix("deliver#") {
+            out.push(Net::Deliver { t, id: id.parse().unwrap() });
+        } else if let Some(id) = word.strip_prefix("drop#") {
+            let reason = parts.next().expect("drop has a reason").to_string();
+            out.push(Net::Drop { id: id.parse().unwrap(), reason });
+        } else if let Some(id) = word.strip_prefix("dup#") {
+            let of = parts.next().and_then(|p| p.strip_prefix("of#")).expect("dup has of#");
+            out.push(Net::Dup { id: id.parse().unwrap(), of: of.parse().unwrap() });
+        }
+    }
+    out
+}
+
+fn record_cfg() -> SimConfig {
+    SimConfig { record_trace: true, ..SimConfig::default() }
+}
+
+/// Keep only fault kinds in `keep` (by discriminant name).
+fn filter_schedule(s: &FaultSchedule, keep: fn(&FaultEvent) -> bool) -> FaultSchedule {
+    FaultSchedule { events: s.events.iter().filter(|e| keep(e)).cloned().collect() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16 })]
+
+    /// The determinism contract: the same (workload, schedule) seed
+    /// pair replays to a byte-identical trace.
+    #[test]
+    fn same_seed_same_trace(wseed in 0u64..500, sseed in 0u64..500) {
+        let cfg = record_cfg();
+        let a = run_pair(wseed, sseed, &cfg);
+        let b = run_pair(wseed, sseed, &cfg);
+        prop_assert_eq!(&a.trace, &b.trace);
+        prop_assert_eq!(a.trace_hash, b.trace_hash);
+        prop_assert!(!a.trace.is_empty());
+    }
+
+    /// With no `Reorder` window scripted, every link is FIFO: the
+    /// non-duplicate deliveries on one (from, to) link happen in send
+    /// order.
+    #[test]
+    fn fifo_per_link_without_reorder(wseed in 0u64..200, sseed in 0u64..200) {
+        let w = modelcheck::generate(wseed);
+        let s = filter_schedule(
+            &gen_schedule(sseed, 3),
+            |e| !matches!(e, FaultEvent::Reorder { .. }),
+        );
+        let r = run_sim(&w, &s, &record_cfg());
+        let events = parse(&r.trace);
+        let mut link_of: BTreeMap<u64, (String, String)> = BTreeMap::new();
+        let mut dup_ids: Vec<u64> = Vec::new();
+        for e in &events {
+            match e {
+                Net::Send { id, link, .. } => {
+                    link_of.insert(*id, link.clone());
+                }
+                Net::Dup { id, .. } => dup_ids.push(*id),
+                _ => {}
+            }
+        }
+        let mut last_id: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for e in &events {
+            if let Net::Deliver { id, .. } = e {
+                if dup_ids.contains(id) {
+                    continue; // duplicate copies deliberately trail
+                }
+                let link = link_of.get(id).expect("delivered id was sent").clone();
+                if let Some(prev) = last_id.get(&link) {
+                    prop_assert!(
+                        id > prev,
+                        "link {link:?} delivered #{id} after #{prev}"
+                    );
+                }
+                last_id.insert(link, *id);
+            }
+        }
+    }
+
+    /// Without partitions or crashes, nothing is ever dropped: every
+    /// send has a matching delivery.
+    #[test]
+    fn no_loss_unless_scripted(wseed in 0u64..200, sseed in 0u64..200) {
+        let w = modelcheck::generate(wseed);
+        let s = filter_schedule(
+            &gen_schedule(sseed, 3),
+            |e| !matches!(e, FaultEvent::Partition { .. } | FaultEvent::CrashRestart { .. }),
+        );
+        let r = run_sim(&w, &s, &record_cfg());
+        let events = parse(&r.trace);
+        let mut sent: Vec<u64> = Vec::new();
+        let mut delivered: Vec<u64> = Vec::new();
+        for e in &events {
+            match e {
+                Net::Send { id, .. } => sent.push(*id),
+                Net::Dup { id, .. } => sent.push(*id),
+                Net::Deliver { id, .. } => delivered.push(*id),
+                Net::Drop { id, reason } => {
+                    prop_assert!(false, "unscripted drop#{id} ({reason})");
+                }
+            }
+        }
+        sent.sort_unstable();
+        delivered.sort_unstable();
+        prop_assert_eq!(sent, delivered);
+    }
+
+    /// Without a `Duplicate` window, every message is delivered at
+    /// most once and no dup copies exist; drop reasons are only ever
+    /// `partition` or `dead`, and only when those faults are scripted.
+    #[test]
+    fn no_duplication_unless_scripted(wseed in 0u64..200, sseed in 0u64..200) {
+        let w = modelcheck::generate(wseed);
+        let s = filter_schedule(
+            &gen_schedule(sseed, 3),
+            |e| !matches!(e, FaultEvent::Duplicate { .. }),
+        );
+        let has_partition =
+            s.events.iter().any(|e| matches!(e, FaultEvent::Partition { .. }));
+        let has_crash =
+            s.events.iter().any(|e| matches!(e, FaultEvent::CrashRestart { .. }));
+        let r = run_sim(&w, &s, &record_cfg());
+        let events = parse(&r.trace);
+        let mut deliver_count: BTreeMap<u64, u32> = BTreeMap::new();
+        for e in &events {
+            match e {
+                Net::Dup { id, of } => {
+                    prop_assert!(false, "unscripted dup#{id} of#{of}");
+                }
+                Net::Deliver { id, .. } => {
+                    *deliver_count.entry(*id).or_insert(0) += 1;
+                }
+                Net::Drop { reason, id } => match reason.as_str() {
+                    "partition" => prop_assert!(
+                        has_partition,
+                        "drop#{id} partition without a Partition window"
+                    ),
+                    "dead" => prop_assert!(
+                        has_crash,
+                        "drop#{id} dead without a CrashRestart event"
+                    ),
+                    other => prop_assert!(false, "unknown drop reason {other}"),
+                },
+                Net::Send { .. } => {}
+            }
+        }
+        for (id, n) in deliver_count {
+            prop_assert_eq!(n, 1, "message #{} delivered {} times", id, n);
+        }
+    }
+}
+
+/// Deterministic (non-proptest) pin: a run with all four message
+/// faults active still converges and its parsed trace is self
+/// consistent (every id seen in a deliver/drop was sent or dup'd).
+#[test]
+fn trace_ids_are_self_consistent_under_full_fault_mix() {
+    let w = modelcheck::generate(5);
+    let s = FaultSchedule {
+        events: vec![
+            FaultEvent::Delay { at: 0, dur: 2_000, max_extra: 60 },
+            FaultEvent::Duplicate { at: 300, dur: 600 },
+            FaultEvent::Reorder { at: 500, dur: 800 },
+            FaultEvent::Partition { node: 2, at: 900, dur: 250 },
+        ],
+    };
+    let r = run_sim(&w, &s, &record_cfg());
+    assert!(r.divergence.is_none(), "{:?}", r.divergence);
+    let events = parse(&r.trace);
+    let mut known: Vec<u64> = Vec::new();
+    for e in &events {
+        match e {
+            Net::Send { id, .. } | Net::Dup { id, .. } => known.push(*id),
+            Net::Deliver { id, .. } | Net::Drop { id, .. } => {
+                assert!(known.contains(id), "unknown message id {id}");
+            }
+        }
+    }
+    assert!(r.stats.duplicated > 0 || r.stats.dropped > 0 || r.stats.delivered > 0);
+}

@@ -1,0 +1,198 @@
+//! Fault-schedule conformance sweeps: every (workload, fault-schedule)
+//! pair must leave the cluster byte-identically convergent with the
+//! modelcheck oracle.
+//!
+//! Knobs (mirroring the modelcheck crate's conventions):
+//!
+//! * `REPLSIM_SCALE` — pairs for the fixed-seed sweep (default 150
+//!   here; CI cranks it to thousands).
+//! * `REPLSIM_SEED` — base for an extra randomized batch; CI passes a
+//!   fresh value and echoes it, so a red run is reproducible by
+//!   exporting the same seed locally.
+
+use replsim::{run_pair, SimConfig};
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn check_pair(wseed: u64, sseed: u64, cfg: &SimConfig) {
+    let r = run_pair(wseed, sseed, cfg);
+    if let Some(d) = r.divergence {
+        panic!(
+            "pair wseed={wseed} sseed={sseed} diverged \
+             (reproduce: REPLSIM_PAIR={wseed}:{sseed}):\n{d}"
+        );
+    }
+}
+
+/// The fixed-seed sweep: `REPLSIM_SCALE` pairs walked diagonally so
+/// both seed dimensions vary.
+#[test]
+fn fixed_seed_sweep_converges() {
+    let scale = env_u64("REPLSIM_SCALE").unwrap_or(150);
+    let cfg = SimConfig::default();
+    let side = (scale as f64).sqrt().ceil() as u64;
+    let mut done = 0u64;
+    'outer: for wseed in 0..side {
+        for sseed in 0..side {
+            check_pair(wseed, sseed, &cfg);
+            done += 1;
+            if done >= scale {
+                break 'outer;
+            }
+        }
+    }
+}
+
+/// The randomized batch: derived from `REPLSIM_SEED` when set (CI
+/// echoes the value), otherwise a fixed default so the test always
+/// runs.
+#[test]
+fn random_batch_converges() {
+    let base = env_u64("REPLSIM_SEED").unwrap_or(0xD1CE);
+    let n = env_u64("REPLSIM_SCALE").map_or(24, |s| (s / 6).max(8));
+    let cfg = SimConfig::default();
+    for k in 0..n {
+        let x = base.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let (wseed, sseed) = (x >> 32, x & 0xFFFF_FFFF);
+        check_pair(wseed, sseed, &cfg);
+    }
+}
+
+/// Re-running a pair reproduces the identical event trace, line for
+/// line and hash for hash — the determinism contract the whole
+/// harness rests on.
+#[test]
+fn rerun_reproduces_identical_trace() {
+    let cfg = SimConfig { record_trace: true, ..SimConfig::default() };
+    for (wseed, sseed) in [(7, 13), (0, 0), (3, 42)] {
+        let a = run_pair(wseed, sseed, &cfg);
+        let b = run_pair(wseed, sseed, &cfg);
+        assert!(!a.trace.is_empty());
+        assert_eq!(a.trace, b.trace, "trace differs for pair {wseed}:{sseed}");
+        assert_eq!(a.trace_hash, b.trace_hash);
+    }
+}
+
+/// Five replicas converge too (the sweep default is three).
+#[test]
+fn five_replicas_converge() {
+    let cfg = SimConfig { nodes: 5, ..SimConfig::default() };
+    for wseed in 0..6 {
+        for sseed in 0..6 {
+            check_pair(wseed, sseed, &cfg);
+        }
+    }
+}
+
+/// A fault-free run commits the whole workload, not just a prefix.
+#[test]
+fn faultless_run_commits_everything() {
+    use modelcheck::generate;
+    use replsim::{run_sim, FaultSchedule};
+    let cfg = SimConfig::default();
+    for wseed in 0..10 {
+        let w = generate(wseed);
+        let r = run_sim(&w, &FaultSchedule::none(), &cfg);
+        assert!(r.divergence.is_none(), "wseed={wseed}: {:?}", r.divergence);
+        assert_eq!(r.committed, w.ops.len(), "wseed={wseed} stalled");
+    }
+}
+
+/// The run report renders valid Prometheus exposition text.
+#[test]
+fn report_metrics_text_is_valid() {
+    let r = run_pair(1, 1, &SimConfig::default());
+    let text = r.metrics_text();
+    obs::validate_metrics_text(&text).expect("exposition format");
+}
+
+// ---------------------------------------------------------------------
+// corpus pins
+
+const CORPUS: &str = include_str!("../corpus/replsim_seeds.txt");
+
+fn corpus_pairs(feature: &str) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for line in CORPUS.lines() {
+        let Some((pair, tag)) = line.split_once('#') else { continue };
+        let pair = pair.trim();
+        if pair.is_empty() || tag.trim() != feature {
+            continue;
+        }
+        let (w, s) = pair.split_once(':').expect("corpus line is wseed:sseed");
+        out.push((w.parse().expect("wseed"), s.parse().expect("sseed")));
+    }
+    assert!(!out.is_empty(), "no corpus pins tagged {feature}");
+    out
+}
+
+fn check_corpus_feature(feature: &'static str) {
+    let cfg = SimConfig::default();
+    for (wseed, sseed) in corpus_pairs(feature) {
+        let r = run_pair(wseed, sseed, &cfg);
+        assert!(
+            r.divergence.is_none(),
+            "corpus pair {wseed}:{sseed} ({feature}) diverged: {:?}",
+            r.divergence
+        );
+        assert!(
+            r.features.contains(feature),
+            "corpus pair {wseed}:{sseed} no longer exhibits {feature} \
+             (got {:?}) — re-scan and re-pin",
+            r.features
+        );
+    }
+}
+
+/// Primary crash while holding a live lease: failover plus client
+/// re-resolution.
+#[test]
+fn corpus_primary_crash_during_lease() {
+    check_corpus_feature("primary-crash");
+}
+
+/// Primary crash within 60 virtual ms of the grant — mid lease
+/// handoff.
+#[test]
+fn corpus_crash_during_lease_handoff() {
+    check_corpus_feature("handoff-crash");
+}
+
+/// Partition healing strictly between the first and last commit.
+#[test]
+fn corpus_partition_heals_mid_batch() {
+    check_corpus_feature("heal-mid-run");
+}
+
+/// Duplicate delivery window active while a purge op is in flight.
+#[test]
+fn corpus_duplicate_delivery_of_purge() {
+    check_corpus_feature("dup-purge");
+}
+
+/// Every corpus line parses and every pin converges under every
+/// planted-bug-free config we sweep (paranoia against comment drift).
+#[test]
+fn corpus_is_well_formed() {
+    let mut total = 0;
+    for line in CORPUS.lines() {
+        let Some((pair, tag)) = line.split_once('#') else { continue };
+        if pair.trim().is_empty() {
+            continue;
+        }
+        assert!(!tag.trim().is_empty(), "untagged corpus line: {line}");
+        total += 1;
+    }
+    assert!(total >= 8, "corpus shrank to {total} pins");
+    // The harness only knows these feature tags.
+    let known = ["primary-crash", "handoff-crash", "heal-mid-run", "dup-purge"];
+    for line in CORPUS.lines() {
+        let Some((pair, tag)) = line.split_once('#') else { continue };
+        if pair.trim().is_empty() {
+            continue;
+        }
+        assert!(known.contains(&tag.trim()), "unknown feature tag: {line}");
+    }
+}

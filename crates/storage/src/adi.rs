@@ -58,6 +58,12 @@ const OP_CLEAR: u8 = 3;
 const OP_DEF: u8 = 4;
 /// Symbol-era frame: one retained record, all identities as dict ids.
 const OP_ADD_V2: u8 = 5;
+/// Replication checkpoint: every frame before this one belongs to a
+/// fully applied command with the carried sequence number. Replicas
+/// write one after applying each replicated command; crash recovery
+/// truncates to the last intact marker so the surviving journal is an
+/// exact command prefix (see [`truncate_to_last_marker_with_vfs`]).
+const OP_MARK: u8 = 6;
 
 /// Encoded frames buffered in memory before one batched `append` pass —
 /// a mutation costs a `Vec` push on the common path instead of a write
@@ -206,6 +212,13 @@ struct Journal {
     /// invariant that every id the dictionary knows has had its
     /// `OP_DEF` frame queued ahead of any frame referencing it.
     dict: SymDict,
+    /// Highest replication checkpoint seen — replayed at open, updated
+    /// by [`PersistentAdi::append_marker`], re-emitted by compaction so
+    /// rewrites never lose the checkpoint.
+    last_marker: Option<u64>,
+    /// A simulated crash declared this store dead: drop must not touch
+    /// the (virtual) device again. Set by [`PersistentAdi::abandon`].
+    abandoned: bool,
     metrics: JournalMetrics,
 }
 
@@ -285,6 +298,12 @@ impl std::fmt::Debug for PersistentAdi {
 
 impl Drop for PersistentAdi {
     fn drop(&mut self) {
+        // A store abandoned by a simulated crash is already "powered
+        // off": nothing more may reach the device, and the latched
+        // error (the injected crash) is expected, not lost history.
+        if self.journal.lock().abandoned {
+            return;
+        }
         // Best effort: persist whatever is still batched, including
         // the catch-up rewrite if an append failed earlier. Drop
         // cannot return an error, but it must not swallow one either —
@@ -499,6 +518,9 @@ pub enum ReplayFrame {
     /// A dictionary definition — already absorbed into the decoder's
     /// state; nothing to apply.
     Def,
+    /// A replication checkpoint: every earlier frame belongs to a fully
+    /// applied command, the latest of which had this sequence number.
+    Marker(u64),
 }
 
 /// Stateful decoder that replays *both* frame generations: string-era
@@ -542,6 +564,14 @@ impl ReplayDecoder {
             OP_ADD_V2 => {
                 buf.advance(1);
                 self.decode_add_v2(&mut buf).map(|rec| ReplayFrame::Op(AdiOp::Add(rec)))
+            }
+            OP_MARK => {
+                buf.advance(1);
+                if buf.remaining() >= 8 {
+                    Some(ReplayFrame::Marker(buf.get_u64_le()))
+                } else {
+                    None
+                }
             }
             _ => AdiOp::decode(payload).map(ReplayFrame::Op),
         }
@@ -615,6 +645,7 @@ impl PersistentAdi {
         }
         let mut index = IndexedAdi::new();
         let mut decoder = ReplayDecoder::new();
+        let mut last_marker = None;
         let (log, mut report) =
             OpLog::open_with_vfs(vfs, path, |payload| match decoder.decode(payload) {
                 Some(ReplayFrame::Op(op)) => {
@@ -622,6 +653,10 @@ impl PersistentAdi {
                     true
                 }
                 Some(ReplayFrame::Def) => true,
+                Some(ReplayFrame::Marker(seq)) => {
+                    last_marker = Some(seq);
+                    true
+                }
                 None => false,
             })?;
         report.stale_compaction_tmp = stale_tmp;
@@ -642,6 +677,8 @@ impl PersistentAdi {
                 // the decoder's later-definition-wins rule keeps old
                 // frames decoding correctly.
                 dict: SymDict::new(),
+                last_marker,
+                abandoned: false,
                 metrics,
             }),
             recovery: report,
@@ -708,6 +745,11 @@ impl PersistentAdi {
         }
         let mut journal = self.journal.lock();
         journal.batch.clear();
+        // A rewrite must not lose the replication checkpoint: the
+        // snapshot it carries is exactly the state as of that marker.
+        if let Some(seq) = journal.last_marker {
+            frames.push(encode_marker(seq));
+        }
         if let Err(e) = journal.log.rewrite(frames.iter().map(|f| f.as_slice())) {
             // The batch is already gone (superseded by the snapshot)
             // but the rewrite that was to carry its mutations did not
@@ -771,6 +813,132 @@ impl PersistentAdi {
     fn journal(&self, payload: Vec<u8>) {
         self.journal.lock().push(payload);
     }
+
+    /// Journal a replication checkpoint: every frame queued so far
+    /// belongs to a fully applied command, the latest being `seq`.
+    /// Replicas applying a shared op log call this after each command;
+    /// [`truncate_to_last_marker_with_vfs`] then recovers a crashed
+    /// replica to an exact command prefix. Like every mutation, the
+    /// marker is batched — call [`PersistentAdi::flush`] for it to
+    /// reach the journal file.
+    pub fn append_marker(&self, seq: u64) {
+        let mut journal = self.journal.lock();
+        journal.push(encode_marker(seq));
+        journal.last_marker = Some(seq);
+    }
+
+    /// The highest replication checkpoint this store has seen — from
+    /// replay at open or from [`PersistentAdi::append_marker`] since.
+    /// `None` for stores that never journaled a marker.
+    pub fn last_marker(&self) -> Option<u64> {
+        self.journal.lock().last_marker
+    }
+
+    /// Declare this store dead after a simulated crash: drop will not
+    /// flush, compact, sync or report latched errors. The backing
+    /// (virtual) device is expected to be power-cycled before the path
+    /// is reopened; a store abandoned on a *live* device simply loses
+    /// its batched tail, exactly as the crash being simulated would.
+    pub fn abandon(&self) {
+        self.journal.lock().abandoned = true;
+    }
+}
+
+fn encode_marker(seq: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(9);
+    buf.put_u8(OP_MARK);
+    buf.put_u64_le(seq);
+    buf
+}
+
+/// Truncate the journal at `path` to the end of its last intact,
+/// decodable replication marker, returning that marker's sequence
+/// number — or truncate to empty and return `None` when no intact
+/// marker survives. The scan stops at the first anomaly (torn tail,
+/// CRC failure, undecodable frame), so frames after a crash point are
+/// never trusted. This is the replica-restart primitive: after it, the
+/// journal replays to the exact state as of the returned command, and
+/// the replica re-applies the shared op log from there.
+///
+/// A missing file is not an error: there is nothing to truncate, and
+/// `None` is returned.
+pub fn truncate_to_last_marker_with_vfs(
+    vfs: &Arc<dyn Vfs>,
+    path: &Path,
+) -> Result<Option<u64>, StorageError> {
+    let data = match vfs.read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut decoder = ReplayDecoder::new();
+    let mut stop = false;
+    let mut last: Option<(u64, u64)> = None; // (byte end, marker seq)
+    crate::recovery::scan_frames(&data, |offset, outcome| {
+        if stop {
+            return;
+        }
+        match outcome {
+            crate::recovery::FrameOutcome::Intact(payload) => match decoder.decode(payload) {
+                Some(ReplayFrame::Marker(seq)) => {
+                    last = Some((offset + 4 + payload.len() as u64 + 4, seq));
+                }
+                Some(_) => {}
+                None => stop = true,
+            },
+            _ => stop = true,
+        }
+    });
+    let cut = last.map_or(0, |(end, _)| end);
+    if cut < data.len() as u64 {
+        let mut file = vfs.open_append(path)?;
+        file.set_len(cut)?;
+        file.sync()?;
+    }
+    Ok(last.map(|(_, seq)| seq))
+}
+
+/// Decode the journal at `path` and return every intact frame from
+/// frame index `from_frame` (0-based, counting *all* frames including
+/// dictionary definitions and markers) onward, stopping at the first
+/// anomaly. The decoder replays the whole file regardless of
+/// `from_frame` — symbol frames in the tail resolve against
+/// dictionary definitions from the head — so this is an offline
+/// tailing/inspection API, priced per call, not a cursor.
+///
+/// A missing file yields an empty tail.
+pub fn tail_journal_with_vfs(
+    vfs: &Arc<dyn Vfs>,
+    path: &Path,
+    from_frame: u64,
+) -> Result<Vec<ReplayFrame>, StorageError> {
+    let data = match vfs.read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut decoder = ReplayDecoder::new();
+    let mut stop = false;
+    let mut index = 0u64;
+    let mut tail = Vec::new();
+    crate::recovery::scan_frames(&data, |_offset, outcome| {
+        if stop {
+            return;
+        }
+        match outcome {
+            crate::recovery::FrameOutcome::Intact(payload) => match decoder.decode(payload) {
+                Some(frame) => {
+                    if index >= from_frame {
+                        tail.push(frame);
+                    }
+                    index += 1;
+                }
+                None => stop = true,
+            },
+            _ => stop = true,
+        }
+    });
+    Ok(tail)
 }
 
 impl RetainedAdi for PersistentAdi {
@@ -1328,5 +1496,138 @@ mod tests {
         // 7 define frames + 1 add frame.
         assert_eq!(adi.recovery().frames_replayed, 8);
         assert!(!vfs.exists(&tmp), "stale temp must be removed");
+    }
+
+    #[test]
+    fn marker_round_trips_and_survives_reopen() {
+        let vfs = FaultVfs::default();
+        let path = PathBuf::from("/adi/marker.log");
+        let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        {
+            let mut adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), &path).unwrap();
+            assert_eq!(adi.last_marker(), None);
+            adi.add(rec("a", "r", "P=1", 1));
+            adi.append_marker(0);
+            adi.add(rec("b", "r", "P=2", 2));
+            adi.append_marker(1);
+            adi.sync().unwrap();
+        }
+        let adi = PersistentAdi::open_with_vfs(arc, &path).unwrap();
+        assert_eq!(adi.last_marker(), Some(1));
+        assert_eq!(adi.len(), 2);
+    }
+
+    #[test]
+    fn compaction_preserves_the_marker() {
+        let vfs = FaultVfs::default();
+        let path = PathBuf::from("/adi/marker-compact.log");
+        let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        let mut adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), &path).unwrap();
+        adi.add(rec("a", "r", "P=1", 1));
+        adi.append_marker(7);
+        adi.compact().unwrap();
+        assert_eq!(adi.last_marker(), Some(7));
+        drop(adi);
+        let adi = PersistentAdi::open_with_vfs(arc, &path).unwrap();
+        assert_eq!(adi.last_marker(), Some(7), "rewrite must re-emit the checkpoint");
+        assert_eq!(adi.len(), 1);
+    }
+
+    #[test]
+    fn truncate_to_last_marker_recovers_an_exact_command_prefix() {
+        let vfs = FaultVfs::default();
+        let path = PathBuf::from("/adi/marker-trunc.log");
+        let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        {
+            let mut adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), &path).unwrap();
+            // Two complete commands, then a third whose marker never
+            // lands (the simulated crash point).
+            adi.add(rec("a", "r", "P=1", 1));
+            adi.append_marker(0);
+            adi.add(rec("b", "r", "P=2", 2));
+            adi.append_marker(1);
+            adi.add(rec("c", "r", "P=3", 3));
+            adi.flush().unwrap();
+            adi.abandon();
+        }
+        let seq = truncate_to_last_marker_with_vfs(&arc, &path).unwrap();
+        assert_eq!(seq, Some(1));
+        let adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), &path).unwrap();
+        assert!(adi.recovery().is_clean(), "truncated journal must replay cleanly");
+        assert_eq!(adi.last_marker(), Some(1));
+        let users: Vec<String> = {
+            let mut v: Vec<String> = adi.snapshot().into_iter().map(|r| r.user).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(users, ["a", "b"], "the half-applied command c must be gone");
+    }
+
+    #[test]
+    fn truncate_without_any_marker_empties_the_journal() {
+        let vfs = FaultVfs::default();
+        let path = PathBuf::from("/adi/no-marker.log");
+        let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        {
+            let mut adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), &path).unwrap();
+            adi.add(rec("a", "r", "P=1", 1));
+            adi.flush().unwrap();
+        }
+        assert_eq!(truncate_to_last_marker_with_vfs(&arc, &path).unwrap(), None);
+        let adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), &path).unwrap();
+        assert_eq!(adi.len(), 0);
+        // And a path that never existed is simply `None`.
+        assert_eq!(
+            truncate_to_last_marker_with_vfs(&arc, &PathBuf::from("/adi/absent.log")).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn tail_journal_returns_frames_from_an_index() {
+        let vfs = FaultVfs::default();
+        let path = PathBuf::from("/adi/tail.log");
+        let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        {
+            let mut adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), &path).unwrap();
+            adi.add(rec("a", "r", "P=1", 1));
+            adi.append_marker(0);
+            adi.add(rec("b", "r", "P=2", 2));
+            adi.append_marker(1);
+            adi.flush().unwrap();
+        }
+        let all = tail_journal_with_vfs(&arc, &path, 0).unwrap();
+        let markers: Vec<u64> = all
+            .iter()
+            .filter_map(|f| match f {
+                ReplayFrame::Marker(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(markers, [0, 1]);
+        let adds = all.iter().filter(|f| matches!(f, ReplayFrame::Op(AdiOp::Add(_)))).count();
+        assert_eq!(adds, 2);
+        // Tailing from the end is empty; from one-before holds the
+        // final marker.
+        assert!(tail_journal_with_vfs(&arc, &path, all.len() as u64).unwrap().is_empty());
+        let last = tail_journal_with_vfs(&arc, &path, all.len() as u64 - 1).unwrap();
+        assert_eq!(last, vec![ReplayFrame::Marker(1)]);
+    }
+
+    #[test]
+    fn abandoned_store_never_touches_the_device_on_drop() {
+        let vfs = FaultVfs::default();
+        let path = PathBuf::from("/adi/abandon.log");
+        let arc: Arc<dyn Vfs> = Arc::new(vfs.clone());
+        let mut adi = PersistentAdi::open_with_vfs(Arc::clone(&arc), &path).unwrap();
+        adi.add(rec("a", "r", "P=1", 1));
+        adi.flush().unwrap();
+        let before = vfs.bytes_written();
+        adi.add(rec("b", "r", "P=2", 2)); // stays batched
+        adi.abandon();
+        drop(adi);
+        assert_eq!(vfs.bytes_written(), before, "drop after abandon must not write");
+        let reopened = PersistentAdi::open_with_vfs(arc, &path).unwrap();
+        assert_eq!(reopened.len(), 1, "the batched tail died with the crash");
     }
 }

@@ -48,7 +48,10 @@ pub mod log;
 pub mod recovery;
 pub mod vfs;
 
-pub use adi::{encode_add_v2, AdiOp, PersistentAdi, ReplayDecoder, ReplayFrame, SymDict};
+pub use adi::{
+    encode_add_v2, tail_journal_with_vfs, truncate_to_last_marker_with_vfs, AdiOp, PersistentAdi,
+    ReplayDecoder, ReplayFrame, SymDict,
+};
 pub use crc::crc32;
 pub use error::StorageError;
 pub use log::OpLog;
